@@ -1,0 +1,52 @@
+//! Ablation A — hierarchical vs. flat task allocation (§III-C).
+//!
+//! The paper argues that the hierarchical mechanism "is faster because the
+//! submitter does not have to connect in succession to all peers". This bench
+//! quantifies it: critical-path message counts of both mechanisms for growing
+//! peer populations, plus the wall cost of building the allocation graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_common::{IpAddr, PeerId, PeerResources};
+use p2pdc::allocation::{build_allocation, flat_cost, hierarchical_cost, CMAX};
+use p2pdc::proximity::GroupCandidate;
+
+fn candidates(n: usize) -> Vec<GroupCandidate> {
+    (0..n)
+        .map(|i| GroupCandidate {
+            id: PeerId::new(i as u64 + 2),
+            ip: IpAddr::from_octets(10, (i / 64) as u8, (i / 8 % 256) as u8, (i % 250) as u8 + 1),
+            resources: PeerResources::xeon_em64t(),
+        })
+        .collect()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    println!("\n# Ablation A — allocation critical path (sequential sends)");
+    println!("{:>8}  {:>14}  {:>10}  {:>8}", "peers", "hierarchical", "flat", "speedup");
+    for &n in &[32usize, 64, 128, 256, 512] {
+        let graph = build_allocation(PeerId::new(1), &candidates(n), CMAX);
+        let hier = hierarchical_cost(&graph);
+        let flat = flat_cost(n);
+        println!(
+            "{:>8}  {:>14}  {:>10}  {:>7.2}x",
+            n,
+            hier.critical_sends,
+            flat.critical_sends,
+            flat.critical_sends as f64 / hier.critical_sends as f64
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_allocation_build");
+    group.sample_size(20);
+    for &n in &[64usize, 512] {
+        let peers = candidates(n);
+        group.bench_with_input(BenchmarkId::new("build_allocation", n), &peers, |b, peers| {
+            b.iter(|| build_allocation(PeerId::new(1), peers, CMAX))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

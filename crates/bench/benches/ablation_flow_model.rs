@@ -1,0 +1,49 @@
+//! Ablation C — bottleneck (SimGrid-analytic) vs. max–min fair bandwidth
+//! sharing in the network model.
+//!
+//! The paper's trace replay uses SimGrid's analytic model; this ablation shows
+//! where that simplification matters: when many halo flows cross the shared
+//! LAN backbone simultaneously, the fair-sharing model predicts longer times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dperf::OptLevel;
+use netsim::SharingMode;
+use p2p_perf::{PlatformKind, Scenario};
+use p2pdc_bench::{bench_app, tiny_app};
+
+fn bench_flow_model(c: &mut Criterion) {
+    println!("\n# Ablation C — network sharing model (LAN, optimization level 0, reduced workload)");
+    println!("{:>8}  {:>16}  {:>16}  {:>8}", "peers", "bottleneck [s]", "max-min fair [s]", "ratio");
+    for &n in &[4usize, 8, 16] {
+        let base = Scenario::new(PlatformKind::Lan, n)
+            .with_app(bench_app())
+            .with_opt(OptLevel::O0);
+        let analytic = base.clone().with_sharing(SharingMode::Bottleneck).predict();
+        let fair = base.with_sharing(SharingMode::MaxMinFair).predict();
+        let a = analytic.total.as_secs_f64();
+        let f = fair.total.as_secs_f64();
+        println!("{n:>8}  {a:>16.3}  {f:>16.3}  {:>8.3}", f / a);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_flow_model");
+    group.sample_size(10);
+    for mode in [SharingMode::Bottleneck, SharingMode::MaxMinFair] {
+        let label = match mode {
+            SharingMode::Bottleneck => "bottleneck",
+            SharingMode::MaxMinFair => "maxmin",
+        };
+        group.bench_with_input(BenchmarkId::new("predict_lan8", label), &mode, |b, &mode| {
+            b.iter(|| {
+                Scenario::new(PlatformKind::Lan, 8)
+                    .with_app(tiny_app())
+                    .with_sharing(mode)
+                    .predict()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_model);
+criterion_main!(benches);

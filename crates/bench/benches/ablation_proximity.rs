@@ -1,0 +1,78 @@
+//! Ablation B — IP-prefix proximity grouping vs. random grouping (§III-A.2).
+//!
+//! Compares the mean intra-group IP proximity (longest common prefix, bits)
+//! and the simulated intra-group communication latency on the xDSL platform
+//! for the paper's proximity-based grouping against a random assignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{daisy_xdsl, HostSpec};
+use p2p_common::{DetRng, HostId, PeerId, PeerResources, SimDuration};
+use p2pdc::proximity::{group_by_proximity, mean_group_proximity, GroupCandidate};
+
+fn xdsl_candidates(n: usize) -> (netsim::Topology, Vec<GroupCandidate>) {
+    let topo = daisy_xdsl(1024, HostSpec::default(), 7);
+    let cands = (0..n)
+        .map(|i| {
+            let host = topo.hosts[i * (1024 / n)];
+            GroupCandidate {
+                id: PeerId::new(host.raw() as u64),
+                ip: topo.platform.host(host).ip.unwrap(),
+                resources: PeerResources::xeon_em64t(),
+            }
+        })
+        .collect();
+    (topo, cands)
+}
+
+/// Mean route latency between members of each group, averaged over groups.
+/// (Peer ids in this bench encode the host index directly.)
+fn mean_intra_group_latency(topo: &mut netsim::Topology, groups: &[Vec<GroupCandidate>]) -> SimDuration {
+    let mut total = SimDuration::ZERO;
+    let mut pairs = 0u64;
+    for group in groups {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len().min(i + 4) {
+                let a = HostId::new(group[i].id.raw() as u32);
+                let b = HostId::new(group[j].id.raw() as u32);
+                total += topo.platform.route(a, b).latency;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        SimDuration::ZERO
+    } else {
+        total / pairs
+    }
+}
+
+fn bench_proximity(c: &mut Criterion) {
+    let (mut topo, candidates) = xdsl_candidates(128);
+
+    // Proximity-based grouping.
+    let proximity_groups = group_by_proximity(&candidates, 32);
+    // Random grouping with the same group sizes.
+    let mut shuffled = candidates.clone();
+    DetRng::new(1).shuffle(&mut shuffled);
+    let random_groups: Vec<Vec<GroupCandidate>> = shuffled.chunks(32).map(|c| c.to_vec()).collect();
+
+    let prox_bits: f64 = proximity_groups.iter().map(|g| mean_group_proximity(g)).sum::<f64>()
+        / proximity_groups.len() as f64;
+    let rand_bits: f64 = random_groups.iter().map(|g| mean_group_proximity(g)).sum::<f64>()
+        / random_groups.len() as f64;
+    let prox_lat = mean_intra_group_latency(&mut topo, &proximity_groups);
+    let rand_lat = mean_intra_group_latency(&mut topo, &random_groups);
+    println!("\n# Ablation B — proximity vs random grouping (128 xDSL peers, Cmax = 32)");
+    println!("  mean intra-group common prefix:  proximity {prox_bits:.1} bits   random {rand_bits:.1} bits");
+    println!("  mean intra-group route latency:  proximity {prox_lat}   random {rand_lat}\n");
+
+    let mut group = c.benchmark_group("ablation_proximity_grouping");
+    group.sample_size(30);
+    group.bench_function("group_128_peers", |b| {
+        b.iter(|| group_by_proximity(&candidates, 32))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_proximity);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension — synchronous vs. asynchronous iterative schemes over slow links.
+//!
+//! The paper's future work points at asynchronous schemes for heterogeneous
+//! P2P platforms; P2PSAP exists precisely to reconfigure channels when the
+//! scheme changes. This bench runs the P2PDC reference executor with both
+//! schemes on the xDSL platform: the asynchronous scheme pays ~30 % more
+//! iterations but never blocks on the high-latency last miles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dperf::OptLevel;
+use p2p_perf::{PlatformKind, Scenario};
+use p2pdc_bench::{bench_app, tiny_app};
+use p2psap::IterativeScheme;
+
+fn bench_async(c: &mut Criterion) {
+    println!("\n# Extension — synchronous vs asynchronous scheme (xDSL, reduced workload)");
+    println!("{:>8}  {:>16}  {:>16}  {:>8}", "peers", "synchronous [s]", "asynchronous [s]", "speedup");
+    for &n in &[4usize, 8, 16] {
+        let base = Scenario::new(PlatformKind::Xdsl, n)
+            .with_app(bench_app())
+            .with_opt(OptLevel::O0);
+        let sync = base
+            .clone()
+            .with_scheme(IterativeScheme::Synchronous)
+            .run_reference();
+        let asyn = base
+            .with_scheme(IterativeScheme::Asynchronous)
+            .run_reference();
+        let s = sync.execution_time.as_secs_f64();
+        let a = asyn.execution_time.as_secs_f64();
+        println!("{n:>8}  {s:>16.3}  {a:>16.3}  {:>7.2}x", s / a);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ext_async_schemes");
+    group.sample_size(10);
+    for scheme in [IterativeScheme::Synchronous, IterativeScheme::Asynchronous] {
+        group.bench_with_input(
+            BenchmarkId::new("xdsl8", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    Scenario::new(PlatformKind::Xdsl, 8)
+                        .with_app(tiny_app())
+                        .with_scheme(scheme)
+                        .run_reference()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 10 — Stage-1 reference time compared to the dPerf prediction on the
+//! identical cluster platform (GCC optimisation level 3).
+//!
+//! The bench measures the cost of the two pipelines (reference execution vs.
+//! trace generation + replay) and prints the regenerated comparison, including
+//! the per-point relative error dPerf achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dperf::OptLevel;
+use p2p_perf::experiments::fig10_prediction_accuracy;
+use p2p_perf::{PlatformKind, Scenario};
+use p2pdc_bench::{bench_app, bench_sizes, tiny_app};
+
+fn bench_fig10(c: &mut Criterion) {
+    let fig = fig10_prediction_accuracy(&bench_app(), &bench_sizes(), OptLevel::O3);
+    println!("\n{}", fig.render());
+    // Report the prediction error explicitly, since that is Fig. 10's claim.
+    let reference = &fig.series[0];
+    let prediction = &fig.series[1];
+    for &n in &bench_sizes() {
+        if let (Some(r), Some(p)) = (reference.at(n), prediction.at(n)) {
+            println!("  peers={n:>2}  reference={r:.3}s  predicted={p:.3}s  error={:.1}%", (p - r).abs() / r * 100.0);
+        }
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig10_pipelines");
+    group.sample_size(10);
+    for &n in &[4usize] {
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, &n| {
+            b.iter(|| {
+                Scenario::new(PlatformKind::Grid5000, n)
+                    .with_app(tiny_app())
+                    .run_reference()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dperf_prediction", n), &n, |b, &n| {
+            b.iter(|| {
+                Scenario::new(PlatformKind::Grid5000, n)
+                    .with_app(tiny_app())
+                    .predict()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

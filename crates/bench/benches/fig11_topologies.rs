@@ -1,0 +1,35 @@
+//! Fig. 11 — reference time compared to the dPerf predictions for the
+//! Grid'5000 cluster, the xDSL Daisy desktop grid and the campus LAN
+//! (GCC optimisation level 0).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dperf::OptLevel;
+use p2p_perf::experiments::fig11_topology_comparison;
+use p2p_perf::{PlatformKind, Scenario};
+use p2pdc_bench::{bench_app, bench_sizes, tiny_app};
+
+fn bench_fig11(c: &mut Criterion) {
+    let fig = fig11_topology_comparison(&bench_app(), &bench_sizes(), OptLevel::O0);
+    println!("\n{}", fig.render());
+
+    let mut group = c.benchmark_group("fig11_prediction_per_platform");
+    group.sample_size(10);
+    for platform in [PlatformKind::Grid5000, PlatformKind::Xdsl, PlatformKind::Lan] {
+        group.bench_with_input(
+            BenchmarkId::new("predict", platform.label()),
+            &platform,
+            |b, &platform| {
+                b.iter(|| {
+                    Scenario::new(platform, 4)
+                        .with_app(tiny_app())
+                        .with_opt(OptLevel::O0)
+                        .predict()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

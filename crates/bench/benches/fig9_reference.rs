@@ -1,0 +1,42 @@
+//! Fig. 9 — Stage-1 reference execution time of the obstacle problem on the
+//! Bordeplage cluster, for every GCC optimisation level and 2–32 peers.
+//!
+//! The bench measures the cost of producing one reference point (a full P2PDC
+//! simulated execution) and prints the regenerated figure at the reduced
+//! workload scale. Run `cargo run -p p2pdc-bench --bin experiments fig9` for
+//! the paper-scale series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dperf::OptLevel;
+use p2p_perf::experiments::fig9_reference_times;
+use p2p_perf::{PlatformKind, Scenario};
+use p2pdc_bench::{bench_app, bench_sizes, tiny_app};
+
+fn bench_fig9(c: &mut Criterion) {
+    // Print the regenerated figure once, at the reduced workload scale.
+    let fig = fig9_reference_times(&bench_app(), &bench_sizes());
+    println!("\n{}", fig.render());
+
+    let mut group = c.benchmark_group("fig9_reference_run");
+    group.sample_size(10);
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        for &n in &[2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("opt{}", opt.label()), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        Scenario::new(PlatformKind::Grid5000, n)
+                            .with_app(tiny_app())
+                            .with_opt(opt)
+                            .run_reference()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

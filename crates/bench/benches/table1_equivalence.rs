@@ -1,0 +1,22 @@
+//! Table I — equivalent computing power of the cluster in a peer-to-peer
+//! desktop grid over xDSL or LAN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dperf::OptLevel;
+use p2p_perf::experiments::equivalence_table;
+use p2pdc_bench::{bench_app, tiny_app};
+
+fn bench_table1(c: &mut Criterion) {
+    let table = equivalence_table(&bench_app(), &[2, 4, 8], &[2, 4, 8, 16, 32], OptLevel::O0);
+    println!("\n# Table I — equivalent computing power (reduced workload)\n{}", table.render());
+
+    let mut group = c.benchmark_group("table1_equivalence_search");
+    group.sample_size(10);
+    group.bench_function("build_table", |b| {
+        b.iter(|| equivalence_table(&tiny_app(), &[2, 4], &[2, 4, 8], OptLevel::O0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

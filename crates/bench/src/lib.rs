@@ -1,0 +1,56 @@
+//! Shared helpers of the benchmark harness.
+//!
+//! The Criterion benches regenerate each figure/table at a reduced workload
+//! scale (so `cargo bench` completes in minutes), while the `experiments`
+//! binary runs the paper-scale workload and prints the full data series. Both
+//! go through the same `p2p_perf::experiments` functions, so the numbers
+//! reported by EXPERIMENTS.md can be reproduced either way.
+
+use obstacle::ObstacleApp;
+
+/// The peer counts used by the paper (2..32 by powers of two).
+pub fn paper_sizes() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32]
+}
+
+/// A reduced set of peer counts for quick Criterion runs.
+pub fn bench_sizes() -> Vec<usize> {
+    vec![2, 4, 8]
+}
+
+/// The paper-scale obstacle workload (1200² grid, 900 sweeps).
+pub fn paper_app() -> ObstacleApp {
+    ObstacleApp::paper_scale()
+}
+
+/// A scaled-down obstacle workload with the same communication pattern, used
+/// by the Criterion benches (about 1/150 of the paper-scale work).
+pub fn bench_app() -> ObstacleApp {
+    ObstacleApp {
+        n: 600,
+        sweeps: 120,
+        flops_per_point: 21.0,
+    }
+}
+
+/// An even smaller workload for the per-iteration ablation benches.
+pub fn tiny_app() -> ObstacleApp {
+    ObstacleApp {
+        n: 240,
+        sweeps: 40,
+        flops_per_point: 21.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_ordered_by_size() {
+        assert!(tiny_app().total_flops() < bench_app().total_flops());
+        assert!(bench_app().total_flops() < paper_app().total_flops());
+        assert_eq!(paper_sizes(), vec![2, 4, 8, 16, 32]);
+        assert!(bench_sizes().iter().all(|s| paper_sizes().contains(s)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the shared foundational types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// An IPv4 address string could not be parsed.
+    ParseIp(String),
+    /// A configuration value was out of its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::ParseIp(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            CommonError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = CommonError::ParseIp("1.2.3".into());
+        assert!(e.to_string().contains("1.2.3"));
+        let e = CommonError::InvalidConfig("peer count must be > 0".into());
+        assert!(e.to_string().contains("peer count"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the system — hosts and routers of the simulated platform,
+//! peers and trackers of the P2PDC overlay, tasks, network flows, protocol
+//! channels, simulated processes — gets its own newtype so that indices cannot
+//! be mixed up across subsystems.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Construct from the raw index.
+            pub const fn new(v: $inner) -> Self {
+                $name(v)
+            }
+
+            /// The raw index.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The raw index widened to `usize`, for container indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A compute host (end node) of the simulated platform.
+    HostId, u32, "h"
+);
+define_id!(
+    /// Any node of the platform graph: hosts, routers, switches, DSLAMs.
+    NodeId, u32, "n"
+);
+define_id!(
+    /// A peer of the P2PDC overlay (donor of computational resources).
+    PeerId, u64, "peer"
+);
+define_id!(
+    /// A tracker of the P2PDC overlay (manages a zone of peers).
+    TrackerId, u64, "tracker"
+);
+define_id!(
+    /// A computation submitted to the environment.
+    TaskId, u64, "task"
+);
+define_id!(
+    /// A data transfer in flight on the simulated network.
+    FlowId, u64, "flow"
+);
+define_id!(
+    /// A simulated process / actor (e.g. one rank of a distributed run).
+    ProcId, u32, "p"
+);
+define_id!(
+    /// A P2PSAP channel between two peers.
+    ChannelId, u64, "chan"
+);
+
+/// A monotonically increasing id allocator, generic over any of the id types.
+#[derive(Debug, Clone, Default)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Create an allocator starting at zero.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Create an allocator starting at `start`.
+    pub fn starting_at(start: u64) -> Self {
+        Self { next: start }
+    }
+
+    /// Allocate the next raw id.
+    pub fn next_raw(&mut self) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+
+    /// Allocate the next id of a 64-bit id type.
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(HostId::new(3).to_string(), "h3");
+        assert_eq!(PeerId::new(42).to_string(), "peer42");
+        assert_eq!(TrackerId::new(7).to_string(), "tracker7");
+        assert_eq!(FlowId::new(0).to_string(), "flow0");
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let p = PeerId::new(123);
+        assert_eq!(p.raw(), 123);
+        assert_eq!(p.index(), 123);
+        assert_eq!(PeerId::from(123u64), p);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(PeerId::new(1));
+        set.insert(PeerId::new(2));
+        set.insert(PeerId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(PeerId::new(1) < PeerId::new(2));
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut alloc = IdAllocator::new();
+        let a: PeerId = alloc.next_id();
+        let b: PeerId = alloc.next_id();
+        let c: TaskId = alloc.next_id();
+        assert_eq!(a, PeerId::new(0));
+        assert_eq!(b, PeerId::new(1));
+        assert_eq!(c, TaskId::new(2));
+    }
+
+    #[test]
+    fn allocator_can_start_elsewhere() {
+        let mut alloc = IdAllocator::starting_at(100);
+        let a: TrackerId = alloc.next_id();
+        assert_eq!(a, TrackerId::new(100));
+    }
+}

@@ -1,0 +1,251 @@
+//! IPv4-style addresses and the IP-based proximity metric.
+//!
+//! The P2PDC hybrid topology manager (paper §III-A.2) measures the proximity
+//! of two nodes as the length of the longest common prefix of their IP
+//! addresses: with P1 = 145.82.1.1, P2 = 145.82.1.129 and P3 = 145.83.56.74,
+//! the common prefix of P1/P2 is 24 bits while P1/P3 share only 15 bits, so
+//! P1 considers P2 closer than P3. The metric uses only local information and
+//! consumes no network resources, which is why the paper prefers it over RTT
+//! or AS-path metrics.
+
+use crate::error::CommonError;
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4-style 32-bit address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Build an address from its four dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        IpAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Build an address from a raw 32-bit value.
+    pub const fn from_u32(v: u32) -> Self {
+        IpAddr(v)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The four dotted-quad octets.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Length, in bits, of the longest common prefix between two addresses.
+    ///
+    /// This is the proximity measure of paper §III-A.2: larger means closer.
+    pub const fn common_prefix_len(self, other: IpAddr) -> u32 {
+        (self.0 ^ other.0).leading_zeros()
+    }
+
+    /// Proximity of `self` to `other` (alias of [`IpAddr::common_prefix_len`],
+    /// named after the paper's terminology).
+    pub const fn proximity(self, other: IpAddr) -> u32 {
+        self.common_prefix_len(other)
+    }
+
+    /// Among `candidates`, return the index of the address closest to `self`
+    /// (largest common prefix), breaking ties by the smallest absolute
+    /// numerical distance and then by address order so the choice is
+    /// deterministic. Returns `None` if `candidates` is empty.
+    pub fn closest_index(self, candidates: &[IpAddr]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| {
+                let prox = self.common_prefix_len(c);
+                let dist = self.0.abs_diff(c.0);
+                // Sort by decreasing proximity, then increasing numeric distance.
+                (u32::MAX - prox, dist, c.0)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Draw a uniformly random address inside the `/prefix_len` network that
+    /// contains `base`.
+    pub fn random_in_subnet(base: IpAddr, prefix_len: u32, rng: &mut DetRng) -> IpAddr {
+        assert!(prefix_len <= 32, "prefix length must be at most 32");
+        if prefix_len == 32 {
+            return base;
+        }
+        let host_bits = 32 - prefix_len;
+        let mask: u32 = if prefix_len == 0 { 0 } else { u32::MAX << host_bits };
+        let host: u32 = if host_bits == 32 {
+            rng.gen_u32()
+        } else {
+            rng.gen_u32() & !mask
+        };
+        IpAddr((base.0 & mask) | host)
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl FromStr for IpAddr {
+    type Err = CommonError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 4 {
+            return Err(CommonError::ParseIp(s.to_string()));
+        }
+        let mut octets = [0u8; 4];
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] = p
+                .parse::<u8>()
+                .map_err(|_| CommonError::ParseIp(s.to_string()))?;
+        }
+        Ok(IpAddr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// Sequential allocator of addresses inside a subnet, used by the topology
+/// builders to hand out addresses whose prefix structure mirrors the physical
+/// layout (same DSLAM ⇒ same /24, same petal ⇒ same /16, …).
+#[derive(Debug, Clone)]
+pub struct SubnetAllocator {
+    base: u32,
+    next_host: u32,
+    host_bits: u32,
+}
+
+impl SubnetAllocator {
+    /// Create an allocator for the `/prefix_len` network containing `base`.
+    /// The network address itself (host part zero) is skipped.
+    pub fn new(base: IpAddr, prefix_len: u32) -> Self {
+        assert!(prefix_len < 32, "subnet must have room for hosts");
+        let host_bits = 32 - prefix_len;
+        let mask = u32::MAX << host_bits;
+        SubnetAllocator {
+            base: base.0 & mask,
+            next_host: 1,
+            host_bits,
+        }
+    }
+
+    /// Allocate the next address, or `None` if the subnet is exhausted.
+    pub fn next(&mut self) -> Option<IpAddr> {
+        let capacity = if self.host_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.host_bits) - 1
+        };
+        if self.next_host > capacity {
+            return None;
+        }
+        let addr = IpAddr(self.base | self.next_host);
+        self.next_host += 1;
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_from_section_3a2() {
+        // The exact worked example from the paper.
+        let p1: IpAddr = "145.82.1.1".parse().unwrap();
+        let p2: IpAddr = "145.82.1.129".parse().unwrap();
+        let p3: IpAddr = "145.83.56.74".parse().unwrap();
+        assert_eq!(p1.common_prefix_len(p2), 24);
+        assert_eq!(p1.common_prefix_len(p3), 15);
+        assert!(p1.proximity(p2) > p1.proximity(p3), "P2 must be closer to P1 than P3");
+    }
+
+    #[test]
+    fn prefix_len_is_symmetric_and_reflexive() {
+        let a = IpAddr::from_octets(10, 0, 0, 1);
+        let b = IpAddr::from_octets(10, 0, 0, 2);
+        assert_eq!(a.common_prefix_len(b), b.common_prefix_len(a));
+        assert_eq!(a.common_prefix_len(a), 32);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let addr: IpAddr = "192.168.17.254".parse().unwrap();
+        assert_eq!(addr.to_string(), "192.168.17.254");
+        assert_eq!(addr.octets(), [192, 168, 17, 254]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_addresses() {
+        assert!("1.2.3".parse::<IpAddr>().is_err());
+        assert!("1.2.3.4.5".parse::<IpAddr>().is_err());
+        assert!("1.2.3.256".parse::<IpAddr>().is_err());
+        assert!("a.b.c.d".parse::<IpAddr>().is_err());
+        assert!("".parse::<IpAddr>().is_err());
+    }
+
+    #[test]
+    fn closest_index_prefers_longest_prefix() {
+        let me: IpAddr = "145.82.1.1".parse().unwrap();
+        let candidates: Vec<IpAddr> = ["145.83.56.74", "145.82.1.129", "200.1.1.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(me.closest_index(&candidates), Some(1));
+        assert_eq!(me.closest_index(&[]), None);
+    }
+
+    #[test]
+    fn closest_index_breaks_ties_deterministically() {
+        let me = IpAddr::from_octets(10, 0, 0, 100);
+        // Both candidates share the same /24 with `me`.
+        let c1 = IpAddr::from_octets(10, 0, 0, 96); // prefix 27 with 100
+        let c2 = IpAddr::from_octets(10, 0, 0, 101);
+        let got = me.closest_index(&[c1, c2]).unwrap();
+        assert_eq!(got, 1, "the numerically nearer /24 sibling should win");
+    }
+
+    #[test]
+    fn random_in_subnet_stays_in_subnet() {
+        let mut rng = DetRng::new(7);
+        let base: IpAddr = "172.16.0.0".parse().unwrap();
+        for _ in 0..200 {
+            let a = IpAddr::random_in_subnet(base, 12, &mut rng);
+            assert_eq!(a.common_prefix_len(base) >= 12, true, "{a} not in 172.16/12");
+        }
+        // /32 returns the base itself.
+        assert_eq!(IpAddr::random_in_subnet(base, 32, &mut rng), base);
+    }
+
+    #[test]
+    fn subnet_allocator_hands_out_distinct_addresses() {
+        let mut alloc = SubnetAllocator::new("10.1.2.0".parse().unwrap(), 24);
+        let a = alloc.next().unwrap();
+        let b = alloc.next().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "10.1.2.1");
+        assert_eq!(b.to_string(), "10.1.2.2");
+        assert_eq!(a.common_prefix_len(b), 24 + 6);
+    }
+
+    #[test]
+    fn subnet_allocator_exhausts() {
+        let mut alloc = SubnetAllocator::new("10.1.2.0".parse().unwrap(), 30);
+        assert!(alloc.next().is_some());
+        assert!(alloc.next().is_some());
+        assert!(alloc.next().is_some());
+        assert!(alloc.next().is_none(), "a /30 has only 3 usable host ids here");
+    }
+}

@@ -1,0 +1,154 @@
+//! Peer resource descriptors.
+//!
+//! In a P2PDC zone, "peers publish their information regarding processor,
+//! memory, hard disk and current usage state to tracker of zone and wait for
+//! works" (paper §III-A.1). [`PeerResources`] is that published record, and
+//! [`ResourceRequirements`] is the filter a submitter attaches to its peer
+//! request message (§III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Current usage state of a peer, as reported in its periodic state update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UsageState {
+    /// Idle and available for a computation.
+    Free,
+    /// Reserved for a computation (cannot be reserved for another one).
+    Busy,
+    /// The machine's owner is using it interactively; unsuitable for work.
+    OwnerActive,
+}
+
+impl UsageState {
+    /// True if a tracker may hand this peer to a submitter.
+    pub fn is_available(self) -> bool {
+        matches!(self, UsageState::Free)
+    }
+}
+
+/// The resource record a peer publishes to the tracker of its zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerResources {
+    /// Effective processor speed in floating-point operations per second.
+    /// (The paper's testbed nodes are Intel Xeon EM64T 3 GHz machines.)
+    pub cpu_flops: f64,
+    /// Installed memory in megabytes.
+    pub memory_mb: u64,
+    /// Free hard-disk space in gigabytes.
+    pub disk_gb: u64,
+    /// Current usage state.
+    pub usage: UsageState,
+}
+
+impl PeerResources {
+    /// The node type used throughout the paper's evaluation: Intel Xeon EM64T
+    /// 3 GHz, 1 MB L2, 2 GB memory (Bordeplage cluster, §IV-A.3). The
+    /// effective flop rate is the calibrated rate of the obstacle-problem
+    /// kernel at `-O3`, not the peak rate (see `dperf::machine`).
+    pub fn xeon_em64t() -> Self {
+        PeerResources {
+            cpu_flops: 1.0e9,
+            memory_mb: 2048,
+            disk_gb: 80,
+            usage: UsageState::Free,
+        }
+    }
+
+    /// A deliberately weak machine, handy in tests of requirement filtering.
+    pub fn weak() -> Self {
+        PeerResources {
+            cpu_flops: 1.0e8,
+            memory_mb: 256,
+            disk_gb: 4,
+            usage: UsageState::Free,
+        }
+    }
+
+    /// Return a copy marked with the given usage state.
+    pub fn with_usage(mut self, usage: UsageState) -> Self {
+        self.usage = usage;
+        self
+    }
+
+    /// Does this peer satisfy a submitter's requirements and is it available?
+    pub fn satisfies(&self, req: &ResourceRequirements) -> bool {
+        self.usage.is_available()
+            && self.cpu_flops >= req.min_cpu_flops
+            && self.memory_mb >= req.min_memory_mb
+            && self.disk_gb >= req.min_disk_gb
+    }
+}
+
+/// Requirements attached to a submitter's peer request (paper §III-B: "this
+/// message contains information regarding computation like task's description,
+/// number of peers needed initially, peers requirements").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRequirements {
+    /// Minimum acceptable processor speed, flop/s.
+    pub min_cpu_flops: f64,
+    /// Minimum installed memory, MB.
+    pub min_memory_mb: u64,
+    /// Minimum free disk, GB.
+    pub min_disk_gb: u64,
+}
+
+impl ResourceRequirements {
+    /// No requirements at all (any free peer qualifies).
+    pub fn none() -> Self {
+        ResourceRequirements {
+            min_cpu_flops: 0.0,
+            min_memory_mb: 0,
+            min_disk_gb: 0,
+        }
+    }
+
+    /// The requirements used by the obstacle-problem experiments: a machine at
+    /// least as capable as a Bordeplage node.
+    pub fn cluster_class() -> Self {
+        ResourceRequirements {
+            min_cpu_flops: 0.9e9,
+            min_memory_mb: 1024,
+            min_disk_gb: 10,
+        }
+    }
+}
+
+impl Default for ResourceRequirements {
+    fn default() -> Self {
+        ResourceRequirements::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_satisfies_cluster_class() {
+        let peer = PeerResources::xeon_em64t();
+        assert!(peer.satisfies(&ResourceRequirements::cluster_class()));
+        assert!(peer.satisfies(&ResourceRequirements::none()));
+    }
+
+    #[test]
+    fn weak_peer_fails_cluster_class() {
+        let peer = PeerResources::weak();
+        assert!(!peer.satisfies(&ResourceRequirements::cluster_class()));
+        assert!(peer.satisfies(&ResourceRequirements::none()));
+    }
+
+    #[test]
+    fn busy_peer_is_never_eligible() {
+        let peer = PeerResources::xeon_em64t().with_usage(UsageState::Busy);
+        assert!(!peer.satisfies(&ResourceRequirements::none()));
+        let peer = PeerResources::xeon_em64t().with_usage(UsageState::OwnerActive);
+        assert!(!peer.satisfies(&ResourceRequirements::none()));
+    }
+
+    #[test]
+    fn usage_state_availability() {
+        assert!(UsageState::Free.is_available());
+        assert!(!UsageState::Busy.is_available());
+        assert!(!UsageState::OwnerActive.is_available());
+    }
+}

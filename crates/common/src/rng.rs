@@ -1,0 +1,193 @@
+//! Deterministic random number generation.
+//!
+//! Every randomized component of the reproduction (the 5–10 Mbps random xDSL
+//! last-mile bandwidths of Fig. 8, peer churn, peer IP assignment, …) draws
+//! from a [`DetRng`] seeded explicitly, so that a given seed regenerates a
+//! figure exactly. `DetRng` can be forked into independent substreams so that
+//! adding randomness to one module never perturbs another.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic, forkable pseudo-random generator (ChaCha8).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: ChaCha8Rng,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent generator identified by `label`. Forking with the
+    /// same label twice yields identical streams; different labels yield
+    /// (statistically) independent streams.
+    pub fn fork(&self, label: u64) -> DetRng {
+        let mut seed = [0u8; 32];
+        let base = self.inner.get_seed();
+        seed.copy_from_slice(&base);
+        // Mix the label into the seed words with a splitmix-style finalizer.
+        let mut x = label.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for chunk in seed.chunks_mut(8) {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            for (i, b) in chunk.iter_mut().enumerate() {
+                *b ^= (x >> (8 * i)) as u8;
+            }
+        }
+        DetRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
+    }
+
+    /// A uniformly random `u32`.
+    pub fn gen_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// A uniformly random `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// An exponentially distributed value with the given mean (used by the
+    /// churn injector for inter-arrival and session times).
+    pub fn gen_exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean of an exponential must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forks_are_reproducible_and_independent() {
+        let root = DetRng::new(7);
+        let mut f1a = root.fork(1);
+        let mut f1b = root.fork(1);
+        let mut f2 = root.fork(2);
+        let s1a: Vec<u64> = (0..8).map(|_| f1a.gen_u64()).collect();
+        let s1b: Vec<u64> = (0..8).map(|_| f1b.gen_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| f2.gen_u64()).collect();
+        assert_eq!(s1a, s1b, "same label must give the same stream");
+        assert_ne!(s1a, s2, "different labels must give different streams");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(5.0..10.0);
+            assert!((5.0..10.0).contains(&v));
+            let n: u32 = rng.gen_range(0..7);
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn exponential_has_roughly_the_right_mean() {
+        let mut rng = DetRng::new(11);
+        let n = 20_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| rng.gen_exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.15,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn shuffle_and_choose_are_permutations() {
+        let mut rng = DetRng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(rng.choose(&v).is_some());
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Online statistics and histograms.
+//!
+//! Used by the tracker statistics reports (connection/disconnection time,
+//! resources donated/consumed — paper §III-A.1), by the benchmark harness to
+//! summarize repeated runs, and by the network simulator's link-utilization
+//! counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean / variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every value of an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for x in it {
+            self.record(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with linear buckets; values outside
+/// the range land in saturated edge buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbuckets` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(nbuckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; nbuckets],
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        let n = self.buckets.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` (midpoint of the bucket containing it).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        s.record_all([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let mut whole = OnlineStats::new();
+        whole.record_all(data.iter().copied());
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        left.record_all(data[..37].iter().copied());
+        right.record_all(data[37..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.record(3.0);
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 * 0.1);
+        }
+        assert_eq!(h.total(), 100);
+        assert!(h.buckets().iter().all(|&c| c == 10));
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 4.5).abs() <= 0.5 + 1e-9);
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_saturates_at_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[3], 1);
+    }
+}

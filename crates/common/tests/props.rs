@@ -1,0 +1,76 @@
+//! Property-based tests of the shared foundational types.
+
+use p2p_common::{Bandwidth, DataSize, DetRng, IpAddr, OnlineStats, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The proximity metric is symmetric, reflexive and bounded by 32 bits.
+    #[test]
+    fn prefix_proximity_is_symmetric_and_bounded(a in any::<u32>(), b in any::<u32>()) {
+        let ia = IpAddr::from_u32(a);
+        let ib = IpAddr::from_u32(b);
+        let ab = ia.common_prefix_len(ib);
+        let ba = ib.common_prefix_len(ia);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= 32);
+        prop_assert_eq!(ia.common_prefix_len(ia), 32);
+        if a != b {
+            prop_assert!(ab < 32);
+        }
+    }
+
+    /// Parsing the displayed form of an address gives the address back.
+    #[test]
+    fn ip_display_parse_roundtrip(raw in any::<u32>()) {
+        let ip = IpAddr::from_u32(raw);
+        let parsed: IpAddr = ip.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, ip);
+    }
+
+    /// Simulated-time arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_add_then_subtract_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!((t0 + dur).duration_since(t0), dur);
+    }
+
+    /// Transfer time scales linearly with size (within floating point slack).
+    #[test]
+    fn transfer_time_is_monotone_in_size(bytes in 1u64..1_000_000_000, mbps in 1u64..100_000) {
+        let bw = Bandwidth::from_mbps(mbps as f64);
+        let small = bw.transfer_time(DataSize::from_bytes(bytes));
+        let large = bw.transfer_time(DataSize::from_bytes(bytes * 2));
+        prop_assert!(large >= small);
+        let ratio = large.as_secs_f64() / small.as_secs_f64().max(1e-12);
+        prop_assert!(ratio > 1.5 && ratio < 2.5, "ratio {}", ratio);
+    }
+
+    /// Merging statistics accumulators is equivalent to a single pass.
+    #[test]
+    fn online_stats_merge_matches_sequential(data in prop::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
+        let split = split.min(data.len());
+        let mut whole = OnlineStats::new();
+        whole.record_all(data.iter().copied());
+        let mut left = OnlineStats::new();
+        left.record_all(data[..split].iter().copied());
+        let mut right = OnlineStats::new();
+        right.record_all(data[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+    }
+
+    /// Forked deterministic RNGs reproduce their streams exactly.
+    #[test]
+    fn det_rng_forks_are_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        let root = DetRng::new(seed);
+        let mut a = root.fork(label);
+        let mut b = root.fork(label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Regeneration of every figure and table of the paper's evaluation (§IV).
+//!
+//! Each function returns the plotted data (a [`Figure`] of series, or an
+//! [`EquivalenceTable`]) so the benches, the `experiments` binary, the
+//! examples and the integration tests all share the same code path. The
+//! functions accept the application so tests can use the scaled-down instance;
+//! the `experiments` binary runs the paper-scale workload.
+
+use crate::scenario::{PlatformKind, Scenario};
+use dperf::equivalence::Tolerance;
+use dperf::report::{Figure, Series};
+use dperf::{EquivalenceTable, OptLevel, PerfCurve};
+use obstacle::ObstacleApp;
+
+/// The peer counts of the paper's evaluation: 2^n for n in 1..=5.
+pub const PAPER_PEER_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Reference execution-time curve (`t_normal_execution`) of the application
+/// on a platform, at one optimisation level.
+pub fn reference_curve(
+    app: &ObstacleApp,
+    platform: PlatformKind,
+    sizes: &[usize],
+    opt: OptLevel,
+) -> PerfCurve {
+    let points: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&n| {
+            let report = Scenario::new(platform, n)
+                .with_app(app.clone())
+                .with_opt(opt)
+                .run_reference();
+            (n, report.total.as_secs_f64())
+        })
+        .collect();
+    PerfCurve::from_secs(platform.label(), &points)
+}
+
+/// dPerf prediction curve (`t_predicted`) of the application on a platform,
+/// at one optimisation level.
+pub fn prediction_curve(
+    app: &ObstacleApp,
+    platform: PlatformKind,
+    sizes: &[usize],
+    opt: OptLevel,
+) -> PerfCurve {
+    let points: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&n| {
+            let prediction = Scenario::new(platform, n)
+                .with_app(app.clone())
+                .with_opt(opt)
+                .predict();
+            (n, prediction.total.as_secs_f64())
+        })
+        .collect();
+    PerfCurve::from_secs(platform.label(), &points)
+}
+
+fn curve_to_series(label: impl Into<String>, curve: &PerfCurve) -> Series {
+    let points: Vec<(usize, f64)> = curve
+        .points
+        .iter()
+        .map(|p| (p.nprocs, p.time.as_secs_f64()))
+        .collect();
+    Series::new(label, &points)
+}
+
+/// **Fig. 9** — Stage-1 reference execution time of the obstacle problem on
+/// the Bordeplage cluster for every GCC optimisation level.
+pub fn fig9_reference_times(app: &ObstacleApp, sizes: &[usize]) -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 9 — Stage-1 reference execution time, obstacle problem in the P2PDC environment",
+    );
+    for opt in OptLevel::all() {
+        let curve = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
+        fig.push(curve_to_series(format!("optimization level {}", opt.label()), &curve));
+    }
+    fig
+}
+
+/// **Fig. 10** — Stage-1 reference time compared to the dPerf prediction on
+/// the identical cluster platform (GCC optimisation level 3 in the paper).
+pub fn fig10_prediction_accuracy(app: &ObstacleApp, sizes: &[usize], opt: OptLevel) -> Figure {
+    let mut fig = Figure::new(format!(
+        "Fig. 10 — Stage-1 reference vs dPerf prediction, GCC optimization level {}",
+        opt.label()
+    ));
+    let reference = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
+    let prediction = prediction_curve(app, PlatformKind::Grid5000, sizes, opt);
+    fig.push(curve_to_series("reference time", &reference));
+    fig.push(curve_to_series("prediction with dPerf", &prediction));
+    fig
+}
+
+/// **Fig. 11** — reference time compared to the dPerf predictions for the
+/// Grid'5000 cluster, the xDSL Daisy grid and the LAN (optimisation level 0 in
+/// the paper).
+pub fn fig11_topology_comparison(app: &ObstacleApp, sizes: &[usize], opt: OptLevel) -> Figure {
+    let mut fig = Figure::new(format!(
+        "Fig. 11 — reference vs dPerf predictions for Grid5000, xDSL and LAN, optimization level {}",
+        opt.label()
+    ));
+    let reference = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
+    fig.push(curve_to_series("reference time", &reference));
+    for platform in [PlatformKind::Grid5000, PlatformKind::Xdsl, PlatformKind::Lan] {
+        let curve = prediction_curve(app, platform, sizes, opt);
+        fig.push(curve_to_series(
+            format!("dPerf prediction for {}", platform.label()),
+            &curve,
+        ));
+    }
+    fig
+}
+
+/// **Table I** — equivalent computing power: for each cluster size, the
+/// smallest xDSL / LAN configuration whose predicted performance is
+/// comparable, with the paper's "higher / same / slightly lower" wording.
+pub fn equivalence_table(
+    app: &ObstacleApp,
+    reference_sizes: &[usize],
+    candidate_sizes: &[usize],
+    opt: OptLevel,
+) -> EquivalenceTable {
+    let reference = prediction_curve(app, PlatformKind::Grid5000, reference_sizes, opt);
+    let xdsl = prediction_curve(app, PlatformKind::Xdsl, candidate_sizes, opt);
+    let lan = prediction_curve(app, PlatformKind::Lan, candidate_sizes, opt);
+    EquivalenceTable::build(&reference, reference_sizes, &[&xdsl, &lan], Tolerance::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ObstacleApp {
+        // Scaled-down instance: small enough to keep the tests fast, large
+        // enough that compute still dominates the constant per-run overheads
+        // (otherwise the scaling shape the assertions check disappears).
+        ObstacleApp {
+            n: 600,
+            sweeps: 90,
+            flops_per_point: 21.0,
+        }
+    }
+
+    #[test]
+    fn fig9_has_five_levels_that_scale_down_with_peers() {
+        let fig = fig9_reference_times(&tiny(), &[2, 4, 8]);
+        assert_eq!(fig.series.len(), 5);
+        for series in &fig.series {
+            assert!(series.at(8).unwrap() < series.at(2).unwrap(), "{}", series.label);
+        }
+        // Level 0 is the slowest, level 3 the fastest.
+        let o0 = fig.series.iter().find(|s| s.label.ends_with(" 0")).unwrap();
+        let o3 = fig.series.iter().find(|s| s.label.ends_with(" 3")).unwrap();
+        assert!(o0.at(2).unwrap() > 2.0 * o3.at(2).unwrap());
+    }
+
+    #[test]
+    fn fig10_prediction_is_close_to_reference() {
+        let fig = fig10_prediction_accuracy(&tiny(), &[2, 4], OptLevel::O3);
+        let reference = &fig.series[0];
+        let prediction = &fig.series[1];
+        for &n in &[2usize, 4] {
+            let r = reference.at(n).unwrap();
+            let p = prediction.at(n).unwrap();
+            assert!((r - p).abs() / r < 0.2, "n={n}: reference {r} vs prediction {p}");
+        }
+    }
+
+    #[test]
+    fn fig11_xdsl_is_the_slowest_platform() {
+        let fig = fig11_topology_comparison(&tiny(), &[2, 4], OptLevel::O0);
+        let grid = fig.series.iter().find(|s| s.label.contains("Grid5000")).unwrap();
+        let xdsl = fig.series.iter().find(|s| s.label.contains("xDSL")).unwrap();
+        let lan = fig.series.iter().find(|s| s.label.contains("LAN")).unwrap();
+        for &n in &[2usize, 4] {
+            assert!(xdsl.at(n).unwrap() > lan.at(n).unwrap(), "xDSL must trail LAN at n={n}");
+            assert!(lan.at(n).unwrap() >= grid.at(n).unwrap(), "LAN cannot beat the cluster at n={n}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # p2p-perf — performance prediction in a decentralized P2P computing environment
+//!
+//! Facade crate of the reproduction of *"Performance Prediction in a
+//! Decentralized Environment for Peer-to-Peer Computing"* (Cornea, Bourgeois,
+//! Nguyen, El-Baz — IPDPS 2011). It ties the individual crates together:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `netsim` | flow-level discrete-event network simulator (SimGrid substitute) and the three evaluation platforms |
+//! | `p2psap` | the self-adaptive communication protocol model |
+//! | `p2pdc` | the decentralized P2P computing environment (overlay, allocation, executor) |
+//! | `dperf` | the performance-prediction pipeline (IR, static analysis, block benchmarking, traces, replay, equivalence search) |
+//! | `obstacle` | the obstacle-problem application of the paper's evaluation |
+//!
+//! The [`Scenario`] type is the one-stop entry point: pick a platform, a peer
+//! count and an optimisation level, then ask for the reference execution time
+//! (`t_normal_execution`, what P2PDC would measure) or the dPerf prediction
+//! (`t_predicted`). The [`experiments`] module regenerates every figure and
+//! table of the paper's evaluation from those two calls.
+//!
+//! ```
+//! use p2p_perf::{PlatformKind, Scenario};
+//! use obstacle::ObstacleApp;
+//!
+//! // A scaled-down obstacle problem on 4 LAN peers.
+//! let scenario = Scenario::new(PlatformKind::Lan, 4)
+//!     .with_app(ObstacleApp::small());
+//! let reference = scenario.run_reference();
+//! let prediction = scenario.predict();
+//! let rel_err = (prediction.total.as_secs_f64() - reference.execution_time.as_secs_f64()).abs()
+//!     / reference.execution_time.as_secs_f64();
+//! assert!(rel_err < 0.2, "dPerf must track the reference time");
+//! ```
+
+pub mod experiments;
+pub mod scenario;
+
+pub use experiments::{
+    equivalence_table, fig10_prediction_accuracy, fig11_topology_comparison, fig9_reference_times,
+    prediction_curve, reference_curve,
+};
+pub use scenario::{PlatformKind, Scenario};
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use dperf;
+pub use netsim;
+pub use obstacle;
+pub use p2p_common as common;
+pub use p2pdc;
+pub use p2psap;

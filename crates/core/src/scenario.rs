@@ -1,0 +1,223 @@
+//! Scenarios: one experiment configuration, end to end.
+
+use dperf::{generate_traces, predict_traces, ModeledBencher, OptLevel, Prediction, TraceSet};
+use netsim::{
+    cluster_bordeplage, daisy_xdsl, lan, HostSpec, PlacementPolicy, SharingMode, Topology,
+};
+use obstacle::ObstacleApp;
+use p2p_common::HostId;
+use p2pdc::{run_reference, ExecutionConfig, RunReport};
+use p2psap::IterativeScheme;
+
+/// Which evaluation platform a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// Stage-1: the Grid'5000 Bordeplage cluster.
+    Grid5000,
+    /// Stage-2A: the xDSL Daisy desktop grid (Fig. 8).
+    Xdsl,
+    /// Stage-2B: the campus LAN.
+    Lan,
+}
+
+impl PlatformKind {
+    /// Label used in figures and tables ("Grid5000", "xDSL", "LAN").
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::Grid5000 => "Grid5000",
+            PlatformKind::Xdsl => "xDSL",
+            PlatformKind::Lan => "LAN",
+        }
+    }
+}
+
+/// A fully specified experiment: application, platform, peer count, compiler
+/// optimisation level, iterative scheme and simulation options.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The obstacle-problem workload.
+    pub app: ObstacleApp,
+    /// Target platform.
+    pub platform: PlatformKind,
+    /// Number of peers that compute.
+    pub nprocs: usize,
+    /// GCC optimisation level of the (simulated) binary.
+    pub opt_level: OptLevel,
+    /// Iterative scheme announced to P2PSAP.
+    pub scheme: IterativeScheme,
+    /// Bandwidth-sharing model of the network simulation.
+    pub sharing: SharingMode,
+    /// How peers are placed on the platform's hosts.
+    pub placement: PlacementPolicy,
+    /// Seed of the randomised platform parameters (xDSL last-mile bandwidths).
+    pub seed: u64,
+    /// Number of end hosts the Stage-2 platforms are built with.
+    pub platform_nodes: usize,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: paper-scale obstacle problem,
+    /// `-O3`, synchronous scheme, bottleneck sharing, spread placement, and
+    /// the 1024-node Stage-2 platforms.
+    pub fn new(platform: PlatformKind, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "a scenario needs at least one peer");
+        Scenario {
+            app: ObstacleApp::paper_scale(),
+            platform,
+            nprocs,
+            opt_level: OptLevel::O3,
+            scheme: IterativeScheme::Synchronous,
+            sharing: SharingMode::Bottleneck,
+            placement: PlacementPolicy::Spread,
+            seed: 42,
+            platform_nodes: 1024,
+        }
+    }
+
+    /// Replace the application (e.g. [`ObstacleApp::small`] in tests).
+    pub fn with_app(mut self, app: ObstacleApp) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Set the optimisation level.
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt_level = opt;
+        self
+    }
+
+    /// Set the iterative scheme.
+    pub fn with_scheme(mut self, scheme: IterativeScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Set the bandwidth-sharing model.
+    pub fn with_sharing(mut self, sharing: SharingMode) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Set the platform seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the platform this scenario runs on.
+    pub fn build_topology(&self) -> Topology {
+        let host = HostSpec::xeon_em64t_3ghz();
+        match self.platform {
+            PlatformKind::Grid5000 => cluster_bordeplage(self.nprocs.max(2), host),
+            PlatformKind::Xdsl => daisy_xdsl(self.platform_nodes, host, self.seed),
+            PlatformKind::Lan => lan(self.platform_nodes.min(1024), host),
+        }
+    }
+
+    /// The hosts rank `0..nprocs` map to.
+    pub fn pick_hosts(&self, topology: &Topology) -> Vec<HostId> {
+        match self.platform {
+            PlatformKind::Grid5000 => topology.hosts[..self.nprocs].to_vec(),
+            _ => topology.pick_hosts(self.nprocs, self.placement),
+        }
+    }
+
+    /// Run the full P2PDC reference execution (`t_normal_execution`).
+    pub fn run_reference(&self) -> RunReport {
+        let topology = self.build_topology();
+        let hosts = self.pick_hosts(&topology);
+        let cfg = ExecutionConfig {
+            opt_factor: self.opt_level.time_factor(),
+            scheme: self.scheme,
+            sharing: self.sharing,
+            ..ExecutionConfig::default()
+        };
+        run_reference(&self.app, &topology, &hosts, &cfg)
+    }
+
+    /// Generate the dPerf trace set of this scenario (static analysis + block
+    /// benchmarking + instrumented run).
+    pub fn traces(&self) -> TraceSet {
+        let bencher = ModeledBencher::new(dperf::MachineModel::xeon_em64t_3ghz(), self.opt_level);
+        generate_traces(
+            &self.app.program(),
+            &self.app.base_env(),
+            self.nprocs,
+            &bencher,
+            Some(&ObstacleApp::rank_env),
+            self.opt_level.label(),
+        )
+    }
+
+    /// Run the dPerf prediction (`t_predicted`): trace-based simulation of the
+    /// scenario's traces on the scenario's platform.
+    pub fn predict(&self) -> Prediction {
+        let topology = self.build_topology();
+        let hosts = self.pick_hosts(&topology);
+        let traces = self.traces();
+        predict_traces(&traces, &topology, &hosts, self.scheme, self.sharing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(platform: PlatformKind, nprocs: usize) -> Scenario {
+        Scenario::new(platform, nprocs)
+            .with_app(ObstacleApp::small())
+            .with_opt(OptLevel::O0)
+    }
+
+    #[test]
+    fn scenario_builds_each_platform() {
+        for (platform, expected_hosts) in [
+            (PlatformKind::Grid5000, 4),
+            (PlatformKind::Xdsl, 64),
+            (PlatformKind::Lan, 64),
+        ] {
+            let mut s = small(platform, 4);
+            s.platform_nodes = 64;
+            let topo = s.build_topology();
+            assert!(topo.hosts.len() >= expected_hosts.min(4));
+            let hosts = s.pick_hosts(&topo);
+            assert_eq!(hosts.len(), 4);
+        }
+    }
+
+    #[test]
+    fn prediction_tracks_the_reference_on_the_cluster() {
+        let s = small(PlatformKind::Grid5000, 4);
+        let reference = s.run_reference();
+        let prediction = s.predict();
+        let r = reference.execution_time.as_secs_f64();
+        let p = prediction.total.as_secs_f64();
+        let rel = (p - r).abs() / r;
+        assert!(rel < 0.15, "prediction {p} vs reference {r} (rel {rel})");
+    }
+
+    #[test]
+    fn opt_level_0_is_slower_than_3() {
+        let s3 = small(PlatformKind::Grid5000, 2).with_opt(OptLevel::O3);
+        let s0 = small(PlatformKind::Grid5000, 2).with_opt(OptLevel::O0);
+        let t3 = s3.predict().total.as_secs_f64();
+        let t0 = s0.predict().total.as_secs_f64();
+        assert!(t0 > 2.0 * t3, "O0 {t0} vs O3 {t3}");
+    }
+
+    #[test]
+    fn traces_are_consistent() {
+        let s = small(PlatformKind::Lan, 4);
+        let traces = s.traces();
+        assert_eq!(traces.nprocs, 4);
+        assert!(traces.validate().is_empty());
+        assert_eq!(traces.opt_level, "0");
+    }
+
+    #[test]
+    fn platform_labels() {
+        assert_eq!(PlatformKind::Grid5000.label(), "Grid5000");
+        assert_eq!(PlatformKind::Xdsl.label(), "xDSL");
+        assert_eq!(PlatformKind::Lan.label(), "LAN");
+    }
+}

@@ -1,0 +1,325 @@
+//! Block decomposition and static summary.
+//!
+//! dPerf's "decomposition by blocks" (Fig. 6) identifies the basic instruction
+//! blocks of the input code and the communication calls between them — that is
+//! precisely what [`analyze`] extracts from the IR, and what
+//! [`merge_adjacent_computes`] normalises (consecutive compute statements with
+//! no intervening communication or control flow belong to the same basic
+//! block, so they are merged into one).
+
+use crate::ir::{ParamEnv, Program, RankContext, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-block static summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSummary {
+    /// Block name.
+    pub name: String,
+    /// Number of *static* occurrences in the program text.
+    pub sites: usize,
+    /// Number of *dynamic* executions for the analysed rank (loop trip counts
+    /// and guards resolved).
+    pub executions: u64,
+    /// Total dynamic work of the block for the analysed rank, in flops.
+    pub dynamic_flops: f64,
+}
+
+/// The static-analysis report for one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Total statements in the program tree.
+    pub stmt_count: usize,
+    /// Deepest loop nesting.
+    pub max_loop_depth: usize,
+    /// Summaries per distinct block name.
+    pub blocks: Vec<BlockSummary>,
+    /// Static point-to-point communication call sites.
+    pub comm_sites: usize,
+    /// Static collective call sites.
+    pub collective_sites: usize,
+    /// Dynamic point-to-point messages the analysed rank will issue
+    /// (send + exchange sites, loop counts applied, unresolved targets skipped).
+    pub dynamic_messages: u64,
+    /// Dynamic payload bytes the analysed rank will send.
+    pub dynamic_bytes_sent: f64,
+    /// Total dynamic flops for the analysed rank.
+    pub total_flops: f64,
+}
+
+impl AnalysisReport {
+    /// The summary for a block name, if present.
+    pub fn block(&self, name: &str) -> Option<&BlockSummary> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+}
+
+/// Analyse `program` for one rank: resolve loop counts and guards against
+/// `env` (overlaid on the program defaults) and accumulate the dynamic work
+/// and communication volume.
+pub fn analyze(program: &Program, env: &ParamEnv, ctx: RankContext) -> AnalysisReport {
+    let env = program.defaults.overlaid_with(env);
+    let mut acc = Accumulator {
+        env: &env,
+        ctx,
+        blocks: BTreeMap::new(),
+        comm_sites: 0,
+        collective_sites: 0,
+        dynamic_messages: 0,
+        dynamic_bytes_sent: 0.0,
+        total_flops: 0.0,
+        max_loop_depth: 0,
+    };
+    acc.visit_all(&program.body, 1.0, 0);
+    AnalysisReport {
+        stmt_count: program.stmt_count(),
+        max_loop_depth: acc.max_loop_depth,
+        blocks: acc
+            .blocks
+            .into_iter()
+            .map(|(name, (sites, executions, flops))| BlockSummary {
+                name,
+                sites,
+                executions,
+                dynamic_flops: flops,
+            })
+            .collect(),
+        comm_sites: acc.comm_sites,
+        collective_sites: acc.collective_sites,
+        dynamic_messages: acc.dynamic_messages,
+        dynamic_bytes_sent: acc.dynamic_bytes_sent,
+        total_flops: acc.total_flops,
+    }
+}
+
+struct Accumulator<'a> {
+    env: &'a ParamEnv,
+    ctx: RankContext,
+    /// name -> (static sites, dynamic executions, dynamic flops)
+    blocks: BTreeMap<String, (usize, u64, f64)>,
+    comm_sites: usize,
+    collective_sites: usize,
+    dynamic_messages: u64,
+    dynamic_bytes_sent: f64,
+    total_flops: f64,
+    max_loop_depth: usize,
+}
+
+impl Accumulator<'_> {
+    fn visit_all(&mut self, stmts: &[Stmt], multiplier: f64, depth: usize) {
+        for stmt in stmts {
+            self.visit(stmt, multiplier, depth);
+        }
+    }
+
+    fn visit(&mut self, stmt: &Stmt, multiplier: f64, depth: usize) {
+        match stmt {
+            Stmt::Compute(block) => {
+                let flops = block.flops.eval(self.env).max(0.0) * multiplier;
+                let entry = self.blocks.entry(block.name.clone()).or_insert((0, 0, 0.0));
+                entry.0 += 1;
+                entry.1 += multiplier.round() as u64;
+                entry.2 += flops;
+                self.total_flops += flops;
+            }
+            Stmt::Comm(call) => {
+                self.comm_sites += 1;
+                if call.peer.resolve(self.ctx).is_some() {
+                    use crate::ir::CommKind;
+                    let sends = match call.kind {
+                        CommKind::Send | CommKind::SendRecv => 1.0,
+                        CommKind::Recv => 0.0,
+                    };
+                    self.dynamic_messages += (multiplier * sends).round() as u64;
+                    self.dynamic_bytes_sent += call.bytes.eval(self.env).max(0.0) * multiplier * sends;
+                }
+            }
+            Stmt::Collective(coll) => {
+                self.collective_sites += 1;
+                // Each collective costs this rank one send towards (or from)
+                // the coordinator; the coordinator sends to everyone.
+                use crate::ir::CollectiveKind;
+                let sends_per_execution = match (coll.kind, self.ctx.is_coordinator()) {
+                    (CollectiveKind::Gather, true) => 0.0,
+                    (CollectiveKind::Gather, false) => 1.0,
+                    (CollectiveKind::Broadcast, true) => (self.ctx.nprocs - 1) as f64,
+                    (CollectiveKind::Broadcast, false) => 0.0,
+                    (CollectiveKind::AllReduce, true) => (self.ctx.nprocs - 1) as f64,
+                    (CollectiveKind::AllReduce, false) => 1.0,
+                };
+                self.dynamic_messages += (multiplier * sends_per_execution).round() as u64;
+                self.dynamic_bytes_sent +=
+                    coll.bytes.eval(self.env).max(0.0) * multiplier * sends_per_execution;
+            }
+            Stmt::Loop { count, body } => {
+                self.max_loop_depth = self.max_loop_depth.max(depth + 1);
+                let trips = count.eval(self.env).max(0.0);
+                self.visit_all(body, multiplier * trips, depth + 1);
+            }
+            Stmt::If {
+                guard,
+                then_branch,
+                else_branch,
+            } => {
+                if guard.eval(self.ctx, self.env) {
+                    self.visit_all(then_branch, multiplier, depth);
+                } else {
+                    self.visit_all(else_branch, multiplier, depth);
+                }
+            }
+        }
+    }
+}
+
+/// Merge runs of consecutive `Compute` statements into single blocks (the
+/// basic-block normalisation step). Names are joined with `+`, work summed,
+/// read/write sets unioned. Loops and branches are processed recursively.
+pub fn merge_adjacent_computes(program: &Program) -> Program {
+    Program {
+        name: program.name.clone(),
+        defaults: program.defaults.clone(),
+        body: merge_stmts(&program.body),
+    }
+}
+
+fn merge_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        let transformed = match stmt {
+            Stmt::Loop { count, body } => Stmt::Loop {
+                count: count.clone(),
+                body: merge_stmts(body),
+            },
+            Stmt::If {
+                guard,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
+                guard: guard.clone(),
+                then_branch: merge_stmts(then_branch),
+                else_branch: merge_stmts(else_branch),
+            },
+            other => other.clone(),
+        };
+        match (out.last_mut(), &transformed) {
+            (Some(Stmt::Compute(prev)), Stmt::Compute(next)) => {
+                prev.name = format!("{}+{}", prev.name, next.name);
+                prev.flops = prev.flops.clone().add(next.flops.clone());
+                for r in &next.reads {
+                    if !prev.reads.contains(r) {
+                        prev.reads.push(r.clone());
+                    }
+                }
+                for w in &next.writes {
+                    if !prev.writes.contains(w) {
+                        prev.writes.push(w.clone());
+                    }
+                }
+            }
+            _ => out.push(transformed),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CollectiveKind, ComputeBlock, Expr, Guard, Target};
+
+    fn stencil(iters: f64) -> Program {
+        Program::builder("stencil")
+            .param("N", 100.0)
+            .param("iters", iters)
+            .compute(ComputeBlock::new("init", Expr::p("N").mul(Expr::p("N"))))
+            .loop_(Expr::p("iters"), |b| {
+                b.compute(
+                    ComputeBlock::new("sweep", Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")))
+                        .reading(&["u"])
+                        .writing(&["u"]),
+                )
+                .if_(
+                    Guard::HasDownNeighbor,
+                    |t| t.sendrecv(Target::RelativeRank(1), Expr::c(8.0).mul(Expr::p("N")), 1),
+                    |e| e,
+                )
+                .collective(CollectiveKind::AllReduce, Expr::c(8.0), 2)
+            })
+            .build()
+    }
+
+    #[test]
+    fn analysis_resolves_loops_and_guards_per_rank() {
+        let p = stencil(10.0);
+        let env = ParamEnv::new().with("my_rows", 25.0);
+        // Middle rank of 4: has a down neighbour.
+        let mid = analyze(&p, &env, RankContext { rank: 1, nprocs: 4 });
+        assert_eq!(mid.max_loop_depth, 1);
+        assert_eq!(mid.comm_sites, 1);
+        assert_eq!(mid.collective_sites, 1);
+        let sweep = mid.block("sweep").unwrap();
+        assert_eq!(sweep.executions, 10);
+        assert_eq!(sweep.dynamic_flops, 5.0 * 100.0 * 25.0 * 10.0);
+        // 10 halo exchanges + 10 reduction contributions.
+        assert_eq!(mid.dynamic_messages, 20);
+        // Last rank: no down neighbour, so only the reduction messages remain.
+        let last = analyze(&p, &env, RankContext { rank: 3, nprocs: 4 });
+        assert_eq!(last.dynamic_messages, 10);
+        // Coordinator: broadcasts the reduction result to 3 peers per iteration.
+        let coord = analyze(&p, &env, RankContext { rank: 0, nprocs: 4 });
+        assert_eq!(coord.dynamic_messages, 10 + 30);
+    }
+
+    #[test]
+    fn total_flops_scale_with_iteration_count() {
+        let env = ParamEnv::new().with("my_rows", 25.0);
+        let ctx = RankContext { rank: 1, nprocs: 4 };
+        let short = analyze(&stencil(10.0), &env, ctx);
+        let long = analyze(&stencil(20.0), &env, ctx);
+        let init = 100.0 * 100.0;
+        assert!((long.total_flops - init) / (short.total_flops - init) > 1.99);
+    }
+
+    #[test]
+    fn merge_collapses_adjacent_compute_blocks() {
+        let p = Program::builder("merge-me")
+            .compute(ComputeBlock::new("a", Expr::c(10.0)).reading(&["x"]).writing(&["y"]))
+            .compute(ComputeBlock::new("b", Expr::c(20.0)).reading(&["y"]).writing(&["z"]))
+            .sendrecv(Target::RelativeRank(1), Expr::c(100.0), 0)
+            .compute(ComputeBlock::new("c", Expr::c(30.0)))
+            .build();
+        let merged = merge_adjacent_computes(&p);
+        assert_eq!(merged.body.len(), 3, "a+b, comm, c");
+        match &merged.body[0] {
+            Stmt::Compute(block) => {
+                assert_eq!(block.name, "a+b");
+                assert_eq!(block.flops.eval(&ParamEnv::new()), 30.0);
+                assert_eq!(block.reads, vec!["x", "y"]);
+                assert_eq!(block.writes, vec!["y", "z"]);
+            }
+            other => panic!("expected merged compute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_recurses_into_loops() {
+        let p = Program::builder("nested")
+            .loop_(Expr::c(4.0), |b| {
+                b.compute(ComputeBlock::new("a", Expr::c(1.0)))
+                    .compute(ComputeBlock::new("b", Expr::c(2.0)))
+            })
+            .build();
+        let merged = merge_adjacent_computes(&p);
+        match &merged.body[0] {
+            Stmt::Loop { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("expected loop, got {other:?}"),
+        }
+        // Dynamic work must be preserved by the normalisation.
+        let env = ParamEnv::new();
+        let ctx = RankContext { rank: 0, nprocs: 1 };
+        assert_eq!(
+            analyze(&p, &env, ctx).total_flops,
+            analyze(&merged, &env, ctx).total_flops
+        );
+    }
+}

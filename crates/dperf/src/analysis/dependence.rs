@@ -1,0 +1,239 @@
+//! Data- and control-dependence graphs.
+//!
+//! The ROSE-based dPerf translator exploits "the methods available within Rose
+//! for analyzing not only the AST, but also the data and control dependence
+//! graphs of an input code" (paper §III-D.1). This module derives the same
+//! information from the IR: flow (read-after-write), anti (write-after-read)
+//! and output (write-after-write) dependences between blocks, based on their
+//! declared array accesses, plus control dependences of statements on their
+//! enclosing loops and branches.
+
+use crate::ir::{Program, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-after-write (true/flow dependence).
+    Flow,
+    /// Write-after-read (anti dependence).
+    Anti,
+    /// Write-after-write (output dependence).
+    Output,
+    /// Statement is governed by a loop or branch.
+    Control,
+}
+
+/// A node of the dependence graph: one statement, identified by its pre-order
+/// index, with a human-readable label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepNode {
+    /// Pre-order index of the statement.
+    pub index: usize,
+    /// Label: block name, `comm(tag)`, `collective(tag)`, `loop`, `if`.
+    pub label: String,
+}
+
+/// The dependence graph of a program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependenceGraph {
+    /// Nodes in pre-order.
+    pub nodes: Vec<DepNode>,
+    /// Edges `(from, to, kind)`, with `from < to` for data dependences.
+    pub edges: Vec<(usize, usize, DepKind)>,
+}
+
+impl DependenceGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All edges of a given kind.
+    pub fn edges_of_kind(&self, kind: DepKind) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|&&(_, _, k)| k == kind)
+            .map(|&(a, b, _)| (a, b))
+            .collect()
+    }
+
+    /// Indices of the nodes the given node depends on.
+    pub fn dependencies_of(&self, index: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(_, to, _)| to == index)
+            .map(|&(from, _, _)| from)
+            .collect()
+    }
+}
+
+/// Build the dependence graph of a program.
+pub fn build_dependence_graph(program: &Program) -> DependenceGraph {
+    let mut builder = GraphBuilder::default();
+    builder.visit_all(&program.body, None);
+    builder.add_data_edges();
+    DependenceGraph {
+        nodes: builder.nodes,
+        edges: builder.edges,
+    }
+}
+
+#[derive(Default)]
+struct GraphBuilder {
+    nodes: Vec<DepNode>,
+    edges: Vec<(usize, usize, DepKind)>,
+    /// (node index, reads, writes) for compute blocks, in program order.
+    accesses: Vec<(usize, Vec<String>, Vec<String>)>,
+}
+
+impl GraphBuilder {
+    fn push_node(&mut self, label: String) -> usize {
+        let index = self.nodes.len();
+        self.nodes.push(DepNode { index, label });
+        index
+    }
+
+    fn visit_all(&mut self, stmts: &[Stmt], parent: Option<usize>) {
+        for stmt in stmts {
+            self.visit(stmt, parent);
+        }
+    }
+
+    fn visit(&mut self, stmt: &Stmt, parent: Option<usize>) {
+        match stmt {
+            Stmt::Compute(block) => {
+                let idx = self.push_node(block.name.clone());
+                if let Some(p) = parent {
+                    self.edges.push((p, idx, DepKind::Control));
+                }
+                self.accesses
+                    .push((idx, block.reads.clone(), block.writes.clone()));
+            }
+            Stmt::Comm(call) => {
+                let idx = self.push_node(format!("comm(tag={})", call.tag));
+                if let Some(p) = parent {
+                    self.edges.push((p, idx, DepKind::Control));
+                }
+            }
+            Stmt::Collective(coll) => {
+                let idx = self.push_node(format!("collective(tag={})", coll.tag));
+                if let Some(p) = parent {
+                    self.edges.push((p, idx, DepKind::Control));
+                }
+            }
+            Stmt::Loop { body, .. } => {
+                let idx = self.push_node("loop".to_string());
+                if let Some(p) = parent {
+                    self.edges.push((p, idx, DepKind::Control));
+                }
+                self.visit_all(body, Some(idx));
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let idx = self.push_node("if".to_string());
+                if let Some(p) = parent {
+                    self.edges.push((p, idx, DepKind::Control));
+                }
+                self.visit_all(then_branch, Some(idx));
+                self.visit_all(else_branch, Some(idx));
+            }
+        }
+    }
+
+    fn add_data_edges(&mut self) {
+        // Track, per array, the index of the last writer and of the readers
+        // since that write.
+        let mut last_writer: HashMap<&str, usize> = HashMap::new();
+        let mut readers_since_write: HashMap<&str, Vec<usize>> = HashMap::new();
+        let accesses = std::mem::take(&mut self.accesses);
+        for (idx, reads, writes) in &accesses {
+            for array in reads {
+                if let Some(&w) = last_writer.get(array.as_str()) {
+                    self.edges.push((w, *idx, DepKind::Flow));
+                }
+                readers_since_write.entry(array).or_default().push(*idx);
+            }
+            for array in writes {
+                if let Some(&w) = last_writer.get(array.as_str()) {
+                    if w != *idx {
+                        self.edges.push((w, *idx, DepKind::Output));
+                    }
+                }
+                if let Some(readers) = readers_since_write.get(array.as_str()) {
+                    for &r in readers {
+                        if r != *idx {
+                            self.edges.push((r, *idx, DepKind::Anti));
+                        }
+                    }
+                }
+                last_writer.insert(array, *idx);
+                readers_since_write.insert(array, Vec::new());
+            }
+        }
+        self.accesses = accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ComputeBlock, Expr, Guard, Program, Target};
+
+    fn pipeline() -> Program {
+        Program::builder("dep-test")
+            .compute(ComputeBlock::new("produce", Expr::c(1.0)).writing(&["a"]))
+            .compute(ComputeBlock::new("transform", Expr::c(1.0)).reading(&["a"]).writing(&["b"]))
+            .compute(ComputeBlock::new("consume", Expr::c(1.0)).reading(&["b"]))
+            .compute(ComputeBlock::new("overwrite", Expr::c(1.0)).writing(&["b"]))
+            .build()
+    }
+
+    #[test]
+    fn flow_anti_and_output_dependences_are_found() {
+        let g = build_dependence_graph(&pipeline());
+        assert_eq!(g.node_count(), 4);
+        let flow = g.edges_of_kind(DepKind::Flow);
+        assert!(flow.contains(&(0, 1)), "produce -> transform (RAW on a)");
+        assert!(flow.contains(&(1, 2)), "transform -> consume (RAW on b)");
+        let output = g.edges_of_kind(DepKind::Output);
+        assert!(output.contains(&(1, 3)), "transform and overwrite both write b");
+        let anti = g.edges_of_kind(DepKind::Anti);
+        assert!(anti.contains(&(2, 3)), "consume reads b before overwrite writes it");
+    }
+
+    #[test]
+    fn control_dependences_point_at_enclosing_constructs() {
+        let p = Program::builder("ctl")
+            .loop_(Expr::c(2.0), |b| {
+                b.compute(ComputeBlock::new("body", Expr::c(1.0))).if_(
+                    Guard::IsCoordinator,
+                    |t| t.send(Target::AbsoluteRank(1), Expr::c(8.0), 0),
+                    |e| e,
+                )
+            })
+            .build();
+        let g = build_dependence_graph(&p);
+        // Nodes: loop(0), body(1), if(2), comm(3).
+        let control = g.edges_of_kind(DepKind::Control);
+        assert!(control.contains(&(0, 1)));
+        assert!(control.contains(&(0, 2)));
+        assert!(control.contains(&(2, 3)));
+        assert_eq!(g.dependencies_of(3), vec![2]);
+    }
+
+    #[test]
+    fn independent_blocks_have_no_data_edges() {
+        let p = Program::builder("indep")
+            .compute(ComputeBlock::new("a", Expr::c(1.0)).writing(&["x"]))
+            .compute(ComputeBlock::new("b", Expr::c(1.0)).writing(&["y"]))
+            .build();
+        let g = build_dependence_graph(&p);
+        assert!(g.edges_of_kind(DepKind::Flow).is_empty());
+        assert!(g.edges_of_kind(DepKind::Output).is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Automatic static analysis of the program IR.
+//!
+//! This mirrors the role of dPerf's ROSE-based custom translator (paper
+//! §III-D, Fig. 7): traverse the AST, decompose it into basic blocks, locate
+//! the communication calls, and build control/data dependence information.
+//!
+//! * [`traversal`] — a visitor over the statement tree (the AST walk).
+//! * [`blocks`] — block decomposition and the static summary report: how many
+//!   blocks, how much symbolic work, how many communication sites.
+//! * [`dependence`] — data-dependence (RAW/WAR/WAW over declared array
+//!   accesses) and control-dependence edges, the stand-in for ROSE's DDG/CDG.
+
+pub mod blocks;
+pub mod dependence;
+pub mod traversal;
+
+pub use blocks::{analyze, merge_adjacent_computes, AnalysisReport, BlockSummary};
+pub use dependence::{build_dependence_graph, DepKind, DependenceGraph};
+pub use traversal::{walk, Visitor};

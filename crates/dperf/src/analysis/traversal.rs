@@ -1,0 +1,125 @@
+//! Visitor-based traversal of the statement tree.
+
+use crate::ir::{Collective, CommCall, ComputeBlock, Expr, Guard, Stmt};
+
+/// A visitor over the program tree. All methods have empty default bodies so
+/// implementors only override what they need (the same ergonomics as ROSE's
+/// `AstSimpleProcessing`).
+pub trait Visitor {
+    /// Called on every compute block.
+    fn visit_compute(&mut self, _block: &ComputeBlock, _depth: usize) {}
+    /// Called on every point-to-point communication call.
+    fn visit_comm(&mut self, _call: &CommCall, _depth: usize) {}
+    /// Called on every collective call.
+    fn visit_collective(&mut self, _coll: &Collective, _depth: usize) {}
+    /// Called when entering a loop.
+    fn enter_loop(&mut self, _count: &Expr, _depth: usize) {}
+    /// Called when leaving a loop.
+    fn exit_loop(&mut self, _count: &Expr, _depth: usize) {}
+    /// Called when entering a branch.
+    fn enter_if(&mut self, _guard: &Guard, _depth: usize) {}
+    /// Called when leaving a branch.
+    fn exit_if(&mut self, _guard: &Guard, _depth: usize) {}
+}
+
+/// Walk a statement list in program order, invoking the visitor. `depth` is
+/// the loop-nesting depth (branches do not increase it).
+pub fn walk<V: Visitor>(stmts: &[Stmt], visitor: &mut V) {
+    walk_at(stmts, visitor, 0);
+}
+
+fn walk_at<V: Visitor>(stmts: &[Stmt], visitor: &mut V, depth: usize) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Compute(block) => visitor.visit_compute(block, depth),
+            Stmt::Comm(call) => visitor.visit_comm(call, depth),
+            Stmt::Collective(coll) => visitor.visit_collective(coll, depth),
+            Stmt::Loop { count, body } => {
+                visitor.enter_loop(count, depth);
+                walk_at(body, visitor, depth + 1);
+                visitor.exit_loop(count, depth);
+            }
+            Stmt::If {
+                guard,
+                then_branch,
+                else_branch,
+            } => {
+                visitor.enter_if(guard, depth);
+                walk_at(then_branch, visitor, depth);
+                walk_at(else_branch, visitor, depth);
+                visitor.exit_if(guard, depth);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CollectiveKind, Guard, Program, Target};
+
+    #[derive(Default)]
+    struct Counter {
+        computes: usize,
+        comms: usize,
+        collectives: usize,
+        loops: usize,
+        ifs: usize,
+        max_depth: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_compute(&mut self, _b: &ComputeBlock, depth: usize) {
+            self.computes += 1;
+            self.max_depth = self.max_depth.max(depth);
+        }
+        fn visit_comm(&mut self, _c: &CommCall, _d: usize) {
+            self.comms += 1;
+        }
+        fn visit_collective(&mut self, _c: &Collective, _d: usize) {
+            self.collectives += 1;
+        }
+        fn enter_loop(&mut self, _c: &Expr, _d: usize) {
+            self.loops += 1;
+        }
+        fn enter_if(&mut self, _g: &Guard, _d: usize) {
+            self.ifs += 1;
+        }
+    }
+
+    fn sample() -> Program {
+        Program::builder("sample")
+            .compute(ComputeBlock::new("init", Expr::c(10.0)))
+            .loop_(Expr::c(3.0), |b| {
+                b.compute(ComputeBlock::new("body", Expr::c(5.0)))
+                    .if_(
+                        Guard::HasDownNeighbor,
+                        |t| t.sendrecv(Target::RelativeRank(1), Expr::c(100.0), 0),
+                        |e| e,
+                    )
+                    .collective(CollectiveKind::AllReduce, Expr::c(8.0), 1)
+            })
+            .build()
+    }
+
+    #[test]
+    fn traversal_visits_every_node_once() {
+        let p = sample();
+        let mut counter = Counter::default();
+        walk(&p.body, &mut counter);
+        assert_eq!(counter.computes, 2);
+        assert_eq!(counter.comms, 1);
+        assert_eq!(counter.collectives, 1);
+        assert_eq!(counter.loops, 1);
+        assert_eq!(counter.ifs, 1);
+        assert_eq!(counter.max_depth, 1, "the loop body sits at depth 1");
+    }
+
+    #[test]
+    fn traversal_of_an_empty_program_is_a_noop() {
+        let p = Program::builder("empty").build();
+        let mut counter = Counter::default();
+        walk(&p.body, &mut counter);
+        assert_eq!(counter.computes + counter.comms + counter.loops, 0);
+    }
+}

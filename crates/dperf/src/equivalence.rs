@@ -1,0 +1,312 @@
+//! Equivalent computing power search (Table I).
+//!
+//! "The novelty of this paper from a prediction point of view is the
+//! possibility to use dPerf for finding an equivalent computing power of a
+//! homogeneous cluster in a peer-to-peer computing platform connected over a
+//! xDSL network or over LAN" (§V). Given the reference performance curve
+//! (execution time vs. number of cluster nodes) and candidate curves for other
+//! platforms, this module finds, for each cluster size, the smallest candidate
+//! configuration delivering comparable performance, and classifies it the way
+//! Table I does ("slightly lower", "same as", …).
+
+use p2p_common::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One measured/predicted point: a peer count and an execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Number of peers/processes.
+    pub nprocs: usize,
+    /// Execution time.
+    pub time: SimDuration,
+}
+
+/// A performance curve for one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCurve {
+    /// Platform label ("Grid5000", "xDSL", "LAN", …).
+    pub label: String,
+    /// Points, sorted by increasing `nprocs`.
+    pub points: Vec<PerfPoint>,
+}
+
+impl PerfCurve {
+    /// Create a curve from `(nprocs, seconds)` pairs (sorted internally).
+    pub fn from_secs(label: impl Into<String>, points: &[(usize, f64)]) -> Self {
+        let mut pts: Vec<PerfPoint> = points
+            .iter()
+            .map(|&(n, s)| PerfPoint {
+                nprocs: n,
+                time: SimDuration::from_secs_f64(s),
+            })
+            .collect();
+        pts.sort_by_key(|p| p.nprocs);
+        PerfCurve {
+            label: label.into(),
+            points: pts,
+        }
+    }
+
+    /// The point for an exact peer count, if present.
+    pub fn at(&self, nprocs: usize) -> Option<PerfPoint> {
+        self.points.iter().copied().find(|p| p.nprocs == nprocs)
+    }
+
+    /// The fastest (smallest-time) point of the curve.
+    pub fn best(&self) -> Option<PerfPoint> {
+        self.points.iter().copied().min_by_key(|p| p.time)
+    }
+}
+
+/// How a candidate configuration compares with the reference, following the
+/// wording of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparison {
+    /// Candidate is faster than the reference by more than the tolerance.
+    Higher,
+    /// Within ±`tolerance` of the reference.
+    Same,
+    /// Slower than the reference, but by at most `slight_factor`.
+    SlightlyLower,
+    /// Slower than `slight_factor` × reference.
+    MuchLower,
+}
+
+impl Comparison {
+    /// The phrase Table I uses.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Comparison::Higher => "higher than",
+            Comparison::Same => "same as",
+            Comparison::SlightlyLower => "slightly lower than",
+            Comparison::MuchLower => "much lower than",
+        }
+    }
+
+    /// True when the candidate is usable as a replacement (at least
+    /// "slightly lower" performance).
+    pub fn is_acceptable(self) -> bool {
+        !matches!(self, Comparison::MuchLower)
+    }
+}
+
+/// Classification thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Relative half-width of the "same as" band (e.g. 0.10 = ±10 %).
+    pub same_band: f64,
+    /// Slowdown factor up to which a candidate is only "slightly lower".
+    pub slight_factor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            same_band: 0.10,
+            slight_factor: 1.6,
+        }
+    }
+}
+
+/// Classify a candidate time against a reference time.
+pub fn classify(candidate: SimDuration, reference: SimDuration, tol: Tolerance) -> Comparison {
+    let c = candidate.as_secs_f64();
+    let r = reference.as_secs_f64();
+    if r <= 0.0 {
+        return Comparison::Same;
+    }
+    let ratio = c / r;
+    if ratio < 1.0 - tol.same_band {
+        Comparison::Higher
+    } else if ratio <= 1.0 + tol.same_band {
+        Comparison::Same
+    } else if ratio <= tol.slight_factor {
+        Comparison::SlightlyLower
+    } else {
+        Comparison::MuchLower
+    }
+}
+
+/// One row of the equivalence table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceRow {
+    /// Candidate peer count.
+    pub candidate_procs: usize,
+    /// Candidate platform label.
+    pub candidate_label: String,
+    /// Table-I style comparison.
+    pub comparison: Comparison,
+    /// Reference node count.
+    pub reference_procs: usize,
+    /// Reference platform label.
+    pub reference_label: String,
+    /// Candidate execution time.
+    pub candidate_time: SimDuration,
+    /// Reference execution time.
+    pub reference_time: SimDuration,
+}
+
+impl fmt::Display for EquivalenceRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>4} {:<8} {:<20} {:>4} {:<8}",
+            self.candidate_procs,
+            self.candidate_label,
+            self.comparison.phrase(),
+            self.reference_procs,
+            self.reference_label
+        )
+    }
+}
+
+/// The full equivalence table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceTable {
+    /// Rows, in the order they were derived.
+    pub rows: Vec<EquivalenceRow>,
+}
+
+impl EquivalenceTable {
+    /// Find, for a single reference point, the smallest candidate
+    /// configuration with acceptable (non-"much lower") performance. Prefers
+    /// the smallest peer count; among equal counts the classification closest
+    /// to "same" wins by construction of the scan.
+    pub fn equivalent_for(
+        reference: &PerfCurve,
+        reference_procs: usize,
+        candidate: &PerfCurve,
+        tol: Tolerance,
+    ) -> Option<EquivalenceRow> {
+        let ref_point = reference.at(reference_procs)?;
+        for cand in &candidate.points {
+            let cmp = classify(cand.time, ref_point.time, tol);
+            if cmp.is_acceptable() {
+                return Some(EquivalenceRow {
+                    candidate_procs: cand.nprocs,
+                    candidate_label: candidate.label.clone(),
+                    comparison: cmp,
+                    reference_procs,
+                    reference_label: reference.label.clone(),
+                    candidate_time: cand.time,
+                    reference_time: ref_point.time,
+                });
+            }
+        }
+        None
+    }
+
+    /// Build the table for every reference size and every candidate curve.
+    pub fn build(
+        reference: &PerfCurve,
+        reference_sizes: &[usize],
+        candidates: &[&PerfCurve],
+        tol: Tolerance,
+    ) -> EquivalenceTable {
+        let mut rows = Vec::new();
+        for candidate in candidates {
+            for &n in reference_sizes {
+                if let Some(row) = Self::equivalent_for(reference, n, candidate, tol) {
+                    rows.push(row);
+                }
+            }
+        }
+        EquivalenceTable { rows }
+    }
+
+    /// Render as an aligned text table with the paper's column layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Processes  topology   Performance (than)    Processes  topology\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>9}  {:<9}  {:<20}  {:>9}  {:<9}\n",
+                row.candidate_procs,
+                row.candidate_label,
+                row.comparison.phrase(),
+                row.reference_procs,
+                row.reference_label
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn classification_bands() {
+        let tol = Tolerance::default();
+        assert_eq!(classify(secs(8.0), secs(10.0), tol), Comparison::Higher);
+        assert_eq!(classify(secs(10.5), secs(10.0), tol), Comparison::Same);
+        assert_eq!(classify(secs(9.5), secs(10.0), tol), Comparison::Same);
+        assert_eq!(classify(secs(13.0), secs(10.0), tol), Comparison::SlightlyLower);
+        assert_eq!(classify(secs(25.0), secs(10.0), tol), Comparison::MuchLower);
+        assert!(Comparison::SlightlyLower.is_acceptable());
+        assert!(!Comparison::MuchLower.is_acceptable());
+    }
+
+    #[test]
+    fn curve_lookup_and_best() {
+        let c = PerfCurve::from_secs("LAN", &[(8, 12.0), (2, 45.0), (4, 23.0)]);
+        assert_eq!(c.points[0].nprocs, 2, "points are sorted");
+        assert_eq!(c.at(4).unwrap().time, secs(23.0));
+        assert!(c.at(16).is_none());
+        assert_eq!(c.best().unwrap().nprocs, 8);
+    }
+
+    #[test]
+    fn equivalent_picks_the_smallest_acceptable_configuration() {
+        let grid = PerfCurve::from_secs("Grid5000", &[(2, 42.0), (4, 21.5), (8, 11.0)]);
+        let lan = PerfCurve::from_secs("LAN", &[(2, 48.0), (4, 25.0), (8, 15.0), (16, 12.0), (32, 11.5)]);
+        let tol = Tolerance::default();
+        let row = EquivalenceTable::equivalent_for(&grid, 2, &lan, tol).unwrap();
+        assert_eq!(row.candidate_procs, 2);
+        assert_eq!(row.comparison, Comparison::SlightlyLower);
+        let row8 = EquivalenceTable::equivalent_for(&grid, 8, &lan, tol).unwrap();
+        assert_eq!(
+            row8.candidate_procs, 8,
+            "15 s is within the 'slightly lower' band of the 11 s reference"
+        );
+        assert_eq!(row8.comparison, Comparison::SlightlyLower);
+        // Tightening the slight-factor pushes the equivalent to 16 LAN peers.
+        let strict = Tolerance { same_band: 0.10, slight_factor: 1.2 };
+        let row8s = EquivalenceTable::equivalent_for(&grid, 8, &lan, strict).unwrap();
+        assert_eq!(row8s.candidate_procs, 16);
+    }
+
+    #[test]
+    fn hopeless_candidates_produce_no_row() {
+        let grid = PerfCurve::from_secs("Grid5000", &[(8, 5.0)]);
+        let xdsl = PerfCurve::from_secs("xDSL", &[(2, 100.0), (32, 60.0)]);
+        assert!(EquivalenceTable::equivalent_for(&grid, 8, &xdsl, Tolerance::default()).is_none());
+        // A missing reference size also yields no row.
+        assert!(EquivalenceTable::equivalent_for(&grid, 2, &xdsl, Tolerance::default()).is_none());
+    }
+
+    #[test]
+    fn build_and_render_the_full_table() {
+        let grid = PerfCurve::from_secs("Grid5000", &[(2, 42.0), (4, 21.5)]);
+        let lan = PerfCurve::from_secs("LAN", &[(2, 46.0), (4, 25.0), (8, 20.5)]);
+        let xdsl = PerfCurve::from_secs("xDSL", &[(4, 55.0), (8, 58.0)]);
+        let table = EquivalenceTable::build(&grid, &[2, 4], &[&xdsl, &lan], Tolerance::default());
+        assert!(table.rows.len() >= 3);
+        let rendered = table.render();
+        assert!(rendered.contains("Grid5000"));
+        assert!(rendered.contains("slightly lower than"));
+        // The xDSL row for the 2-node reference must exist (4 xDSL ≲ 2 Grid5000).
+        let xdsl_row = table
+            .rows
+            .iter()
+            .find(|r| r.candidate_label == "xDSL" && r.reference_procs == 2)
+            .expect("xDSL equivalent of the 2-node cluster");
+        assert_eq!(xdsl_row.candidate_procs, 4);
+    }
+}

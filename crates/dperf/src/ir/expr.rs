@@ -1,0 +1,245 @@
+//! Symbolic work expressions and parameter environments.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic arithmetic expression over named parameters.
+///
+/// Work expressions let one program description cover every problem size,
+/// process count and rank: `5 * N * my_rows` evaluates differently for every
+/// rank once the per-rank environment binds `my_rows`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Const(f64),
+    /// A named parameter, looked up in the [`ParamEnv`] at evaluation time.
+    Param(String),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient of two expressions (evaluates to 0 if the divisor is 0).
+    Div(Box<Expr>, Box<Expr>),
+    /// Larger of two expressions.
+    Max(Box<Expr>, Box<Expr>),
+    /// Ceiling of an expression.
+    Ceil(Box<Expr>),
+}
+
+impl Expr {
+    /// A constant.
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// A parameter reference.
+    pub fn p(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(rhs))
+    }
+
+    /// `ceil(self)`.
+    pub fn ceil(self) -> Expr {
+        Expr::Ceil(Box::new(self))
+    }
+
+    /// Evaluate against an environment. Unknown parameters evaluate to 0 and
+    /// are reported through [`Expr::free_params`] instead of panicking, so a
+    /// static analysis can inspect partially bound programs.
+    pub fn eval(&self, env: &ParamEnv) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Param(name) => env.get(name).unwrap_or(0.0),
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::Div(a, b) => {
+                let d = b.eval(env);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    a.eval(env) / d
+                }
+            }
+            Expr::Max(a, b) => a.eval(env).max(b.eval(env)),
+            Expr::Ceil(a) => a.eval(env).ceil(),
+        }
+    }
+
+    /// Evaluate and round to a non-negative integer (for loop counts, byte
+    /// counts and similar).
+    pub fn eval_count(&self, env: &ParamEnv) -> u64 {
+        self.eval(env).max(0.0).round() as u64
+    }
+
+    /// Collect the names of all parameters appearing in the expression.
+    pub fn free_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Param(name) => out.push(name.clone()),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Max(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Expr::Ceil(a) => a.collect_params(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(name) => write!(f, "{name}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Ceil(a) => write!(f, "ceil({a})"),
+        }
+    }
+}
+
+/// A set of parameter bindings (`N = 1200`, `iterations = 900`, …).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParamEnv {
+    values: BTreeMap<String, f64>,
+}
+
+impl ParamEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a parameter, returning `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Bind a parameter in place.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Look a parameter up.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Merge `other` over `self` (bindings in `other` win).
+    pub fn overlaid_with(&self, other: &ParamEnv) -> ParamEnv {
+        let mut merged = self.clone();
+        for (k, v) in &other.values {
+            merged.values.insert(k.clone(), *v);
+        }
+        merged
+    }
+
+    /// Iterate over the bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let env = ParamEnv::new().with("N", 100.0).with("rows", 25.0);
+        let work = Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("rows"));
+        assert_eq!(work.eval(&env), 12_500.0);
+        let per_proc = Expr::p("N").div(Expr::c(4.0)).add(Expr::c(1.0));
+        assert_eq!(per_proc.eval(&env), 26.0);
+        assert_eq!(Expr::p("N").sub(Expr::c(1.0)).eval(&env), 99.0);
+        assert_eq!(Expr::p("N").max(Expr::c(200.0)).eval(&env), 200.0);
+        assert_eq!(Expr::p("N").div(Expr::c(3.0)).ceil().eval(&env), 34.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero_not_a_panic() {
+        let env = ParamEnv::new();
+        assert_eq!(Expr::c(5.0).div(Expr::c(0.0)).eval(&env), 0.0);
+    }
+
+    #[test]
+    fn unknown_params_evaluate_to_zero_and_are_listed() {
+        let env = ParamEnv::new().with("N", 10.0);
+        let e = Expr::p("N").mul(Expr::p("missing"));
+        assert_eq!(e.eval(&env), 0.0);
+        assert_eq!(e.free_params(), vec!["N".to_string(), "missing".to_string()]);
+    }
+
+    #[test]
+    fn eval_count_rounds_and_clamps() {
+        let env = ParamEnv::new().with("x", 2.6);
+        assert_eq!(Expr::p("x").eval_count(&env), 3);
+        assert_eq!(Expr::c(-4.0).eval_count(&env), 0);
+    }
+
+    #[test]
+    fn env_overlay_prefers_the_overlay() {
+        let base = ParamEnv::new().with("N", 100.0).with("iters", 10.0);
+        let rank = ParamEnv::new().with("N", 50.0).with("my_rows", 13.0);
+        let merged = base.overlaid_with(&rank);
+        assert_eq!(merged.get("N"), Some(50.0));
+        assert_eq!(merged.get("iters"), Some(10.0));
+        assert_eq!(merged.get("my_rows"), Some(13.0));
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::c(5.0).mul(Expr::p("N")).add(Expr::p("k"));
+        assert_eq!(e.to_string(), "((5 * N) + k)");
+    }
+}

@@ -1,0 +1,28 @@
+//! The program intermediate representation.
+//!
+//! dPerf originally obtains an abstract syntax tree from the ROSE compiler and
+//! uses it "to identify key elements such as statements, basic blocks and
+//! calls for communication" (paper §III-D.1). The IR in this module is the
+//! Rust-native stand-in for that AST: it represents a single-program,
+//! multiple-data computation as a tree of statements over symbolic *work
+//! expressions*, with explicit communication calls.
+//!
+//! * [`Expr`] — symbolic arithmetic over named parameters (`N`, `iterations`,
+//!   `my_rows`, …) evaluated against a [`ParamEnv`].
+//! * [`ComputeBlock`] — a basic block with a symbolic flop count and the
+//!   arrays it reads/writes (for the dependence analysis).
+//! * [`CommCall`] / [`Collective`] — point-to-point and collective
+//!   communication calls (the P2PSAP call sites the static analysis detects).
+//! * [`Stmt`] — compute, communication, counted loops and guarded branches.
+//! * [`Program`] / [`ProgramBuilder`] — a named program with default
+//!   parameters and a convenient builder.
+
+mod expr;
+mod program;
+mod stmt;
+
+pub use expr::{Expr, ParamEnv};
+pub use program::{Program, ProgramBuilder};
+pub use stmt::{
+    Collective, CollectiveKind, CommCall, CommKind, ComputeBlock, Guard, RankContext, Stmt, Target,
+};

@@ -1,0 +1,269 @@
+//! Programs and the builder used to describe applications.
+
+use super::expr::{Expr, ParamEnv};
+use super::stmt::{Collective, CollectiveKind, CommCall, CommKind, ComputeBlock, Guard, Stmt, Target};
+use serde::{Deserialize, Serialize};
+
+/// A complete SPMD program description: one body executed by every rank, with
+/// per-rank behaviour expressed through guards, targets and rank-dependent
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Application name (appears in trace files and reports).
+    pub name: String,
+    /// Default parameter bindings; callers overlay problem- and rank-specific
+    /// bindings on top.
+    pub defaults: ParamEnv,
+    /// The statements every rank executes.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Start building a program.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            defaults: ParamEnv::new(),
+            root: BlockBuilder::new(),
+        }
+    }
+
+    /// Total number of statements in the program tree.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::size).sum()
+    }
+}
+
+/// Builds a list of statements; nested bodies (loops, branches) use nested
+/// `BlockBuilder`s passed to closures.
+#[derive(Debug, Default, Clone)]
+pub struct BlockBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl BlockBuilder {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a compute block.
+    pub fn compute(mut self, block: ComputeBlock) -> Self {
+        self.stmts.push(Stmt::Compute(block));
+        self
+    }
+
+    /// Append an asynchronous send.
+    pub fn send(mut self, peer: Target, bytes: Expr, tag: u32) -> Self {
+        self.stmts.push(Stmt::Comm(CommCall {
+            kind: CommKind::Send,
+            peer,
+            bytes,
+            tag,
+        }));
+        self
+    }
+
+    /// Append a blocking receive.
+    pub fn recv(mut self, peer: Target, tag: u32) -> Self {
+        self.stmts.push(Stmt::Comm(CommCall {
+            kind: CommKind::Recv,
+            peer,
+            bytes: Expr::c(0.0),
+            tag,
+        }));
+        self
+    }
+
+    /// Append a halo exchange (send then receive with the same peer and tag).
+    pub fn sendrecv(mut self, peer: Target, bytes: Expr, tag: u32) -> Self {
+        self.stmts.push(Stmt::Comm(CommCall {
+            kind: CommKind::SendRecv,
+            peer,
+            bytes,
+            tag,
+        }));
+        self
+    }
+
+    /// Append a collective.
+    pub fn collective(mut self, kind: CollectiveKind, bytes: Expr, tag: u32) -> Self {
+        self.stmts.push(Stmt::Collective(Collective { kind, bytes, tag }));
+        self
+    }
+
+    /// Append a counted loop whose body is built by `f`.
+    pub fn loop_(mut self, count: Expr, f: impl FnOnce(BlockBuilder) -> BlockBuilder) -> Self {
+        let body = f(BlockBuilder::new()).stmts;
+        self.stmts.push(Stmt::Loop { count, body });
+        self
+    }
+
+    /// Append a guarded branch whose arms are built by `then_f` / `else_f`.
+    pub fn if_(
+        mut self,
+        guard: Guard,
+        then_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+        else_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+    ) -> Self {
+        let then_branch = then_f(BlockBuilder::new()).stmts;
+        let else_branch = else_f(BlockBuilder::new()).stmts;
+        self.stmts.push(Stmt::If {
+            guard,
+            then_branch,
+            else_branch,
+        });
+        self
+    }
+
+    /// The accumulated statements.
+    pub fn into_stmts(self) -> Vec<Stmt> {
+        self.stmts
+    }
+}
+
+/// Builder for a [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    defaults: ParamEnv,
+    root: BlockBuilder,
+}
+
+impl ProgramBuilder {
+    /// Declare a parameter with its default value.
+    pub fn param(mut self, name: impl Into<String>, default: f64) -> Self {
+        self.defaults.set(name, default);
+        self
+    }
+
+    /// Append a compute block to the program body.
+    pub fn compute(mut self, block: ComputeBlock) -> Self {
+        self.root = self.root.compute(block);
+        self
+    }
+
+    /// Append a send.
+    pub fn send(mut self, peer: Target, bytes: Expr, tag: u32) -> Self {
+        self.root = self.root.send(peer, bytes, tag);
+        self
+    }
+
+    /// Append a receive.
+    pub fn recv(mut self, peer: Target, tag: u32) -> Self {
+        self.root = self.root.recv(peer, tag);
+        self
+    }
+
+    /// Append a halo exchange.
+    pub fn sendrecv(mut self, peer: Target, bytes: Expr, tag: u32) -> Self {
+        self.root = self.root.sendrecv(peer, bytes, tag);
+        self
+    }
+
+    /// Append a collective.
+    pub fn collective(mut self, kind: CollectiveKind, bytes: Expr, tag: u32) -> Self {
+        self.root = self.root.collective(kind, bytes, tag);
+        self
+    }
+
+    /// Append a counted loop.
+    pub fn loop_(mut self, count: Expr, f: impl FnOnce(BlockBuilder) -> BlockBuilder) -> Self {
+        self.root = self.root.loop_(count, f);
+        self
+    }
+
+    /// Append a guarded branch.
+    pub fn if_(
+        mut self,
+        guard: Guard,
+        then_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+        else_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+    ) -> Self {
+        self.root = self.root.if_(guard, then_f, else_f);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            defaults: self.defaults,
+            body: self.root.into_stmts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature iterative stencil used across the dperf unit tests.
+    pub fn tiny_stencil() -> Program {
+        Program::builder("tiny-stencil")
+            .param("N", 64.0)
+            .param("iters", 4.0)
+            .loop_(Expr::p("iters"), |b| {
+                b.compute(
+                    ComputeBlock::new("sweep", Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")))
+                        .reading(&["u_old"])
+                        .writing(&["u_new"]),
+                )
+                .if_(
+                    Guard::HasUpNeighbor,
+                    |t| t.sendrecv(Target::RelativeRank(-1), Expr::c(8.0).mul(Expr::p("N")), 1),
+                    |e| e,
+                )
+                .if_(
+                    Guard::HasDownNeighbor,
+                    |t| t.sendrecv(Target::RelativeRank(1), Expr::c(8.0).mul(Expr::p("N")), 2),
+                    |e| e,
+                )
+                .collective(CollectiveKind::AllReduce, Expr::c(8.0), 3)
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_the_expected_shape() {
+        let p = tiny_stencil();
+        assert_eq!(p.name, "tiny-stencil");
+        assert_eq!(p.defaults.get("N"), Some(64.0));
+        assert_eq!(p.body.len(), 1, "a single top-level loop");
+        match &p.body[0] {
+            Stmt::Loop { count, body } => {
+                assert_eq!(count, &Expr::p("iters"));
+                assert_eq!(body.len(), 4, "sweep, two guarded exchanges, reduction");
+            }
+            other => panic!("expected a loop, got {other:?}"),
+        }
+        assert_eq!(p.stmt_count(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn programs_serialize_round_trip() {
+        let p = tiny_stencil();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn nested_builders_nest_correctly() {
+        let p = Program::builder("nest")
+            .loop_(Expr::c(2.0), |b| {
+                b.loop_(Expr::c(3.0), |inner| {
+                    inner.compute(ComputeBlock::new("core", Expr::c(1.0)))
+                })
+            })
+            .build();
+        assert_eq!(p.stmt_count(), 3);
+        match &p.body[0] {
+            Stmt::Loop { body, .. } => match &body[0] {
+                Stmt::Loop { body: inner, .. } => assert_eq!(inner.len(), 1),
+                other => panic!("expected inner loop, got {other:?}"),
+            },
+            other => panic!("expected outer loop, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Statements: compute blocks, communication calls, loops and branches.
+
+use super::expr::{Expr, ParamEnv};
+use serde::{Deserialize, Serialize};
+
+/// A basic block of computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeBlock {
+    /// Name of the block (e.g. `"relaxation_sweep"`); the measured block
+    /// bencher looks registered kernels up by this name.
+    pub name: String,
+    /// Symbolic amount of work, in floating-point operations.
+    pub flops: Expr,
+    /// Named arrays/variables this block reads (for the dependence analysis).
+    pub reads: Vec<String>,
+    /// Named arrays/variables this block writes.
+    pub writes: Vec<String>,
+}
+
+impl ComputeBlock {
+    /// Build a block with no declared reads/writes.
+    pub fn new(name: impl Into<String>, flops: Expr) -> Self {
+        ComputeBlock {
+            name: name.into(),
+            flops,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Declare the arrays this block reads.
+    pub fn reading(mut self, arrays: &[&str]) -> Self {
+        self.reads = arrays.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declare the arrays this block writes.
+    pub fn writing(mut self, arrays: &[&str]) -> Self {
+        self.writes = arrays.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// Destination / source of a point-to-point communication call, resolved per
+/// rank at trace-generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// `rank + offset` (e.g. `-1` for the "up" neighbour in a 1-D
+    /// decomposition). Out-of-range targets make the call a no-op, which is
+    /// how boundary ranks skip their missing neighbour.
+    RelativeRank(i64),
+    /// An absolute rank.
+    AbsoluteRank(usize),
+    /// The computation's coordinator (rank 0 in this reproduction).
+    Coordinator,
+}
+
+impl Target {
+    /// Resolve to a concrete rank, or `None` when out of range.
+    pub fn resolve(self, ctx: RankContext) -> Option<usize> {
+        match self {
+            Target::RelativeRank(offset) => {
+                let target = ctx.rank as i64 + offset;
+                if target < 0 || target >= ctx.nprocs as i64 {
+                    None
+                } else {
+                    Some(target as usize)
+                }
+            }
+            Target::AbsoluteRank(r) => {
+                if r < ctx.nprocs {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+            Target::Coordinator => Some(0),
+        }
+    }
+}
+
+/// The rank executing a statement and the total process count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankContext {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total number of processes.
+    pub nprocs: usize,
+}
+
+impl RankContext {
+    /// Is this rank the coordinator?
+    pub fn is_coordinator(self) -> bool {
+        self.rank == 0
+    }
+}
+
+/// Kind of a point-to-point communication call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommKind {
+    /// Asynchronous send.
+    Send,
+    /// Blocking receive.
+    Recv,
+    /// Send then wait for the symmetric message (halo exchange).
+    SendRecv,
+}
+
+/// A point-to-point communication call site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommCall {
+    /// Send, receive, or exchange.
+    pub kind: CommKind,
+    /// The other endpoint.
+    pub peer: Target,
+    /// Payload size in bytes (symbolic).
+    pub bytes: Expr,
+    /// Message tag; matching is by (source, tag).
+    pub tag: u32,
+}
+
+/// Kind of a collective operation. Collectives are expanded at trace
+/// generation into the point-to-point pattern P2PDC actually uses (everything
+/// goes through the coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Every rank sends to the coordinator.
+    Gather,
+    /// The coordinator sends to every rank.
+    Broadcast,
+    /// Gather followed by broadcast (e.g. the residual-norm convergence test);
+    /// acts as a synchronisation barrier.
+    AllReduce,
+}
+
+/// A collective call site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Collective {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Per-message payload size in bytes (symbolic).
+    pub bytes: Expr,
+    /// Base message tag.
+    pub tag: u32,
+}
+
+/// Branch guards, evaluated per rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Guard {
+    /// True on the coordinator (rank 0).
+    IsCoordinator,
+    /// True on every rank except the coordinator.
+    IsWorker,
+    /// True if `rank > 0` (there is an "up" neighbour in a 1-D decomposition).
+    HasUpNeighbor,
+    /// True if `rank < nprocs - 1` (there is a "down" neighbour).
+    HasDownNeighbor,
+    /// True if the expression evaluates to a non-zero value.
+    NonZero(Expr),
+}
+
+impl Guard {
+    /// Evaluate the guard for a rank under an environment.
+    pub fn eval(&self, ctx: RankContext, env: &ParamEnv) -> bool {
+        match self {
+            Guard::IsCoordinator => ctx.is_coordinator(),
+            Guard::IsWorker => !ctx.is_coordinator(),
+            Guard::HasUpNeighbor => ctx.rank > 0,
+            Guard::HasDownNeighbor => ctx.rank + 1 < ctx.nprocs,
+            Guard::NonZero(e) => e.eval(env) != 0.0,
+        }
+    }
+}
+
+/// A statement of the program tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A basic block of computation.
+    Compute(ComputeBlock),
+    /// A point-to-point communication call.
+    Comm(CommCall),
+    /// A collective communication call.
+    Collective(Collective),
+    /// A counted loop.
+    Loop {
+        /// Trip count (symbolic, evaluated per rank).
+        count: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A guarded branch.
+    If {
+        /// The guard.
+        guard: Guard,
+        /// Statements executed when the guard holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for a compute statement.
+    pub fn compute(block: ComputeBlock) -> Stmt {
+        Stmt::Compute(block)
+    }
+
+    /// Number of statements in this subtree (the statement itself included).
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Compute(_) | Stmt::Comm(_) | Stmt::Collective(_) => 1,
+            Stmt::Loop { body, .. } => 1 + body.iter().map(Stmt::size).sum::<usize>(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                1 + then_branch.iter().map(Stmt::size).sum::<usize>()
+                    + else_branch.iter().map(Stmt::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rank: usize, nprocs: usize) -> RankContext {
+        RankContext { rank, nprocs }
+    }
+
+    #[test]
+    fn relative_targets_resolve_and_clip() {
+        assert_eq!(Target::RelativeRank(-1).resolve(ctx(0, 4)), None);
+        assert_eq!(Target::RelativeRank(-1).resolve(ctx(2, 4)), Some(1));
+        assert_eq!(Target::RelativeRank(1).resolve(ctx(3, 4)), None);
+        assert_eq!(Target::RelativeRank(1).resolve(ctx(2, 4)), Some(3));
+    }
+
+    #[test]
+    fn absolute_and_coordinator_targets() {
+        assert_eq!(Target::AbsoluteRank(2).resolve(ctx(0, 4)), Some(2));
+        assert_eq!(Target::AbsoluteRank(9).resolve(ctx(0, 4)), None);
+        assert_eq!(Target::Coordinator.resolve(ctx(3, 4)), Some(0));
+    }
+
+    #[test]
+    fn guards_follow_the_rank_context() {
+        let env = ParamEnv::new().with("flag", 1.0);
+        assert!(Guard::IsCoordinator.eval(ctx(0, 4), &env));
+        assert!(!Guard::IsCoordinator.eval(ctx(1, 4), &env));
+        assert!(Guard::IsWorker.eval(ctx(3, 4), &env));
+        assert!(!Guard::HasUpNeighbor.eval(ctx(0, 4), &env));
+        assert!(Guard::HasUpNeighbor.eval(ctx(1, 4), &env));
+        assert!(Guard::HasDownNeighbor.eval(ctx(2, 4), &env));
+        assert!(!Guard::HasDownNeighbor.eval(ctx(3, 4), &env));
+        assert!(Guard::NonZero(Expr::p("flag")).eval(ctx(1, 4), &env));
+        assert!(!Guard::NonZero(Expr::p("absent")).eval(ctx(1, 4), &env));
+    }
+
+    #[test]
+    fn compute_block_builder_records_dependences() {
+        let b = ComputeBlock::new("sweep", Expr::c(100.0))
+            .reading(&["u_old", "psi"])
+            .writing(&["u_new"]);
+        assert_eq!(b.reads, vec!["u_old", "psi"]);
+        assert_eq!(b.writes, vec!["u_new"]);
+    }
+
+    #[test]
+    fn stmt_size_counts_nested_statements() {
+        let inner = Stmt::Compute(ComputeBlock::new("a", Expr::c(1.0)));
+        let loop_stmt = Stmt::Loop {
+            count: Expr::c(10.0),
+            body: vec![inner.clone(), inner.clone()],
+        };
+        let if_stmt = Stmt::If {
+            guard: Guard::IsCoordinator,
+            then_branch: vec![inner.clone()],
+            else_branch: vec![],
+        };
+        assert_eq!(loop_stmt.size(), 3);
+        assert_eq!(if_stmt.size(), 2);
+    }
+}

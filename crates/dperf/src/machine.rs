@@ -1,0 +1,96 @@
+//! Machine models.
+//!
+//! The modeled block bencher converts a block's symbolic flop count into a
+//! duration through a [`MachineModel`]: an *effective* flop rate for the
+//! application's kernels plus a fixed per-block overhead (loop management,
+//! timer reads — the small constant PAPI-based measurements always include).
+//!
+//! The effective rate is deliberately not the CPU's peak rate: the obstacle
+//! kernel is memory-bound, so a 3 GHz Xeon EM64T sustains on the order of one
+//! useful flop per cycle-third on this code when compiled at `-O3`. The value
+//! below is calibrated so the Stage-1 reference times land in the range shown
+//! in Fig. 9/10; the *shape* of every figure is insensitive to it.
+
+use p2p_common::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// An execution-speed model for one node type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective flop rate of the application kernels at `-O3`, flop/s.
+    pub flops_per_sec: f64,
+    /// Fixed overhead charged per executed block (probe + call overhead).
+    pub block_overhead: SimDuration,
+}
+
+impl MachineModel {
+    /// The Bordeplage node of the paper's evaluation: Intel Xeon EM64T 3 GHz,
+    /// 1 MB L2, 2 GB memory (§IV-A.3).
+    pub fn xeon_em64t_3ghz() -> Self {
+        MachineModel {
+            name: "Intel Xeon EM64T 3GHz (Bordeplage)".to_string(),
+            flops_per_sec: 1.0e9,
+            block_overhead: SimDuration::from_nanos(200),
+        }
+    }
+
+    /// A machine `factor`× faster than this one (used by heterogeneity tests).
+    pub fn scaled(&self, factor: f64) -> MachineModel {
+        assert!(factor > 0.0, "speed factor must be positive");
+        MachineModel {
+            name: format!("{} x{:.2}", self.name, factor),
+            flops_per_sec: self.flops_per_sec * factor,
+            block_overhead: self.block_overhead,
+        }
+    }
+
+    /// Time to execute `flops` floating-point operations on this machine
+    /// (without any compiler-level slowdown factor).
+    pub fn time_for_flops(&self, flops: f64) -> SimDuration {
+        if flops <= 0.0 {
+            return self.block_overhead;
+        }
+        SimDuration::from_secs_f64(flops / self.flops_per_sec) + self.block_overhead
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel::xeon_em64t_3ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_executes_a_gigaflop_in_about_a_second() {
+        let m = MachineModel::xeon_em64t_3ghz();
+        let t = m.time_for_flops(1e9);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_work_still_costs_the_block_overhead() {
+        let m = MachineModel::xeon_em64t_3ghz();
+        assert_eq!(m.time_for_flops(0.0), m.block_overhead);
+        assert_eq!(m.time_for_flops(-5.0), m.block_overhead);
+    }
+
+    #[test]
+    fn scaling_speeds_the_machine_up() {
+        let m = MachineModel::xeon_em64t_3ghz();
+        let fast = m.scaled(2.0);
+        assert!(fast.time_for_flops(1e9) < m.time_for_flops(1e9));
+        assert!(fast.name.contains("x2.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_factor_is_rejected() {
+        MachineModel::xeon_em64t_3ghz().scaled(0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Report formatting for the experiment harness.
+//!
+//! The benchmark binary prints every figure of the paper as a plain-text data
+//! series (x = number of peers, y = seconds) and every table as aligned text.
+//! Keeping the formatting here lets the benches, the examples and the
+//! integration tests share one implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// One plotted series of a figure (e.g. "optimization level 0" in Fig. 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X values (number of peers).
+    pub x: Vec<usize>,
+    /// Y values (seconds).
+    pub y_secs: Vec<f64>,
+}
+
+impl Series {
+    /// Build a series from `(peers, seconds)` pairs.
+    pub fn new(label: impl Into<String>, points: &[(usize, f64)]) -> Self {
+        Series {
+            label: label.into(),
+            x: points.iter().map(|&(n, _)| n).collect(),
+            y_secs: points.iter().map(|&(_, s)| s).collect(),
+        }
+    }
+
+    /// The y value at a given x, if present.
+    pub fn at(&self, x: usize) -> Option<f64> {
+        self.x.iter().position(|&v| v == x).map(|i| self.y_secs[i])
+    }
+
+    /// Is the series monotonically non-increasing in x (a "scales well" check)?
+    pub fn is_non_increasing(&self) -> bool {
+        self.y_secs.windows(2).all(|w| w[1] <= w[0] * 1.0001)
+    }
+}
+
+/// A figure: a title plus one or more series over the same x axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title (e.g. "Fig. 9 — Stage-1 reference execution time").
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure with the paper's usual axes.
+    pub fn new(title: impl Into<String>) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: "Number of peers".to_string(),
+            y_label: "Time [s]".to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Render as an aligned text table: one row per x value, one column per
+    /// series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        if self.series.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        // Header.
+        out.push_str(&format!("{:>14}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("  {:>24}", s.label));
+        }
+        out.push('\n');
+        // Union of x values, sorted.
+        let mut xs: Vec<usize> = self.series.iter().flat_map(|s| s.x.iter().copied()).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        for x in xs {
+            out.push_str(&format!("{x:>14}"));
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => out.push_str(&format!("  {y:>24.3}")),
+                    None => out.push_str(&format!("  {:>24}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialise to JSON (for downstream plotting tools).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figures always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup_and_monotonicity() {
+        let s = Series::new("ref", &[(2, 42.0), (4, 21.0), (8, 11.0)]);
+        assert_eq!(s.at(4), Some(21.0));
+        assert_eq!(s.at(16), None);
+        assert!(s.is_non_increasing());
+        let rising = Series::new("xdsl", &[(2, 50.0), (4, 52.0)]);
+        assert!(!rising.is_non_increasing());
+    }
+
+    #[test]
+    fn figure_render_aligns_all_series() {
+        let mut fig = Figure::new("Fig. 9 — reference time");
+        fig.push(Series::new("optimization level 0", &[(2, 42.2), (4, 21.4)]));
+        fig.push(Series::new("optimization level 3", &[(2, 13.7), (4, 7.1)]));
+        let text = fig.render();
+        assert!(text.contains("Fig. 9"));
+        assert!(text.contains("optimization level 0"));
+        assert!(text.lines().count() >= 4);
+        // Each data row has the x value and two y columns.
+        let row: Vec<&str> = text.lines().nth(2).unwrap().split_whitespace().collect();
+        assert_eq!(row.len(), 3);
+    }
+
+    #[test]
+    fn figure_render_handles_missing_points_and_empty_figures() {
+        let mut fig = Figure::new("sparse");
+        fig.push(Series::new("a", &[(2, 1.0)]));
+        fig.push(Series::new("b", &[(4, 2.0)]));
+        let text = fig.render();
+        assert!(text.contains('-'), "missing points are dashes");
+        let empty = Figure::new("empty");
+        assert!(empty.render().contains("no data"));
+    }
+
+    #[test]
+    fn figure_json_round_trips() {
+        let mut fig = Figure::new("json");
+        fig.push(Series::new("a", &[(2, 1.5)]));
+        let parsed: Figure = serde_json::from_str(&fig.to_json()).unwrap();
+        assert_eq!(parsed, fig);
+    }
+}

@@ -1,0 +1,301 @@
+//! Trace files.
+//!
+//! Running the instrumented code produces "a set of trace files for each
+//! execution and per participating process or node. Traces contain computation
+//! time measured using hardware counters and expressed in nanoseconds,
+//! followed by relevant parameters for communication calls" (§III-D.2).
+//!
+//! [`TraceSet`] is that set of files: one [`ProcessTrace`] per rank, each a
+//! flat list of [`TraceEvent`]s. Traces serialise to JSON (human-readable and
+//! diffable — the reproduction's analogue of dPerf's text trace format) and
+//! convert directly into `netsim` replay scripts.
+
+use netsim::{ProcessScript, ReplayOp};
+use p2p_common::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One event of a process trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The process computed for `ns` nanoseconds inside block `block`.
+    Compute {
+        /// Measured/modelled duration in nanoseconds.
+        ns: u64,
+        /// Name of the block (instrumentation site).
+        block: String,
+    },
+    /// The process sent `bytes` bytes to rank `to` with tag `tag`.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Payload bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// The process waited for a message from rank `from` with tag `tag`.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+    },
+}
+
+/// The trace of one process (rank).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTrace {
+    /// Rank of the process.
+    pub rank: usize,
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ProcessTrace {
+    /// Total recorded computation time.
+    pub fn compute_time(&self) -> SimDuration {
+        let ns: u64 = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Compute { ns, .. } => *ns,
+                _ => 0,
+            })
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Number of messages this rank sends.
+    pub fn sends(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count()
+    }
+
+    /// Number of receives this rank posts.
+    pub fn recvs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Recv { .. }))
+            .count()
+    }
+
+    /// Convert to a `netsim` replay script.
+    pub fn to_replay_script(&self) -> ProcessScript {
+        let ops = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Compute { ns, .. } => ReplayOp::Compute {
+                    duration: SimDuration::from_nanos(*ns),
+                },
+                TraceEvent::Send { to, bytes, tag } => ReplayOp::Send {
+                    to: *to,
+                    bytes: *bytes,
+                    tag: *tag,
+                },
+                TraceEvent::Recv { from, tag } => ReplayOp::Recv {
+                    from: *from,
+                    tag: *tag,
+                },
+            })
+            .collect();
+        ProcessScript {
+            rank: self.rank,
+            ops,
+        }
+    }
+}
+
+/// A complete set of traces for one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Application name.
+    pub app: String,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// GCC optimisation level label the traced binary was built with.
+    pub opt_level: String,
+    /// One trace per rank (index = rank).
+    pub traces: Vec<ProcessTrace>,
+}
+
+impl TraceSet {
+    /// Total number of events across all ranks.
+    pub fn event_count(&self) -> usize {
+        self.traces.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> usize {
+        self.traces.iter().map(|t| t.sends()).sum()
+    }
+
+    /// The largest per-rank compute time (lower bound on the execution time).
+    pub fn max_compute_time(&self) -> SimDuration {
+        self.traces
+            .iter()
+            .map(|t| t.compute_time())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Convert every trace to a replay script, ordered by rank.
+    pub fn to_replay_scripts(&self) -> Vec<ProcessScript> {
+        self.traces.iter().map(|t| t.to_replay_script()).collect()
+    }
+
+    /// Serialise to a pretty JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace sets always serialise")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<TraceSet, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write the trace set to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Read a trace set back from a file.
+    pub fn read_from(path: impl AsRef<Path>) -> io::Result<TraceSet> {
+        let text = fs::read_to_string(path)?;
+        TraceSet::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Basic consistency checks: ranks are dense and in order, every send has
+    /// a matching receive (same pair and tag, equal multiplicity) and vice
+    /// versa. Returns a list of human-readable problems (empty = consistent).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.traces.len() != self.nprocs {
+            problems.push(format!(
+                "declared {} processes but contains {} traces",
+                self.nprocs,
+                self.traces.len()
+            ));
+        }
+        for (i, t) in self.traces.iter().enumerate() {
+            if t.rank != i {
+                problems.push(format!("trace {i} declares rank {}", t.rank));
+            }
+        }
+        use std::collections::HashMap;
+        let mut sends: HashMap<(usize, usize, u32), i64> = HashMap::new();
+        for t in &self.traces {
+            for e in &t.events {
+                match e {
+                    TraceEvent::Send { to, tag, .. } => {
+                        *sends.entry((t.rank, *to, *tag)).or_default() += 1;
+                    }
+                    TraceEvent::Recv { from, tag } => {
+                        *sends.entry((*from, t.rank, *tag)).or_default() -= 1;
+                    }
+                    TraceEvent::Compute { .. } => {}
+                }
+            }
+        }
+        for ((from, to, tag), balance) in sends {
+            if balance != 0 {
+                problems.push(format!(
+                    "unbalanced messages {from} -> {to} tag {tag}: {balance:+}"
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSet {
+        TraceSet {
+            app: "demo".into(),
+            nprocs: 2,
+            opt_level: "3".into(),
+            traces: vec![
+                ProcessTrace {
+                    rank: 0,
+                    events: vec![
+                        TraceEvent::Compute { ns: 1_000_000, block: "sweep".into() },
+                        TraceEvent::Send { to: 1, bytes: 9600, tag: 1 },
+                        TraceEvent::Recv { from: 1, tag: 1 },
+                    ],
+                },
+                ProcessTrace {
+                    rank: 1,
+                    events: vec![
+                        TraceEvent::Compute { ns: 2_000_000, block: "sweep".into() },
+                        TraceEvent::Send { to: 0, bytes: 9600, tag: 1 },
+                        TraceEvent::Recv { from: 0, tag: 1 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates_are_computed() {
+        let ts = sample();
+        assert_eq!(ts.event_count(), 6);
+        assert_eq!(ts.total_messages(), 2);
+        assert_eq!(ts.max_compute_time(), SimDuration::from_millis(2));
+        assert_eq!(ts.traces[0].sends(), 1);
+        assert_eq!(ts.traces[0].recvs(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ts = sample();
+        let json = ts.to_json();
+        let back = TraceSet::from_json(&json).unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ts = sample();
+        let dir = std::env::temp_dir().join("dperf-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.json");
+        ts.write_to(&path).unwrap();
+        let back = TraceSet::read_from(&path).unwrap();
+        assert_eq!(ts, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_scripts_mirror_the_events() {
+        let ts = sample();
+        let scripts = ts.to_replay_scripts();
+        assert_eq!(scripts.len(), 2);
+        assert_eq!(scripts[0].rank, 0);
+        assert_eq!(scripts[0].ops.len(), 3);
+        assert!(matches!(scripts[0].ops[0], ReplayOp::Compute { .. }));
+        assert!(matches!(scripts[0].ops[1], ReplayOp::Send { to: 1, bytes: 9600, tag: 1 }));
+        assert!(matches!(scripts[0].ops[2], ReplayOp::Recv { from: 1, tag: 1 }));
+    }
+
+    #[test]
+    fn validate_accepts_balanced_traces_and_flags_imbalance() {
+        let ts = sample();
+        assert!(ts.validate().is_empty());
+        let mut broken = ts.clone();
+        broken.traces[0].events.push(TraceEvent::Send { to: 1, bytes: 1, tag: 9 });
+        let problems = broken.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("tag 9"));
+        let mut misnumbered = ts;
+        misnumbered.traces[1].rank = 5;
+        assert!(!misnumbered.validate().is_empty());
+    }
+}

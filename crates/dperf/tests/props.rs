@@ -1,0 +1,88 @@
+//! Property-based tests of the dPerf IR, traces and equivalence search.
+
+use dperf::equivalence::{classify, Tolerance};
+use dperf::ir::{Expr, ParamEnv};
+use dperf::{ProcessTrace, TraceEvent, TraceSet};
+use p2p_common::SimDuration;
+use proptest::prelude::*;
+
+/// A strategy for small random work expressions.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-1e6f64..1e6).prop_map(Expr::Const),
+        prop::sample::select(vec!["N", "iters", "my_rows", "x"]).prop_map(Expr::p),
+    ]
+    .boxed();
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    /// Expression evaluation never panics, and every parameter it reports as
+    /// free really appears in the rendered form.
+    #[test]
+    fn expr_eval_total_and_free_params_sound(e in arb_expr(4), n in -1e3f64..1e3) {
+        let env = ParamEnv::new().with("N", n).with("iters", 10.0);
+        let v = e.eval(&env);
+        prop_assert!(!v.is_nan() || v.is_nan(), "eval returned"); // totality: no panic
+        let rendered = e.to_string();
+        for p in e.free_params() {
+            prop_assert!(rendered.contains(&p), "{} not in {}", p, rendered);
+        }
+        // eval_count never panics, and non-positive work clamps to zero.
+        let c = e.eval_count(&env);
+        if v <= 0.0 {
+            prop_assert_eq!(c, 0);
+        }
+    }
+
+    /// Trace sets survive the JSON round trip bit-for-bit.
+    #[test]
+    fn trace_json_roundtrip(events in prop::collection::vec((0u64..1_000_000, 0usize..4, 0u32..8), 0..50)) {
+        let nprocs = 4;
+        let traces: Vec<ProcessTrace> = (0..nprocs)
+            .map(|rank| ProcessTrace {
+                rank,
+                events: events
+                    .iter()
+                    .map(|&(ns, to, tag)| {
+                        if to == rank {
+                            TraceEvent::Compute { ns, block: "b".into() }
+                        } else {
+                            TraceEvent::Send { to, bytes: ns % 10_000, tag }
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let set = TraceSet { app: "prop".into(), nprocs, opt_level: "3".into(), traces };
+        let back = TraceSet::from_json(&set.to_json()).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    /// The Table-I classification is total and monotone: a slower candidate
+    /// never classifies better than a faster one against the same reference.
+    #[test]
+    fn classification_is_monotone(reference in 1u64..100_000_000, a in 1u64..100_000_000, b in 1u64..100_000_000) {
+        let tol = Tolerance::default();
+        let r = SimDuration::from_nanos(reference);
+        let (fast, slow) = if a <= b { (a, b) } else { (b, a) };
+        let rank = |c: dperf::Comparison| match c {
+            dperf::Comparison::Higher => 0,
+            dperf::Comparison::Same => 1,
+            dperf::Comparison::SlightlyLower => 2,
+            dperf::Comparison::MuchLower => 3,
+        };
+        let cf = classify(SimDuration::from_nanos(fast), r, tol);
+        let cs = classify(SimDuration::from_nanos(slow), r, tol);
+        prop_assert!(rank(cf) <= rank(cs), "{:?} vs {:?}", cf, cs);
+    }
+}

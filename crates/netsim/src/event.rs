@@ -1,0 +1,261 @@
+//! Discrete-event scheduling core.
+//!
+//! The simulator is organised as a *world* (all mutable simulation state:
+//! network flows, overlay nodes, replaying processes, …) plus a [`Scheduler`]
+//! holding the pending events of that world. Keeping the two separate avoids
+//! borrow conflicts: a world handler receives `&mut self` and `&mut
+//! Scheduler<E>` and can freely schedule follow-up events while mutating its
+//! own state.
+//!
+//! Events with equal timestamps are delivered in scheduling order (FIFO), so a
+//! simulation is a deterministic function of its inputs.
+
+use p2p_common::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending event.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pending-event queue and simulated clock of one simulation.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    delivered: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// True if no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics (it would silently reorder causality otherwise).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < {})",
+            at,
+            self.now
+        );
+        let entry = Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedule `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.delivered += 1;
+        Some((entry.time, entry.event))
+    }
+}
+
+/// A simulation world: everything that reacts to events.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handle one event at the current simulated time. Follow-up events are
+    /// scheduled through `sched`.
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, event: Self::Event);
+}
+
+/// Run `world` until the event queue drains or the clock passes `until`
+/// (events strictly after `until` are left unprocessed). Returns the time of
+/// the last processed event (or the start time if none fired).
+pub fn run_world<W: World>(
+    world: &mut W,
+    sched: &mut Scheduler<W::Event>,
+    until: Option<SimTime>,
+) -> SimTime {
+    let mut last = sched.now();
+    while let Some(next) = sched.peek_time() {
+        if let Some(limit) = until {
+            if next > limit {
+                break;
+            }
+        }
+        let (t, ev) = sched.pop().expect("peeked event must exist");
+        world.handle(sched, ev);
+        last = t;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        Tag(u32),
+        Chain { tag: u32, remaining: u32 },
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+            match ev {
+                Ev::Tag(t) => self.seen.push((sched.now(), t)),
+                Ev::Chain { tag, remaining } => {
+                    self.seen.push((sched.now(), tag));
+                    if remaining > 0 {
+                        sched.schedule_in(
+                            SimDuration::from_millis(10),
+                            Ev::Chain {
+                                tag: tag + 1,
+                                remaining: remaining - 1,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_millis(30), Ev::Tag(3));
+        sched.schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        sched.schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        run_world(&mut world, &mut sched, None);
+        assert_eq!(
+            world.seen,
+            vec![
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(20), 2),
+                (SimTime::from_millis(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched = Scheduler::new();
+        for i in 0..10 {
+            sched.schedule_at(SimTime::from_secs(1), Ev::Tag(i));
+        }
+        run_world(&mut world, &mut sched, None);
+        let tags: Vec<u32> = world.seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::ZERO, Ev::Chain { tag: 0, remaining: 4 });
+        let end = run_world(&mut world, &mut sched, None);
+        assert_eq!(world.seen.len(), 5);
+        assert_eq!(end, SimTime::from_millis(40));
+        assert_eq!(sched.delivered(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::ZERO, Ev::Chain { tag: 0, remaining: 100 });
+        run_world(&mut world, &mut sched, Some(SimTime::from_millis(35)));
+        assert_eq!(world.seen.len(), 4, "events after the horizon must not run");
+        assert!(!sched.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), Ev::Tag(0));
+        run_world(&mut world, &mut sched, None);
+        sched.schedule_at(SimTime::ZERO, Ev::Tag(1));
+    }
+
+    #[test]
+    fn clock_does_not_move_without_events() {
+        let mut world = Recorder { seen: vec![] };
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        let end = run_world(&mut world, &mut sched, None);
+        assert_eq!(end, SimTime::ZERO);
+        assert_eq!(sched.pending(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # netsim — a flow-level discrete-event network simulator
+//!
+//! This crate is the reproduction's substitute for the SimGrid framework the
+//! paper uses for trace-based simulation (paper §III-D: "From Simgrid
+//! framework, we use the MSG module for replaying trace files based on a
+//! deployment platform defined by us").
+//!
+//! It provides:
+//!
+//! * [`event`] — a deterministic discrete-event [`Scheduler`](event::Scheduler)
+//!   and the [`World`](event::World) trait that higher layers implement.
+//! * [`platform`] — the platform description: hosts, routers, full-duplex
+//!   links with bandwidth and latency, and shortest-path routing, mirroring
+//!   SimGrid's platform files.
+//! * [`network`] — the flow-level communication model. Two sharing modes are
+//!   available: the classic *bottleneck* model (`T = Σ latency + size /
+//!   min-bandwidth`, SimGrid MSG's default analytic assumption) and a
+//!   *max–min fair* bandwidth-sharing model for congested scenarios.
+//! * [`topology`] — builders for the three platforms of the paper's
+//!   evaluation: the Grid'5000 Bordeplage cluster (Stage-1), the xDSL Daisy
+//!   topology of Fig. 8 (Stage-2A) and the campus LAN (Stage-2B).
+//! * [`replay`] — the MSG-like trace replay engine: per-process scripts of
+//!   compute / send / receive operations are executed against a platform and
+//!   yield the simulated makespan. dPerf converts its trace files into these
+//!   scripts to obtain `t_predicted`.
+
+pub mod event;
+pub mod network;
+pub mod platform;
+pub mod replay;
+pub mod topology;
+
+pub use event::{run_world, Scheduler, World};
+pub use network::{FlowDelivery, NetEvent, NetStats, Network, SharingMode};
+pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
+pub use replay::{replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult};
+pub use topology::{cluster_bordeplage, daisy_xdsl, lan, PlacementPolicy, Topology, TopologyKind};

@@ -1,0 +1,565 @@
+//! Flow-level communication model.
+//!
+//! A [`Network`] owns the [`Platform`] and the set of data transfers (flows)
+//! currently in flight. Two sharing modes are provided:
+//!
+//! * [`SharingMode::Bottleneck`] — the analytic model SimGrid's MSG module
+//!   uses by default for trace replay: a transfer of `size` bytes along a
+//!   route takes `Σ latency + size / bottleneck_bandwidth`, independently of
+//!   other traffic. Cheap and adequate when flows rarely overlap.
+//! * [`SharingMode::MaxMinFair`] — concurrent flows crossing the same link
+//!   share its capacity according to max–min fairness (progressive filling).
+//!   Rates are recomputed whenever a flow starts or finishes. This is the
+//!   model to use when many peers hammer a shared backbone (LAN Stage-2B) or
+//!   a DSLAM uplink (xDSL Stage-2A).
+//!
+//! Control-plane messages of the P2PDC overlay are small and latency-bound;
+//! [`Network::message_delay`] provides their delivery delay analytically
+//! without materialising a flow.
+
+use crate::event::Scheduler;
+use crate::platform::{Platform, Route};
+use p2p_common::{DataSize, FlowId, HostId, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How concurrent flows share link capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingMode {
+    /// Independent flows, bottleneck-bandwidth analytic model.
+    Bottleneck,
+    /// Max–min fair sharing of every link's capacity.
+    MaxMinFair,
+}
+
+/// Events the network schedules for itself. Embed this in the world's event
+/// type via `From<NetEvent>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// The flow's latency has elapsed; it now competes for bandwidth.
+    FlowActivate { flow: FlowId },
+    /// A flow may have finished draining (stale if `version` is outdated).
+    FlowCompletion { flow: FlowId, version: u64 },
+}
+
+/// Notification that a flow has been fully delivered to its destination host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDelivery {
+    /// The completed flow.
+    pub flow: FlowId,
+    /// Caller-supplied token identifying what this flow carried.
+    pub token: u64,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Payload size.
+    pub size: DataSize,
+}
+
+/// Aggregate transfer statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetStats {
+    /// Flows started.
+    pub flows_started: u64,
+    /// Flows delivered.
+    pub flows_completed: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Control-plane messages routed through [`Network::message_delay`].
+    pub control_messages: u64,
+    /// Bytes carried per directed link (indexed like `Platform::links`).
+    pub link_bytes: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    id: FlowId,
+    src: HostId,
+    dst: HostId,
+    token: u64,
+    size: DataSize,
+    route: Arc<Route>,
+    /// Payload bytes still to drain (only meaningful once active).
+    remaining: f64,
+    /// Currently allocated rate in bytes/s (0 until activated).
+    rate: f64,
+    /// Last instant at which `remaining` was brought up to date.
+    last_progress: SimTime,
+    active: bool,
+}
+
+/// The flow-level network simulator state.
+#[derive(Debug)]
+pub struct Network {
+    platform: Platform,
+    mode: SharingMode,
+    flows: HashMap<FlowId, FlowState>,
+    next_flow: u64,
+    /// Bumped whenever rates change; stale completion events are ignored.
+    version: u64,
+    stats: NetStats,
+}
+
+/// Residual byte threshold below which a flow counts as drained (absorbs
+/// floating-point error accumulated across rate recomputations).
+const DRAIN_EPSILON: f64 = 1e-3;
+
+impl Network {
+    /// Wrap a platform in a network simulator.
+    pub fn new(platform: Platform, mode: SharingMode) -> Self {
+        let link_count = platform.links().len();
+        Network {
+            platform,
+            mode,
+            flows: HashMap::new(),
+            next_flow: 0,
+            version: 0,
+            stats: NetStats {
+                link_bytes: vec![0; link_count],
+                ..NetStats::default()
+            },
+        }
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Mutable access to the platform (route cache lives there).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The configured sharing mode.
+    pub fn mode(&self) -> SharingMode {
+        self.mode
+    }
+
+    /// Number of flows currently in flight (activated or not).
+    pub fn flows_in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Analytic one-way delivery delay of a small control message, without
+    /// creating a flow: `Σ latency + size / bottleneck`.
+    pub fn message_delay(&mut self, src: HostId, dst: HostId, size: DataSize) -> SimDuration {
+        self.stats.control_messages += 1;
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        let route = self.platform.route(src, dst);
+        route.analytic_transfer_time(size)
+    }
+
+    /// Start a bulk transfer of `size` bytes from `src` to `dst`. The caller
+    /// receives back a [`FlowDelivery`] carrying `token` from
+    /// [`Network::on_event`] when the transfer completes.
+    pub fn start_flow<E: From<NetEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        src: HostId,
+        dst: HostId,
+        size: DataSize,
+        token: u64,
+    ) -> FlowId {
+        let id = FlowId::new(self.next_flow);
+        self.next_flow += 1;
+        self.stats.flows_started += 1;
+        let route = self.platform.route(src, dst);
+        let now = sched.now();
+        let state = FlowState {
+            id,
+            src,
+            dst,
+            token,
+            size,
+            route: Arc::clone(&route),
+            remaining: size.bytes() as f64,
+            rate: 0.0,
+            last_progress: now,
+            active: false,
+        };
+        self.flows.insert(id, state);
+        match self.mode {
+            SharingMode::Bottleneck => {
+                // No interaction between flows: one event at the analytic time.
+                let total = route.analytic_transfer_time(size);
+                self.version += 1;
+                sched.schedule_in(
+                    total,
+                    NetEvent::FlowCompletion {
+                        flow: id,
+                        version: self.version,
+                    }
+                    .into(),
+                );
+            }
+            SharingMode::MaxMinFair => {
+                // The flow starts competing for bandwidth after the route
+                // latency (pipe-fill delay).
+                sched.schedule_in(route.latency, NetEvent::FlowActivate { flow: id }.into());
+            }
+        }
+        id
+    }
+
+    /// Feed a [`NetEvent`] back to the network. Returns the deliveries that
+    /// became final at the current time.
+    pub fn on_event<E: From<NetEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        event: NetEvent,
+    ) -> Vec<FlowDelivery> {
+        match (self.mode, event) {
+            (SharingMode::Bottleneck, NetEvent::FlowCompletion { flow, .. }) => {
+                match self.flows.remove(&flow) {
+                    Some(state) => vec![self.finish_flow(state)],
+                    None => vec![],
+                }
+            }
+            (SharingMode::Bottleneck, NetEvent::FlowActivate { .. }) => vec![],
+            (SharingMode::MaxMinFair, NetEvent::FlowActivate { flow }) => {
+                let now = sched.now();
+                self.progress_all(now);
+                if let Some(f) = self.flows.get_mut(&flow) {
+                    f.active = true;
+                    f.last_progress = now;
+                }
+                self.rebalance(sched);
+                vec![]
+            }
+            (SharingMode::MaxMinFair, NetEvent::FlowCompletion { flow: _, version }) => {
+                if version != self.version {
+                    return vec![]; // stale: rates changed since this was scheduled
+                }
+                let now = sched.now();
+                self.progress_all(now);
+                let done: Vec<FlowId> = self
+                    .flows
+                    .values()
+                    .filter(|f| f.active && f.remaining <= DRAIN_EPSILON)
+                    .map(|f| f.id)
+                    .collect();
+                let mut deliveries = Vec::with_capacity(done.len());
+                for id in done {
+                    let state = self.flows.remove(&id).expect("flow just observed");
+                    deliveries.push(self.finish_flow(state));
+                }
+                if !deliveries.is_empty() {
+                    self.rebalance(sched);
+                }
+                deliveries
+            }
+        }
+    }
+
+    fn finish_flow(&mut self, state: FlowState) -> FlowDelivery {
+        self.stats.flows_completed += 1;
+        self.stats.bytes_delivered += state.size.bytes();
+        for &l in &state.route.links {
+            self.stats.link_bytes[l] += state.size.bytes();
+        }
+        FlowDelivery {
+            flow: state.id,
+            token: state.token,
+            src: state.src,
+            dst: state.dst,
+            size: state.size,
+        }
+    }
+
+    /// Advance every active flow's `remaining` to `now` at its current rate.
+    fn progress_all(&mut self, now: SimTime) {
+        for f in self.flows.values_mut() {
+            if !f.active {
+                continue;
+            }
+            if f.route.links.is_empty() {
+                // Loopback transfer: drained as soon as it is active.
+                f.remaining = 0.0;
+            }
+            let dt = now.duration_since(f.last_progress).as_secs_f64();
+            if dt > 0.0 && f.rate > 0.0 {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+            f.last_progress = now;
+        }
+    }
+
+    /// Recompute max–min fair rates and reschedule completion candidates.
+    fn rebalance<E: From<NetEvent>>(&mut self, sched: &mut Scheduler<E>) {
+        self.version += 1;
+        self.compute_max_min_rates();
+        let now = sched.now();
+        for f in self.flows.values() {
+            if !f.active {
+                continue;
+            }
+            let eta = if f.remaining <= DRAIN_EPSILON {
+                SimDuration::ZERO
+            } else if f.rate <= 0.0 {
+                continue; // starved; will be rescheduled on the next rebalance
+            } else {
+                SimDuration::from_secs_f64(f.remaining / f.rate)
+            };
+            sched.schedule_at(
+                now + eta,
+                NetEvent::FlowCompletion {
+                    flow: f.id,
+                    version: self.version,
+                }
+                .into(),
+            );
+        }
+    }
+
+    /// Progressive-filling max–min fairness over the active flows.
+    fn compute_max_min_rates(&mut self) {
+        // Collect link capacities (bytes/s) restricted to links in use.
+        let mut capacity: HashMap<usize, f64> = HashMap::new();
+        let mut flows_on_link: HashMap<usize, Vec<FlowId>> = HashMap::new();
+        let mut unfixed: Vec<FlowId> = Vec::new();
+        for f in self.flows.values_mut() {
+            if !f.active {
+                continue;
+            }
+            f.rate = 0.0;
+            if f.route.links.is_empty() {
+                // Loopback: effectively infinite rate.
+                f.rate = f64::MAX / 4.0;
+                continue;
+            }
+            unfixed.push(f.id);
+            for &l in &f.route.links {
+                capacity
+                    .entry(l)
+                    .or_insert_with(|| self.platform.links()[l].bandwidth.bytes_per_sec());
+                flows_on_link.entry(l).or_default().push(f.id);
+            }
+        }
+        let mut fixed: HashMap<FlowId, f64> = HashMap::new();
+        while !unfixed.is_empty() {
+            // Fair share on each link = remaining capacity / unfixed flows on it.
+            let mut best: Option<(usize, f64)> = None;
+            for (&l, flows) in &flows_on_link {
+                let n_unfixed = flows.iter().filter(|f| !fixed.contains_key(f)).count();
+                if n_unfixed == 0 {
+                    continue;
+                }
+                let share = capacity[&l] / n_unfixed as f64;
+                if best.map_or(true, |(_, s)| share < s) {
+                    best = Some((l, share));
+                }
+            }
+            let Some((bottleneck_link, share)) = best else {
+                break;
+            };
+            let to_fix: Vec<FlowId> = flows_on_link[&bottleneck_link]
+                .iter()
+                .copied()
+                .filter(|f| !fixed.contains_key(f))
+                .collect();
+            for fid in to_fix {
+                fixed.insert(fid, share);
+                // Reserve this flow's share on every link it crosses.
+                let route = Arc::clone(&self.flows[&fid].route);
+                for &l in &route.links {
+                    if let Some(c) = capacity.get_mut(&l) {
+                        *c = (*c - share).max(0.0);
+                    }
+                }
+            }
+            unfixed.retain(|f| !fixed.contains_key(f));
+        }
+        for (fid, rate) in fixed {
+            if let Some(f) = self.flows.get_mut(&fid) {
+                f.rate = rate;
+            }
+        }
+    }
+
+    /// Current rate (bytes/s) of a flow, for tests and diagnostics.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+        self.flows.get(&flow).map(|f| f.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{run_world, World};
+    use crate::platform::{HostSpec, LinkSpec, PlatformBuilder};
+    use p2p_common::Bandwidth;
+
+    /// Minimal world recording flow deliveries.
+    struct NetWorld {
+        net: Network,
+        deliveries: Vec<(SimTime, FlowDelivery)>,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        Net(NetEvent),
+    }
+    impl From<NetEvent> for Ev {
+        fn from(e: NetEvent) -> Self {
+            Ev::Net(e)
+        }
+    }
+    impl World for NetWorld {
+        type Event = Ev;
+        fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+            let Ev::Net(ne) = ev;
+            let now = sched.now();
+            for d in self.net.on_event(sched, ne) {
+                self.deliveries.push((now, d));
+            }
+        }
+    }
+
+    /// Two hosts joined through one switch: 100 Mbps access links, 100 us each.
+    fn dumbbell(mode: SharingMode) -> NetWorld {
+        let mut b = PlatformBuilder::new();
+        let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+        let sw = b.add_router("sw");
+        for i in 0..4 {
+            let h = b.add_host(format!("h{i}"), format!("10.0.0.{}", i + 1).parse().unwrap(), HostSpec::default());
+            b.add_host_link(format!("l{i}"), h, sw, spec);
+        }
+        NetWorld {
+            net: Network::new(b.build(), mode),
+            deliveries: vec![],
+        }
+    }
+
+    #[test]
+    fn bottleneck_single_flow_timing_is_analytic() {
+        let mut w = dumbbell(SharingMode::Bottleneck);
+        let mut sched = Scheduler::new();
+        // 1.25 MB over 100 Mbps = 100 ms, plus 200 us of latency.
+        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1_250_000), 7);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 1);
+        let (t, d) = w.deliveries[0];
+        assert_eq!(t, SimTime::from_micros(100_200));
+        assert_eq!(d.token, 7);
+        assert_eq!(d.size, DataSize::from_bytes(1_250_000));
+        assert_eq!(w.net.stats().flows_completed, 1);
+        assert_eq!(w.net.stats().bytes_delivered, 1_250_000);
+    }
+
+    #[test]
+    fn maxmin_single_flow_matches_bottleneck() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1_250_000), 0);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 1);
+        let (t, _) = w.deliveries[0];
+        // Pipe-fill model: latency (200us) then drain at 100 Mbps (100ms).
+        let expected = SimTime::from_micros(100_200);
+        let err = (t.as_secs_f64() - expected.as_secs_f64()).abs();
+        assert!(err < 1e-6, "got {t}, expected about {expected}");
+    }
+
+    #[test]
+    fn maxmin_two_flows_share_a_common_link() {
+        // Both flows have h0 as destination, so they share h0's access link.
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000); // 100 ms alone
+        w.net.start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
+        let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
+        // Sharing the 100 Mbps ingress link, the pair needs ~200 ms.
+        let secs = last.as_secs_f64();
+        assert!(secs > 0.19 && secs < 0.22, "two shared flows took {secs}s");
+    }
+
+    #[test]
+    fn maxmin_disjoint_flows_do_not_interact() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), size, 1);
+        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(3), size, 2);
+        run_world(&mut w, &mut sched, None);
+        let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
+        let secs = last.as_secs_f64();
+        assert!(secs < 0.105, "disjoint flows must proceed at full rate, took {secs}s");
+    }
+
+    #[test]
+    fn bottleneck_flows_never_interact_by_construction() {
+        let mut w = dumbbell(SharingMode::Bottleneck);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        w.net.start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        run_world(&mut w, &mut sched, None);
+        let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
+        assert_eq!(last, SimTime::from_micros(100_200));
+    }
+
+    #[test]
+    fn message_delay_is_analytic_and_counts_in_stats() {
+        let mut w = dumbbell(SharingMode::Bottleneck);
+        let d = w
+            .net
+            .message_delay(HostId::new(0), HostId::new(1), DataSize::from_bytes(1250));
+        // 1250 B over 100 Mbps = 100 us, plus 200 us latency.
+        assert_eq!(d, SimDuration::from_micros(300));
+        assert_eq!(w.net.stats().control_messages, 1);
+        assert_eq!(
+            w.net.message_delay(HostId::new(2), HostId::new(2), DataSize::from_bytes(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn link_byte_accounting_covers_the_route() {
+        let mut w = dumbbell(SharingMode::Bottleneck);
+        let mut sched = Scheduler::new();
+        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1000), 0);
+        run_world(&mut w, &mut sched, None);
+        let carried: u64 = w.net.stats().link_bytes.iter().sum();
+        assert_eq!(carried, 2000, "the payload crosses two directed links");
+    }
+
+    #[test]
+    fn loopback_flow_delivers_immediately() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(0), DataSize::from_bytes(1_000_000), 9);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 1);
+        assert_eq!(w.deliveries[0].0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn many_flows_all_complete() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        for i in 0..32u64 {
+            let src = HostId::new((i % 4) as u32);
+            let dst = HostId::new(((i + 1) % 4) as u32);
+            w.net.start_flow(&mut sched, src, dst, DataSize::from_bytes(10_000 + i * 500), i);
+        }
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 32);
+        assert_eq!(w.net.stats().flows_completed, 32);
+        assert_eq!(w.net.flows_in_flight(), 0);
+        let mut tokens: Vec<u64> = w.deliveries.iter().map(|(_, d)| d.token).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,464 @@
+//! Platform description: hosts, routers, links and routing.
+//!
+//! This mirrors the role of a SimGrid *platform file* (paper §III-D.2: "the
+//! trace files obtained earlier are given at input to Simgrid, but not before
+//! configuring the distributed network to be simulated"). A platform is a
+//! directed graph whose nodes are compute hosts, routers, switches or DSLAMs,
+//! and whose edges are directed link halves (every physical full-duplex link
+//! contributes one edge per direction, each with its own capacity).
+//!
+//! Routes between hosts are computed on demand with Dijkstra's algorithm
+//! (minimising latency, then hop count) and cached.
+
+use p2p_common::{Bandwidth, DataSize, HostId, IpAddr, NodeId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What kind of equipment a platform node models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host that can run processes (has a compute speed).
+    Host,
+    /// A router, switch or DSLAM: forwards traffic, runs nothing.
+    Router,
+}
+
+/// One node of the platform graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Graph-wide identifier.
+    pub id: NodeId,
+    /// Equipment kind.
+    pub kind: NodeKind,
+    /// Human-readable name (unique within the platform).
+    pub name: String,
+    /// IP address (hosts always have one; routers may).
+    pub ip: Option<IpAddr>,
+    /// Compute speed in flop/s (zero for routers).
+    pub speed_flops: f64,
+}
+
+/// Compute characteristics of a host, used by the topology builders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Effective flop rate of the host.
+    pub speed_flops: f64,
+}
+
+impl HostSpec {
+    /// The Bordeplage node model: Intel Xeon EM64T 3 GHz. The effective flop
+    /// rate is calibrated for the memory-bound obstacle kernel at `-O3`
+    /// (see `dperf::machine::MachineModel::xeon_em64t_3ghz`).
+    pub fn xeon_em64t_3ghz() -> Self {
+        HostSpec { speed_flops: 1.0e9 }
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec::xeon_em64t_3ghz()
+    }
+}
+
+/// Characteristics of one physical link (applied to both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Capacity of each direction.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation + forwarding latency.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Convenience constructor.
+    pub fn new(bandwidth: Bandwidth, latency: SimDuration) -> Self {
+        LinkSpec { bandwidth, latency }
+    }
+}
+
+/// One *directed* link half. Index into [`Platform::links`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Name of the physical link this half belongs to.
+    pub name: String,
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Capacity of this direction.
+    pub bandwidth: Bandwidth,
+    /// One-way latency of this direction.
+    pub latency: SimDuration,
+}
+
+/// A routed path between two hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Directed link indices, in traversal order.
+    pub links: Vec<usize>,
+    /// Sum of the per-link latencies.
+    pub latency: SimDuration,
+    /// Minimum bandwidth along the path (the bottleneck).
+    pub bottleneck: Bandwidth,
+}
+
+impl Route {
+    /// Transfer time of `size` under the analytic bottleneck model:
+    /// `Σ latency + size / bottleneck`.
+    pub fn analytic_transfer_time(&self, size: DataSize) -> SimDuration {
+        self.latency + self.bottleneck.transfer_time(size)
+    }
+}
+
+/// A complete platform: graph + host table + route cache.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency: for each node, outgoing (link index, head node).
+    adj: Vec<Vec<(usize, NodeId)>>,
+    /// Host table: `HostId(i)` is `hosts[i]`.
+    hosts: Vec<NodeId>,
+    node_of_name: HashMap<String, NodeId>,
+    route_cache: HashMap<(HostId, HostId), Arc<Route>>,
+}
+
+impl Platform {
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All directed link halves.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of compute hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All host ids, in creation order.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId::new)
+    }
+
+    /// The graph node backing a host.
+    pub fn node_of_host(&self, h: HostId) -> NodeId {
+        self.hosts[h.index()]
+    }
+
+    /// The host record.
+    pub fn host(&self, h: HostId) -> &Node {
+        &self.nodes[self.node_of_host(h).index()]
+    }
+
+    /// Look a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.node_of_name.get(name).map(|id| &self.nodes[id.index()])
+    }
+
+    /// Look a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        let node = self.node_of_name.get(name)?;
+        self.hosts
+            .iter()
+            .position(|&n| n == *node)
+            .map(|i| HostId::new(i as u32))
+    }
+
+    /// Compute (or fetch from cache) the route between two hosts. Panics if
+    /// the hosts are disconnected — a platform is expected to be connected.
+    pub fn route(&mut self, from: HostId, to: HostId) -> Arc<Route> {
+        if let Some(r) = self.route_cache.get(&(from, to)) {
+            return Arc::clone(r);
+        }
+        let route = Arc::new(self.dijkstra(from, to).unwrap_or_else(|| {
+            panic!(
+                "no route between {} and {}",
+                self.host(from).name,
+                self.host(to).name
+            )
+        }));
+        self.route_cache.insert((from, to), Arc::clone(&route));
+        route
+    }
+
+    /// Route lookup without caching (for read-only contexts).
+    pub fn route_uncached(&self, from: HostId, to: HostId) -> Option<Route> {
+        self.dijkstra(from, to)
+    }
+
+    fn dijkstra(&self, from: HostId, to: HostId) -> Option<Route> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let src = self.node_of_host(from);
+        let dst = self.node_of_host(to);
+        if src == dst {
+            return Some(Route {
+                links: vec![],
+                latency: SimDuration::ZERO,
+                bottleneck: Bandwidth::from_gbps(f64::MAX / 1e9),
+            });
+        }
+        let n = self.nodes.len();
+        // Cost = (total latency ns, hop count).
+        let mut dist: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
+        let mut prev: Vec<Option<usize>> = vec![None; n]; // link used to reach node
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = (0, 0);
+        heap.push(Reverse(((0u64, 0u32), src)));
+        while let Some(Reverse((cost, node))) = heap.pop() {
+            if cost > dist[node.index()] {
+                continue;
+            }
+            if node == dst {
+                break;
+            }
+            for &(link_idx, next) in &self.adj[node.index()] {
+                let link = &self.links[link_idx];
+                let cand = (
+                    cost.0.saturating_add(link.latency.as_nanos()),
+                    cost.1 + 1,
+                );
+                if cand < dist[next.index()] {
+                    dist[next.index()] = cand;
+                    prev[next.index()] = Some(link_idx);
+                    heap.push(Reverse((cand, next)));
+                }
+            }
+        }
+        if dist[dst.index()].0 == u64::MAX {
+            return None;
+        }
+        // Reconstruct the link sequence.
+        let mut links_rev = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let link_idx = prev[cur.index()]?;
+            links_rev.push(link_idx);
+            cur = self.links[link_idx].from;
+        }
+        links_rev.reverse();
+        let latency = links_rev
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &i| acc + self.links[i].latency);
+        let bottleneck = links_rev
+            .iter()
+            .map(|&i| self.links[i].bandwidth)
+            .fold(Bandwidth::from_gbps(f64::MAX / 1e9), Bandwidth::min);
+        Some(Route {
+            links: links_rev,
+            latency,
+            bottleneck,
+        })
+    }
+}
+
+/// Incrementally builds a [`Platform`].
+#[derive(Debug, Default)]
+pub struct PlatformBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    hosts: Vec<NodeId>,
+}
+
+impl PlatformBuilder {
+    /// Start an empty platform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a compute host and return its [`HostId`].
+    pub fn add_host(&mut self, name: impl Into<String>, ip: IpAddr, spec: HostSpec) -> HostId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Host,
+            name: name.into(),
+            ip: Some(ip),
+            speed_flops: spec.speed_flops,
+        });
+        self.hosts.push(id);
+        HostId::new((self.hosts.len() - 1) as u32)
+    }
+
+    /// Add a router / switch / DSLAM and return its [`NodeId`].
+    pub fn add_router(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Router,
+            name: name.into(),
+            ip: None,
+            speed_flops: 0.0,
+        });
+        id
+    }
+
+    /// The graph node behind a host id (needed to link hosts to routers).
+    pub fn node_of_host(&self, h: HostId) -> NodeId {
+        self.hosts[h.index()]
+    }
+
+    /// Connect two nodes with a full-duplex link; both directions get the
+    /// same spec. Returns the indices of the two directed halves.
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        spec: LinkSpec,
+    ) -> (usize, usize) {
+        assert!(a != b, "self-links are not allowed");
+        let name = name.into();
+        let fwd = self.links.len();
+        self.links.push(Link {
+            name: format!("{name}:fwd"),
+            from: a,
+            to: b,
+            bandwidth: spec.bandwidth,
+            latency: spec.latency,
+        });
+        let rev = self.links.len();
+        self.links.push(Link {
+            name: format!("{name}:rev"),
+            from: b,
+            to: a,
+            bandwidth: spec.bandwidth,
+            latency: spec.latency,
+        });
+        (fwd, rev)
+    }
+
+    /// Convenience: connect a host to a router.
+    pub fn add_host_link(
+        &mut self,
+        name: impl Into<String>,
+        host: HostId,
+        router: NodeId,
+        spec: LinkSpec,
+    ) -> (usize, usize) {
+        let hnode = self.node_of_host(host);
+        self.add_link(name, hnode, router, spec)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Platform {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (i, link) in self.links.iter().enumerate() {
+            adj[link.from.index()].push((i, link.to));
+        }
+        let node_of_name = self
+            .nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.id))
+            .collect();
+        Platform {
+            nodes: self.nodes,
+            links: self.links,
+            adj,
+            hosts: self.hosts,
+            node_of_name,
+            route_cache: HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_platform() -> Platform {
+        // h0 -- sw -- h1, plus a slower detour h0 -- r -- h1.
+        let mut b = PlatformBuilder::new();
+        let h0 = b.add_host("h0", "10.0.0.1".parse().unwrap(), HostSpec::default());
+        let h1 = b.add_host("h1", "10.0.0.2".parse().unwrap(), HostSpec::default());
+        let sw = b.add_router("sw");
+        let detour = b.add_router("detour");
+        let fast = LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::from_micros(100));
+        let slow = LinkSpec::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(10));
+        b.add_host_link("l0", h0, sw, fast);
+        b.add_host_link("l1", h1, sw, fast);
+        b.add_host_link("d0", h0, detour, slow);
+        b.add_host_link("d1", h1, detour, slow);
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts_nodes_hosts_links() {
+        let p = small_platform();
+        assert_eq!(p.nodes().len(), 4);
+        assert_eq!(p.host_count(), 2);
+        assert_eq!(p.links().len(), 8, "4 physical links = 8 directed halves");
+        assert!(p.node_by_name("sw").is_some());
+        assert_eq!(p.host_by_name("h1"), Some(HostId::new(1)));
+        assert_eq!(p.host_by_name("missing"), None);
+    }
+
+    #[test]
+    fn route_picks_the_low_latency_path() {
+        let mut p = small_platform();
+        let r = p.route(HostId::new(0), HostId::new(1));
+        assert_eq!(r.links.len(), 2, "via the switch, not the detour");
+        assert_eq!(r.latency, SimDuration::from_micros(200));
+        assert_eq!(r.bottleneck, Bandwidth::from_gbps(1.0));
+    }
+
+    #[test]
+    fn route_is_cached_and_symmetric_in_shape() {
+        let mut p = small_platform();
+        let a = p.route(HostId::new(0), HostId::new(1));
+        let b = p.route(HostId::new(0), HostId::new(1));
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let back = p.route(HostId::new(1), HostId::new(0));
+        assert_eq!(back.links.len(), a.links.len());
+        assert_eq!(back.latency, a.latency);
+    }
+
+    #[test]
+    fn self_route_is_empty_and_instant() {
+        let mut p = small_platform();
+        let r = p.route(HostId::new(0), HostId::new(0));
+        assert!(r.links.is_empty());
+        assert_eq!(r.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn analytic_transfer_time_adds_latency_and_serialisation() {
+        let mut p = small_platform();
+        let r = p.route(HostId::new(0), HostId::new(1));
+        // 125 KB over 1 Gbps = 1 ms, plus 200 us of latency.
+        let t = r.analytic_transfer_time(DataSize::from_bytes(125_000));
+        assert_eq!(t, SimDuration::from_micros(1200));
+    }
+
+    #[test]
+    fn disconnected_hosts_have_no_route() {
+        let mut b = PlatformBuilder::new();
+        let _h0 = b.add_host("a", "10.0.0.1".parse().unwrap(), HostSpec::default());
+        let _h1 = b.add_host("b", "10.0.0.2".parse().unwrap(), HostSpec::default());
+        let p = b.build();
+        assert!(p.route_uncached(HostId::new(0), HostId::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_links_are_rejected() {
+        let mut b = PlatformBuilder::new();
+        let r = b.add_router("r");
+        b.add_link("loop", r, r, LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::ZERO));
+    }
+
+    #[test]
+    fn hosts_expose_their_spec() {
+        let p = small_platform();
+        let h = p.host(HostId::new(0));
+        assert_eq!(h.kind, NodeKind::Host);
+        assert_eq!(h.speed_flops, HostSpec::xeon_em64t_3ghz().speed_flops);
+        assert_eq!(h.ip.unwrap().to_string(), "10.0.0.1");
+    }
+}

@@ -1,0 +1,553 @@
+//! Trace replay — the MSG-like simulation kernel.
+//!
+//! dPerf's prediction step "uses the MSG module for replaying trace files
+//! based on a deployment platform defined by us" (paper §III-D.1). This module
+//! is that replay kernel: every process (rank) owns a *script* of operations —
+//! compute for some duration, send a message, wait for a message — and the
+//! engine executes all scripts against a [`Platform`], yielding the simulated
+//! makespan `t_predicted`.
+//!
+//! Message semantics are the eager/rendezvous-free semantics the P2PDC
+//! obstacle code relies on: a `Send` is asynchronous (the sender continues
+//! after paying the protocol's per-message CPU cost), a `Recv` blocks until a
+//! matching message (same source rank and tag) has been fully delivered.
+//! Per-message protocol costs ([`ProtocolCosts`]) model P2PSAP's header bytes
+//! and send/receive processing time; charging the receive cost on the
+//! receiving host serialises message handling at a coordinator exactly like
+//! the real protocol stack would.
+
+use crate::event::{run_world, Scheduler, World};
+use crate::network::{FlowDelivery, NetEvent, NetStats, Network, SharingMode};
+use crate::platform::Platform;
+use p2p_common::{DataSize, HostId, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// One operation of a process script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOp {
+    /// Busy the CPU for the given duration (measured or modelled block time).
+    Compute { duration: SimDuration },
+    /// Asynchronously send `bytes` to rank `to` with the given tag.
+    Send { to: usize, bytes: u64, tag: u32 },
+    /// Block until a message from rank `from` with the given tag arrives.
+    Recv { from: usize, tag: u32 },
+    /// Convenience: send to `to`, then wait for a message from `from`
+    /// (the classic halo exchange). Expanded to `Send` + `Recv` internally.
+    SendRecv {
+        to: usize,
+        from: usize,
+        bytes: u64,
+        tag: u32,
+    },
+}
+
+/// The full operation list of one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessScript {
+    /// The rank this script belongs to (must equal its index in the script list).
+    pub rank: usize,
+    /// Operations, executed in order.
+    pub ops: Vec<ReplayOp>,
+}
+
+/// Per-message protocol overheads (models P2PSAP's channel stack).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolCosts {
+    /// Header/control bytes added to every message on the wire.
+    pub header_bytes: u64,
+    /// CPU time charged at the sender per message.
+    pub send_cpu: SimDuration,
+    /// CPU time charged at the receiver per message, once it is consumed.
+    pub recv_cpu: SimDuration,
+}
+
+impl ProtocolCosts {
+    /// No overhead at all (raw network model).
+    pub fn none() -> Self {
+        ProtocolCosts {
+            header_bytes: 0,
+            send_cpu: SimDuration::ZERO,
+            recv_cpu: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for ProtocolCosts {
+    fn default() -> Self {
+        ProtocolCosts::none()
+    }
+}
+
+/// Configuration of a replay run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Bandwidth-sharing model for bulk transfers.
+    pub sharing: SharingMode,
+    /// Per-message protocol costs.
+    pub protocol: ProtocolCosts,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            sharing: SharingMode::Bottleneck,
+            protocol: ProtocolCosts::none(),
+        }
+    }
+}
+
+/// Outcome of a replay.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Completion time of the slowest rank — the predicted execution time.
+    pub makespan: SimDuration,
+    /// Completion time of every rank.
+    pub finish_times: Vec<SimTime>,
+    /// Total CPU-busy time per rank (compute blocks + protocol processing).
+    pub compute_time: Vec<SimDuration>,
+    /// Total time each rank spent blocked in `Recv`.
+    pub wait_time: Vec<SimDuration>,
+    /// Number of messages sent across all ranks.
+    pub messages_sent: u64,
+    /// Network-level statistics.
+    pub net_stats: NetStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProcState {
+    /// Ready to execute the next operation.
+    Ready,
+    /// CPU busy (compute block or protocol processing) until a `Resume` fires.
+    Busy,
+    /// Blocked waiting for a message.
+    Waiting { from: usize, tag: u32 },
+    /// Script exhausted.
+    Done,
+}
+
+#[derive(Debug)]
+struct Proc {
+    host: HostId,
+    ops: Vec<ReplayOp>,
+    pc: usize,
+    state: ProcState,
+    mailbox: HashMap<(usize, u32), VecDeque<()>>,
+    finish: Option<SimTime>,
+    compute_total: SimDuration,
+    wait_total: SimDuration,
+    wait_since: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Net(NetEvent),
+    Resume { rank: usize },
+}
+
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev::Net(e)
+    }
+}
+
+struct ReplayWorld {
+    net: Network,
+    procs: Vec<Proc>,
+    protocol: ProtocolCosts,
+    token_info: HashMap<u64, (usize, usize, u32)>, // token -> (src, dst, tag)
+    next_token: u64,
+    messages_sent: u64,
+}
+
+impl ReplayWorld {
+    fn advance(&mut self, sched: &mut Scheduler<Ev>, rank: usize) {
+        loop {
+            if self.procs[rank].state == ProcState::Done {
+                return;
+            }
+            let pc = self.procs[rank].pc;
+            if pc >= self.procs[rank].ops.len() {
+                self.procs[rank].state = ProcState::Done;
+                self.procs[rank].finish = Some(sched.now());
+                return;
+            }
+            let op = self.procs[rank].ops[pc];
+            match op {
+                ReplayOp::Compute { duration } => {
+                    self.procs[rank].pc += 1;
+                    self.procs[rank].state = ProcState::Busy;
+                    self.procs[rank].compute_total += duration;
+                    sched.schedule_in(duration, Ev::Resume { rank });
+                    return;
+                }
+                ReplayOp::Send { to, bytes, tag } => {
+                    self.procs[rank].pc += 1;
+                    self.post_send(sched, rank, to, bytes, tag);
+                    let cpu = self.protocol.send_cpu;
+                    if !cpu.is_zero() {
+                        self.procs[rank].state = ProcState::Busy;
+                        self.procs[rank].compute_total += cpu;
+                        sched.schedule_in(cpu, Ev::Resume { rank });
+                        return;
+                    }
+                }
+                ReplayOp::Recv { from, tag } => {
+                    let available = self.procs[rank]
+                        .mailbox
+                        .get_mut(&(from, tag))
+                        .and_then(|q| q.pop_front())
+                        .is_some();
+                    if available {
+                        self.procs[rank].pc += 1;
+                        let cpu = self.protocol.recv_cpu;
+                        if !cpu.is_zero() {
+                            self.procs[rank].state = ProcState::Busy;
+                            self.procs[rank].compute_total += cpu;
+                            sched.schedule_in(cpu, Ev::Resume { rank });
+                            return;
+                        }
+                    } else {
+                        self.procs[rank].state = ProcState::Waiting { from, tag };
+                        self.procs[rank].wait_since = sched.now();
+                        return;
+                    }
+                }
+                ReplayOp::SendRecv { .. } => {
+                    unreachable!("SendRecv is expanded before the replay starts")
+                }
+            }
+        }
+    }
+
+    fn post_send(&mut self, sched: &mut Scheduler<Ev>, from: usize, to: usize, bytes: u64, tag: u32) {
+        assert!(to < self.procs.len(), "send to unknown rank {to}");
+        let token = self.next_token;
+        self.next_token += 1;
+        self.token_info.insert(token, (from, to, tag));
+        self.messages_sent += 1;
+        let size = DataSize::from_bytes(bytes + self.protocol.header_bytes);
+        let src_host = self.procs[from].host;
+        let dst_host = self.procs[to].host;
+        self.net.start_flow(sched, src_host, dst_host, size, token);
+    }
+
+    fn deliver(&mut self, sched: &mut Scheduler<Ev>, delivery: FlowDelivery) {
+        let (src, dst, tag) = self
+            .token_info
+            .remove(&delivery.token)
+            .expect("delivery for unknown token");
+        self.procs[dst]
+            .mailbox
+            .entry((src, tag))
+            .or_default()
+            .push_back(());
+        if let ProcState::Waiting { from, tag: wtag } = self.procs[dst].state {
+            if from == src && wtag == tag {
+                // Consume the message we were waiting for and resume.
+                self.procs[dst]
+                    .mailbox
+                    .get_mut(&(src, tag))
+                    .and_then(|q| q.pop_front())
+                    .expect("message just enqueued");
+                let waited = sched.now().duration_since(self.procs[dst].wait_since);
+                self.procs[dst].wait_total += waited;
+                self.procs[dst].pc += 1;
+                let cpu = self.protocol.recv_cpu;
+                if cpu.is_zero() {
+                    self.procs[dst].state = ProcState::Ready;
+                    self.advance(sched, dst);
+                } else {
+                    self.procs[dst].state = ProcState::Busy;
+                    self.procs[dst].compute_total += cpu;
+                    sched.schedule_in(cpu, Ev::Resume { rank: dst });
+                }
+            }
+        }
+    }
+}
+
+impl World for ReplayWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, event: Ev) {
+        match event {
+            Ev::Resume { rank } => {
+                self.procs[rank].state = ProcState::Ready;
+                self.advance(sched, rank);
+            }
+            Ev::Net(ne) => {
+                let deliveries = self.net.on_event(sched, ne);
+                for d in deliveries {
+                    self.deliver(sched, d);
+                }
+            }
+        }
+    }
+}
+
+/// Expand `SendRecv` into `Send` followed by `Recv`.
+fn expand_ops(ops: &[ReplayOp]) -> Vec<ReplayOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    for &op in ops {
+        match op {
+            ReplayOp::SendRecv { to, from, bytes, tag } => {
+                out.push(ReplayOp::Send { to, bytes, tag });
+                out.push(ReplayOp::Recv { from, tag });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Replay `scripts` on `platform`, mapping rank `i` to `rank_hosts[i]`.
+///
+/// Panics if the number of scripts and host mappings differ, or if a script's
+/// `rank` field does not match its position.
+pub fn replay(
+    platform: Platform,
+    rank_hosts: &[HostId],
+    scripts: &[ProcessScript],
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    assert_eq!(
+        rank_hosts.len(),
+        scripts.len(),
+        "need exactly one host per process script"
+    );
+    for (i, s) in scripts.iter().enumerate() {
+        assert_eq!(s.rank, i, "script {i} declares rank {}", s.rank);
+    }
+    let procs: Vec<Proc> = scripts
+        .iter()
+        .zip(rank_hosts)
+        .map(|(s, &h)| Proc {
+            host: h,
+            ops: expand_ops(&s.ops),
+            pc: 0,
+            state: ProcState::Ready,
+            mailbox: HashMap::new(),
+            finish: None,
+            compute_total: SimDuration::ZERO,
+            wait_total: SimDuration::ZERO,
+            wait_since: SimTime::ZERO,
+        })
+        .collect();
+    let mut world = ReplayWorld {
+        net: Network::new(platform, cfg.sharing),
+        procs,
+        protocol: cfg.protocol,
+        token_info: HashMap::new(),
+        next_token: 0,
+        messages_sent: 0,
+    };
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Kick every rank off at t = 0.
+    for rank in 0..world.procs.len() {
+        sched.schedule_at(SimTime::ZERO, Ev::Resume { rank });
+    }
+    run_world(&mut world, &mut sched, None);
+    for (i, p) in world.procs.iter().enumerate() {
+        assert!(
+            p.finish.is_some(),
+            "rank {i} never finished (blocked at pc {} of {}): unmatched receive?",
+            p.pc,
+            p.ops.len()
+        );
+    }
+    let finish_times: Vec<SimTime> = world.procs.iter().map(|p| p.finish.unwrap()).collect();
+    let makespan = finish_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .duration_since(SimTime::ZERO);
+    ReplayResult {
+        makespan,
+        finish_times,
+        compute_time: world.procs.iter().map(|p| p.compute_total).collect(),
+        wait_time: world.procs.iter().map(|p| p.wait_total).collect(),
+        messages_sent: world.messages_sent,
+        net_stats: world.net.stats().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{HostSpec, LinkSpec, PlatformBuilder};
+    use p2p_common::Bandwidth;
+
+    fn star_platform(n: usize) -> (Platform, Vec<HostId>) {
+        let mut b = PlatformBuilder::new();
+        let sw = b.add_router("sw");
+        let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+        let hosts: Vec<HostId> = (0..n)
+            .map(|i| {
+                let h = b.add_host(format!("h{i}"), format!("10.0.0.{}", i + 1).parse().unwrap(), HostSpec::default());
+                b.add_host_link(format!("l{i}"), h, sw, spec);
+                h
+            })
+            .collect();
+        (b.build(), hosts)
+    }
+
+    fn compute(ms: u64) -> ReplayOp {
+        ReplayOp::Compute {
+            duration: SimDuration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn pure_compute_makespan_is_the_slowest_rank() {
+        let (p, hosts) = star_platform(3);
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![compute(10)] },
+            ProcessScript { rank: 1, ops: vec![compute(30)] },
+            ProcessScript { rank: 2, ops: vec![compute(20), compute(5)] },
+        ];
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        assert_eq!(res.makespan, SimDuration::from_millis(30));
+        assert_eq!(res.compute_time[2], SimDuration::from_millis(25));
+        assert_eq!(res.messages_sent, 0);
+    }
+
+    #[test]
+    fn ping_message_timing_is_exact() {
+        let (p, hosts) = star_platform(2);
+        // 12500 bytes over 100 Mbps = 1 ms, plus 200 us of route latency.
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![ReplayOp::Send { to: 1, bytes: 12_500, tag: 0 }] },
+            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 0 }] },
+        ];
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        assert_eq!(res.makespan, SimDuration::from_micros(1200));
+        assert_eq!(res.wait_time[1], SimDuration::from_micros(1200));
+        assert_eq!(res.wait_time[0], SimDuration::ZERO);
+        assert_eq!(res.messages_sent, 1);
+    }
+
+    #[test]
+    fn sendrecv_exchange_does_not_deadlock() {
+        let (p, hosts) = star_platform(2);
+        let xchg = |other: usize| ReplayOp::SendRecv { to: other, from: other, bytes: 9600, tag: 7 };
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![compute(1), xchg(1), compute(1)] },
+            ProcessScript { rank: 1, ops: vec![compute(2), xchg(0), compute(1)] },
+        ];
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        // Rank 1 computes 2 ms, exchanges (~0.968 ms), computes 1 ms more.
+        assert!(res.makespan > SimDuration::from_millis(3));
+        assert!(res.makespan < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn recv_before_send_blocks_until_delivery() {
+        let (p, hosts) = star_platform(2);
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![compute(50), ReplayOp::Send { to: 1, bytes: 100, tag: 1 }] },
+            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 1 }] },
+        ];
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        assert!(res.wait_time[1] >= SimDuration::from_millis(50));
+        assert!(res.makespan >= SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn tags_disambiguate_messages() {
+        let (p, hosts) = star_platform(2);
+        // Rank 0 sends tag 2 then tag 1; rank 1 waits for tag 1 first. Since
+        // matching is by (source, tag) the replay must not mis-deliver.
+        let scripts = vec![
+            ProcessScript {
+                rank: 0,
+                ops: vec![
+                    ReplayOp::Send { to: 1, bytes: 50_000, tag: 2 },
+                    ReplayOp::Send { to: 1, bytes: 100, tag: 1 },
+                ],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![
+                    ReplayOp::Recv { from: 0, tag: 1 },
+                    ReplayOp::Recv { from: 0, tag: 2 },
+                ],
+            },
+        ];
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        assert_eq!(res.messages_sent, 2);
+        assert!(res.finish_times[1] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn protocol_costs_are_charged_and_serialised() {
+        let (p, hosts) = star_platform(3);
+        let protocol = ProtocolCosts {
+            header_bytes: 64,
+            send_cpu: SimDuration::from_micros(50),
+            recv_cpu: SimDuration::from_micros(50),
+        };
+        // Ranks 1 and 2 both send to rank 0, which receives both.
+        let scripts = vec![
+            ProcessScript {
+                rank: 0,
+                ops: vec![ReplayOp::Recv { from: 1, tag: 0 }, ReplayOp::Recv { from: 2, tag: 0 }],
+            },
+            ProcessScript { rank: 1, ops: vec![ReplayOp::Send { to: 0, bytes: 8, tag: 0 }] },
+            ProcessScript { rank: 2, ops: vec![ReplayOp::Send { to: 0, bytes: 8, tag: 0 }] },
+        ];
+        let cfg = ReplayConfig { sharing: SharingMode::Bottleneck, protocol };
+        let res = replay(p, &hosts, &scripts, &cfg);
+        // Receiver pays 2 * 50 us of protocol processing.
+        assert_eq!(res.compute_time[0], SimDuration::from_micros(100));
+        assert_eq!(res.compute_time[1], SimDuration::from_micros(50));
+        // Headers inflate the wire size.
+        assert_eq!(res.net_stats.bytes_delivered, 2 * (8 + 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "never finished")]
+    fn unmatched_receive_is_reported() {
+        let (p, hosts) = star_platform(2);
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![] },
+            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 9 }] },
+        ];
+        replay(p, &hosts, &scripts, &ReplayConfig::default());
+    }
+
+    #[test]
+    fn ring_pipeline_over_many_ranks_completes() {
+        let n = 16;
+        let (p, hosts) = star_platform(n);
+        let mut scripts = Vec::new();
+        for r in 0..n {
+            let mut ops = vec![compute(1)];
+            if r > 0 {
+                ops.push(ReplayOp::Recv { from: r - 1, tag: 0 });
+            }
+            if r + 1 < n {
+                ops.push(ReplayOp::Send { to: r + 1, bytes: 1000, tag: 0 });
+            }
+            scripts.push(ProcessScript { rank: r, ops });
+        }
+        let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
+        assert_eq!(res.messages_sent, (n - 1) as u64);
+        // The token must travel through all ranks: makespan well above a single hop.
+        assert!(res.makespan > SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn maxmin_and_bottleneck_agree_for_sparse_traffic() {
+        let (p, hosts) = star_platform(2);
+        let scripts = vec![
+            ProcessScript { rank: 0, ops: vec![ReplayOp::Send { to: 1, bytes: 125_000, tag: 0 }] },
+            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 0 }] },
+        ];
+        let a = replay(p.clone(), &hosts, &scripts, &ReplayConfig::default());
+        let cfg = ReplayConfig { sharing: SharingMode::MaxMinFair, protocol: ProtocolCosts::none() };
+        let b = replay(p, &hosts, &scripts, &cfg);
+        let rel = (a.makespan.as_secs_f64() - b.makespan.as_secs_f64()).abs() / a.makespan.as_secs_f64();
+        assert!(rel < 0.01, "models disagree by {rel}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Builders for the evaluation platforms of the paper.
+//!
+//! * [`cluster_bordeplage`] — Stage-1: the Grid'5000 Bordeplage cluster.
+//!   "All network interface cards are 1 Gbps Gigabit Ethernet with a latency
+//!   of 100 microseconds; cluster backbone bandwidth is of 10 Gbps with a
+//!   latency of 100 microseconds" (§IV-A.4).
+//! * [`daisy_xdsl`] — Stage-2A: the Daisy xDSL topology of Fig. 8: 5 central
+//!   routers on a 100 Gbps ring, 5 petals of 10 routers at 10 Gbps, 4 DSLAMs
+//!   per petal router at 10 Gbps, 5 nodes per DSLAM with 5–10 Mbps randomly
+//!   assigned last miles (one exceptional DSLAM carries 5+24 nodes so the
+//!   structure holds 1024 nodes).
+//! * [`lan`] — Stage-2B: a campus LAN with a 1 Gbps backbone and 100 Mbps
+//!   node links.
+//!
+//! The paper gives no latency figures for the xDSL and LAN platforms; we use
+//! representative values (10 ms ADSL last mile, 1 ms metro links, 0.5 ms
+//! campus switching) and record them as constants so that a sensitivity sweep
+//! can vary them (see `bench/ablation_flow_model`).
+
+use crate::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
+use p2p_common::{Bandwidth, DetRng, HostId, IpAddr, SimDuration};
+
+/// Which of the paper's platforms a [`Topology`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Grid'5000 Bordeplage cluster (Stage-1).
+    Grid5000Cluster,
+    /// Daisy xDSL desktop grid (Stage-2A).
+    DaisyXdsl,
+    /// Campus / corporate LAN (Stage-2B).
+    Lan,
+}
+
+impl TopologyKind {
+    /// Human-readable label used in reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Grid5000Cluster => "Grid5000",
+            TopologyKind::DaisyXdsl => "xDSL",
+            TopologyKind::Lan => "LAN",
+        }
+    }
+}
+
+/// How peers participating in a run are selected among the platform's hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Consecutive hosts (same DSLAM / rack first).
+    Packed,
+    /// Hosts striped across the platform (different petals / racks first).
+    Spread,
+}
+
+/// A built platform plus its compute hosts in canonical order.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Compute hosts in creation order.
+    pub hosts: Vec<HostId>,
+    /// Which evaluation platform this is.
+    pub kind: TopologyKind,
+}
+
+impl Topology {
+    /// Pick `n` hosts according to `policy`. Panics if the platform has fewer
+    /// than `n` hosts.
+    pub fn pick_hosts(&self, n: usize, policy: PlacementPolicy) -> Vec<HostId> {
+        assert!(
+            n <= self.hosts.len(),
+            "requested {n} hosts but the platform has only {}",
+            self.hosts.len()
+        );
+        match policy {
+            PlacementPolicy::Packed => self.hosts[..n].to_vec(),
+            PlacementPolicy::Spread => {
+                if n == 0 {
+                    return vec![];
+                }
+                let stride = (self.hosts.len() / n).max(1);
+                let mut picked: Vec<HostId> = (0..n).map(|i| self.hosts[(i * stride) % self.hosts.len()]).collect();
+                picked.dedup();
+                // Guard against collisions when stride wraps.
+                let mut next = 0usize;
+                while picked.len() < n {
+                    let cand = self.hosts[next];
+                    if !picked.contains(&cand) {
+                        picked.push(cand);
+                    }
+                    next += 1;
+                }
+                picked
+            }
+        }
+    }
+}
+
+/// Stage-1 platform: the Bordeplage cluster with `n` compute nodes.
+///
+/// Nodes are grouped in racks of 16. Each node has a 1 Gbps / 100 µs NIC link
+/// to its rack switch; rack switches connect to the cluster core over the
+/// 10 Gbps / 100 µs backbone.
+pub fn cluster_bordeplage(n: usize, host: HostSpec) -> Topology {
+    assert!(n > 0, "a cluster needs at least one node");
+    let mut b = PlatformBuilder::new();
+    let nic = LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::from_micros(100));
+    let backbone = LinkSpec::new(Bandwidth::from_gbps(10.0), SimDuration::from_micros(100));
+    let core = b.add_router("core");
+    let racks = n.div_ceil(16);
+    let mut switches = Vec::with_capacity(racks);
+    for r in 0..racks {
+        let sw = b.add_router(format!("rack{r}"));
+        b.add_link(format!("backbone{r}"), sw, core, backbone);
+        switches.push(sw);
+    }
+    let mut hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let rack = i / 16;
+        let ip = IpAddr::from_octets(172, 16, rack as u8, (i % 16 + 1) as u8);
+        let h = b.add_host(format!("bordeplage-{i}"), ip, host);
+        b.add_host_link(format!("nic{i}"), h, switches[rack], nic);
+        hosts.push(h);
+    }
+    Topology {
+        platform: b.build(),
+        hosts,
+        kind: TopologyKind::Grid5000Cluster,
+    }
+}
+
+/// Latency of an xDSL last-mile link (not given by the paper; representative
+/// ADSL interleaved-path value).
+pub const XDSL_LAST_MILE_LATENCY: SimDuration = SimDuration::from_millis(10);
+/// Latency of DSLAM-to-router and metro router links in the Daisy topology.
+pub const XDSL_METRO_LATENCY: SimDuration = SimDuration::from_millis(1);
+
+/// Stage-2A platform: the Daisy xDSL topology of Fig. 8 with up to 1024 end
+/// nodes. Last-mile bandwidths are drawn uniformly in 5–10 Mbps from `seed`,
+/// as in the paper ("all links from nodes to DSLAM are of 5 to 10 Mbps, value
+/// randomly assigned").
+pub fn daisy_xdsl(n_nodes: usize, host: HostSpec, seed: u64) -> Topology {
+    assert!(n_nodes > 0 && n_nodes <= 1024, "the Daisy structure holds 1 to 1024 nodes");
+    let mut rng = DetRng::new(seed).fork(0xD51);
+    let mut b = PlatformBuilder::new();
+    let ring = LinkSpec::new(Bandwidth::from_gbps(100.0), XDSL_METRO_LATENCY);
+    let metro = LinkSpec::new(Bandwidth::from_gbps(10.0), XDSL_METRO_LATENCY);
+
+    // 5 central routers on a ring (l1 @ 100 Gbps).
+    let centrals: Vec<_> = (0..5).map(|i| b.add_router(format!("central{i}"))).collect();
+    for i in 0..5 {
+        b.add_link(format!("ring{i}"), centrals[i], centrals[(i + 1) % 5], ring);
+    }
+    // 5 petals of 10 routers each (l2 @ 10 Gbps), attached to their central
+    // router at both ends of the chain so the petal forms a loop.
+    let mut petal_routers = Vec::new(); // [petal][router]
+    for p in 0..5 {
+        let routers: Vec<_> = (0..10).map(|r| b.add_router(format!("petal{p}-r{r}"))).collect();
+        b.add_link(format!("petal{p}-in"), centrals[p], routers[0], metro);
+        for r in 0..9 {
+            b.add_link(format!("petal{p}-l{r}"), routers[r], routers[r + 1], metro);
+        }
+        b.add_link(format!("petal{p}-out"), routers[9], centrals[p], metro);
+        petal_routers.push(routers);
+    }
+    // 4 DSLAMs per petal router (l2 @ 10 Gbps).
+    let mut dslams = Vec::new(); // (petal, router, dslam) -> NodeId
+    for p in 0..5 {
+        for r in 0..10 {
+            for d in 0..4 {
+                let ds = b.add_router(format!("dslam{p}-{r}-{d}"));
+                b.add_link(format!("uplink{p}-{r}-{d}"), ds, petal_routers[p][r], metro);
+                dslams.push((p, r, d, ds));
+            }
+        }
+    }
+    // 5 nodes per DSLAM; the exceptional first DSLAM absorbs the 24 extras
+    // needed to reach 1024. Hosts are created DSLAM by DSLAM so that
+    // consecutive host indices share infrastructure (the `Packed` placement).
+    let mut hosts = Vec::with_capacity(n_nodes);
+    let mut created = 0usize;
+    'outer: for &(p, r, d, ds) in &dslams {
+        let capacity = if (p, r, d) == (0, 0, 0) { 5 + 24 } else { 5 };
+        for slot in 0..capacity {
+            if created == n_nodes {
+                break 'outer;
+            }
+            let ip = IpAddr::from_octets(100 + p as u8, r as u8, d as u8, (slot + 1) as u8);
+            let h = b.add_host(format!("xdsl-{p}-{r}-{d}-{slot}"), ip, host);
+            let mbps = rng.gen_range(5.0..10.0);
+            let last_mile = LinkSpec::new(Bandwidth::from_mbps(mbps), XDSL_LAST_MILE_LATENCY);
+            b.add_host_link(format!("dsl{p}-{r}-{d}-{slot}"), h, ds, last_mile);
+            hosts.push(h);
+            created += 1;
+        }
+    }
+    Topology {
+        platform: b.build(),
+        hosts,
+        kind: TopologyKind::DaisyXdsl,
+    }
+}
+
+/// Latency of a LAN access link (host to edge switch).
+pub const LAN_ACCESS_LATENCY: SimDuration = SimDuration::from_micros(500);
+/// Latency of the LAN backbone (edge switch to core).
+pub const LAN_BACKBONE_LATENCY: SimDuration = SimDuration::from_micros(500);
+
+/// Stage-2B platform: a campus LAN. "Backbone of 1 Gbps; each node is
+/// connected to the backbone at 100 Mbps." Hosts are split over two edge
+/// switches that join the 1 Gbps backbone, so cross-switch traffic shares the
+/// backbone link.
+pub fn lan(n_nodes: usize, host: HostSpec) -> Topology {
+    assert!(n_nodes > 0, "a LAN needs at least one node");
+    let mut b = PlatformBuilder::new();
+    let access = LinkSpec::new(Bandwidth::from_mbps(100.0), LAN_ACCESS_LATENCY);
+    let backbone = LinkSpec::new(Bandwidth::from_gbps(1.0), LAN_BACKBONE_LATENCY);
+    let core = b.add_router("lan-core");
+    let edge_a = b.add_router("edge-a");
+    let edge_b = b.add_router("edge-b");
+    b.add_link("backbone-a", edge_a, core, backbone);
+    b.add_link("backbone-b", edge_b, core, backbone);
+    let mut hosts = Vec::with_capacity(n_nodes);
+    for i in 0..n_nodes {
+        let ip = IpAddr::from_octets(192, 168, (i / 250) as u8, (i % 250 + 1) as u8);
+        let h = b.add_host(format!("lan-{i}"), ip, host);
+        let edge = if i % 2 == 0 { edge_a } else { edge_b };
+        b.add_host_link(format!("drop{i}"), h, edge, access);
+        hosts.push(h);
+    }
+    Topology {
+        platform: b.build(),
+        hosts,
+        kind: TopologyKind::Lan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_common::DataSize;
+
+    #[test]
+    fn cluster_matches_paper_link_parameters() {
+        let mut topo = cluster_bordeplage(32, HostSpec::default());
+        assert_eq!(topo.hosts.len(), 32);
+        let r = topo.platform.route(topo.hosts[0], topo.hosts[1]);
+        // Same rack: two 1 Gbps NIC hops.
+        assert_eq!(r.bottleneck, Bandwidth::from_gbps(1.0));
+        assert_eq!(r.latency, SimDuration::from_micros(200));
+        // Across racks: NIC + backbone + backbone + NIC.
+        let cross = topo.platform.route(topo.hosts[0], topo.hosts[31]);
+        assert_eq!(cross.bottleneck, Bandwidth::from_gbps(1.0));
+        assert_eq!(cross.latency, SimDuration::from_micros(400));
+        assert_eq!(topo.kind.label(), "Grid5000");
+    }
+
+    #[test]
+    fn daisy_structure_counts_match_figure_8() {
+        let topo = daisy_xdsl(1024, HostSpec::default(), 42);
+        assert_eq!(topo.hosts.len(), 1024);
+        // 5 centrals + 50 petal routers + 200 DSLAMs + 1024 hosts.
+        assert_eq!(topo.platform.nodes().len(), 5 + 50 + 200 + 1024);
+        // Last-mile bandwidths must all be in 5..10 Mbps.
+        for h in &topo.hosts {
+            let node = topo.platform.node_of_host(*h);
+            let nic = topo
+                .platform
+                .links()
+                .iter()
+                .find(|l| l.from == node)
+                .expect("every host has an uplink");
+            let mbps = nic.bandwidth.bps() / 1e6;
+            assert!((5.0..10.0).contains(&mbps), "last mile at {mbps} Mbps");
+        }
+    }
+
+    #[test]
+    fn daisy_is_deterministic_in_its_seed() {
+        let a = daisy_xdsl(64, HostSpec::default(), 7);
+        let b = daisy_xdsl(64, HostSpec::default(), 7);
+        let c = daisy_xdsl(64, HostSpec::default(), 8);
+        let bw = |t: &Topology| -> Vec<u64> {
+            t.platform.links().iter().map(|l| l.bandwidth.bps() as u64).collect()
+        };
+        assert_eq!(bw(&a), bw(&b));
+        assert_ne!(bw(&a), bw(&c));
+    }
+
+    #[test]
+    fn daisy_routes_cross_the_last_mile_bottleneck() {
+        let mut topo = daisy_xdsl(64, HostSpec::default(), 1);
+        let hosts = topo.pick_hosts(2, PlacementPolicy::Spread);
+        let r = topo.platform.route(hosts[0], hosts[1]);
+        assert!(r.bottleneck.bps() < 10.5e6, "bottleneck must be an xDSL last mile");
+        assert!(r.latency >= SimDuration::from_millis(20), "two last miles dominate the latency");
+        // A 9600-byte halo row takes far longer here than on the cluster.
+        let t = r.analytic_transfer_time(DataSize::from_bytes(9600));
+        assert!(t > SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn lan_matches_paper_description() {
+        let mut topo = lan(32, HostSpec::default());
+        assert_eq!(topo.hosts.len(), 32);
+        let r = topo.platform.route(topo.hosts[0], topo.hosts[1]);
+        // Different edge switches: 100 Mbps access is the bottleneck, the
+        // 1 Gbps backbone sits in the middle.
+        assert_eq!(r.bottleneck, Bandwidth::from_mbps(100.0));
+        assert!(r.latency >= SimDuration::from_millis(1));
+        assert_eq!(topo.kind, TopologyKind::Lan);
+    }
+
+    #[test]
+    fn placement_policies_return_distinct_host_sets() {
+        let topo = daisy_xdsl(256, HostSpec::default(), 3);
+        let packed = topo.pick_hosts(8, PlacementPolicy::Packed);
+        let spread = topo.pick_hosts(8, PlacementPolicy::Spread);
+        assert_eq!(packed.len(), 8);
+        assert_eq!(spread.len(), 8);
+        assert_ne!(packed, spread);
+        // No duplicates in either.
+        let mut p = packed.clone();
+        p.sort();
+        p.dedup();
+        assert_eq!(p.len(), 8);
+        let mut s = spread.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn spread_placement_spans_petals() {
+        let topo = daisy_xdsl(1024, HostSpec::default(), 3);
+        let spread = topo.pick_hosts(5, PlacementPolicy::Spread);
+        // The first octet encodes the petal; 5 spread hosts should cover
+        // several petals.
+        let petals: std::collections::HashSet<u8> = spread
+            .iter()
+            .map(|&h| topo.platform.host(h).ip.unwrap().octets()[0])
+            .collect();
+        assert!(petals.len() >= 3, "spread placement stayed in {petals:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn picking_too_many_hosts_panics() {
+        let topo = lan(4, HostSpec::default());
+        topo.pick_hosts(5, PlacementPolicy::Packed);
+    }
+
+    #[test]
+    fn cluster_ips_follow_rack_structure() {
+        let topo = cluster_bordeplage(20, HostSpec::default());
+        let ip0 = topo.platform.host(topo.hosts[0]).ip.unwrap();
+        let ip1 = topo.platform.host(topo.hosts[1]).ip.unwrap();
+        let ip17 = topo.platform.host(topo.hosts[17]).ip.unwrap();
+        assert!(ip0.common_prefix_len(ip1) >= 24, "same rack shares a /24");
+        assert!(ip0.common_prefix_len(ip17) < ip0.common_prefix_len(ip1));
+    }
+}

@@ -1,0 +1,262 @@
+//! The obstacle problem as a P2PDC application and a dPerf program.
+//!
+//! [`ObstacleApp`] is the paper-calibrated workload description:
+//!
+//! * grid 1200 × 1200, 900 relaxation sweeps, ~21 flops per grid point per
+//!   sweep (three damped-projection passes of 7 flops each). On the 1 Gflop/s
+//!   effective Bordeplage node model this gives ≈ 27 s of total compute at
+//!   `-O3` and ≈ 84 s at `-O0`, matching the Stage-1 levels of Fig. 9/10;
+//! * halo exchanges of one grid row (`8·N` bytes) with both neighbours every
+//!   sweep, plus an 8-byte convergence reduction through the coordinator;
+//! * small subtask descriptors and result summaries (the problem data — ψ, f,
+//!   boundary — is generated locally from the problem definition, so only
+//!   parameters and per-peer residual summaries travel; see EXPERIMENTS.md).
+//!
+//! The same description feeds both executions: `p2pdc::run_reference` (the
+//! reference time) through the [`p2pdc::IterativeApp`] impl, and dPerf's
+//! static-analysis pipeline through [`ObstacleApp::program`].
+
+use crate::decomposition::BlockRows;
+use dperf::ir::{CollectiveKind, ComputeBlock, Expr, Guard, ParamEnv, Program, Target};
+use p2pdc::IterativeApp;
+
+/// Message tag of the halo exchange.
+pub const TAG_HALO: u32 = 1;
+/// Message tag of the convergence reduction.
+pub const TAG_REDUCE: u32 = 2;
+
+/// The obstacle-problem workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObstacleApp {
+    /// Interior grid points per dimension (`N`).
+    pub n: usize,
+    /// Number of relaxation sweeps executed by the performance runs.
+    pub sweeps: u32,
+    /// Arithmetic work per grid point per sweep, in flops.
+    pub flops_per_point: f64,
+}
+
+impl ObstacleApp {
+    /// The paper-scale instance (Fig. 9–11, Table I).
+    pub fn paper_scale() -> Self {
+        ObstacleApp {
+            n: 1200,
+            sweeps: 900,
+            flops_per_point: 21.0,
+        }
+    }
+
+    /// A scaled-down instance for unit tests and quick benches (same shape,
+    /// ~1/250 of the work).
+    pub fn small() -> Self {
+        ObstacleApp {
+            n: 240,
+            sweeps: 90,
+            flops_per_point: 21.0,
+        }
+    }
+
+    /// Total arithmetic work of the whole run, in flops.
+    pub fn total_flops(&self) -> f64 {
+        self.flops_per_point * (self.n as f64) * (self.n as f64) * self.sweeps as f64
+    }
+
+    /// Rows owned by `rank` in the 1-D block decomposition.
+    pub fn rows_for(&self, rank: usize, nprocs: usize) -> usize {
+        BlockRows::new(self.n, nprocs).rows_of(rank)
+    }
+
+    /// Bytes of one halo row.
+    pub fn halo_row_bytes(&self) -> u64 {
+        8 * self.n as u64
+    }
+
+    /// The base parameter environment of the dPerf program.
+    pub fn base_env(&self) -> ParamEnv {
+        ParamEnv::new()
+            .with("N", self.n as f64)
+            .with("sweeps", self.sweeps as f64)
+            .with("flops_per_point", self.flops_per_point)
+    }
+
+    /// Per-rank parameter hook for dPerf trace generation: binds `my_rows`.
+    pub fn rank_env(rank: usize, nprocs: usize, global: &ParamEnv) -> ParamEnv {
+        let n = global.get("N").unwrap_or(0.0).max(1.0) as usize;
+        let rows = if nprocs <= n {
+            BlockRows::new(n, nprocs).rows_of(rank)
+        } else {
+            usize::from(rank < n)
+        };
+        ParamEnv::new().with("my_rows", rows as f64)
+    }
+
+    /// The obstacle program in the dPerf IR — the input dPerf's static
+    /// analysis, instrumentation and trace generation consume. Its structure
+    /// mirrors the P2PSAP-adapted C code: a sweep loop containing the
+    /// relaxation block, the two guarded halo exchanges and the convergence
+    /// reduction.
+    pub fn program(&self) -> Program {
+        Program::builder("obstacle-richardson")
+            .param("N", self.n as f64)
+            .param("sweeps", self.sweeps as f64)
+            .param("flops_per_point", self.flops_per_point)
+            .compute(
+                ComputeBlock::new(
+                    "init_subdomain",
+                    Expr::c(2.0).mul(Expr::p("N")).mul(Expr::p("my_rows")),
+                )
+                .writing(&["u", "psi", "rhs"]),
+            )
+            .loop_(Expr::p("sweeps"), |b| {
+                // Both boundary rows are posted *before* waiting for either
+                // neighbour (as the real halo-exchange code does); waiting for
+                // the up exchange before sending the down row would serialise
+                // the whole chain of peers every sweep.
+                b.compute(
+                    ComputeBlock::new(
+                        "relaxation_sweep",
+                        Expr::p("flops_per_point").mul(Expr::p("N")).mul(Expr::p("my_rows")),
+                    )
+                    .reading(&["u", "psi", "rhs"])
+                    .writing(&["u"]),
+                )
+                .if_(
+                    Guard::HasUpNeighbor,
+                    |t| t.send(Target::RelativeRank(-1), Expr::c(8.0).mul(Expr::p("N")), TAG_HALO),
+                    |e| e,
+                )
+                .if_(
+                    Guard::HasDownNeighbor,
+                    |t| t.send(Target::RelativeRank(1), Expr::c(8.0).mul(Expr::p("N")), TAG_HALO),
+                    |e| e,
+                )
+                .if_(
+                    Guard::HasUpNeighbor,
+                    |t| t.recv(Target::RelativeRank(-1), TAG_HALO),
+                    |e| e,
+                )
+                .if_(
+                    Guard::HasDownNeighbor,
+                    |t| t.recv(Target::RelativeRank(1), TAG_HALO),
+                    |e| e,
+                )
+                .collective(CollectiveKind::AllReduce, Expr::c(8.0), TAG_REDUCE)
+            })
+            .build()
+    }
+}
+
+impl Default for ObstacleApp {
+    fn default() -> Self {
+        ObstacleApp::paper_scale()
+    }
+}
+
+impl IterativeApp for ObstacleApp {
+    fn name(&self) -> &str {
+        "obstacle-richardson"
+    }
+
+    fn iterations(&self) -> u32 {
+        self.sweeps
+    }
+
+    fn compute_flops(&self, rank: usize, nprocs: usize) -> f64 {
+        self.flops_per_point * self.n as f64 * self.rows_for(rank, nprocs) as f64
+    }
+
+    fn neighbors(&self, rank: usize, nprocs: usize) -> Vec<usize> {
+        BlockRows::new(self.n, nprocs).neighbors(rank)
+    }
+
+    fn halo_bytes(&self) -> u64 {
+        self.halo_row_bytes()
+    }
+
+    fn reduction_bytes(&self) -> u64 {
+        8
+    }
+
+    fn input_bytes(&self, _rank: usize, _nprocs: usize) -> u64 {
+        // Problem parameters + subdomain bounds; ψ, f and the initial guess
+        // are regenerated locally from the problem definition.
+        4 * 1024
+    }
+
+    fn result_bytes(&self, _rank: usize, _nprocs: usize) -> u64 {
+        // Residual history and per-block summary, not the full field.
+        self.halo_row_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dperf::analysis::{analyze, build_dependence_graph, DepKind};
+    use dperf::ir::RankContext;
+    use dperf::{generate_traces, ModeledBencher, OptLevel};
+
+    #[test]
+    fn paper_scale_work_matches_the_calibration_target() {
+        let app = ObstacleApp::paper_scale();
+        let total = app.total_flops();
+        // ~27.2 s at 1 Gflop/s.
+        assert!((total / 1.0e9 - 27.2).abs() < 0.5, "total work {total}");
+        assert_eq!(app.halo_bytes(), 9600);
+    }
+
+    #[test]
+    fn per_rank_work_sums_to_the_total_per_sweep() {
+        let app = ObstacleApp::paper_scale();
+        for nprocs in [1, 2, 4, 8, 16, 32] {
+            let per_sweep: f64 = (0..nprocs).map(|r| app.compute_flops(r, nprocs)).sum();
+            let expected = app.flops_per_point * (app.n * app.n) as f64;
+            assert!((per_sweep - expected).abs() < 1e-6, "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn program_analysis_sees_the_paper_structure() {
+        let app = ObstacleApp::small();
+        let program = app.program();
+        let env = ObstacleApp::rank_env(1, 4, &program.defaults);
+        let report = analyze(&program, &env, RankContext { rank: 1, nprocs: 4 });
+        assert_eq!(report.comm_sites, 4, "two halo sends and two halo receives");
+        assert_eq!(report.collective_sites, 1, "one reduction site");
+        let sweep = report.block("relaxation_sweep").expect("sweep block found");
+        assert_eq!(sweep.executions as u32, app.sweeps);
+        // The relaxation block both reads and writes u: the dependence graph
+        // must contain a flow edge into it.
+        let ddg = build_dependence_graph(&program);
+        assert!(!ddg.edges_of_kind(DepKind::Flow).is_empty());
+    }
+
+    #[test]
+    fn traces_from_the_program_match_the_iterative_app_description() {
+        let app = ObstacleApp::small();
+        let program = app.program();
+        let bencher = ModeledBencher::new(dperf::MachineModel::xeon_em64t_3ghz(), OptLevel::O3);
+        let traces = generate_traces(
+            &program,
+            &app.base_env(),
+            4,
+            &bencher,
+            Some(&ObstacleApp::rank_env),
+            "3",
+        );
+        assert!(traces.validate().is_empty(), "{:?}", traces.validate());
+        // Sends per interior rank: (2 halos + 1 reduction) per sweep.
+        assert_eq!(traces.traces[1].sends() as u32, app.sweeps * 3);
+        // The modelled compute time of rank 1 matches flops / rate.
+        let expected = app.compute_flops(1, 4) * app.sweeps as f64 / 1.0e9;
+        let got = traces.traces[1].compute_time().as_secs_f64();
+        assert!((got - expected).abs() / expected < 0.02, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn rank_env_handles_degenerate_process_counts() {
+        let env = ParamEnv::new().with("N", 4.0);
+        assert_eq!(ObstacleApp::rank_env(0, 8, &env).get("my_rows"), Some(1.0));
+        assert_eq!(ObstacleApp::rank_env(7, 8, &env).get("my_rows"), Some(0.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Dense 2-D grids.
+
+/// A dense `rows × cols` grid of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2D {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2D {
+    /// A grid filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "grids must be non-empty");
+        Grid2D {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// A zero grid.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Grid2D::filled(rows, cols, 0.0)
+    }
+
+    /// A grid initialised from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Grid2D::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                g[(i, j)] = f(i, j);
+            }
+        }
+        g
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow one row mutably.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy `values` into row `i`.
+    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.row_mut(i).copy_from_slice(values);
+    }
+
+    /// The raw data, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Maximum absolute difference with another grid of the same shape.
+    pub fn max_abs_diff(&self, other: &Grid2D) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute value in the grid.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Grid2D {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Grid2D {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut g = Grid2D::zeros(3, 4);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        g[(1, 2)] = 5.5;
+        assert_eq!(g[(1, 2)], 5.5);
+        assert_eq!(g.row(1)[2], 5.5);
+        assert_eq!(g.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn from_fn_and_rows() {
+        let g = Grid2D::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(g.row(1), &[10.0, 11.0, 12.0]);
+        let mut h = Grid2D::zeros(2, 3);
+        h.set_row(1, &[10.0, 11.0, 12.0]);
+        assert_eq!(h.row(1), g.row(1));
+    }
+
+    #[test]
+    fn diff_and_norms() {
+        let a = Grid2D::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(1, 1)] = -3.0;
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+        assert_eq!(b.max_abs(), 3.0);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grids_are_rejected() {
+        Grid2D::zeros(0, 5);
+    }
+}

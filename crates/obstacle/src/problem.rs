@@ -1,0 +1,153 @@
+//! The discretised obstacle problem.
+//!
+//! The obstacle problem models an elastic membrane stretched over a domain
+//! Ω = (0,1)², clamped at the boundary, pushed down by a load `f` and
+//! constrained to stay above an obstacle ψ:
+//!
+//! ```text
+//! find u such that   u ≥ ψ,   −Δu ≥ f,   (u − ψ)(−Δu − f) = 0  in Ω,
+//!                    u = g on ∂Ω.
+//! ```
+//!
+//! Discretising the Laplacian with the standard 5-point stencil on an
+//! `n × n` interior grid gives the complementarity problem the projected
+//! Richardson method solves (Spitéri & Chau 2002, the code the paper's
+//! evaluation runs).
+
+use crate::grid::Grid2D;
+
+/// A discretised obstacle problem instance.
+#[derive(Debug, Clone)]
+pub struct ObstacleProblem {
+    /// Number of interior points per dimension.
+    pub n: usize,
+    /// Grid spacing (`1 / (n + 1)`).
+    pub h: f64,
+    /// Obstacle values ψ on the full `(n+2) × (n+2)` grid (boundary included).
+    pub psi: Grid2D,
+    /// Load `f · h²` on the full grid.
+    pub rhs: Grid2D,
+    /// Dirichlet boundary value.
+    pub boundary: f64,
+}
+
+impl ObstacleProblem {
+    /// The benchmark instance used throughout the reproduction: a parabolic
+    /// obstacle bump in the middle of the membrane and a uniform downward
+    /// load. Any positive `n` works; the paper-scale runs use `n = 1200`.
+    pub fn membrane(n: usize) -> Self {
+        assert!(n >= 3, "the obstacle problem needs at least a 3x3 interior");
+        let h = 1.0 / (n as f64 + 1.0);
+        let size = n + 2;
+        let psi = Grid2D::from_fn(size, size, |i, j| {
+            let x = i as f64 * h;
+            let y = j as f64 * h;
+            // A smooth bump, positive near the centre, negative elsewhere, so
+            // the contact set is a disc in the middle of the membrane.
+            let dx = x - 0.5;
+            let dy = y - 0.5;
+            0.3 - 4.0 * (dx * dx + dy * dy)
+        });
+        // Uniform downward load: the unconstrained membrane would dip below
+        // zero everywhere, so the central obstacle bump creates a genuine
+        // contact region.
+        let rhs = Grid2D::from_fn(size, size, |_, _| 2.0 * h * h);
+        ObstacleProblem {
+            n,
+            h,
+            psi,
+            rhs,
+            boundary: 0.0,
+        }
+    }
+
+    /// An unconstrained variant (ψ = −∞ for practical purposes): the solution
+    /// is then the plain Poisson membrane, which gives the tests an easy
+    /// sanity reference.
+    pub fn unconstrained(n: usize) -> Self {
+        let mut p = ObstacleProblem::membrane(n);
+        p.psi = Grid2D::filled(n + 2, n + 2, -1.0e30);
+        p
+    }
+
+    /// A freshly initialised iterate: boundary values on the border, the
+    /// obstacle (clamped at the boundary value) in the interior, which is a
+    /// feasible starting point.
+    pub fn initial_guess(&self) -> Grid2D {
+        let size = self.n + 2;
+        Grid2D::from_fn(size, size, |i, j| {
+            if i == 0 || j == 0 || i == size - 1 || j == size - 1 {
+                self.boundary
+            } else {
+                self.psi[(i, j)].max(self.boundary)
+            }
+        })
+    }
+
+    /// Verify that `u` satisfies the constraint `u ≥ ψ` (up to `tol`) in the
+    /// interior and the boundary condition on the border. Returns the number
+    /// of violations.
+    pub fn constraint_violations(&self, u: &Grid2D, tol: f64) -> usize {
+        let size = self.n + 2;
+        let mut violations = 0;
+        for i in 0..size {
+            for j in 0..size {
+                let on_boundary = i == 0 || j == 0 || i == size - 1 || j == size - 1;
+                if on_boundary {
+                    if (u[(i, j)] - self.boundary).abs() > tol {
+                        violations += 1;
+                    }
+                } else if u[(i, j)] < self.psi[(i, j)] - tol {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// The residual `max(−Δu − f, 0)`-style complementarity defect at one
+    /// interior point — used by tests to check the solution is sensible where
+    /// the membrane is not in contact with the obstacle.
+    pub fn free_residual(&self, u: &Grid2D, i: usize, j: usize) -> f64 {
+        let lap = u[(i - 1, j)] + u[(i + 1, j)] + u[(i, j - 1)] + u[(i, j + 1)] - 4.0 * u[(i, j)];
+        lap - self.rhs[(i, j)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membrane_instance_is_well_formed() {
+        let p = ObstacleProblem::membrane(16);
+        assert_eq!(p.psi.rows(), 18);
+        assert_eq!(p.rhs.cols(), 18);
+        assert!((p.h - 1.0 / 17.0).abs() < 1e-12);
+        // The obstacle pokes above the boundary level in the middle only.
+        assert!(p.psi[(9, 9)] > 0.0);
+        assert!(p.psi[(1, 1)] < 0.0);
+    }
+
+    #[test]
+    fn initial_guess_is_feasible() {
+        let p = ObstacleProblem::membrane(12);
+        let u0 = p.initial_guess();
+        assert_eq!(p.constraint_violations(&u0, 1e-12), 0);
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        let p = ObstacleProblem::membrane(8);
+        let mut u = p.initial_guess();
+        u[(4, 4)] = p.psi[(4, 4)] - 1.0; // dig below the obstacle
+        u[(0, 3)] = 7.0; // break the boundary condition
+        assert_eq!(p.constraint_violations(&u, 1e-9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_problems_are_rejected() {
+        ObstacleProblem::membrane(2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Hierarchical task allocation (§III-C).
+//!
+//! "The number of peers in a group cannot exceed Cmax in order to ensure
+//! efficient management of coordinator. We have chosen Cmax = 32. Submitter
+//! sends peers list of a group to coordinator. Then, the coordinator connects
+//! to all peers in its group and sends a 'reverse' message to peers. …
+//! Submitter decomposes task into subtasks and sends subtasks to groups
+//! coordinators. Subtasks are then sent by coordinators to peers."
+//!
+//! [`build_allocation`] produces the allocation graph of Fig. 5;
+//! [`AllocationCost`] quantifies the message pattern of both the hierarchical
+//! mechanism and the flat (submitter-connects-to-everyone) baseline the paper
+//! argues against, which the ablation bench compares.
+
+use crate::proximity::{choose_coordinator, group_by_proximity, GroupCandidate};
+use p2p_common::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// The paper's bound on the number of peers a coordinator manages.
+pub const CMAX: usize = 32;
+
+/// One coordinator group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// The coordinator (also a member of the group).
+    pub coordinator: PeerId,
+    /// Every member of the group, coordinator included.
+    pub members: Vec<PeerId>,
+}
+
+impl Group {
+    /// Members other than the coordinator.
+    pub fn workers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.members.iter().copied().filter(move |&p| p != self.coordinator)
+    }
+}
+
+/// The allocation graph: submitter → coordinators → peers (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationGraph {
+    /// The submitting peer.
+    pub submitter: PeerId,
+    /// Coordinator groups.
+    pub groups: Vec<Group>,
+}
+
+impl AllocationGraph {
+    /// Total number of allocated peers (submitter not counted).
+    pub fn peer_count(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    /// Size of the largest group.
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).max().unwrap_or(0)
+    }
+
+    /// The group a peer belongs to, if any.
+    pub fn group_of(&self, peer: PeerId) -> Option<usize> {
+        self.groups.iter().position(|g| g.members.contains(&peer))
+    }
+
+    /// All coordinators.
+    pub fn coordinators(&self) -> Vec<PeerId> {
+        self.groups.iter().map(|g| g.coordinator).collect()
+    }
+}
+
+/// Message/hop cost of distributing subtasks (or collecting results) through
+/// an allocation structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationCost {
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Critical-path length in sequential message sends. The submitter (and
+    /// each coordinator) sends to its children one after the other, but
+    /// different coordinators work in parallel — exactly the argument of
+    /// §III-C for why the hierarchy is faster.
+    pub critical_sends: u64,
+}
+
+/// Build the allocation graph for the given peers, grouped by IP proximity
+/// with groups of at most `cmax` members.
+pub fn build_allocation(
+    submitter: PeerId,
+    peers: &[GroupCandidate],
+    cmax: usize,
+) -> AllocationGraph {
+    let groups = group_by_proximity(peers, cmax)
+        .into_iter()
+        .map(|members| {
+            let coordinator = choose_coordinator(&members).expect("groups are never empty");
+            Group {
+                coordinator,
+                members: members.into_iter().map(|c| c.id).collect(),
+            }
+        })
+        .collect();
+    AllocationGraph { submitter, groups }
+}
+
+/// Cost of hierarchical subtask distribution: the submitter sends one peers
+/// list plus one subtask batch to every coordinator (sequentially), then the
+/// coordinators reserve peers and forward subtasks in parallel (each
+/// coordinator serialises over its own group).
+pub fn hierarchical_cost(graph: &AllocationGraph) -> AllocationCost {
+    let g = graph.groups.len() as u64;
+    let submitter_sends = 2 * g; // peers list + subtasks, per coordinator
+    let per_group: Vec<u64> = graph
+        .groups
+        .iter()
+        .map(|grp| 2 * grp.workers().count() as u64) // reverse msg + subtask per worker
+        .collect();
+    let messages = submitter_sends + per_group.iter().sum::<u64>();
+    let critical_sends = submitter_sends + per_group.iter().copied().max().unwrap_or(0);
+    AllocationCost {
+        messages,
+        critical_sends,
+    }
+}
+
+/// Cost of the flat baseline: the submitter connects to every peer in
+/// succession and sends its subtask directly (the centralised pattern the
+/// paper's hierarchical mechanism replaces).
+pub fn flat_cost(peer_count: usize) -> AllocationCost {
+    let n = peer_count as u64;
+    AllocationCost {
+        messages: 2 * n, // reserve + subtask per peer
+        critical_sends: 2 * n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_common::{IpAddr, PeerResources};
+
+    fn candidates(n: usize) -> Vec<GroupCandidate> {
+        (0..n)
+            .map(|i| GroupCandidate {
+                id: PeerId::new(i as u64 + 10),
+                ip: IpAddr::from_octets(10, (i / 32) as u8, (i / 8) as u8, (i % 256) as u8),
+                resources: PeerResources::xeon_em64t(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn allocation_respects_cmax_and_covers_all_peers() {
+        let peers = candidates(100);
+        let graph = build_allocation(PeerId::new(1), &peers, CMAX);
+        assert_eq!(graph.peer_count(), 100);
+        assert!(graph.max_group_size() <= CMAX);
+        assert_eq!(graph.groups.len(), 4, "100 peers need ceil(100/32) = 4 groups");
+        // Every coordinator is a member of its own group.
+        for g in &graph.groups {
+            assert!(g.members.contains(&g.coordinator));
+        }
+        // Every peer is in exactly one group.
+        for p in &peers {
+            assert!(graph.group_of(p.id).is_some());
+        }
+    }
+
+    #[test]
+    fn small_runs_get_a_single_group() {
+        let peers = candidates(8);
+        let graph = build_allocation(PeerId::new(1), &peers, CMAX);
+        assert_eq!(graph.groups.len(), 1);
+        assert_eq!(graph.coordinators().len(), 1);
+    }
+
+    #[test]
+    fn hierarchical_critical_path_beats_flat_for_large_runs() {
+        let peers = candidates(256);
+        let graph = build_allocation(PeerId::new(1), &peers, CMAX);
+        let hier = hierarchical_cost(&graph);
+        let flat = flat_cost(256);
+        assert!(
+            hier.critical_sends < flat.critical_sends,
+            "hierarchy {} must beat flat {}",
+            hier.critical_sends,
+            flat.critical_sends
+        );
+        // Total message counts are comparable (the hierarchy does not send
+        // dramatically more traffic, it only parallelises it).
+        assert!(hier.messages <= flat.messages + 2 * graph.groups.len() as u64);
+    }
+
+    #[test]
+    fn flat_and_hierarchical_agree_for_tiny_runs() {
+        let peers = candidates(4);
+        let graph = build_allocation(PeerId::new(1), &peers, CMAX);
+        let hier = hierarchical_cost(&graph);
+        let flat = flat_cost(4);
+        // One group: the submitter still talks to one coordinator which then
+        // serialises over 3 workers, so the critical paths are close.
+        assert!(hier.critical_sends <= flat.critical_sends + 2);
+    }
+
+    #[test]
+    fn group_workers_exclude_the_coordinator() {
+        let peers = candidates(10);
+        let graph = build_allocation(PeerId::new(1), &peers, CMAX);
+        let g = &graph.groups[0];
+        assert_eq!(g.workers().count(), g.members.len() - 1);
+        assert!(g.workers().all(|w| w != g.coordinator));
+    }
+}

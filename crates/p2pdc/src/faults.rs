@@ -1,0 +1,186 @@
+//! Churn injection.
+//!
+//! The paper's motivation for the decentralized topology manager is
+//! robustness: trackers and peers come and go. This module generates
+//! reproducible churn schedules (exponential inter-arrival and session times)
+//! and applies them to an [`Overlay`](crate::overlay::Overlay), so the tests
+//! and the robustness bench can verify that the line stays consistent and
+//! that computations can still collect peers while the overlay is being
+//! shaken.
+
+use crate::overlay::Overlay;
+use p2p_common::{DetRng, IpAddr, PeerId, PeerResources, SimDuration, TrackerId};
+
+/// One churn event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// A new peer joins (with the given IP).
+    PeerJoin(IpAddr),
+    /// An existing peer disappears silently.
+    PeerLeave(PeerId),
+    /// A new tracker joins.
+    TrackerJoin(IpAddr),
+    /// An existing tracker crashes.
+    TrackerCrash(TrackerId),
+}
+
+/// Generates and applies churn.
+#[derive(Debug)]
+pub struct ChurnInjector {
+    rng: DetRng,
+    /// Probability that a generated event concerns a tracker rather than a
+    /// peer.
+    pub tracker_fraction: f64,
+    /// Probability that an event is a departure rather than an arrival.
+    pub departure_fraction: f64,
+    /// Mean time between events.
+    pub mean_interarrival: SimDuration,
+}
+
+impl ChurnInjector {
+    /// A churn source with the given seed and default mix (10 % tracker
+    /// events, 50 % departures, one event per 10 simulated seconds).
+    pub fn new(seed: u64) -> Self {
+        ChurnInjector {
+            rng: DetRng::new(seed).fork(0xC0FFEE),
+            tracker_fraction: 0.1,
+            departure_fraction: 0.5,
+            mean_interarrival: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Draw the next event against the current overlay population. Returns
+    /// the event and the time gap before it happens.
+    pub fn next_event(&mut self, overlay: &Overlay) -> (ChurnEvent, SimDuration) {
+        let gap = SimDuration::from_secs_f64(
+            self.rng.gen_exponential(self.mean_interarrival.as_secs_f64()),
+        );
+        let tracker_event = self.rng.gen_bool(self.tracker_fraction);
+        let departure = self.rng.gen_bool(self.departure_fraction);
+        let event = if tracker_event {
+            if departure && overlay.tracker_count() > 1 {
+                let victims: Vec<TrackerId> = overlay.trackers().map(|t| t.id).collect();
+                ChurnEvent::TrackerCrash(*self.rng.choose(&victims).expect("non-empty"))
+            } else {
+                ChurnEvent::TrackerJoin(self.random_ip())
+            }
+        } else if departure && overlay.peer_count() > 0 {
+            let victims: Vec<PeerId> = overlay.peers().map(|p| p.id).collect();
+            ChurnEvent::PeerLeave(*self.rng.choose(&victims).expect("non-empty"))
+        } else {
+            ChurnEvent::PeerJoin(self.random_ip())
+        };
+        (event, gap)
+    }
+
+    fn random_ip(&mut self) -> IpAddr {
+        IpAddr::from_octets(
+            10,
+            self.rng.gen_range(0..8u8),
+            self.rng.gen_range(0..255u8),
+            self.rng.gen_range(1..255u8),
+        )
+    }
+
+    /// Apply one event to the overlay.
+    pub fn apply(&mut self, overlay: &mut Overlay, event: ChurnEvent) {
+        match event {
+            ChurnEvent::PeerJoin(ip) => {
+                overlay.peer_join(ip, None, PeerResources::xeon_em64t());
+            }
+            ChurnEvent::PeerLeave(id) => overlay.peer_disconnect(id),
+            ChurnEvent::TrackerJoin(ip) => {
+                overlay.tracker_join(ip);
+            }
+            ChurnEvent::TrackerCrash(id) => {
+                overlay.tracker_crash(id);
+            }
+        }
+    }
+
+    /// Generate and apply `count` events, advancing the overlay clock between
+    /// them. Returns the applied events.
+    pub fn run(&mut self, overlay: &mut Overlay, count: usize) -> Vec<ChurnEvent> {
+        let mut applied = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (event, gap) = self.next_event(overlay);
+            overlay.advance_time(gap);
+            self.apply(overlay, event);
+            applied.push(event);
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::OverlayConfig;
+
+    fn seeded_overlay() -> Overlay {
+        let ips: Vec<IpAddr> = (0..4u8).map(|i| IpAddr::from_octets(10, i, 0, 1)).collect();
+        let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &ips);
+        for i in 0..24u8 {
+            overlay.peer_join(
+                IpAddr::from_octets(10, i % 4, 1, i + 1),
+                None,
+                PeerResources::xeon_em64t(),
+            );
+        }
+        overlay
+    }
+
+    #[test]
+    fn churn_preserves_overlay_invariants() {
+        let mut overlay = seeded_overlay();
+        let mut churn = ChurnInjector::new(7);
+        churn.run(&mut overlay, 200);
+        let problems = overlay.check_invariants();
+        assert!(problems.is_empty(), "invariants violated after churn: {problems:?}");
+        assert!(overlay.tracker_count() >= 1);
+    }
+
+    #[test]
+    fn churn_is_reproducible_per_seed() {
+        let mut a = seeded_overlay();
+        let mut b = seeded_overlay();
+        let ea = ChurnInjector::new(99).run(&mut a, 50);
+        let eb = ChurnInjector::new(99).run(&mut b, 50);
+        assert_eq!(ea, eb);
+        assert_eq!(a.tracker_count(), b.tracker_count());
+        assert_eq!(a.peer_count(), b.peer_count());
+        let ec = ChurnInjector::new(100).run(&mut seeded_overlay(), 50);
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn collection_still_works_under_churn() {
+        use p2p_common::{ResourceRequirements, TaskId};
+        let mut overlay = seeded_overlay();
+        let mut churn = ChurnInjector::new(3);
+        churn.run(&mut overlay, 100);
+        // Make sure at least a handful of peers survived, then collect.
+        while overlay.peer_count() < 6 {
+            let next = overlay.peer_count() as u8 + 1;
+            churn.apply(&mut overlay, ChurnEvent::PeerJoin(IpAddr::from_octets(10, 1, 7, next)));
+        }
+        let submitter = overlay.peers().next().unwrap().id;
+        let (collected, _) =
+            overlay.collect_peers(submitter, 4, &ResourceRequirements::none(), TaskId::new(1));
+        assert_eq!(collected.len(), 4);
+        assert!(overlay.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn the_last_tracker_is_never_crashed() {
+        let mut overlay = Overlay::bootstrap(
+            OverlayConfig::default(),
+            &[IpAddr::from_octets(10, 0, 0, 1)],
+        );
+        let mut churn = ChurnInjector::new(1);
+        churn.tracker_fraction = 1.0;
+        churn.departure_fraction = 1.0;
+        churn.run(&mut overlay, 20);
+        assert!(overlay.tracker_count() >= 1, "the overlay must keep a core tracker");
+    }
+}

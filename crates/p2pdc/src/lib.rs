@@ -1,0 +1,43 @@
+//! # p2pdc — decentralized peer-to-peer high performance computing
+//!
+//! Reproduction of the decentralized P2PDC environment of the paper (§III):
+//!
+//! * [`line`] — the tracker *line* topology: every tracker maintains a set `N`
+//!   of closest trackers, half with smaller and half with larger IP addresses,
+//!   plus live connections to its immediate left/right neighbours.
+//! * [`overlay`] — the hybrid topology manager: server, trackers and peers;
+//!   tracker/peer join and leave protocols (§III-A.4–7), zone management,
+//!   and peer collection for a task (§III-B). Protocol interactions are
+//!   counted in messages and critical-path hops so the executor can convert
+//!   them into time on any platform.
+//! * [`proximity`] — IP-prefix-based peer grouping (§III-A.2).
+//! * [`allocation`] — the hierarchical task-allocation mechanism (§III-C):
+//!   peers grouped by proximity, one coordinator per group, groups capped at
+//!   `Cmax = 32`, plus the flat (no-coordinator) baseline used by the
+//!   ablation bench.
+//! * [`task`] — task specifications and resource requirements.
+//! * [`app`] — the [`IterativeApp`](app::IterativeApp) trait: what a
+//!   distributed iterative application must describe for P2PDC to run it.
+//! * [`executor`] — the reference execution: overlay allocation + iterative
+//!   computation (simulated with `netsim` flows and P2PSAP channel costs) +
+//!   hierarchical result collection. Produces `t_normal_execution`, the
+//!   reference time of Figs. 9–11.
+//! * [`faults`] — peer/tracker churn injection used by robustness tests.
+
+pub mod allocation;
+pub mod app;
+pub mod executor;
+pub mod faults;
+pub mod line;
+pub mod overlay;
+pub mod proximity;
+pub mod task;
+
+pub use allocation::{build_allocation, AllocationCost, AllocationGraph, Group, CMAX};
+pub use app::IterativeApp;
+pub use executor::{run_reference, ExecutionConfig, RunReport};
+pub use faults::{ChurnEvent, ChurnInjector};
+pub use line::{NeighborSet, TrackerEntry};
+pub use overlay::{Overlay, OverlayConfig, OverlayCost, PeerState, TrackerState};
+pub use proximity::{choose_coordinator, group_by_proximity};
+pub use task::{TaskSpec, TaskStatus};

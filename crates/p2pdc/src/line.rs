@@ -1,0 +1,251 @@
+//! The tracker line topology.
+//!
+//! "Trackers topology is a line. Each tracker Ti maintains a set of closest
+//! trackers Ni. In order to get rid of the case where some trackers can be
+//! isolated, there are, in the set Ni, |Ni|/2 closest trackers having IP
+//! address greater than IP address of owner tracker and |Ni|/2 closest
+//! trackers having IP address smaller than IP address of owner tracker.
+//! Moreover, each tracker maintains connection with the closest tracker on
+//! right side and the closest tracker on left side." (§III-A.1, Fig. 2)
+//!
+//! [`NeighborSet`] is that set `N`: two bounded, sorted half-sets keyed by IP
+//! distance from the owner.
+
+use p2p_common::{IpAddr, TrackerId};
+use serde::{Deserialize, Serialize};
+
+/// A (tracker id, IP) pair, the unit of the tracker lists exchanged by the
+/// join/leave protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrackerEntry {
+    /// Tracker identifier.
+    pub id: TrackerId,
+    /// Tracker IP address (the line is ordered by this).
+    pub ip: IpAddr,
+}
+
+impl TrackerEntry {
+    /// Convenience constructor.
+    pub fn new(id: TrackerId, ip: IpAddr) -> Self {
+        TrackerEntry { id, ip }
+    }
+}
+
+/// The neighbour set `N` of one tracker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborSet {
+    owner_ip: IpAddr,
+    /// Capacity per side (`|N|/2`).
+    half_capacity: usize,
+    /// Trackers with smaller IPs, sorted by decreasing IP (closest first).
+    left: Vec<TrackerEntry>,
+    /// Trackers with larger IPs, sorted by increasing IP (closest first).
+    right: Vec<TrackerEntry>,
+}
+
+impl NeighborSet {
+    /// Create an empty set for a tracker at `owner_ip`, holding at most
+    /// `capacity` entries (`capacity/2` per side; odd capacities round down).
+    pub fn new(owner_ip: IpAddr, capacity: usize) -> Self {
+        NeighborSet {
+            owner_ip,
+            half_capacity: (capacity / 2).max(1),
+            left: Vec::new(),
+            right: Vec::new(),
+        }
+    }
+
+    /// The owner's IP.
+    pub fn owner_ip(&self) -> IpAddr {
+        self.owner_ip
+    }
+
+    /// Insert a tracker. Entries equal to the owner IP are ignored; when a
+    /// side overflows, the farthest entry of that side is dropped, exactly as
+    /// the join protocol prescribes ("removes the farthest tracker along the
+    /// same side as new tracker"). Returns `true` if the entry is retained.
+    pub fn insert(&mut self, entry: TrackerEntry) -> bool {
+        if entry.ip == self.owner_ip {
+            return false;
+        }
+        let (side, ascending): (&mut Vec<TrackerEntry>, bool) = if entry.ip < self.owner_ip {
+            (&mut self.left, false)
+        } else {
+            (&mut self.right, true)
+        };
+        if side.iter().any(|e| e.id == entry.id) {
+            return true; // already known
+        }
+        side.push(entry);
+        if ascending {
+            side.sort_by_key(|e| e.ip);
+        } else {
+            side.sort_by_key(|e| std::cmp::Reverse(e.ip));
+        }
+        if side.len() > self.half_capacity {
+            side.truncate(self.half_capacity);
+        }
+        side.iter().any(|e| e.id == entry.id)
+    }
+
+    /// Remove a tracker by id. Returns `true` if it was present.
+    pub fn remove(&mut self, id: TrackerId) -> bool {
+        let before = self.left.len() + self.right.len();
+        self.left.retain(|e| e.id != id);
+        self.right.retain(|e| e.id != id);
+        before != self.left.len() + self.right.len()
+    }
+
+    /// Is the tracker known?
+    pub fn contains(&self, id: TrackerId) -> bool {
+        self.left.iter().chain(self.right.iter()).any(|e| e.id == id)
+    }
+
+    /// The closest tracker with a smaller IP (the direct left neighbour).
+    pub fn closest_left(&self) -> Option<TrackerEntry> {
+        self.left.first().copied()
+    }
+
+    /// The closest tracker with a larger IP (the direct right neighbour).
+    pub fn closest_right(&self) -> Option<TrackerEntry> {
+        self.right.first().copied()
+    }
+
+    /// The farthest known tracker on the left side.
+    pub fn farthest_left(&self) -> Option<TrackerEntry> {
+        self.left.last().copied()
+    }
+
+    /// The farthest known tracker on the right side.
+    pub fn farthest_right(&self) -> Option<TrackerEntry> {
+        self.right.last().copied()
+    }
+
+    /// All known trackers, left side then right side, closest first.
+    pub fn all(&self) -> Vec<TrackerEntry> {
+        self.left.iter().chain(self.right.iter()).copied().collect()
+    }
+
+    /// Entries on the left side (closest first).
+    pub fn left_side(&self) -> &[TrackerEntry] {
+        &self.left
+    }
+
+    /// Entries on the right side (closest first).
+    pub fn right_side(&self) -> &[TrackerEntry] {
+        &self.right
+    }
+
+    /// Number of known trackers.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// True when no tracker is known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Among the known trackers (and the owner itself), is `candidate_ip`
+    /// strictly closer to `target_ip` than the owner is? Used by the join
+    /// protocol to decide whether to forward a join message.
+    pub fn closer_to(&self, target_ip: IpAddr, candidate: &TrackerEntry) -> bool {
+        candidate.ip.as_u32().abs_diff(target_ip.as_u32())
+            < self.owner_ip.as_u32().abs_diff(target_ip.as_u32())
+    }
+
+    /// The known tracker closest to `target_ip`, if any is closer than the
+    /// owner itself.
+    pub fn best_forward(&self, target_ip: IpAddr) -> Option<TrackerEntry> {
+        self.all()
+            .into_iter()
+            .filter(|e| self.closer_to(target_ip, e))
+            .min_by_key(|e| e.ip.as_u32().abs_diff(target_ip.as_u32()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from_octets(10, 0, 0, last)
+    }
+
+    fn entry(id: u64, last: u8) -> TrackerEntry {
+        TrackerEntry::new(TrackerId::new(id), ip(last))
+    }
+
+    #[test]
+    fn sides_are_split_by_ip_and_sorted_by_distance() {
+        let mut n = NeighborSet::new(ip(100), 4);
+        n.insert(entry(1, 10));
+        n.insert(entry(2, 90));
+        n.insert(entry(3, 110));
+        n.insert(entry(4, 200));
+        assert_eq!(n.closest_left().unwrap().ip, ip(90));
+        assert_eq!(n.closest_right().unwrap().ip, ip(110));
+        assert_eq!(n.farthest_left().unwrap().ip, ip(10));
+        assert_eq!(n.farthest_right().unwrap().ip, ip(200));
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn overflow_drops_the_farthest_on_that_side() {
+        let mut n = NeighborSet::new(ip(100), 4); // 2 per side
+        n.insert(entry(1, 10));
+        n.insert(entry(2, 50));
+        assert!(n.insert(entry(3, 90)), "closer entry must be retained");
+        assert_eq!(n.left_side().len(), 2);
+        assert!(!n.contains(TrackerId::new(1)), "farthest left neighbour evicted");
+        assert!(n.contains(TrackerId::new(2)));
+        assert!(n.contains(TrackerId::new(3)));
+        // Inserting something farther than everything kept is rejected.
+        assert!(!n.insert(entry(9, 1)));
+        assert!(!n.contains(TrackerId::new(9)));
+    }
+
+    #[test]
+    fn owner_ip_and_duplicates_are_ignored() {
+        let mut n = NeighborSet::new(ip(100), 4);
+        assert!(!n.insert(TrackerEntry::new(TrackerId::new(7), ip(100))));
+        assert!(n.insert(entry(1, 90)));
+        assert!(n.insert(entry(1, 90)));
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_either_side() {
+        let mut n = NeighborSet::new(ip(100), 6);
+        n.insert(entry(1, 90));
+        n.insert(entry(2, 110));
+        assert!(n.remove(TrackerId::new(1)));
+        assert!(!n.remove(TrackerId::new(1)));
+        assert_eq!(n.len(), 1);
+        assert!(n.closest_left().is_none());
+        assert_eq!(n.closest_right().unwrap().id, TrackerId::new(2));
+    }
+
+    #[test]
+    fn best_forward_picks_the_strictly_closer_tracker() {
+        let mut n = NeighborSet::new(ip(100), 4);
+        n.insert(entry(1, 50));
+        n.insert(entry(2, 200));
+        // Target 60 is much closer to tracker 1 (ip 50) than to the owner (100).
+        assert_eq!(n.best_forward(ip(60)).unwrap().id, TrackerId::new(1));
+        // Target 101 is closest to the owner itself: no forwarding.
+        assert!(n.best_forward(ip(101)).is_none());
+        // Target 240 forwards right.
+        assert_eq!(n.best_forward(ip(240)).unwrap().id, TrackerId::new(2));
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let n = NeighborSet::new(ip(1), 8);
+        assert!(n.is_empty());
+        assert!(n.closest_left().is_none());
+        assert!(n.closest_right().is_none());
+        assert!(n.best_forward(ip(200)).is_none());
+        assert_eq!(n.all(), vec![]);
+    }
+}

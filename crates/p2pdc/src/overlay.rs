@@ -1,0 +1,893 @@
+//! The hybrid topology manager: server, trackers and peers.
+//!
+//! This module implements the decentralized overlay of paper §III-A:
+//!
+//! * a **server** that is only the first contact point and statistics sink —
+//!   "when the server disconnects, the system continues working";
+//! * **trackers**, each managing a *zone* of peers and a neighbour set `N`
+//!   over the IP-ordered tracker line;
+//! * **peers**, donors of compute resources, that publish their resources and
+//!   periodically refresh their usage state.
+//!
+//! The join, leave and collection protocols are implemented faithfully at the
+//! message level; instead of scheduling each message in the event simulator,
+//! every operation returns an [`OverlayCost`] — how many messages were
+//! exchanged and how long the critical path is in message hops — which the
+//! executor converts into time on a concrete platform. This keeps the overlay
+//! logic independently testable (including under churn) while still feeding
+//! the performance model.
+
+use crate::line::{NeighborSet, TrackerEntry};
+use p2p_common::{
+    HostId, IpAddr, PeerId, PeerResources, ResourceRequirements, SimDuration, SimTime, TaskId,
+    TrackerId, UsageState,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Overlay tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// Size of each tracker's neighbour set `N` (split half/half by IP side).
+    pub neighbor_set_size: usize,
+    /// Period at which peers refresh their usage state to their tracker.
+    pub peer_update_period: SimDuration,
+    /// Timeout `T` after which a silent peer (or tracker) is considered dead.
+    pub failure_timeout: SimDuration,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            neighbor_set_size: 6,
+            peer_update_period: SimDuration::from_secs(30),
+            failure_timeout: SimDuration::from_secs(90),
+        }
+    }
+}
+
+/// Message/hop cost of an overlay operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlayCost {
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Length of the critical path, in one-way message hops.
+    pub critical_hops: u32,
+}
+
+impl OverlayCost {
+    /// Accumulate another operation happening *after* this one.
+    pub fn then(self, next: OverlayCost) -> OverlayCost {
+        OverlayCost {
+            messages: self.messages + next.messages,
+            critical_hops: self.critical_hops + next.critical_hops,
+        }
+    }
+}
+
+/// A peer as recorded inside a tracker's zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZonePeer {
+    /// Peer identifier.
+    pub id: PeerId,
+    /// Peer IP address.
+    pub ip: IpAddr,
+    /// Host the peer runs on, when the overlay is bound to a platform.
+    pub host: Option<HostId>,
+    /// Published resources.
+    pub resources: PeerResources,
+    /// Time of the last state update received.
+    pub last_update: SimTime,
+    /// Task this peer is currently reserved for, if any.
+    pub reserved_for: Option<TaskId>,
+}
+
+/// A tracker and its zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerState {
+    /// Tracker identifier.
+    pub id: TrackerId,
+    /// Tracker IP address.
+    pub ip: IpAddr,
+    /// Neighbour set `N`.
+    pub neighbors: NeighborSet,
+    /// Peers of this zone, keyed by peer id.
+    pub zone: BTreeMap<PeerId, ZonePeer>,
+    /// Statistics reports sent to the server.
+    pub reports_sent: u64,
+}
+
+/// A peer's own view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerState {
+    /// Peer identifier.
+    pub id: PeerId,
+    /// Peer IP address.
+    pub ip: IpAddr,
+    /// Host the peer runs on, when bound to a platform.
+    pub host: Option<HostId>,
+    /// The peer's resources.
+    pub resources: PeerResources,
+    /// Tracker whose zone the peer belongs to.
+    pub tracker: Option<TrackerId>,
+    /// Locally stored tracker list (used to rejoin after a tracker failure).
+    pub tracker_list: Vec<TrackerEntry>,
+}
+
+/// The bootstrap server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerState {
+    /// Trackers the server knows about.
+    pub known_trackers: Vec<TrackerEntry>,
+    /// Whether the server is currently reachable.
+    pub online: bool,
+    /// Statistics reports received from trackers.
+    pub reports_received: u64,
+}
+
+/// The full overlay state.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    config: OverlayConfig,
+    server: ServerState,
+    trackers: BTreeMap<TrackerId, TrackerState>,
+    peers: BTreeMap<PeerId, PeerState>,
+    now: SimTime,
+    next_id: u64,
+    /// Total protocol messages exchanged since bootstrap.
+    pub total_messages: u64,
+}
+
+impl Overlay {
+    /// Bootstrap the system: a server plus the given core trackers, which are
+    /// "managed by system administrator … on-line permanently" (§III-A.3).
+    pub fn bootstrap(config: OverlayConfig, core_tracker_ips: &[IpAddr]) -> Overlay {
+        assert!(
+            !core_tracker_ips.is_empty(),
+            "the system needs at least one core tracker"
+        );
+        let mut overlay = Overlay {
+            config,
+            server: ServerState {
+                known_trackers: Vec::new(),
+                online: true,
+                reports_received: 0,
+            },
+            trackers: BTreeMap::new(),
+            peers: BTreeMap::new(),
+            now: SimTime::ZERO,
+            next_id: 1,
+            total_messages: 0,
+        };
+        for &ip in core_tracker_ips {
+            overlay.tracker_join(ip);
+        }
+        overlay
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Current overlay time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the overlay clock (peer updates, timeouts).
+    pub fn advance_time(&mut self, d: SimDuration) {
+        self.now = self.now + d;
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.config
+    }
+
+    /// The server.
+    pub fn server(&self) -> &ServerState {
+        &self.server
+    }
+
+    /// Take the server offline; the overlay keeps working (§III-A.7).
+    pub fn server_disconnect(&mut self) {
+        self.server.online = false;
+    }
+
+    /// Bring the server back; trackers flush their stored statistics to it.
+    pub fn server_reconnect(&mut self) -> OverlayCost {
+        self.server.online = true;
+        let mut messages = 0;
+        for t in self.trackers.values_mut() {
+            t.reports_sent += 1;
+            messages += 1;
+        }
+        self.server.reports_received += messages;
+        self.total_messages += messages;
+        OverlayCost {
+            messages,
+            critical_hops: 1,
+        }
+    }
+
+    /// Number of live trackers.
+    pub fn tracker_count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Look a tracker up.
+    pub fn tracker(&self, id: TrackerId) -> Option<&TrackerState> {
+        self.trackers.get(&id)
+    }
+
+    /// Look a peer up.
+    pub fn peer(&self, id: PeerId) -> Option<&PeerState> {
+        self.peers.get(&id)
+    }
+
+    /// Iterate over all trackers, in id order.
+    pub fn trackers(&self) -> impl Iterator<Item = &TrackerState> {
+        self.trackers.values()
+    }
+
+    /// Iterate over all peers, in id order.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerState> {
+        self.peers.values()
+    }
+
+    /// Proximity ordering used by the overlay: longest common IP prefix first
+    /// (the paper's metric), numeric distance as tie-break.
+    fn proximity_key(a: IpAddr, b: IpAddr) -> (u32, u32) {
+        (u32::MAX - a.common_prefix_len(b), a.as_u32().abs_diff(b.as_u32()))
+    }
+
+    /// The tracker closest to `ip` (ground truth over all live trackers).
+    pub fn closest_tracker(&self, ip: IpAddr) -> Option<TrackerId> {
+        self.trackers
+            .values()
+            .min_by_key(|t| Self::proximity_key(t.ip, ip))
+            .map(|t| t.id)
+    }
+
+    /// Walk the overlay from an arbitrary entry tracker towards the tracker
+    /// closest to `ip`, following neighbour sets exactly like a join message
+    /// would. Returns `(closest tracker, hops taken)`.
+    fn locate_closest(&self, entry: TrackerId, ip: IpAddr) -> (TrackerId, u32) {
+        let mut current = entry;
+        let mut hops = 0u32;
+        let mut visited: BTreeSet<TrackerId> = BTreeSet::new();
+        loop {
+            visited.insert(current);
+            let state = &self.trackers[&current];
+            let best_neighbor = state
+                .neighbors
+                .all()
+                .into_iter()
+                .filter(|e| self.trackers.contains_key(&e.id) && !visited.contains(&e.id))
+                .min_by_key(|e| Self::proximity_key(e.ip, ip));
+            match best_neighbor {
+                Some(next) if Self::proximity_key(next.ip, ip) < Self::proximity_key(state.ip, ip) => {
+                    current = next.id;
+                    hops += 1;
+                }
+                _ => return (current, hops),
+            }
+        }
+    }
+
+    /// A new tracker joins the overlay (§III-A.4). Returns its id and the
+    /// protocol cost.
+    pub fn tracker_join(&mut self, ip: IpAddr) -> (TrackerId, OverlayCost) {
+        let id = TrackerId::new(self.alloc_id());
+        let mut neighbors = NeighborSet::new(ip, self.config.neighbor_set_size);
+        let mut cost = OverlayCost::default();
+
+        if !self.trackers.is_empty() {
+            // Contact the closest tracker we know of (via the server list) and
+            // let the join message be forwarded to the actual closest tracker.
+            let entry_tracker = self
+                .server
+                .known_trackers
+                .iter()
+                .filter(|e| self.trackers.contains_key(&e.id))
+                .min_by_key(|e| Self::proximity_key(e.ip, ip))
+                .map(|e| e.id)
+                .or_else(|| self.trackers.keys().next().copied())
+                .expect("non-empty tracker set");
+            let (closest, hops) = self.locate_closest(entry_tracker, ip);
+            cost.messages += hops as u64 + 1;
+            cost.critical_hops += hops + 1;
+
+            // The closest tracker shares its neighbour set with the newcomer
+            // and informs everybody in it.
+            let closest_state = self.trackers[&closest].clone();
+            let mut informed: Vec<TrackerId> = vec![closest];
+            neighbors.insert(TrackerEntry::new(closest, closest_state.ip));
+            for e in closest_state.neighbors.all() {
+                if self.trackers.contains_key(&e.id) {
+                    neighbors.insert(e);
+                    informed.push(e.id);
+                }
+            }
+            let new_entry = TrackerEntry::new(id, ip);
+            for t in informed {
+                if let Some(state) = self.trackers.get_mut(&t) {
+                    state.neighbors.insert(new_entry);
+                }
+            }
+            cost.messages += neighbors.len() as u64 + 2;
+            cost.critical_hops += 2; // inform + answer with the neighbour list
+        } else {
+            // Very first tracker: only the server is involved.
+            cost.messages += 1;
+            cost.critical_hops += 1;
+        }
+
+        self.trackers.insert(
+            id,
+            TrackerState {
+                id,
+                ip,
+                neighbors,
+                zone: BTreeMap::new(),
+                reports_sent: 0,
+            },
+        );
+        if self.server.online {
+            self.server.known_trackers.push(TrackerEntry::new(id, ip));
+            cost.messages += 1;
+        }
+        self.total_messages += cost.messages;
+        (id, cost)
+    }
+
+    /// A tracker disappears without warning (§III-A.5). Its direct neighbours
+    /// detect the broken connection, repair the line, and the orphaned peers
+    /// of its zone rejoin the closest remaining tracker.
+    pub fn tracker_crash(&mut self, id: TrackerId) -> OverlayCost {
+        let Some(dead) = self.trackers.remove(&id) else {
+            return OverlayCost::default();
+        };
+        let mut cost = OverlayCost {
+            messages: 0,
+            critical_hops: 1, // detection by a broken connection
+        };
+        self.server.known_trackers.retain(|e| e.id != id);
+
+        // Direct neighbours on the line.
+        let left = dead.neighbors.closest_left().filter(|e| self.trackers.contains_key(&e.id));
+        let right = dead.neighbors.closest_right().filter(|e| self.trackers.contains_key(&e.id));
+
+        // Every tracker that knew the dead one drops it and receives
+        // replacement candidates from the repairing neighbours.
+        let mut candidates: Vec<TrackerEntry> = Vec::new();
+        if let Some(l) = left {
+            candidates.push(l);
+            candidates.extend(self.trackers[&l.id].neighbors.all());
+        }
+        if let Some(r) = right {
+            candidates.push(r);
+            candidates.extend(self.trackers[&r.id].neighbors.all());
+        }
+        candidates.retain(|e| e.id != id && self.trackers.contains_key(&e.id));
+        for state in self.trackers.values_mut() {
+            if state.neighbors.remove(id) {
+                cost.messages += 1;
+                for &c in &candidates {
+                    if c.id != state.id {
+                        state.neighbors.insert(c);
+                    }
+                }
+            }
+        }
+        // The two repairing neighbours connect to each other.
+        if let (Some(l), Some(r)) = (left, right) {
+            if let Some(ls) = self.trackers.get_mut(&l.id) {
+                ls.neighbors.insert(r);
+            }
+            if let Some(rs) = self.trackers.get_mut(&r.id) {
+                rs.neighbors.insert(l);
+            }
+            cost.messages += 2;
+            cost.critical_hops += 2;
+        }
+        if self.server.online {
+            cost.messages += 1;
+        }
+
+        // Orphaned peers re-join through their locally stored tracker list
+        // once they notice the missing answer messages (§III-A.7).
+        let orphans: Vec<ZonePeer> = dead.zone.into_values().collect();
+        cost.critical_hops += u32::from(!orphans.is_empty());
+        for zp in orphans {
+            if let Some(peer) = self.peers.get(&zp.id).cloned() {
+                let rejoin = self.attach_peer_to_closest(peer.id, peer.ip, peer.host, peer.resources, zp.reserved_for);
+                cost.messages += rejoin.messages;
+            }
+        }
+        self.total_messages += cost.messages;
+        cost
+    }
+
+    fn attach_peer_to_closest(
+        &mut self,
+        id: PeerId,
+        ip: IpAddr,
+        host: Option<HostId>,
+        resources: PeerResources,
+        reserved_for: Option<TaskId>,
+    ) -> OverlayCost {
+        let tracker_id = self
+            .closest_tracker(ip)
+            .expect("cannot attach a peer to an overlay without trackers");
+        let now = self.now;
+        let tracker = self.trackers.get_mut(&tracker_id).expect("tracker exists");
+        tracker.zone.insert(
+            id,
+            ZonePeer {
+                id,
+                ip,
+                host,
+                resources,
+                last_update: now,
+                reserved_for,
+            },
+        );
+        let tracker_list: Vec<TrackerEntry> = {
+            let t = &self.trackers[&tracker_id];
+            let mut list = t.neighbors.all();
+            list.push(TrackerEntry::new(t.id, t.ip));
+            list
+        };
+        let entry = self.peers.entry(id).or_insert(PeerState {
+            id,
+            ip,
+            host,
+            resources,
+            tracker: None,
+            tracker_list: Vec::new(),
+        });
+        entry.tracker = Some(tracker_id);
+        entry.tracker_list = tracker_list;
+        OverlayCost {
+            messages: 3, // join + accept(+N) + resources publication
+            critical_hops: 3,
+        }
+    }
+
+    /// A new peer joins the overlay (§III-A.6).
+    pub fn peer_join(
+        &mut self,
+        ip: IpAddr,
+        host: Option<HostId>,
+        resources: PeerResources,
+    ) -> (PeerId, OverlayCost) {
+        assert!(
+            !self.trackers.is_empty(),
+            "peers cannot join an overlay without trackers"
+        );
+        let id = PeerId::new(self.alloc_id());
+        // The join message is forwarded tracker-to-tracker until the closest
+        // one is reached; account for the walk explicitly.
+        let entry_tracker = *self.trackers.keys().next().expect("non-empty");
+        let (_closest, hops) = self.locate_closest(entry_tracker, ip);
+        let mut cost = OverlayCost {
+            messages: hops as u64,
+            critical_hops: hops,
+        };
+        cost = cost.then(self.attach_peer_to_closest(id, ip, host, resources, None));
+        self.total_messages += cost.messages;
+        (id, cost)
+    }
+
+    /// A peer sends its periodic state update; the tracker answers.
+    pub fn peer_update(&mut self, id: PeerId, usage: UsageState) -> OverlayCost {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return OverlayCost::default();
+        };
+        peer.resources.usage = usage;
+        let tracker = peer.tracker;
+        let (ip, resources) = (peer.ip, peer.resources);
+        if let Some(tid) = tracker {
+            let now = self.now;
+            if let Some(t) = self.trackers.get_mut(&tid) {
+                if let Some(zp) = t.zone.get_mut(&id) {
+                    zp.last_update = now;
+                    zp.resources = resources;
+                    zp.ip = ip;
+                }
+            }
+        }
+        self.total_messages += 2;
+        OverlayCost {
+            messages: 2,
+            critical_hops: 2,
+        }
+    }
+
+    /// A peer disconnects silently: nothing happens immediately; its tracker
+    /// notices once the failure timeout elapses (see
+    /// [`Overlay::expire_silent_peers`]).
+    pub fn peer_disconnect(&mut self, id: PeerId) {
+        self.peers.remove(&id);
+    }
+
+    /// Trackers drop zone peers whose last update is older than the failure
+    /// timeout `T`. Returns the peers that were expired.
+    pub fn expire_silent_peers(&mut self) -> Vec<PeerId> {
+        let cutoff = self.now.duration_since(SimTime::ZERO);
+        let timeout = self.config.failure_timeout;
+        let mut expired = Vec::new();
+        for tracker in self.trackers.values_mut() {
+            let dead: Vec<PeerId> = tracker
+                .zone
+                .values()
+                .filter(|zp| {
+                    let age = cutoff.saturating_sub(zp.last_update.duration_since(SimTime::ZERO));
+                    age > timeout
+                })
+                .map(|zp| zp.id)
+                .collect();
+            for id in dead {
+                tracker.zone.remove(&id);
+                expired.push(id);
+            }
+        }
+        // A peer that still believes it is connected but was expired must
+        // eventually rejoin; here we simply drop the stale binding.
+        for id in &expired {
+            if let Some(p) = self.peers.get_mut(id) {
+                p.tracker = None;
+            }
+        }
+        expired
+    }
+
+    /// Peer collection for a task (§III-B): the submitter asks its own
+    /// tracker, then the trackers in its local list, then expands outwards
+    /// until `needed` peers matching `req` have been reserved. Reserved peers
+    /// are marked busy and bound to `task`.
+    pub fn collect_peers(
+        &mut self,
+        submitter: PeerId,
+        needed: usize,
+        req: &ResourceRequirements,
+        task: TaskId,
+    ) -> (Vec<PeerId>, OverlayCost) {
+        let Some(sub) = self.peers.get(&submitter) else {
+            return (Vec::new(), OverlayCost::default());
+        };
+        let sub_ip = sub.ip;
+        let own_tracker = sub.tracker.or_else(|| self.closest_tracker(sub_ip));
+        let mut cost = OverlayCost::default();
+        let mut collected: Vec<PeerId> = Vec::new();
+
+        // Visit order: own tracker, then the local tracker list, then every
+        // other tracker by increasing distance (the "ask the farthest trackers
+        // for more addresses" expansion).
+        let mut order: Vec<TrackerId> = Vec::new();
+        if let Some(t) = own_tracker {
+            order.push(t);
+        }
+        if let Some(sub) = self.peers.get(&submitter) {
+            for e in &sub.tracker_list {
+                if self.trackers.contains_key(&e.id) && !order.contains(&e.id) {
+                    order.push(e.id);
+                }
+            }
+        }
+        let mut rest: Vec<TrackerId> = self
+            .trackers
+            .values()
+            .filter(|t| !order.contains(&t.id))
+            .map(|t| t.id)
+            .collect();
+        rest.sort_by_key(|tid| Self::proximity_key(self.trackers[tid].ip, sub_ip));
+        let expansion_needed = !rest.is_empty();
+        order.extend(rest);
+
+        for (visited, tid) in order.into_iter().enumerate() {
+            if collected.len() >= needed {
+                break;
+            }
+            // Request + filtered peer list back.
+            cost.messages += 2;
+            cost.critical_hops += 2;
+            // Asking beyond the local list first costs an address-discovery
+            // round through the farthest trackers.
+            if visited == 1 + self.config.neighbor_set_size && expansion_needed {
+                cost.messages += 2;
+                cost.critical_hops += 2;
+            }
+            let tracker = self.trackers.get_mut(&tid).expect("tracker in order list");
+            let mut eligible: Vec<PeerId> = tracker
+                .zone
+                .values()
+                .filter(|zp| {
+                    zp.id != submitter
+                        && zp.reserved_for.is_none()
+                        && zp.resources.satisfies(req)
+                })
+                .map(|zp| zp.id)
+                .collect();
+            eligible.sort();
+            for pid in eligible {
+                if collected.len() >= needed {
+                    break;
+                }
+                // Reserve: the peer informs its tracker it is no longer free.
+                if let Some(zp) = tracker.zone.get_mut(&pid) {
+                    zp.reserved_for = Some(task);
+                    zp.resources.usage = UsageState::Busy;
+                }
+                if let Some(p) = self.peers.get_mut(&pid) {
+                    p.resources.usage = UsageState::Busy;
+                }
+                cost.messages += 1;
+                collected.push(pid);
+            }
+        }
+        self.total_messages += cost.messages;
+        (collected, cost)
+    }
+
+    /// Release every peer reserved for `task` (end of computation).
+    pub fn release_peers(&mut self, task: TaskId) -> usize {
+        let mut released_peers: Vec<PeerId> = Vec::new();
+        for tracker in self.trackers.values_mut() {
+            for zp in tracker.zone.values_mut() {
+                if zp.reserved_for == Some(task) {
+                    zp.reserved_for = None;
+                    zp.resources.usage = UsageState::Free;
+                    released_peers.push(zp.id);
+                }
+            }
+        }
+        for id in &released_peers {
+            if let Some(peer) = self.peers.get_mut(id) {
+                peer.resources.usage = UsageState::Free;
+            }
+        }
+        released_peers.len()
+    }
+
+    /// Structural invariants checked by the tests. Returns human-readable
+    /// violations (empty = consistent).
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        // Every connected peer's tracker exists and lists it in its zone.
+        for peer in self.peers.values() {
+            if let Some(tid) = peer.tracker {
+                match self.trackers.get(&tid) {
+                    None => problems.push(format!("{} points at missing {tid}", peer.id)),
+                    Some(t) => {
+                        if !t.zone.contains_key(&peer.id) {
+                            problems.push(format!("{} missing from {tid}'s zone", peer.id));
+                        }
+                    }
+                }
+            }
+        }
+        // Neighbour sets only reference live trackers.
+        for tracker in self.trackers.values() {
+            for e in tracker.neighbors.all() {
+                if !self.trackers.contains_key(&e.id) {
+                    problems.push(format!("{} references dead {}", tracker.id, e.id));
+                }
+            }
+        }
+        // Line consistency: each tracker's direct neighbours are its true
+        // predecessor/successor in global IP order (when they exist).
+        let mut by_ip: Vec<&TrackerState> = self.trackers.values().collect();
+        by_ip.sort_by_key(|t| t.ip);
+        for (i, t) in by_ip.iter().enumerate() {
+            if i > 0 {
+                let expected = by_ip[i - 1];
+                if let Some(left) = t.neighbors.closest_left() {
+                    if left.id != expected.id {
+                        problems.push(format!(
+                            "{}'s left neighbour is {} but the line predecessor is {}",
+                            t.id, left.id, expected.id
+                        ));
+                    }
+                } else {
+                    problems.push(format!("{} lost its left neighbour", t.id));
+                }
+            }
+            if i + 1 < by_ip.len() {
+                let expected = by_ip[i + 1];
+                if let Some(right) = t.neighbors.closest_right() {
+                    if right.id != expected.id {
+                        problems.push(format!(
+                            "{}'s right neighbour is {} but the line successor is {}",
+                            t.id, right.id, expected.id
+                        ));
+                    }
+                } else {
+                    problems.push(format!("{} lost its right neighbour", t.id));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr::from_octets(a, b, c, d)
+    }
+
+    fn small_overlay() -> Overlay {
+        Overlay::bootstrap(
+            OverlayConfig::default(),
+            &[ip(10, 0, 0, 10), ip(10, 0, 1, 10), ip(10, 0, 2, 10)],
+        )
+    }
+
+    #[test]
+    fn bootstrap_builds_a_consistent_line() {
+        let overlay = small_overlay();
+        assert_eq!(overlay.tracker_count(), 3);
+        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        assert_eq!(overlay.server().known_trackers.len(), 3);
+    }
+
+    #[test]
+    fn tracker_join_inserts_at_the_right_position() {
+        let mut overlay = small_overlay();
+        let (id, cost) = overlay.tracker_join(ip(10, 0, 1, 200));
+        assert!(cost.messages > 0);
+        assert!(overlay.tracker(id).is_some());
+        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        // Its line neighbours must be 10.0.1.10 (left) and 10.0.2.10 (right).
+        let t = overlay.tracker(id).unwrap();
+        assert_eq!(t.neighbors.closest_left().unwrap().ip, ip(10, 0, 1, 10));
+        assert_eq!(t.neighbors.closest_right().unwrap().ip, ip(10, 0, 2, 10));
+    }
+
+    #[test]
+    fn many_tracker_joins_keep_the_line_consistent() {
+        let mut overlay = small_overlay();
+        for i in 0..20u8 {
+            overlay.tracker_join(ip(10, 0, i % 5, 20 + i));
+        }
+        assert_eq!(overlay.tracker_count(), 23);
+        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+    }
+
+    #[test]
+    fn peer_join_lands_in_the_closest_zone() {
+        let mut overlay = small_overlay();
+        let (peer, cost) = overlay.peer_join(ip(10, 0, 2, 77), None, PeerResources::xeon_em64t());
+        assert!(cost.messages >= 3);
+        let tid = overlay.peer(peer).unwrap().tracker.unwrap();
+        assert_eq!(overlay.tracker(tid).unwrap().ip, ip(10, 0, 2, 10), "same /24 wins");
+        assert!(overlay.tracker(tid).unwrap().zone.contains_key(&peer));
+        assert!(!overlay.peer(peer).unwrap().tracker_list.is_empty());
+        assert!(overlay.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn tracker_crash_repairs_the_line_and_rehomes_peers() {
+        let mut overlay = small_overlay();
+        let (mid, _) = overlay.tracker_join(ip(10, 0, 1, 200));
+        let (peer, _) = overlay.peer_join(ip(10, 0, 1, 201), None, PeerResources::xeon_em64t());
+        assert_eq!(overlay.peer(peer).unwrap().tracker, Some(mid));
+        let cost = overlay.tracker_crash(mid);
+        assert!(cost.messages > 0);
+        assert_eq!(overlay.tracker_count(), 3);
+        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        // The orphaned peer is attached to a surviving tracker.
+        let new_tracker = overlay.peer(peer).unwrap().tracker.unwrap();
+        assert!(overlay.tracker(new_tracker).is_some());
+        assert!(overlay.tracker(new_tracker).unwrap().zone.contains_key(&peer));
+    }
+
+    #[test]
+    fn crashing_an_unknown_tracker_is_a_noop() {
+        let mut overlay = small_overlay();
+        let cost = overlay.tracker_crash(TrackerId::new(999));
+        assert_eq!(cost, OverlayCost::default());
+        assert_eq!(overlay.tracker_count(), 3);
+    }
+
+    #[test]
+    fn server_can_disconnect_and_reconnect() {
+        let mut overlay = small_overlay();
+        overlay.server_disconnect();
+        // The overlay keeps accepting joins while the server is away.
+        let (peer, _) = overlay.peer_join(ip(10, 0, 0, 55), None, PeerResources::xeon_em64t());
+        let (tracker, _) = overlay.tracker_join(ip(10, 0, 3, 10));
+        assert!(overlay.peer(peer).is_some());
+        assert!(overlay.tracker(tracker).is_some());
+        assert!(overlay.check_invariants().is_empty());
+        let cost = overlay.server_reconnect();
+        assert_eq!(cost.messages as usize, overlay.tracker_count());
+        assert!(overlay.server().reports_received > 0);
+    }
+
+    #[test]
+    fn peer_updates_refresh_the_zone_and_silence_expires() {
+        let mut overlay = small_overlay();
+        let (peer, _) = overlay.peer_join(ip(10, 0, 0, 99), None, PeerResources::xeon_em64t());
+        overlay.advance_time(SimDuration::from_secs(60));
+        overlay.peer_update(peer, UsageState::Free);
+        overlay.advance_time(SimDuration::from_secs(60));
+        // Updated 60 s ago with a 90 s timeout: still alive.
+        assert!(overlay.expire_silent_peers().is_empty());
+        overlay.advance_time(SimDuration::from_secs(60));
+        // Now 120 s since the last update: expired.
+        let expired = overlay.expire_silent_peers();
+        assert_eq!(expired, vec![peer]);
+        assert_eq!(overlay.peer(peer).unwrap().tracker, None);
+    }
+
+    #[test]
+    fn collection_prefers_the_submitters_zone_then_expands() {
+        let mut overlay = small_overlay();
+        // 4 peers near tracker 0, 4 near tracker 2.
+        let mut near = Vec::new();
+        for i in 0..4u8 {
+            near.push(overlay.peer_join(ip(10, 0, 0, 100 + i), None, PeerResources::xeon_em64t()).0);
+        }
+        let mut far = Vec::new();
+        for i in 0..4u8 {
+            far.push(overlay.peer_join(ip(10, 0, 2, 100 + i), None, PeerResources::xeon_em64t()).0);
+        }
+        let (submitter, _) = overlay.peer_join(ip(10, 0, 0, 250), None, PeerResources::xeon_em64t());
+        let task = TaskId::new(1);
+        let (collected, cost) =
+            overlay.collect_peers(submitter, 6, &ResourceRequirements::none(), task);
+        assert_eq!(collected.len(), 6);
+        assert!(cost.messages >= 6);
+        // The first four collected peers are the near ones.
+        for p in &near {
+            assert!(collected.contains(p), "zone peers must be collected first");
+        }
+        // Collected peers are now busy and cannot be collected again.
+        let (second, _) = overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(2));
+        assert_eq!(second.len(), 2, "only the two unreserved far peers remain");
+        // Releasing makes them available again.
+        assert_eq!(overlay.release_peers(task), 6);
+        let (third, _) = overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(3));
+        assert_eq!(third.len(), 6);
+    }
+
+    #[test]
+    fn collection_filters_by_requirements() {
+        let mut overlay = small_overlay();
+        overlay.peer_join(ip(10, 0, 0, 30), None, PeerResources::weak());
+        overlay.peer_join(ip(10, 0, 0, 31), None, PeerResources::xeon_em64t());
+        let (submitter, _) = overlay.peer_join(ip(10, 0, 0, 32), None, PeerResources::xeon_em64t());
+        let (collected, _) = overlay.collect_peers(
+            submitter,
+            2,
+            &ResourceRequirements::cluster_class(),
+            TaskId::new(9),
+        );
+        assert_eq!(collected.len(), 1, "the weak peer must be filtered out");
+    }
+
+    #[test]
+    fn collection_from_an_unknown_submitter_returns_nothing() {
+        let mut overlay = small_overlay();
+        let (collected, cost) = overlay.collect_peers(
+            PeerId::new(424242),
+            4,
+            &ResourceRequirements::none(),
+            TaskId::new(1),
+        );
+        assert!(collected.is_empty());
+        assert_eq!(cost, OverlayCost::default());
+    }
+}

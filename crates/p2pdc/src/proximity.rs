@@ -1,0 +1,168 @@
+//! Proximity-based peer grouping.
+//!
+//! "When submitter has collected enough peers, it divides peers into groups
+//! based on proximity; in each group, a peer is chosen by submitter to become
+//! coordinator which will manage others peers in group." (§III-C)
+//!
+//! Grouping sorts the peers by IP address — so peers sharing long common
+//! prefixes end up adjacent — and cuts the sorted sequence into the smallest
+//! number of groups that respects the `Cmax` bound, keeping group sizes
+//! balanced. The coordinator of a group is its best-provisioned peer.
+
+use p2p_common::{IpAddr, PeerId, PeerResources};
+
+/// A peer candidate for grouping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupCandidate {
+    /// Peer identifier.
+    pub id: PeerId,
+    /// Peer IP address (proximity key).
+    pub ip: IpAddr,
+    /// Published resources (used to pick the coordinator).
+    pub resources: PeerResources,
+}
+
+/// Split `peers` into proximity groups of at most `max_group_size` members.
+/// Groups are balanced (sizes differ by at most one) and preserve IP order,
+/// so members of a group share the longest possible IP prefixes.
+pub fn group_by_proximity(peers: &[GroupCandidate], max_group_size: usize) -> Vec<Vec<GroupCandidate>> {
+    assert!(max_group_size > 0, "groups must hold at least one peer");
+    if peers.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<GroupCandidate> = peers.to_vec();
+    sorted.sort_by_key(|p| (p.ip, p.id));
+    let n = sorted.len();
+    let group_count = n.div_ceil(max_group_size);
+    let base = n / group_count;
+    let remainder = n % group_count;
+    let mut groups = Vec::with_capacity(group_count);
+    let mut start = 0;
+    for g in 0..group_count {
+        let size = base + usize::from(g < remainder);
+        groups.push(sorted[start..start + size].to_vec());
+        start += size;
+    }
+    groups
+}
+
+/// Pick the coordinator of a group: the peer with the most processing power,
+/// ties broken by the smallest IP then id (deterministic).
+pub fn choose_coordinator(group: &[GroupCandidate]) -> Option<PeerId> {
+    group
+        .iter()
+        .max_by(|a, b| {
+            a.resources
+                .cpu_flops
+                .partial_cmp(&b.resources.cpu_flops)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.ip.cmp(&a.ip))
+                .then(b.id.cmp(&a.id))
+        })
+        .map(|p| p.id)
+}
+
+/// Mean pairwise proximity (common-prefix bits) inside a group — the quantity
+/// the proximity ablation bench compares against random grouping.
+pub fn mean_group_proximity(group: &[GroupCandidate]) -> f64 {
+    if group.len() < 2 {
+        return 32.0;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for i in 0..group.len() {
+        for j in (i + 1)..group.len() {
+            total += group[i].ip.common_prefix_len(group[j].ip) as u64;
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(id: u64, ip: [u8; 4], flops: f64) -> GroupCandidate {
+        GroupCandidate {
+            id: PeerId::new(id),
+            ip: IpAddr::from_octets(ip[0], ip[1], ip[2], ip[3]),
+            resources: PeerResources {
+                cpu_flops: flops,
+                memory_mb: 2048,
+                disk_gb: 80,
+                usage: p2p_common::UsageState::Free,
+            },
+        }
+    }
+
+    fn cluster(count: usize, subnet: u8) -> Vec<GroupCandidate> {
+        (0..count)
+            .map(|i| candidate(subnet as u64 * 1000 + i as u64, [10, subnet, 0, i as u8 + 1], 1e9))
+            .collect()
+    }
+
+    #[test]
+    fn groups_respect_the_size_bound_and_cover_everyone() {
+        let mut peers = cluster(40, 1);
+        peers.extend(cluster(30, 2));
+        let groups = group_by_proximity(&peers, 32);
+        assert!(groups.iter().all(|g| g.len() <= 32));
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 70);
+        // Balanced: 70 peers in 3 groups -> 24/23/23.
+        assert_eq!(groups.len(), 3);
+        let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![23, 23, 24]);
+        // No peer appears twice.
+        let mut ids: Vec<PeerId> = groups.iter().flatten().map(|c| c.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 70);
+    }
+
+    #[test]
+    fn grouping_keeps_subnets_together() {
+        let mut peers = cluster(16, 1);
+        peers.extend(cluster(16, 2));
+        let groups = group_by_proximity(&peers, 16);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            let subnets: std::collections::HashSet<u8> =
+                g.iter().map(|c| c.ip.octets()[1]).collect();
+            assert_eq!(subnets.len(), 1, "each group stays within one subnet");
+        }
+        // Proximity-based groups have higher internal proximity than one big mix.
+        let mixed = mean_group_proximity(&peers);
+        for g in &groups {
+            assert!(mean_group_proximity(g) > mixed);
+        }
+    }
+
+    #[test]
+    fn small_inputs_form_a_single_group() {
+        let peers = cluster(5, 3);
+        let groups = group_by_proximity(&peers, 32);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 5);
+        assert!(group_by_proximity(&[], 32).is_empty());
+    }
+
+    #[test]
+    fn coordinator_is_the_best_provisioned_peer() {
+        let mut group = cluster(4, 1);
+        group[2].resources.cpu_flops = 4e9;
+        assert_eq!(choose_coordinator(&group), Some(group[2].id));
+        assert_eq!(choose_coordinator(&[]), None);
+        // All-equal resources: the smallest IP wins (deterministic).
+        let equal = cluster(3, 7);
+        assert_eq!(choose_coordinator(&equal), Some(equal[0].id));
+    }
+
+    #[test]
+    fn mean_proximity_of_a_singleton_is_full_length() {
+        let g = cluster(1, 1);
+        assert_eq!(mean_group_proximity(&g), 32.0);
+    }
+}

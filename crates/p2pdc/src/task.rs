@@ -1,0 +1,115 @@
+//! Task specifications.
+//!
+//! A *task* is "a computation submitted to environment; a part of a
+//! computation assigned to a peer is called a subtask" (§III). The submitter's
+//! peer-request message carries the task description, the number of peers
+//! needed initially and the peer requirements (§III-B).
+
+use p2p_common::{ResourceRequirements, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Peers are being collected.
+    Collecting,
+    /// Subtasks are being distributed.
+    Allocating,
+    /// The computation is running.
+    Running,
+    /// Results have been gathered back at the submitter.
+    Completed,
+    /// Not enough peers could be collected.
+    Aborted,
+}
+
+/// A computation submitted to the P2PDC environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Human-readable description.
+    pub description: String,
+    /// Number of peers needed initially.
+    pub peers_needed: usize,
+    /// Requirements each peer must satisfy.
+    pub requirements: ResourceRequirements,
+    /// Current status.
+    pub status: TaskStatus,
+}
+
+impl TaskSpec {
+    /// A new task in the `Collecting` state.
+    pub fn new(
+        id: TaskId,
+        description: impl Into<String>,
+        peers_needed: usize,
+        requirements: ResourceRequirements,
+    ) -> Self {
+        assert!(peers_needed > 0, "a task needs at least one peer");
+        TaskSpec {
+            id,
+            description: description.into(),
+            peers_needed,
+            requirements,
+            status: TaskStatus::Collecting,
+        }
+    }
+
+    /// Advance the lifecycle. Panics on illegal transitions so misuse is
+    /// caught in tests rather than silently accepted.
+    pub fn advance(&mut self, next: TaskStatus) {
+        use TaskStatus::*;
+        let legal = matches!(
+            (self.status, next),
+            (Collecting, Allocating)
+                | (Collecting, Aborted)
+                | (Allocating, Running)
+                | (Allocating, Aborted)
+                | (Running, Completed)
+                | (Running, Aborted)
+        );
+        assert!(legal, "illegal task transition {:?} -> {:?}", self.status, next);
+        self.status = next;
+    }
+
+    /// Is the task in a terminal state?
+    pub fn is_finished(&self) -> bool {
+        matches!(self.status, TaskStatus::Completed | TaskStatus::Aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut t = TaskSpec::new(TaskId::new(1), "obstacle", 8, ResourceRequirements::none());
+        assert_eq!(t.status, TaskStatus::Collecting);
+        t.advance(TaskStatus::Allocating);
+        t.advance(TaskStatus::Running);
+        t.advance(TaskStatus::Completed);
+        assert!(t.is_finished());
+    }
+
+    #[test]
+    fn abort_is_reachable_from_non_terminal_states() {
+        let mut t = TaskSpec::new(TaskId::new(1), "obstacle", 8, ResourceRequirements::none());
+        t.advance(TaskStatus::Aborted);
+        assert!(t.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal task transition")]
+    fn skipping_states_is_rejected() {
+        let mut t = TaskSpec::new(TaskId::new(1), "obstacle", 8, ResourceRequirements::none());
+        t.advance(TaskStatus::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peer_tasks_are_rejected() {
+        TaskSpec::new(TaskId::new(1), "empty", 0, ResourceRequirements::none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the overlay, the grouping and the allocation.
+
+use p2p_common::{IpAddr, PeerId, PeerResources, TrackerId};
+use p2pdc::allocation::{build_allocation, flat_cost, hierarchical_cost};
+use p2pdc::line::{NeighborSet, TrackerEntry};
+use p2pdc::proximity::{choose_coordinator, group_by_proximity, GroupCandidate};
+use p2pdc::{ChurnInjector, Overlay, OverlayConfig};
+use proptest::prelude::*;
+
+fn candidates(ips: &[u32]) -> Vec<GroupCandidate> {
+    ips.iter()
+        .enumerate()
+        .map(|(i, &ip)| GroupCandidate {
+            id: PeerId::new(i as u64 + 1),
+            ip: IpAddr::from_u32(ip),
+            resources: PeerResources::xeon_em64t(),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Proximity grouping always covers every peer exactly once and never
+    /// exceeds the group-size bound, whatever the IPs.
+    #[test]
+    fn grouping_partitions_peers(ips in prop::collection::vec(any::<u32>(), 1..200), cmax in 1usize..64) {
+        let peers = candidates(&ips);
+        let groups = group_by_proximity(&peers, cmax);
+        prop_assert!(groups.iter().all(|g| !g.is_empty() && g.len() <= cmax));
+        let mut seen: Vec<PeerId> = groups.iter().flatten().map(|c| c.id).collect();
+        seen.sort();
+        let mut expected: Vec<PeerId> = peers.iter().map(|c| c.id).collect();
+        expected.sort();
+        prop_assert_eq!(seen, expected);
+        // Every group has a coordinator and it belongs to the group.
+        for g in &groups {
+            let coord = choose_coordinator(g).unwrap();
+            prop_assert!(g.iter().any(|c| c.id == coord));
+        }
+    }
+
+    /// The hierarchical allocation graph covers every peer once, respects
+    /// Cmax, and its critical path never loses to the flat baseline by more
+    /// than the constant coordinator hand-off.
+    #[test]
+    fn allocation_graph_is_well_formed(ips in prop::collection::vec(any::<u32>(), 1..300)) {
+        let peers = candidates(&ips);
+        let graph = build_allocation(PeerId::new(0), &peers, 32);
+        prop_assert_eq!(graph.peer_count(), peers.len());
+        prop_assert!(graph.max_group_size() <= 32);
+        let hier = hierarchical_cost(&graph);
+        let flat = flat_cost(peers.len());
+        prop_assert!(hier.critical_sends <= flat.critical_sends + 2 * graph.groups.len() as u64);
+        prop_assert!(hier.messages >= peers.len() as u64, "every peer gets a subtask");
+    }
+
+    /// A neighbour set keeps each side sorted by distance from the owner and
+    /// never exceeds its per-side capacity, under arbitrary insert/remove
+    /// sequences.
+    #[test]
+    fn neighbor_set_sides_stay_sorted(owner in any::<u32>(), ops in prop::collection::vec((any::<u32>(), any::<bool>()), 1..100)) {
+        let owner_ip = IpAddr::from_u32(owner);
+        let mut set = NeighborSet::new(owner_ip, 6);
+        for (i, &(ip, remove)) in ops.iter().enumerate() {
+            if remove {
+                set.remove(TrackerId::new((i as u64) / 2));
+            } else {
+                set.insert(TrackerEntry::new(TrackerId::new(i as u64), IpAddr::from_u32(ip)));
+            }
+            prop_assert!(set.left_side().len() <= 3);
+            prop_assert!(set.right_side().len() <= 3);
+            // Left side: decreasing IPs (closest first); right side: increasing.
+            prop_assert!(set.left_side().windows(2).all(|w| w[0].ip >= w[1].ip));
+            prop_assert!(set.right_side().windows(2).all(|w| w[0].ip <= w[1].ip));
+            prop_assert!(set.left_side().iter().all(|e| e.ip < owner_ip));
+            prop_assert!(set.right_side().iter().all(|e| e.ip > owner_ip));
+        }
+    }
+
+    /// Overlay invariants (line consistency, zone membership) survive any
+    /// bounded churn sequence, and collections still return only live peers.
+    #[test]
+    fn overlay_invariants_survive_churn(seed in any::<u64>(), events in 1usize..120) {
+        let core: Vec<IpAddr> = (0..3u8).map(|i| IpAddr::from_octets(10, i, 0, 1)).collect();
+        let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &core);
+        for i in 0..12u8 {
+            overlay.peer_join(IpAddr::from_octets(10, i % 3, 1, i + 1), None, PeerResources::xeon_em64t());
+        }
+        let mut churn = ChurnInjector::new(seed);
+        churn.run(&mut overlay, events);
+        let problems = overlay.check_invariants();
+        prop_assert!(problems.is_empty(), "violations: {:?}", problems);
+        prop_assert!(overlay.tracker_count() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! The self-adaptation controller.
+//!
+//! The heart of P2PSAP: given the application's iterative scheme and the
+//! network context of a peer pair, pick the channel configuration. The
+//! decision table follows the P2PSAP paper (El Baz & Nguyen, PDP'10):
+//!
+//! | scheme \ context | intra-cluster              | LAN                         | WAN / xDSL                      |
+//! |------------------|----------------------------|-----------------------------|---------------------------------|
+//! | synchronous      | TCP-like, no cong. control | TCP-like + cong. control    | TCP-like + cong. control        |
+//! | asynchronous     | UDP-like (bare)            | DCCP-like + stale-drop      | DCCP-like + stale-drop          |
+//!
+//! Synchronous schemes always need reliability and ordering; inside a cluster
+//! the congestion-control machinery is pure overhead and is removed.
+//! Asynchronous schemes drop reliability altogether and allow the channel to
+//! replace queued updates with fresher ones; over shared links they keep
+//! congestion control to remain TCP-friendly.
+
+use crate::channel::{ChannelConfig, MicroProtocol, TransportKind};
+use crate::context::NetworkContext;
+use crate::scheme::IterativeScheme;
+use serde::{Deserialize, Serialize};
+
+/// Chooses and re-chooses channel configurations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdaptationController {
+    decisions: u64,
+}
+
+impl AdaptationController {
+    /// A fresh controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of configuration decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The P2PSAP decision table.
+    pub fn select(&mut self, scheme: IterativeScheme, context: NetworkContext) -> ChannelConfig {
+        self.decisions += 1;
+        Self::decide(scheme, context)
+    }
+
+    /// Pure decision function (no bookkeeping) — handy in tests and docs.
+    pub fn decide(scheme: IterativeScheme, context: NetworkContext) -> ChannelConfig {
+        match (scheme, context) {
+            (IterativeScheme::Synchronous, NetworkContext::IntraCluster) => {
+                ChannelConfig::bare(TransportKind::TcpLike)
+                    .with(MicroProtocol::Reliability)
+                    .with(MicroProtocol::Ordering)
+            }
+            (IterativeScheme::Synchronous, _) => ChannelConfig::bare(TransportKind::TcpLike)
+                .with(MicroProtocol::Reliability)
+                .with(MicroProtocol::Ordering)
+                .with(MicroProtocol::CongestionControl),
+            (IterativeScheme::Asynchronous, NetworkContext::IntraCluster) => {
+                ChannelConfig::bare(TransportKind::UdpLike)
+            }
+            (IterativeScheme::Asynchronous, _) => ChannelConfig::bare(TransportKind::DccpLike)
+                .with(MicroProtocol::CongestionControl)
+                .with(MicroProtocol::StaleDrop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_configurations_are_reliable_everywhere() {
+        for ctx in [NetworkContext::IntraCluster, NetworkContext::Lan, NetworkContext::Wan] {
+            let c = AdaptationController::decide(IterativeScheme::Synchronous, ctx);
+            assert!(c.has(MicroProtocol::Reliability), "sync over {ctx:?} must be reliable");
+            assert!(c.has(MicroProtocol::Ordering));
+            assert_eq!(c.transport, TransportKind::TcpLike);
+        }
+    }
+
+    #[test]
+    fn congestion_control_is_dropped_inside_a_cluster() {
+        let intra = AdaptationController::decide(IterativeScheme::Synchronous, NetworkContext::IntraCluster);
+        let wan = AdaptationController::decide(IterativeScheme::Synchronous, NetworkContext::Wan);
+        assert!(!intra.has(MicroProtocol::CongestionControl));
+        assert!(wan.has(MicroProtocol::CongestionControl));
+        assert!(intra.send_cpu() < wan.send_cpu(), "lighter stack must be cheaper");
+    }
+
+    #[test]
+    fn asynchronous_configurations_shed_reliability() {
+        for ctx in [NetworkContext::IntraCluster, NetworkContext::Lan, NetworkContext::Wan] {
+            let c = AdaptationController::decide(IterativeScheme::Asynchronous, ctx);
+            assert!(!c.has(MicroProtocol::Reliability));
+        }
+        let wan = AdaptationController::decide(IterativeScheme::Asynchronous, NetworkContext::Wan);
+        assert!(wan.drops_stale_updates());
+        assert_eq!(wan.transport, TransportKind::DccpLike);
+        let intra = AdaptationController::decide(IterativeScheme::Asynchronous, NetworkContext::IntraCluster);
+        assert_eq!(intra.transport, TransportKind::UdpLike);
+    }
+
+    #[test]
+    fn async_channels_are_cheaper_than_sync_channels() {
+        for ctx in [NetworkContext::Lan, NetworkContext::Wan] {
+            let sync = AdaptationController::decide(IterativeScheme::Synchronous, ctx);
+            let async_ = AdaptationController::decide(IterativeScheme::Asynchronous, ctx);
+            assert!(async_.recv_cpu() < sync.recv_cpu());
+            assert!(async_.header_bytes() < sync.header_bytes());
+        }
+    }
+
+    #[test]
+    fn controller_counts_decisions() {
+        let mut ctl = AdaptationController::new();
+        assert_eq!(ctl.decisions(), 0);
+        ctl.select(IterativeScheme::Synchronous, NetworkContext::Lan);
+        ctl.select(IterativeScheme::Asynchronous, NetworkContext::Wan);
+        assert_eq!(ctl.decisions(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Channel configurations and their costs.
+//!
+//! A P2PSAP channel is assembled from micro-protocols stacked over a base
+//! transport. The paper's key point is that the *internal mechanisms* of the
+//! transport can be changed per channel ("this approach is different from
+//! MPICH-Madeleine in allowing the modification of internal transport protocol
+//! mechanism in addition to switch between networks"), so the configuration is
+//! an explicit, inspectable value here.
+//!
+//! For performance prediction what matters is the cost of a configuration:
+//! bytes added to every message, CPU time spent per message at the sender and
+//! the receiver, and the number of round-trips needed to (re)establish the
+//! channel. The constants below are representative user-space protocol costs
+//! on the paper's 3 GHz Xeon nodes; they are deliberately exposed as plain
+//! data so the ablation benches can sweep them.
+
+use netsim::ProtocolCosts;
+use p2p_common::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The base transport a channel is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Connection-oriented, reliable, ordered (TCP-like).
+    TcpLike,
+    /// Congestion-controlled but unreliable datagrams (DCCP-like).
+    DccpLike,
+    /// Plain datagrams (UDP-like).
+    UdpLike,
+}
+
+/// Optional mechanisms stacked on the base transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroProtocol {
+    /// Acknowledgements + retransmission.
+    Reliability,
+    /// FIFO ordering of messages on the channel.
+    Ordering,
+    /// Window-based congestion control.
+    CongestionControl,
+    /// Replace queued outgoing updates by fresher ones (asynchronous schemes).
+    StaleDrop,
+}
+
+/// A fully specified channel configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Base transport.
+    pub transport: TransportKind,
+    /// Stacked micro-protocols (order is irrelevant to the cost model).
+    pub stack: Vec<MicroProtocol>,
+}
+
+/// P2PSAP's own session header, present on every message of every
+/// configuration.
+const SAP_HEADER_BYTES: u64 = 24;
+/// Base per-message CPU cost of the user-space protocol engine.
+const BASE_CPU_US: u64 = 30;
+
+impl ChannelConfig {
+    /// A configuration with the given transport and no extra micro-protocols.
+    pub fn bare(transport: TransportKind) -> Self {
+        ChannelConfig {
+            transport,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Add a micro-protocol (idempotent).
+    pub fn with(mut self, mp: MicroProtocol) -> Self {
+        if !self.stack.contains(&mp) {
+            self.stack.push(mp);
+        }
+        self
+    }
+
+    /// Does the stack include a given micro-protocol?
+    pub fn has(&self, mp: MicroProtocol) -> bool {
+        self.stack.contains(&mp)
+    }
+
+    /// Wire overhead added to every message (transport header + P2PSAP
+    /// session header + per-micro-protocol fields).
+    pub fn header_bytes(&self) -> u64 {
+        let transport = match self.transport {
+            TransportKind::TcpLike => 40, // IP + TCP
+            TransportKind::DccpLike => 36, // IP + DCCP
+            TransportKind::UdpLike => 28, // IP + UDP
+        };
+        let stack: u64 = self
+            .stack
+            .iter()
+            .map(|mp| match mp {
+                MicroProtocol::Reliability => 8,
+                MicroProtocol::Ordering => 4,
+                MicroProtocol::CongestionControl => 4,
+                MicroProtocol::StaleDrop => 4,
+            })
+            .sum();
+        transport + SAP_HEADER_BYTES + stack
+    }
+
+    /// CPU time spent at the sender for each message.
+    pub fn send_cpu(&self) -> SimDuration {
+        let mut us = BASE_CPU_US;
+        if self.has(MicroProtocol::Reliability) {
+            us += 15;
+        }
+        if self.has(MicroProtocol::CongestionControl) {
+            us += 10;
+        }
+        if self.has(MicroProtocol::Ordering) {
+            us += 5;
+        }
+        SimDuration::from_micros(us)
+    }
+
+    /// CPU time spent at the receiver for each message.
+    pub fn recv_cpu(&self) -> SimDuration {
+        let mut us = BASE_CPU_US;
+        if self.has(MicroProtocol::Reliability) {
+            us += 20; // ack generation
+        }
+        if self.has(MicroProtocol::Ordering) {
+            us += 5;
+        }
+        SimDuration::from_micros(us)
+    }
+
+    /// Round-trips needed to open (or reconfigure) the channel.
+    pub fn handshake_rtts(&self) -> u32 {
+        match self.transport {
+            TransportKind::TcpLike => 2, // connect + P2PSAP session negotiation
+            TransportKind::DccpLike => 2,
+            TransportKind::UdpLike => 1, // session negotiation only
+        }
+    }
+
+    /// May the channel drop an outgoing update when a fresher one is queued?
+    pub fn drops_stale_updates(&self) -> bool {
+        self.has(MicroProtocol::StaleDrop)
+    }
+
+    /// The per-message costs in the form the netsim replay and the P2PDC
+    /// executor consume.
+    pub fn protocol_costs(&self) -> ProtocolCosts {
+        ProtocolCosts {
+            header_bytes: self.header_bytes(),
+            send_cpu: self.send_cpu(),
+            recv_cpu: self.recv_cpu(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_grows_with_the_stack() {
+        let bare = ChannelConfig::bare(TransportKind::UdpLike);
+        let full = ChannelConfig::bare(TransportKind::TcpLike)
+            .with(MicroProtocol::Reliability)
+            .with(MicroProtocol::Ordering)
+            .with(MicroProtocol::CongestionControl);
+        assert!(full.header_bytes() > bare.header_bytes());
+        assert_eq!(bare.header_bytes(), 28 + 24);
+        assert_eq!(full.header_bytes(), 40 + 24 + 8 + 4 + 4);
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let c = ChannelConfig::bare(TransportKind::TcpLike)
+            .with(MicroProtocol::Reliability)
+            .with(MicroProtocol::Reliability);
+        assert_eq!(c.stack.len(), 1);
+        assert!(c.has(MicroProtocol::Reliability));
+        assert!(!c.has(MicroProtocol::StaleDrop));
+    }
+
+    #[test]
+    fn cpu_costs_reflect_micro_protocols() {
+        let light = ChannelConfig::bare(TransportKind::UdpLike);
+        let heavy = ChannelConfig::bare(TransportKind::TcpLike)
+            .with(MicroProtocol::Reliability)
+            .with(MicroProtocol::Ordering)
+            .with(MicroProtocol::CongestionControl);
+        assert!(heavy.send_cpu() > light.send_cpu());
+        assert!(heavy.recv_cpu() > light.recv_cpu());
+        assert_eq!(light.send_cpu(), SimDuration::from_micros(30));
+        assert_eq!(heavy.send_cpu(), SimDuration::from_micros(60));
+        assert_eq!(heavy.recv_cpu(), SimDuration::from_micros(55));
+    }
+
+    #[test]
+    fn handshake_counts() {
+        assert_eq!(ChannelConfig::bare(TransportKind::TcpLike).handshake_rtts(), 2);
+        assert_eq!(ChannelConfig::bare(TransportKind::UdpLike).handshake_rtts(), 1);
+    }
+
+    #[test]
+    fn protocol_costs_round_trip() {
+        let c = ChannelConfig::bare(TransportKind::TcpLike).with(MicroProtocol::Reliability);
+        let costs = c.protocol_costs();
+        assert_eq!(costs.header_bytes, c.header_bytes());
+        assert_eq!(costs.send_cpu, c.send_cpu());
+        assert_eq!(costs.recv_cpu, c.recv_cpu());
+    }
+
+    #[test]
+    fn stale_drop_flag() {
+        let c = ChannelConfig::bare(TransportKind::UdpLike).with(MicroProtocol::StaleDrop);
+        assert!(c.drops_stale_updates());
+        assert!(!ChannelConfig::bare(TransportKind::UdpLike).drops_stale_updates());
+    }
+}

@@ -1,0 +1,105 @@
+//! Network-context classification.
+//!
+//! P2PSAP adapts the channel configuration to "elements of context like
+//! network topology at transport level". The context of a peer pair is
+//! derived from the route between their hosts: a fat, sub-millisecond path is
+//! an intra-cluster link; a 100 Mbps-class path with around a millisecond of
+//! latency is a LAN; anything slower or farther is treated as WAN/xDSL.
+
+use netsim::{Platform, Route};
+use p2p_common::{Bandwidth, HostId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The transport-level context of a peer pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkContext {
+    /// Both peers sit inside the same cluster (Gbps-class, ≪ 1 ms).
+    IntraCluster,
+    /// Campus / corporate LAN (100 Mbps-class, ≈ 1 ms).
+    Lan,
+    /// Wide-area or xDSL access (Mbps-class and/or ≥ a few ms).
+    Wan,
+}
+
+impl NetworkContext {
+    /// Classification thresholds. A route is:
+    /// * `IntraCluster` if its bottleneck is at least 500 Mbps **and** its
+    ///   one-way latency is below 1 ms;
+    /// * `Wan` if its bottleneck is below 50 Mbps **or** its latency is at
+    ///   least 5 ms;
+    /// * `Lan` otherwise.
+    pub fn classify_route(route: &Route) -> NetworkContext {
+        let bw = route.bottleneck;
+        let lat = route.latency;
+        if bw >= Bandwidth::from_mbps(500.0) && lat < SimDuration::from_millis(1) {
+            NetworkContext::IntraCluster
+        } else if bw < Bandwidth::from_mbps(50.0) || lat >= SimDuration::from_millis(5) {
+            NetworkContext::Wan
+        } else {
+            NetworkContext::Lan
+        }
+    }
+
+    /// Classify the context between two hosts of a platform.
+    pub fn classify(platform: &mut Platform, a: HostId, b: HostId) -> NetworkContext {
+        if a == b {
+            return NetworkContext::IntraCluster;
+        }
+        let route = platform.route(a, b);
+        Self::classify_route(&route)
+    }
+
+    /// Short label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkContext::IntraCluster => "intra-cluster",
+            NetworkContext::Lan => "LAN",
+            NetworkContext::Wan => "WAN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{cluster_bordeplage, daisy_xdsl, lan, HostSpec};
+
+    #[test]
+    fn cluster_routes_are_intra_cluster() {
+        let mut topo = cluster_bordeplage(8, HostSpec::default());
+        let ctx = NetworkContext::classify(&mut topo.platform, topo.hosts[0], topo.hosts[5]);
+        assert_eq!(ctx, NetworkContext::IntraCluster);
+    }
+
+    #[test]
+    fn lan_routes_are_lan() {
+        let mut topo = lan(8, HostSpec::default());
+        let ctx = NetworkContext::classify(&mut topo.platform, topo.hosts[0], topo.hosts[1]);
+        assert_eq!(ctx, NetworkContext::Lan);
+    }
+
+    #[test]
+    fn xdsl_routes_are_wan() {
+        let mut topo = daisy_xdsl(16, HostSpec::default(), 1);
+        let ctx = NetworkContext::classify(&mut topo.platform, topo.hosts[0], topo.hosts[10]);
+        assert_eq!(ctx, NetworkContext::Wan);
+    }
+
+    #[test]
+    fn same_host_is_intra_cluster() {
+        let mut topo = lan(4, HostSpec::default());
+        let ctx = NetworkContext::classify(&mut topo.platform, topo.hosts[2], topo.hosts[2]);
+        assert_eq!(ctx, NetworkContext::IntraCluster);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            NetworkContext::IntraCluster.label(),
+            NetworkContext::Lan.label(),
+            NetworkContext::Wan.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

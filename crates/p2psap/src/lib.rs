@@ -1,0 +1,40 @@
+//! # p2psap — the self-adaptive communication protocol (model)
+//!
+//! P2PSAP (El Baz & Nguyen, PDP'10) is the transport layer of the P2PDC
+//! environment: it "chooses dynamically appropriate communication mode between
+//! any peers according to decisions taken at application level like schemes of
+//! computation, e.g. synchronous or asynchronous iterative schemes and
+//! elements of context like network topology at transport level" (paper §I).
+//!
+//! This crate models that behaviour at the level the performance study needs:
+//!
+//! * [`context`] — classification of a peer pair's network context
+//!   (intra-cluster / LAN / WAN-xDSL) from the route characteristics.
+//! * [`scheme`] — the application-level hint: synchronous or asynchronous
+//!   iterative scheme.
+//! * [`channel`] — channel configurations assembled from micro-protocols
+//!   (reliability, ordering, congestion control); each configuration has a
+//!   measurable cost: header bytes, per-message send/receive CPU time,
+//!   connection handshake round-trips, and whether stale asynchronous updates
+//!   may be dropped.
+//! * [`adaptation`] — the controller implementing the P2PSAP decision table
+//!   (scheme × context → channel configuration), plus dynamic reconfiguration
+//!   when the context or the scheme changes mid-computation.
+//! * [`session`] — per-peer-pair sessions: the data/control plane object the
+//!   P2PDC executor opens, with reconfiguration accounting.
+//!
+//! The costs exposed here feed both the P2PDC reference executor and the
+//! dPerf trace replay, so the protocol's influence on predicted and reference
+//! times is identical — exactly the property dPerf relies on.
+
+pub mod adaptation;
+pub mod channel;
+pub mod context;
+pub mod scheme;
+pub mod session;
+
+pub use adaptation::AdaptationController;
+pub use channel::{ChannelConfig, MicroProtocol, TransportKind};
+pub use context::NetworkContext;
+pub use scheme::IterativeScheme;
+pub use session::{Session, SessionStats, Socket};

@@ -1,0 +1,66 @@
+//! Application-level computation schemes.
+//!
+//! Distributed iterative methods come in two flavours that place very
+//! different demands on the transport (paper §I and the P2PSAP paper):
+//!
+//! * **Synchronous** iterations: every peer must receive its neighbours'
+//!   iteration *k* values before starting iteration *k+1*. Updates must be
+//!   delivered reliably and in order; the scheme tolerates no loss.
+//! * **Asynchronous** iterations: peers keep iterating with whatever values
+//!   they last received. A lost or late update merely delays convergence, so
+//!   reliability (and its cost) can be dropped, and a *fresher* update makes
+//!   any older in-flight one worthless.
+
+use serde::{Deserialize, Serialize};
+
+/// The iterative scheme the application announces to P2PSAP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IterativeScheme {
+    /// Lock-step iterations; requires reliable, ordered delivery.
+    Synchronous,
+    /// Chaotic/asynchronous iterations; tolerates loss and reordering.
+    Asynchronous,
+}
+
+impl IterativeScheme {
+    /// Does this scheme require every update to be delivered?
+    pub fn requires_reliability(self) -> bool {
+        matches!(self, IterativeScheme::Synchronous)
+    }
+
+    /// May the transport silently replace a queued update with a newer one?
+    pub fn allows_stale_drop(self) -> bool {
+        matches!(self, IterativeScheme::Asynchronous)
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IterativeScheme::Synchronous => "synchronous",
+            IterativeScheme::Asynchronous => "asynchronous",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_needs_reliability() {
+        assert!(IterativeScheme::Synchronous.requires_reliability());
+        assert!(!IterativeScheme::Synchronous.allows_stale_drop());
+    }
+
+    #[test]
+    fn asynchronous_tolerates_loss() {
+        assert!(!IterativeScheme::Asynchronous.requires_reliability());
+        assert!(IterativeScheme::Asynchronous.allows_stale_drop());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IterativeScheme::Synchronous.label(), "synchronous");
+        assert_eq!(IterativeScheme::Asynchronous.label(), "asynchronous");
+    }
+}

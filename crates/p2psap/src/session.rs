@@ -1,0 +1,261 @@
+//! Sessions and sockets.
+//!
+//! A [`Session`] is the data-plane object between two peers: it knows the
+//! current network context, the application scheme, and the channel
+//! configuration the adaptation controller picked, and it accounts for the
+//! traffic it carried. A [`Socket`] is a peer's bundle of sessions, opened
+//! lazily towards each remote peer — this is the API surface the P2PDC
+//! executor talks to.
+//!
+//! Reconfiguration is the "self-adaptive" part: when the application switches
+//! scheme mid-computation (e.g. synchronous → asynchronous once the residual
+//! is small) the socket renegotiates every session, paying one handshake per
+//! affected channel.
+
+use crate::adaptation::AdaptationController;
+use crate::channel::ChannelConfig;
+use crate::context::NetworkContext;
+use crate::scheme::IterativeScheme;
+use netsim::{Platform, ProtocolCosts};
+use p2p_common::{HostId, SimDuration};
+use std::collections::HashMap;
+
+/// One configured channel between a local and a remote peer.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Local endpoint.
+    pub local: HostId,
+    /// Remote endpoint.
+    pub remote: HostId,
+    /// Network context the channel was configured for.
+    pub context: NetworkContext,
+    /// Scheme the channel was configured for.
+    pub scheme: IterativeScheme,
+    /// The selected channel configuration.
+    pub config: ChannelConfig,
+    reconfigurations: u32,
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+impl Session {
+    /// Open a session: classify the route and ask the controller for a
+    /// configuration.
+    pub fn open(
+        platform: &mut Platform,
+        controller: &mut AdaptationController,
+        local: HostId,
+        remote: HostId,
+        scheme: IterativeScheme,
+    ) -> Session {
+        let context = NetworkContext::classify(platform, local, remote);
+        let config = controller.select(scheme, context);
+        Session {
+            local,
+            remote,
+            context,
+            scheme,
+            config,
+            reconfigurations: 0,
+            messages_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Time to establish (or re-establish) the channel: one route round-trip
+    /// per handshake exchange.
+    pub fn handshake_delay(&self, platform: &mut Platform) -> SimDuration {
+        if self.local == self.remote {
+            return SimDuration::ZERO;
+        }
+        let route = platform.route(self.local, self.remote);
+        route.latency.saturating_mul(2 * self.config.handshake_rtts() as u64)
+    }
+
+    /// Switch the session to a new scheme. Returns `true` (and bumps the
+    /// reconfiguration counter) if the channel configuration actually changed.
+    pub fn reconfigure(
+        &mut self,
+        controller: &mut AdaptationController,
+        scheme: IterativeScheme,
+    ) -> bool {
+        self.scheme = scheme;
+        let new_config = controller.select(scheme, self.context);
+        if new_config != self.config {
+            self.config = new_config;
+            self.reconfigurations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Account for one application message of `payload_bytes`.
+    pub fn record_send(&mut self, payload_bytes: u64) {
+        self.messages_sent += 1;
+        self.bytes_sent += payload_bytes + self.config.header_bytes();
+    }
+
+    /// Per-message costs of the current configuration.
+    pub fn costs(&self) -> ProtocolCosts {
+        self.config.protocol_costs()
+    }
+
+    /// Number of times the channel was reconfigured.
+    pub fn reconfigurations(&self) -> u32 {
+        self.reconfigurations
+    }
+
+    /// Messages and wire bytes sent so far.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.messages_sent, self.bytes_sent)
+    }
+}
+
+/// Aggregate statistics over a socket's sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Open sessions.
+    pub sessions: usize,
+    /// Application messages sent.
+    pub messages_sent: u64,
+    /// Wire bytes sent (payload + headers).
+    pub bytes_sent: u64,
+    /// Total channel reconfigurations.
+    pub reconfigurations: u64,
+}
+
+/// A peer's bundle of sessions.
+#[derive(Debug)]
+pub struct Socket {
+    local: HostId,
+    scheme: IterativeScheme,
+    controller: AdaptationController,
+    sessions: HashMap<HostId, Session>,
+}
+
+impl Socket {
+    /// Create a socket for a peer running the given scheme.
+    pub fn new(local: HostId, scheme: IterativeScheme) -> Self {
+        Socket {
+            local,
+            scheme,
+            controller: AdaptationController::new(),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Local endpoint.
+    pub fn local(&self) -> HostId {
+        self.local
+    }
+
+    /// Current scheme.
+    pub fn scheme(&self) -> IterativeScheme {
+        self.scheme
+    }
+
+    /// Get (opening lazily) the session towards `remote`.
+    pub fn session(&mut self, platform: &mut Platform, remote: HostId) -> &mut Session {
+        if !self.sessions.contains_key(&remote) {
+            let s = Session::open(platform, &mut self.controller, self.local, remote, self.scheme);
+            self.sessions.insert(remote, s);
+        }
+        self.sessions.get_mut(&remote).expect("just inserted")
+    }
+
+    /// Switch every open session to a new scheme. Returns how many channels
+    /// actually changed configuration.
+    pub fn set_scheme(&mut self, scheme: IterativeScheme) -> usize {
+        self.scheme = scheme;
+        let mut changed = 0;
+        for s in self.sessions.values_mut() {
+            if s.reconfigure(&mut self.controller, scheme) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SessionStats {
+        let mut st = SessionStats {
+            sessions: self.sessions.len(),
+            ..SessionStats::default()
+        };
+        for s in self.sessions.values() {
+            let (m, b) = s.traffic();
+            st.messages_sent += m;
+            st.bytes_sent += b;
+            st.reconfigurations += s.reconfigurations() as u64;
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{cluster_bordeplage, daisy_xdsl, HostSpec};
+
+    #[test]
+    fn sessions_classify_their_context_on_open() {
+        let mut cluster = cluster_bordeplage(4, HostSpec::default());
+        let mut ctl = AdaptationController::new();
+        let s = Session::open(
+            &mut cluster.platform,
+            &mut ctl,
+            cluster.hosts[0],
+            cluster.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        assert_eq!(s.context, NetworkContext::IntraCluster);
+        assert_eq!(ctl.decisions(), 1);
+    }
+
+    #[test]
+    fn handshake_delay_scales_with_route_latency() {
+        let mut cluster = cluster_bordeplage(4, HostSpec::default());
+        let mut xdsl = daisy_xdsl(16, HostSpec::default(), 1);
+        let mut ctl = AdaptationController::new();
+        let near = Session::open(&mut cluster.platform, &mut ctl, cluster.hosts[0], cluster.hosts[1], IterativeScheme::Synchronous);
+        let far = Session::open(&mut xdsl.platform, &mut ctl, xdsl.hosts[0], xdsl.hosts[10], IterativeScheme::Synchronous);
+        assert!(far.handshake_delay(&mut xdsl.platform) > near.handshake_delay(&mut cluster.platform));
+    }
+
+    #[test]
+    fn socket_opens_sessions_lazily_and_caches_them() {
+        let mut topo = cluster_bordeplage(4, HostSpec::default());
+        let mut sock = Socket::new(topo.hosts[0], IterativeScheme::Synchronous);
+        let cfg1 = sock.session(&mut topo.platform, topo.hosts[1]).config.clone();
+        sock.session(&mut topo.platform, topo.hosts[1]).record_send(100);
+        sock.session(&mut topo.platform, topo.hosts[2]).record_send(200);
+        let cfg2 = sock.session(&mut topo.platform, topo.hosts[1]).config.clone();
+        assert_eq!(cfg1, cfg2);
+        let st = sock.stats();
+        assert_eq!(st.sessions, 2);
+        assert_eq!(st.messages_sent, 2);
+        assert!(st.bytes_sent > 300, "headers must be accounted for");
+    }
+
+    #[test]
+    fn scheme_switch_reconfigures_channels() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut sock = Socket::new(topo.hosts[0], IterativeScheme::Synchronous);
+        sock.session(&mut topo.platform, topo.hosts[1]);
+        sock.session(&mut topo.platform, topo.hosts[2]);
+        let changed = sock.set_scheme(IterativeScheme::Asynchronous);
+        assert_eq!(changed, 2);
+        assert_eq!(sock.stats().reconfigurations, 2);
+        // Switching to the same scheme again changes nothing.
+        assert_eq!(sock.set_scheme(IterativeScheme::Asynchronous), 0);
+    }
+
+    #[test]
+    fn loopback_session_has_no_handshake_cost() {
+        let mut topo = cluster_bordeplage(2, HostSpec::default());
+        let mut ctl = AdaptationController::new();
+        let s = Session::open(&mut topo.platform, &mut ctl, topo.hosts[0], topo.hosts[0], IterativeScheme::Synchronous);
+        assert_eq!(s.handshake_delay(&mut topo.platform), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,40 @@
+//! How many LAN or xDSL peers does it take to match the cluster?
+//!
+//! ```text
+//! cargo run --release --example cluster_vs_lan
+//! ```
+//!
+//! Reproduces the reasoning behind Table I on the scaled-down workload: build
+//! the predicted performance curves of the Grid'5000 cluster, the xDSL Daisy
+//! grid and the campus LAN, then search for the smallest peer-to-peer
+//! configuration whose performance is comparable to each cluster size.
+
+use dperf::OptLevel;
+use obstacle::ObstacleApp;
+use p2p_perf::experiments::{equivalence_table, prediction_curve};
+use p2p_perf::PlatformKind;
+
+fn main() {
+    let app = ObstacleApp::small();
+    let sizes = [2usize, 4, 8, 16, 32];
+
+    println!("predicted execution times (seconds), optimization level 0:\n");
+    println!("{:>6}  {:>10}  {:>10}  {:>10}", "peers", "Grid5000", "LAN", "xDSL");
+    let grid = prediction_curve(&app, PlatformKind::Grid5000, &sizes, OptLevel::O0);
+    let lan = prediction_curve(&app, PlatformKind::Lan, &sizes, OptLevel::O0);
+    let xdsl = prediction_curve(&app, PlatformKind::Xdsl, &sizes, OptLevel::O0);
+    for &n in &sizes {
+        println!(
+            "{n:>6}  {:>10.3}  {:>10.3}  {:>10.3}",
+            grid.at(n).unwrap().time.as_secs_f64(),
+            lan.at(n).unwrap().time.as_secs_f64(),
+            xdsl.at(n).unwrap().time.as_secs_f64()
+        );
+    }
+
+    println!("\nequivalent computing power (Table I):\n");
+    let table = equivalence_table(&app, &[2, 4, 8], &sizes, OptLevel::O0);
+    println!("{}", table.render());
+    println!("Reading: e.g. a row '8 LAN slightly lower than 4 Grid5000' means you may choose");
+    println!("to deploy the code on eight LAN peers instead of waiting for four cluster nodes.");
+}

@@ -1,0 +1,93 @@
+//! End-to-end integration tests: the full figure-generation pipeline on the
+//! scaled-down workload, checking the *shapes* the paper reports.
+
+use dperf::OptLevel;
+use obstacle::ObstacleApp;
+use p2p_perf::experiments::{
+    fig10_prediction_accuracy, fig11_topology_comparison, fig9_reference_times,
+};
+
+fn tiny() -> ObstacleApp {
+    // Scaled-down workload: the shapes asserted below need compute to dominate
+    // the constant per-run overheads, so this is larger than the unit-test
+    // instances but still ~1/150 of the paper-scale problem.
+    ObstacleApp {
+        n: 600,
+        sweeps: 90,
+        flops_per_point: 21.0,
+    }
+}
+
+#[test]
+fn fig9_shape_levels_ordered_and_scaling_down() {
+    let fig = fig9_reference_times(&tiny(), &[2, 4, 8]);
+    assert_eq!(fig.series.len(), 5, "five optimisation levels");
+    let at = |label: &str, n: usize| {
+        fig.series
+            .iter()
+            .find(|s| s.label.ends_with(label))
+            .unwrap()
+            .at(n)
+            .unwrap()
+    };
+    // Every level scales down with more peers.
+    for label in [" 0", " 1", " 2", " 3", " s"] {
+        assert!(at(label, 8) < at(label, 2), "level{label} must scale");
+    }
+    // O0 slowest, O3 fastest, Os between O1 and O2 (paper ordering).
+    assert!(at(" 0", 2) > at(" 1", 2));
+    assert!(at(" 1", 2) > at(" 2", 2));
+    assert!(at(" 2", 2) >= at(" 3", 2));
+    assert!(at(" s", 2) < at(" 1", 2) && at(" s", 2) > at(" 2", 2));
+    // O0 is roughly 3x O3, as the compiler model prescribes.
+    let ratio = at(" 0", 2) / at(" 3", 2);
+    assert!(ratio > 2.0 && ratio < 4.0, "O0/O3 ratio {ratio}");
+}
+
+#[test]
+fn fig10_shape_prediction_tracks_reference_at_every_size() {
+    let fig = fig10_prediction_accuracy(&tiny(), &[2, 4, 8], OptLevel::O3);
+    let reference = &fig.series[0];
+    let prediction = &fig.series[1];
+    for &n in &[2usize, 4, 8] {
+        let r = reference.at(n).unwrap();
+        let p = prediction.at(n).unwrap();
+        let err = (r - p).abs() / r;
+        assert!(err < 0.2, "n={n}: prediction error {:.1}% too large", err * 100.0);
+    }
+}
+
+#[test]
+fn fig11_shape_platform_ordering_and_xdsl_flatness() {
+    let fig = fig11_topology_comparison(&tiny(), &[2, 4, 8, 16], OptLevel::O0);
+    let series = |needle: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label.contains(needle))
+            .unwrap_or_else(|| panic!("missing series {needle}"))
+    };
+    let grid = series("prediction for Grid5000");
+    let lan = series("LAN");
+    let xdsl = series("xDSL");
+    let reference = series("reference");
+    for &n in &[2usize, 4, 8, 16] {
+        // Cluster fastest, LAN close behind, xDSL clearly slower.
+        assert!(lan.at(n).unwrap() >= grid.at(n).unwrap() * 0.99, "n={n}");
+        assert!(xdsl.at(n).unwrap() > lan.at(n).unwrap(), "n={n}");
+        // The Grid5000 prediction tracks the reference curve.
+        let err = (grid.at(n).unwrap() - reference.at(n).unwrap()).abs() / reference.at(n).unwrap();
+        assert!(err < 0.25, "n={n}: prediction error {err}");
+    }
+    // Cluster and LAN keep improving with more peers; xDSL flattens out
+    // (communication dominates), i.e. its speedup from 2 to 16 peers is small.
+    // (At the scaled-down test workload the cluster speedup is a bit below the
+    // paper-scale value, hence the 2.5x threshold rather than the ~5x seen at
+    // full scale.)
+    assert!(grid.at(16).unwrap() < grid.at(2).unwrap() / 2.5);
+    let xdsl_speedup = xdsl.at(2).unwrap() / xdsl.at(16).unwrap();
+    let grid_speedup = grid.at(2).unwrap() / grid.at(16).unwrap();
+    assert!(
+        xdsl_speedup < grid_speedup / 2.0,
+        "xDSL speedup {xdsl_speedup:.2} should lag far behind the cluster's {grid_speedup:.2}"
+    );
+}

@@ -1,0 +1,77 @@
+//! Table I integration tests: the equivalent-computing-power search over the
+//! predicted curves of the three platforms.
+
+use dperf::equivalence::Tolerance;
+use dperf::{Comparison, EquivalenceTable, OptLevel, PerfCurve};
+use obstacle::ObstacleApp;
+use p2p_perf::experiments::{equivalence_table, prediction_curve};
+use p2p_perf::PlatformKind;
+
+fn tiny() -> ObstacleApp {
+    // Large enough that compute (not constant per-run overhead) shapes the
+    // curves, small enough to keep the test quick (~1/150 of paper scale).
+    ObstacleApp {
+        n: 600,
+        sweeps: 90,
+        flops_per_point: 21.0,
+    }
+}
+
+#[test]
+fn table1_shape_lan_needs_more_peers_and_xdsl_is_marginal() {
+    let sizes = [2usize, 4, 8, 16, 32];
+    let table = equivalence_table(&tiny(), &[2, 4], &sizes, OptLevel::O0);
+    assert!(!table.rows.is_empty(), "the table must contain at least one row");
+
+    // Every LAN equivalent of a cluster size needs at least as many peers.
+    for row in table.rows.iter().filter(|r| r.candidate_label == "LAN") {
+        assert!(
+            row.candidate_procs >= row.reference_procs,
+            "{} LAN peers cannot replace {} cluster nodes with fewer machines",
+            row.candidate_procs,
+            row.reference_procs
+        );
+        assert!(row.comparison.is_acceptable());
+    }
+    // If xDSL can match the 2-node cluster at all, it needs strictly more
+    // peers and only reaches "same" or below — never "higher".
+    for row in table.rows.iter().filter(|r| r.candidate_label == "xDSL") {
+        assert!(row.candidate_procs > row.reference_procs);
+        assert_ne!(row.comparison, Comparison::Higher);
+    }
+    // The rendered table uses the paper's vocabulary.
+    let rendered = table.render();
+    assert!(rendered.contains("topology"));
+    assert!(rendered.contains("than"));
+}
+
+#[test]
+fn lan_curve_sits_between_cluster_and_xdsl() {
+    let sizes = [2usize, 8, 32];
+    let grid = prediction_curve(&tiny(), PlatformKind::Grid5000, &sizes, OptLevel::O0);
+    let lan = prediction_curve(&tiny(), PlatformKind::Lan, &sizes, OptLevel::O0);
+    let xdsl = prediction_curve(&tiny(), PlatformKind::Xdsl, &sizes, OptLevel::O0);
+    for &n in &sizes {
+        let g = grid.at(n).unwrap().time;
+        let l = lan.at(n).unwrap().time;
+        let x = xdsl.at(n).unwrap().time;
+        assert!(g <= l, "n={n}: cluster must be fastest");
+        assert!(l < x, "n={n}: LAN must beat xDSL");
+    }
+}
+
+#[test]
+fn equivalence_search_is_consistent_with_manual_classification() {
+    // Build a table from hand-written curves and cross-check each row against
+    // a direct classification of its two times.
+    let reference = PerfCurve::from_secs("Grid5000", &[(2, 40.0), (4, 20.0), (8, 10.0)]);
+    let lan = PerfCurve::from_secs("LAN", &[(2, 44.0), (4, 26.0), (8, 14.0), (16, 11.0), (32, 10.5)]);
+    let tol = Tolerance::default();
+    let table = EquivalenceTable::build(&reference, &[2, 4, 8], &[&lan], tol);
+    assert_eq!(table.rows.len(), 3);
+    for row in &table.rows {
+        let direct = dperf::equivalence::classify(row.candidate_time, row.reference_time, tol);
+        assert_eq!(direct, row.comparison);
+        assert!(row.comparison.is_acceptable());
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests of the P2PDC environment: overlay + allocation +
+//! executor working together, including under churn and across platforms.
+
+use netsim::{cluster_bordeplage, daisy_xdsl, HostSpec, PlacementPolicy};
+use obstacle::ObstacleApp;
+use p2p_common::{IpAddr, PeerResources, ResourceRequirements, TaskId};
+use p2pdc::allocation::{flat_cost, hierarchical_cost};
+use p2pdc::{
+    build_allocation, run_reference, ChurnInjector, ExecutionConfig, Overlay, OverlayConfig, CMAX,
+};
+use p2pdc::proximity::GroupCandidate;
+use p2psap::IterativeScheme;
+
+#[test]
+fn collection_then_allocation_covers_every_collected_peer_once() {
+    let core: Vec<IpAddr> = (0..3u8).map(|i| IpAddr::from_octets(172, 16, i, 1)).collect();
+    let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &core);
+    for i in 0..70u32 {
+        let ip = IpAddr::from_octets(172, 16, (i % 3) as u8, (i + 10) as u8);
+        overlay.peer_join(ip, None, PeerResources::xeon_em64t());
+    }
+    let submitter = overlay.peers().next().unwrap().id;
+    let (collected, _) =
+        overlay.collect_peers(submitter, 64, &ResourceRequirements::none(), TaskId::new(1));
+    assert_eq!(collected.len(), 64);
+
+    let candidates: Vec<GroupCandidate> = collected
+        .iter()
+        .map(|&id| {
+            let p = overlay.peer(id).unwrap();
+            GroupCandidate {
+                id,
+                ip: p.ip,
+                resources: p.resources,
+            }
+        })
+        .collect();
+    let graph = build_allocation(submitter, &candidates, CMAX);
+    assert_eq!(graph.peer_count(), 64);
+    assert!(graph.max_group_size() <= CMAX);
+    assert!(graph.groups.len() >= 2);
+    // Hierarchical allocation must beat the flat baseline on the critical path.
+    assert!(hierarchical_cost(&graph).critical_sends < flat_cost(64).critical_sends);
+}
+
+#[test]
+fn executor_runs_the_obstacle_app_on_the_cluster_and_on_xdsl() {
+    let app = ObstacleApp {
+        n: 240,
+        sweeps: 30,
+        flops_per_point: 21.0,
+    };
+    let cluster = cluster_bordeplage(8, HostSpec::default());
+    let cfg = ExecutionConfig::default();
+    let cluster_report = run_reference(&app, &cluster, &cluster.hosts, &cfg);
+    assert_eq!(cluster_report.peers, 8);
+    assert!(cluster_report.app_messages > 0);
+
+    let xdsl = daisy_xdsl(128, HostSpec::default(), 11);
+    let hosts = xdsl.pick_hosts(8, PlacementPolicy::Spread);
+    let xdsl_report = run_reference(&app, &xdsl, &hosts, &cfg);
+    assert!(
+        xdsl_report.execution_time > cluster_report.execution_time * 2u64,
+        "xDSL execution ({}) must be far slower than the cluster ({})",
+        xdsl_report.execution_time,
+        cluster_report.execution_time
+    );
+}
+
+#[test]
+fn asynchronous_scheme_beats_synchronous_on_xdsl_but_not_on_the_cluster() {
+    let app = ObstacleApp {
+        n: 240,
+        sweeps: 30,
+        flops_per_point: 21.0,
+    };
+    let xdsl = daisy_xdsl(64, HostSpec::default(), 3);
+    let hosts = xdsl.pick_hosts(4, PlacementPolicy::Spread);
+    let sync = run_reference(&app, &xdsl, &hosts, &ExecutionConfig::default());
+    let asyn = run_reference(
+        &app,
+        &xdsl,
+        &hosts,
+        &ExecutionConfig {
+            scheme: IterativeScheme::Asynchronous,
+            ..ExecutionConfig::default()
+        },
+    );
+    assert!(asyn.execution_time < sync.execution_time, "async must win on xDSL");
+
+    let cluster = cluster_bordeplage(4, HostSpec::default());
+    let csync = run_reference(&app, &cluster, &cluster.hosts, &ExecutionConfig::default());
+    let casyn = run_reference(
+        &app,
+        &cluster,
+        &cluster.hosts,
+        &ExecutionConfig {
+            scheme: IterativeScheme::Asynchronous,
+            ..ExecutionConfig::default()
+        },
+    );
+    // The asynchronous scheme's pay-off comes from not waiting on slow links,
+    // so its advantage on the low-latency cluster must be far smaller than on
+    // xDSL (it pays ~30 % more iterations either way).
+    let xdsl_gain = sync.execution_time.as_secs_f64() / asyn.execution_time.as_secs_f64();
+    let cluster_gain = csync.execution_time.as_secs_f64() / casyn.execution_time.as_secs_f64();
+    assert!(
+        xdsl_gain > 2.0 * cluster_gain,
+        "async gain on xDSL ({xdsl_gain:.2}x) should dwarf the gain on the cluster ({cluster_gain:.2}x)"
+    );
+}
+
+#[test]
+fn overlay_survives_heavy_churn_and_still_serves_collections() {
+    let core: Vec<IpAddr> = (0..5u8).map(|i| IpAddr::from_octets(10, i, 0, 1)).collect();
+    let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &core);
+    for i in 0..40u32 {
+        overlay.peer_join(
+            IpAddr::from_octets(10, (i % 5) as u8, 2, (i + 1) as u8),
+            None,
+            PeerResources::xeon_em64t(),
+        );
+    }
+    overlay.server_disconnect();
+    let mut churn = ChurnInjector::new(77);
+    churn.run(&mut overlay, 500);
+    assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+
+    // Refill a few peers if churn removed too many, then collect.
+    let mut extra = 0u8;
+    while overlay.peer_count() < 9 {
+        overlay.peer_join(
+            IpAddr::from_octets(10, 2, 9, extra + 1),
+            None,
+            PeerResources::xeon_em64t(),
+        );
+        extra += 1;
+    }
+    let submitter = overlay.peers().next().unwrap().id;
+    let (collected, _) =
+        overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(5));
+    assert_eq!(collected.len(), 8);
+}

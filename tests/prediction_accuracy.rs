@@ -1,0 +1,103 @@
+//! Prediction-accuracy integration tests (the Fig. 10 claim) plus trace-file
+//! round-trips through the on-disk format.
+
+use dperf::{predict_traces, OptLevel, TraceSet};
+use netsim::SharingMode;
+use obstacle::ObstacleApp;
+use p2p_perf::{PlatformKind, Scenario};
+use p2psap::IterativeScheme;
+
+fn tiny() -> ObstacleApp {
+    ObstacleApp {
+        n: 160,
+        sweeps: 50,
+        flops_per_point: 21.0,
+    }
+}
+
+#[test]
+fn prediction_matches_reference_within_tolerance_on_every_platform() {
+    for platform in [PlatformKind::Grid5000, PlatformKind::Lan, PlatformKind::Xdsl] {
+        let scenario = Scenario::new(platform, 4)
+            .with_app(tiny())
+            .with_opt(OptLevel::O0);
+        let reference = scenario.run_reference();
+        let prediction = scenario.predict();
+        let r = reference.execution_time.as_secs_f64();
+        let p = prediction.total.as_secs_f64();
+        let err = (r - p).abs() / r;
+        assert!(
+            err < 0.25,
+            "{}: prediction {p:.3}s vs reference {r:.3}s (error {:.1}%)",
+            platform.label(),
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn prediction_is_deterministic() {
+    let scenario = Scenario::new(PlatformKind::Xdsl, 8).with_app(tiny());
+    let a = scenario.predict();
+    let b = scenario.predict();
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.messages, b.messages);
+    // A different platform seed changes the random xDSL last miles and hence
+    // the prediction.
+    let c = scenario.clone().with_seed(7).predict();
+    assert_ne!(a.total, c.total);
+}
+
+#[test]
+fn traces_survive_the_on_disk_format_and_predict_identically() {
+    let scenario = Scenario::new(PlatformKind::Grid5000, 4).with_app(tiny());
+    let traces = scenario.traces();
+    let dir = std::env::temp_dir().join("p2p-perf-test-traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("obstacle-4.json");
+    traces.write_to(&path).unwrap();
+    let reloaded = TraceSet::read_from(&path).unwrap();
+    assert_eq!(traces, reloaded);
+    std::fs::remove_file(&path).ok();
+
+    let topology = scenario.build_topology();
+    let hosts = scenario.pick_hosts(&topology);
+    let from_memory = predict_traces(
+        &traces,
+        &topology,
+        &hosts,
+        IterativeScheme::Synchronous,
+        SharingMode::Bottleneck,
+    );
+    let from_disk = predict_traces(
+        &reloaded,
+        &topology,
+        &hosts,
+        IterativeScheme::Synchronous,
+        SharingMode::Bottleneck,
+    );
+    assert_eq!(from_memory.total, from_disk.total);
+}
+
+#[test]
+fn compute_bound_lower_bound_holds() {
+    // The predicted time can never be smaller than the largest per-rank
+    // compute time contained in the traces.
+    for nprocs in [2usize, 4, 8] {
+        let scenario = Scenario::new(PlatformKind::Lan, nprocs).with_app(tiny());
+        let traces = scenario.traces();
+        let prediction = scenario.predict();
+        assert!(prediction.total >= traces.max_compute_time(), "nprocs={nprocs}");
+    }
+}
+
+#[test]
+fn sharing_model_choice_only_matters_under_contention() {
+    // With 2 peers on the cluster there is no contention: both models agree.
+    let base = Scenario::new(PlatformKind::Grid5000, 2).with_app(tiny());
+    let analytic = base.clone().with_sharing(SharingMode::Bottleneck).predict();
+    let fair = base.with_sharing(SharingMode::MaxMinFair).predict();
+    let rel = (analytic.total.as_secs_f64() - fair.total.as_secs_f64()).abs()
+        / analytic.total.as_secs_f64();
+    assert!(rel < 0.05, "models diverge by {rel} without contention");
+}
