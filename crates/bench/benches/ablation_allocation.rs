@@ -22,7 +22,10 @@ fn candidates(n: usize) -> Vec<GroupCandidate> {
 
 fn bench_allocation(c: &mut Criterion) {
     println!("\n# Ablation A — allocation critical path (sequential sends)");
-    println!("{:>8}  {:>14}  {:>10}  {:>8}", "peers", "hierarchical", "flat", "speedup");
+    println!(
+        "{:>8}  {:>14}  {:>10}  {:>8}",
+        "peers", "hierarchical", "flat", "speedup"
+    );
     for &n in &[32usize, 64, 128, 256, 512] {
         let graph = build_allocation(PeerId::new(1), &candidates(n), CMAX);
         let hier = hierarchical_cost(&graph);
@@ -41,9 +44,11 @@ fn bench_allocation(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[64usize, 512] {
         let peers = candidates(n);
-        group.bench_with_input(BenchmarkId::new("build_allocation", n), &peers, |b, peers| {
-            b.iter(|| build_allocation(PeerId::new(1), peers, CMAX))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_allocation", n),
+            &peers,
+            |b, peers| b.iter(|| build_allocation(PeerId::new(1), peers, CMAX)),
+        );
     }
     group.finish();
 }

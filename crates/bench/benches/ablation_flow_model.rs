@@ -12,8 +12,13 @@ use p2p_perf::{PlatformKind, Scenario};
 use p2pdc_bench::{bench_app, tiny_app};
 
 fn bench_flow_model(c: &mut Criterion) {
-    println!("\n# Ablation C — network sharing model (LAN, optimization level 0, reduced workload)");
-    println!("{:>8}  {:>16}  {:>16}  {:>8}", "peers", "bottleneck [s]", "max-min fair [s]", "ratio");
+    println!(
+        "\n# Ablation C — network sharing model (LAN, optimization level 0, reduced workload)"
+    );
+    println!(
+        "{:>8}  {:>16}  {:>16}  {:>8}",
+        "peers", "bottleneck [s]", "max-min fair [s]", "ratio"
+    );
     for &n in &[4usize, 8, 16] {
         let base = Scenario::new(PlatformKind::Lan, n)
             .with_app(bench_app())
@@ -33,14 +38,18 @@ fn bench_flow_model(c: &mut Criterion) {
             SharingMode::Bottleneck => "bottleneck",
             SharingMode::MaxMinFair => "maxmin",
         };
-        group.bench_with_input(BenchmarkId::new("predict_lan8", label), &mode, |b, &mode| {
-            b.iter(|| {
-                Scenario::new(PlatformKind::Lan, 8)
-                    .with_app(tiny_app())
-                    .with_sharing(mode)
-                    .predict()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("predict_lan8", label),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    Scenario::new(PlatformKind::Lan, 8)
+                        .with_app(tiny_app())
+                        .with_sharing(mode)
+                        .predict()
+                })
+            },
+        );
     }
     group.finish();
 }

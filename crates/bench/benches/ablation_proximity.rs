@@ -26,7 +26,10 @@ fn xdsl_candidates(n: usize) -> (netsim::Topology, Vec<GroupCandidate>) {
 
 /// Mean route latency between members of each group, averaged over groups.
 /// (Peer ids in this bench encode the host index directly.)
-fn mean_intra_group_latency(topo: &mut netsim::Topology, groups: &[Vec<GroupCandidate>]) -> SimDuration {
+fn mean_intra_group_latency(
+    topo: &mut netsim::Topology,
+    groups: &[Vec<GroupCandidate>],
+) -> SimDuration {
     let mut total = SimDuration::ZERO;
     let mut pairs = 0u64;
     for group in groups {
@@ -56,9 +59,15 @@ fn bench_proximity(c: &mut Criterion) {
     DetRng::new(1).shuffle(&mut shuffled);
     let random_groups: Vec<Vec<GroupCandidate>> = shuffled.chunks(32).map(|c| c.to_vec()).collect();
 
-    let prox_bits: f64 = proximity_groups.iter().map(|g| mean_group_proximity(g)).sum::<f64>()
+    let prox_bits: f64 = proximity_groups
+        .iter()
+        .map(|g| mean_group_proximity(g))
+        .sum::<f64>()
         / proximity_groups.len() as f64;
-    let rand_bits: f64 = random_groups.iter().map(|g| mean_group_proximity(g)).sum::<f64>()
+    let rand_bits: f64 = random_groups
+        .iter()
+        .map(|g| mean_group_proximity(g))
+        .sum::<f64>()
         / random_groups.len() as f64;
     let prox_lat = mean_intra_group_latency(&mut topo, &proximity_groups);
     let rand_lat = mean_intra_group_latency(&mut topo, &random_groups);

@@ -14,7 +14,10 @@ use p2psap::IterativeScheme;
 
 fn bench_async(c: &mut Criterion) {
     println!("\n# Extension — synchronous vs asynchronous scheme (xDSL, reduced workload)");
-    println!("{:>8}  {:>16}  {:>16}  {:>8}", "peers", "synchronous [s]", "asynchronous [s]", "speedup");
+    println!(
+        "{:>8}  {:>16}  {:>16}  {:>8}",
+        "peers", "synchronous [s]", "asynchronous [s]", "speedup"
+    );
     for &n in &[4usize, 8, 16] {
         let base = Scenario::new(PlatformKind::Xdsl, n)
             .with_app(bench_app())

@@ -19,14 +19,18 @@ fn bench_fig10(c: &mut Criterion) {
     let prediction = &fig.series[1];
     for &n in &bench_sizes() {
         if let (Some(r), Some(p)) = (reference.at(n), prediction.at(n)) {
-            println!("  peers={n:>2}  reference={r:.3}s  predicted={p:.3}s  error={:.1}%", (p - r).abs() / r * 100.0);
+            println!(
+                "  peers={n:>2}  reference={r:.3}s  predicted={p:.3}s  error={:.1}%",
+                (p - r).abs() / r * 100.0
+            );
         }
     }
     println!();
 
     let mut group = c.benchmark_group("fig10_pipelines");
     group.sample_size(10);
-    for &n in &[4usize] {
+    {
+        let &n = &4usize;
         group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, &n| {
             b.iter(|| {
                 Scenario::new(PlatformKind::Grid5000, n)

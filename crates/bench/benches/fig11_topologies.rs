@@ -14,7 +14,11 @@ fn bench_fig11(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_prediction_per_platform");
     group.sample_size(10);
-    for platform in [PlatformKind::Grid5000, PlatformKind::Xdsl, PlatformKind::Lan] {
+    for platform in [
+        PlatformKind::Grid5000,
+        PlatformKind::Xdsl,
+        PlatformKind::Lan,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("predict", platform.label()),
             &platform,

@@ -1,0 +1,144 @@
+//! Max–min flow-engine throughput: incremental engine vs the seed baseline.
+//!
+//! Measures complete simulation runs of N concurrent flows (every flow
+//! started at t = 0, run until the event queue drains) on two topologies:
+//!
+//! * a 64-host star ("dumbbell" access pattern: many flows funnel into a few
+//!   destinations, so every arrival/departure rebalances a shared link), and
+//! * the paper's xDSL Daisy DSLAM topology (deep routes, shared uplinks).
+//!
+//! The baseline is the seed's engine (`netsim::baseline`): HashMap flow
+//! table, from-scratch rebalances, global version counter — O(F) reschedules
+//! per flow event. The incremental engine reschedules only rate-changed
+//! flows. The recorded reference numbers live in `BENCH_flow_engine.json`
+//! at the repository root (regenerate with
+//! `CRITERION_SHIM_JSON=... cargo bench --bench perf_flow_engine`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::baseline::BaselineNetwork;
+use netsim::{
+    daisy_xdsl, HostSpec, LinkSpec, NetEvent, Network, Platform, PlatformBuilder, Scheduler,
+    SharingMode, Topology,
+};
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Net(NetEvent),
+}
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev::Net(e)
+    }
+}
+
+/// A star of `n` hosts around one switch — the dumbbell access pattern.
+fn star(n: usize) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let sw = b.add_router("sw");
+    let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+    for i in 0..n {
+        let h = b.add_host(
+            format!("h{i}"),
+            format!("10.{}.{}.{}", i / 62500, (i / 250) % 250, i % 250 + 1)
+                .parse()
+                .unwrap(),
+            HostSpec::default(),
+        );
+        b.add_host_link(format!("l{i}"), h, sw, spec);
+    }
+    b.build()
+}
+
+fn dslam(hosts: usize) -> Topology {
+    daisy_xdsl(hosts.clamp(8, 1024), HostSpec::default(), 42)
+}
+
+/// The workload: `flows` transfers between pseudo-random host pairs, all
+/// started at t = 0 (worst case for rebalance churn: every arrival and every
+/// completion triggers a rebalance while all other flows are in flight).
+fn flow_list(hosts: usize, flows: usize) -> Vec<(HostId, HostId, DataSize)> {
+    (0..flows)
+        .map(|i| {
+            let src = (i * 7 + 1) % hosts;
+            let dst = (i * 13 + hosts / 2) % hosts;
+            let dst = if dst == src { (dst + 1) % hosts } else { dst };
+            (
+                HostId::new(src as u32),
+                HostId::new(dst as u32),
+                DataSize::from_bytes(200_000 + (i as u64 * 37_411) % 800_000),
+            )
+        })
+        .collect()
+}
+
+/// Run the workload through the incremental engine; returns delivered count.
+fn run_incremental(platform: Platform, flows: &[(HostId, HostId, DataSize)]) -> u64 {
+    let mut net = Network::new(platform, SharingMode::MaxMinFair);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &(src, dst, size)) in flows.iter().enumerate() {
+        net.start_flow(&mut sched, src, dst, size, i as u64);
+    }
+    let mut delivered = 0u64;
+    while let Some((_, Ev::Net(ne))) = sched.pop() {
+        delivered += net.on_event(&mut sched, ne).len() as u64;
+    }
+    assert_eq!(delivered, flows.len() as u64);
+    delivered
+}
+
+/// Run the workload through the retained seed engine; returns delivered count.
+fn run_baseline(platform: Platform, flows: &[(HostId, HostId, DataSize)]) -> u64 {
+    let mut net = BaselineNetwork::new(platform, SharingMode::MaxMinFair);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &(src, dst, size)) in flows.iter().enumerate() {
+        net.start_flow(&mut sched, src, dst, size, i as u64);
+    }
+    let mut delivered = 0u64;
+    while let Some((_, Ev::Net(ne))) = sched.pop() {
+        delivered += net.on_event(&mut sched, ne).len() as u64;
+    }
+    assert_eq!(delivered, flows.len() as u64);
+    delivered
+}
+
+fn bench_flow_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_engine");
+    group.sample_size(10);
+    for &n_flows in &[10usize, 100, 1000] {
+        let hosts = 64;
+        let flows = flow_list(hosts, n_flows);
+        // Dumbbell / star.
+        let star_platform = star(hosts);
+        group.bench_with_input(
+            BenchmarkId::new("incremental_star", n_flows),
+            &flows,
+            |b, flows| b.iter(|| run_incremental(star_platform.clone(), flows)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_star", n_flows),
+            &flows,
+            |b, flows| b.iter(|| run_baseline(star_platform.clone(), flows)),
+        );
+        // xDSL DSLAM topology (routes through DSLAM + metro + ring links).
+        let topo = dslam(hosts);
+        let dslam_flows: Vec<_> = flows
+            .iter()
+            .map(|&(s, d, size)| (topo.hosts[s.index()], topo.hosts[d.index()], size))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("incremental_dslam", n_flows),
+            &dslam_flows,
+            |b, flows| b.iter(|| run_incremental(topo.platform.clone(), flows)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_dslam", n_flows),
+            &dslam_flows,
+            |b, flows| b.iter(|| run_baseline(topo.platform.clone(), flows)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_engine);
+criterion_main!(benches);

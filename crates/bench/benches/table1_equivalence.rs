@@ -8,7 +8,10 @@ use p2pdc_bench::{bench_app, tiny_app};
 
 fn bench_table1(c: &mut Criterion) {
     let table = equivalence_table(&bench_app(), &[2, 4, 8], &[2, 4, 8, 16, 32], OptLevel::O0);
-    println!("\n# Table I — equivalent computing power (reduced workload)\n{}", table.render());
+    println!(
+        "\n# Table I — equivalent computing power (reduced workload)\n{}",
+        table.render()
+    );
 
     let mut group = c.benchmark_group("table1_equivalence_search");
     group.sample_size(10);

@@ -8,12 +8,12 @@
 //! 900 sweeps), which takes a few minutes for the full set; `--small` runs the
 //! reduced workload the Criterion benches use (same shapes, much faster).
 
+use dperf::OptLevel;
 use p2p_perf::experiments::{
     equivalence_table, fig10_prediction_accuracy, fig11_topology_comparison, fig9_reference_times,
     PAPER_PEER_COUNTS,
 };
 use p2pdc_bench::{bench_app, paper_app};
-use dperf::OptLevel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

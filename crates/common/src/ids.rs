@@ -81,6 +81,26 @@ define_id!(
     ChannelId, u64, "chan"
 );
 
+impl FlowId {
+    /// Build a generation-indexed flow id: the low 32 bits address a slot in
+    /// a slab flow table, the high 32 bits carry the slot's generation so a
+    /// recycled slot invalidates every id handed out for its previous
+    /// occupants.
+    pub const fn from_parts(slot: u32, generation: u32) -> FlowId {
+        FlowId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// The slab slot this id addresses.
+    pub const fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The slot generation this id was minted for.
+    pub const fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 /// A monotonically increasing id allocator, generic over any of the id types.
 #[derive(Debug, Clone, Default)]
 pub struct IdAllocator {
@@ -151,6 +171,18 @@ mod tests {
         assert_eq!(a, PeerId::new(0));
         assert_eq!(b, PeerId::new(1));
         assert_eq!(c, TaskId::new(2));
+    }
+
+    #[test]
+    fn flow_id_parts_round_trip() {
+        let id = FlowId::from_parts(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(id.raw(), (3u64 << 32) | 7);
+        let max = FlowId::from_parts(u32::MAX, u32::MAX);
+        assert_eq!(max.slot(), u32::MAX);
+        assert_eq!(max.generation(), u32::MAX);
+        assert_ne!(FlowId::from_parts(1, 0), FlowId::from_parts(1, 1));
     }
 
     #[test]

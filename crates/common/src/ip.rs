@@ -15,7 +15,9 @@ use std::fmt;
 use std::str::FromStr;
 
 /// An IPv4-style 32-bit address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct IpAddr(pub u32);
 
 impl IpAddr {
@@ -82,7 +84,11 @@ impl IpAddr {
             return base;
         }
         let host_bits = 32 - prefix_len;
-        let mask: u32 = if prefix_len == 0 { 0 } else { u32::MAX << host_bits };
+        let mask: u32 = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << host_bits
+        };
         let host: u32 = if host_bits == 32 {
             rng.gen_u32()
         } else {
@@ -113,7 +119,9 @@ impl FromStr for IpAddr {
                 .parse::<u8>()
                 .map_err(|_| CommonError::ParseIp(s.to_string()))?;
         }
-        Ok(IpAddr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(IpAddr::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 
@@ -142,6 +150,9 @@ impl SubnetAllocator {
     }
 
     /// Allocate the next address, or `None` if the subnet is exhausted.
+    // Not an `Iterator`: allocation is fallible state mutation, and renaming
+    // the established public method would break every caller.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<IpAddr> {
         let capacity = if self.host_bits == 32 {
             u32::MAX
@@ -169,7 +180,10 @@ mod tests {
         let p3: IpAddr = "145.83.56.74".parse().unwrap();
         assert_eq!(p1.common_prefix_len(p2), 24);
         assert_eq!(p1.common_prefix_len(p3), 15);
-        assert!(p1.proximity(p2) > p1.proximity(p3), "P2 must be closer to P1 than P3");
+        assert!(
+            p1.proximity(p2) > p1.proximity(p3),
+            "P2 must be closer to P1 than P3"
+        );
     }
 
     #[test]
@@ -223,7 +237,7 @@ mod tests {
         let base: IpAddr = "172.16.0.0".parse().unwrap();
         for _ in 0..200 {
             let a = IpAddr::random_in_subnet(base, 12, &mut rng);
-            assert_eq!(a.common_prefix_len(base) >= 12, true, "{a} not in 172.16/12");
+            assert!(a.common_prefix_len(base) >= 12, "{a} not in 172.16/12");
         }
         // /32 returns the base itself.
         assert_eq!(IpAddr::random_in_subnet(base, 32, &mut rng), base);
@@ -246,6 +260,9 @@ mod tests {
         assert!(alloc.next().is_some());
         assert!(alloc.next().is_some());
         assert!(alloc.next().is_some());
-        assert!(alloc.next().is_none(), "a /30 has only 3 usable host ids here");
+        assert!(
+            alloc.next().is_none(),
+            "a /30 has only 3 usable host ids here"
+        );
     }
 }

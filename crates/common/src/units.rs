@@ -12,7 +12,9 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul};
 
 /// An amount of data, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -93,7 +95,10 @@ pub struct Bandwidth(f64);
 impl Bandwidth {
     /// Build from raw bits per second.
     pub fn from_bps(b: f64) -> Self {
-        assert!(b >= 0.0 && b.is_finite(), "bandwidth must be finite and non-negative");
+        assert!(
+            b >= 0.0 && b.is_finite(),
+            "bandwidth must be finite and non-negative"
+        );
         Bandwidth(b)
     }
 

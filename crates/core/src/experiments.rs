@@ -5,12 +5,20 @@
 //! examples and the integration tests all share the same code path. The
 //! functions accept the application so tests can use the scaled-down instance;
 //! the `experiments` binary runs the paper-scale workload.
+//!
+//! Every sweep here — peer counts within a curve, optimisation levels within
+//! Fig. 9, platforms within Fig. 11 — is embarrassingly parallel: each point
+//! is an independent simulation of an independent [`Scenario`]. The sweeps
+//! run through rayon's order-preserving `par_iter().map().collect()`, so the
+//! figures saturate every core while the output data stays byte-identical to
+//! a serial run.
 
 use crate::scenario::{PlatformKind, Scenario};
 use dperf::equivalence::Tolerance;
 use dperf::report::{Figure, Series};
 use dperf::{EquivalenceTable, OptLevel, PerfCurve};
 use obstacle::ObstacleApp;
+use rayon::prelude::*;
 
 /// The peer counts of the paper's evaluation: 2^n for n in 1..=5.
 pub const PAPER_PEER_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
@@ -24,7 +32,7 @@ pub fn reference_curve(
     opt: OptLevel,
 ) -> PerfCurve {
     let points: Vec<(usize, f64)> = sizes
-        .iter()
+        .par_iter()
         .map(|&n| {
             let report = Scenario::new(platform, n)
                 .with_app(app.clone())
@@ -45,7 +53,7 @@ pub fn prediction_curve(
     opt: OptLevel,
 ) -> PerfCurve {
     let points: Vec<(usize, f64)> = sizes
-        .iter()
+        .par_iter()
         .map(|&n| {
             let prediction = Scenario::new(platform, n)
                 .with_app(app.clone())
@@ -72,9 +80,24 @@ pub fn fig9_reference_times(app: &ObstacleApp, sizes: &[usize]) -> Figure {
     let mut fig = Figure::new(
         "Fig. 9 — Stage-1 reference execution time, obstacle problem in the P2PDC environment",
     );
-    for opt in OptLevel::all() {
-        let curve = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
-        fig.push(curve_to_series(format!("optimization level {}", opt.label()), &curve));
+    // Outer sweep over optimisation levels also runs in parallel; the inner
+    // per-curve size sweep nests its own parallel map (the rayon shim spawns
+    // scoped threads, so nesting is cheap at this fan-out).
+    let curves: Vec<(OptLevel, PerfCurve)> = OptLevel::all()
+        .to_vec()
+        .into_par_iter()
+        .map(|opt| {
+            (
+                opt,
+                reference_curve(app, PlatformKind::Grid5000, sizes, opt),
+            )
+        })
+        .collect();
+    for (opt, curve) in &curves {
+        fig.push(curve_to_series(
+            format!("optimization level {}", opt.label()),
+            curve,
+        ));
     }
     fig
 }
@@ -86,8 +109,10 @@ pub fn fig10_prediction_accuracy(app: &ObstacleApp, sizes: &[usize], opt: OptLev
         "Fig. 10 — Stage-1 reference vs dPerf prediction, GCC optimization level {}",
         opt.label()
     ));
-    let reference = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
-    let prediction = prediction_curve(app, PlatformKind::Grid5000, sizes, opt);
+    let (reference, prediction) = rayon::join(
+        || reference_curve(app, PlatformKind::Grid5000, sizes, opt),
+        || prediction_curve(app, PlatformKind::Grid5000, sizes, opt),
+    );
     fig.push(curve_to_series("reference time", &reference));
     fig.push(curve_to_series("prediction with dPerf", &prediction));
     fig
@@ -101,13 +126,26 @@ pub fn fig11_topology_comparison(app: &ObstacleApp, sizes: &[usize], opt: OptLev
         "Fig. 11 — reference vs dPerf predictions for Grid5000, xDSL and LAN, optimization level {}",
         opt.label()
     ));
-    let reference = reference_curve(app, PlatformKind::Grid5000, sizes, opt);
+    let platforms = [
+        PlatformKind::Grid5000,
+        PlatformKind::Xdsl,
+        PlatformKind::Lan,
+    ];
+    let (reference, predictions) = rayon::join(
+        || reference_curve(app, PlatformKind::Grid5000, sizes, opt),
+        || {
+            platforms
+                .to_vec()
+                .into_par_iter()
+                .map(|platform| (platform, prediction_curve(app, platform, sizes, opt)))
+                .collect::<Vec<_>>()
+        },
+    );
     fig.push(curve_to_series("reference time", &reference));
-    for platform in [PlatformKind::Grid5000, PlatformKind::Xdsl, PlatformKind::Lan] {
-        let curve = prediction_curve(app, platform, sizes, opt);
+    for (platform, curve) in &predictions {
         fig.push(curve_to_series(
             format!("dPerf prediction for {}", platform.label()),
-            &curve,
+            curve,
         ));
     }
     fig
@@ -122,10 +160,21 @@ pub fn equivalence_table(
     candidate_sizes: &[usize],
     opt: OptLevel,
 ) -> EquivalenceTable {
-    let reference = prediction_curve(app, PlatformKind::Grid5000, reference_sizes, opt);
-    let xdsl = prediction_curve(app, PlatformKind::Xdsl, candidate_sizes, opt);
-    let lan = prediction_curve(app, PlatformKind::Lan, candidate_sizes, opt);
-    EquivalenceTable::build(&reference, reference_sizes, &[&xdsl, &lan], Tolerance::default())
+    let (reference, (xdsl, lan)) = rayon::join(
+        || prediction_curve(app, PlatformKind::Grid5000, reference_sizes, opt),
+        || {
+            rayon::join(
+                || prediction_curve(app, PlatformKind::Xdsl, candidate_sizes, opt),
+                || prediction_curve(app, PlatformKind::Lan, candidate_sizes, opt),
+            )
+        },
+    );
+    EquivalenceTable::build(
+        &reference,
+        reference_sizes,
+        &[&xdsl, &lan],
+        Tolerance::default(),
+    )
 }
 
 #[cfg(test)]
@@ -148,7 +197,11 @@ mod tests {
         let fig = fig9_reference_times(&tiny(), &[2, 4, 8]);
         assert_eq!(fig.series.len(), 5);
         for series in &fig.series {
-            assert!(series.at(8).unwrap() < series.at(2).unwrap(), "{}", series.label);
+            assert!(
+                series.at(8).unwrap() < series.at(2).unwrap(),
+                "{}",
+                series.label
+            );
         }
         // Level 0 is the slowest, level 3 the fastest.
         let o0 = fig.series.iter().find(|s| s.label.ends_with(" 0")).unwrap();
@@ -164,19 +217,36 @@ mod tests {
         for &n in &[2usize, 4] {
             let r = reference.at(n).unwrap();
             let p = prediction.at(n).unwrap();
-            assert!((r - p).abs() / r < 0.2, "n={n}: reference {r} vs prediction {p}");
+            assert!(
+                (r - p).abs() / r < 0.2,
+                "n={n}: reference {r} vs prediction {p}"
+            );
         }
     }
 
     #[test]
     fn fig11_xdsl_is_the_slowest_platform() {
         let fig = fig11_topology_comparison(&tiny(), &[2, 4], OptLevel::O0);
-        let grid = fig.series.iter().find(|s| s.label.contains("Grid5000")).unwrap();
-        let xdsl = fig.series.iter().find(|s| s.label.contains("xDSL")).unwrap();
+        let grid = fig
+            .series
+            .iter()
+            .find(|s| s.label.contains("Grid5000"))
+            .unwrap();
+        let xdsl = fig
+            .series
+            .iter()
+            .find(|s| s.label.contains("xDSL"))
+            .unwrap();
         let lan = fig.series.iter().find(|s| s.label.contains("LAN")).unwrap();
         for &n in &[2usize, 4] {
-            assert!(xdsl.at(n).unwrap() > lan.at(n).unwrap(), "xDSL must trail LAN at n={n}");
-            assert!(lan.at(n).unwrap() >= grid.at(n).unwrap(), "LAN cannot beat the cluster at n={n}");
+            assert!(
+                xdsl.at(n).unwrap() > lan.at(n).unwrap(),
+                "xDSL must trail LAN at n={n}"
+            );
+            assert!(
+                lan.at(n).unwrap() >= grid.at(n).unwrap(),
+                "LAN cannot beat the cluster at n={n}"
+            );
         }
     }
 }

@@ -131,7 +131,8 @@ impl Accumulator<'_> {
                         CommKind::Recv => 0.0,
                     };
                     self.dynamic_messages += (multiplier * sends).round() as u64;
-                    self.dynamic_bytes_sent += call.bytes.eval(self.env).max(0.0) * multiplier * sends;
+                    self.dynamic_bytes_sent +=
+                        call.bytes.eval(self.env).max(0.0) * multiplier * sends;
                 }
             }
             Stmt::Collective(coll) => {
@@ -234,9 +235,12 @@ mod tests {
             .compute(ComputeBlock::new("init", Expr::p("N").mul(Expr::p("N"))))
             .loop_(Expr::p("iters"), |b| {
                 b.compute(
-                    ComputeBlock::new("sweep", Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")))
-                        .reading(&["u"])
-                        .writing(&["u"]),
+                    ComputeBlock::new(
+                        "sweep",
+                        Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")),
+                    )
+                    .reading(&["u"])
+                    .writing(&["u"]),
                 )
                 .if_(
                     Guard::HasDownNeighbor,
@@ -283,8 +287,16 @@ mod tests {
     #[test]
     fn merge_collapses_adjacent_compute_blocks() {
         let p = Program::builder("merge-me")
-            .compute(ComputeBlock::new("a", Expr::c(10.0)).reading(&["x"]).writing(&["y"]))
-            .compute(ComputeBlock::new("b", Expr::c(20.0)).reading(&["y"]).writing(&["z"]))
+            .compute(
+                ComputeBlock::new("a", Expr::c(10.0))
+                    .reading(&["x"])
+                    .writing(&["y"]),
+            )
+            .compute(
+                ComputeBlock::new("b", Expr::c(20.0))
+                    .reading(&["y"])
+                    .writing(&["z"]),
+            )
             .sendrecv(Target::RelativeRank(1), Expr::c(100.0), 0)
             .compute(ComputeBlock::new("c", Expr::c(30.0)))
             .build();

@@ -187,7 +187,11 @@ mod tests {
     fn pipeline() -> Program {
         Program::builder("dep-test")
             .compute(ComputeBlock::new("produce", Expr::c(1.0)).writing(&["a"]))
-            .compute(ComputeBlock::new("transform", Expr::c(1.0)).reading(&["a"]).writing(&["b"]))
+            .compute(
+                ComputeBlock::new("transform", Expr::c(1.0))
+                    .reading(&["a"])
+                    .writing(&["b"]),
+            )
             .compute(ComputeBlock::new("consume", Expr::c(1.0)).reading(&["b"]))
             .compute(ComputeBlock::new("overwrite", Expr::c(1.0)).writing(&["b"]))
             .build()
@@ -201,9 +205,15 @@ mod tests {
         assert!(flow.contains(&(0, 1)), "produce -> transform (RAW on a)");
         assert!(flow.contains(&(1, 2)), "transform -> consume (RAW on b)");
         let output = g.edges_of_kind(DepKind::Output);
-        assert!(output.contains(&(1, 3)), "transform and overwrite both write b");
+        assert!(
+            output.contains(&(1, 3)),
+            "transform and overwrite both write b"
+        );
         let anti = g.edges_of_kind(DepKind::Anti);
-        assert!(anti.contains(&(2, 3)), "consume reads b before overwrite writes it");
+        assert!(
+            anti.contains(&(2, 3)),
+            "consume reads b before overwrite writes it"
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ mod tests {
         let bencher = ModeledBencher::new(MachineModel::xeon_em64t_3ghz(), OptLevel::O3);
         let b = ComputeBlock::new("sweep", Expr::p("N").mul(Expr::p("my_rows")));
         let small = bencher.block_time(&b, &ParamEnv::new().with("N", 100.0).with("my_rows", 10.0));
-        let large = bencher.block_time(&b, &ParamEnv::new().with("N", 100.0).with("my_rows", 1000.0));
+        let large = bencher.block_time(
+            &b,
+            &ParamEnv::new().with("N", 100.0).with("my_rows", 1000.0),
+        );
         assert!(large > small);
     }
 
@@ -167,6 +170,9 @@ mod tests {
         let fallback = ModeledBencher::new(MachineModel::xeon_em64t_3ghz(), OptLevel::O3);
         let bencher = MeasuredBencher::new(fallback.clone());
         let b = block(2e6);
-        assert_eq!(bencher.block_time(&b, &ParamEnv::new()), fallback.block_time(&b, &ParamEnv::new()));
+        assert_eq!(
+            bencher.block_time(&b, &ParamEnv::new()),
+            fallback.block_time(&b, &ParamEnv::new())
+        );
     }
 }

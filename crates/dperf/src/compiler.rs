@@ -34,7 +34,13 @@ pub enum OptLevel {
 impl OptLevel {
     /// All levels, in the order the paper reports them.
     pub fn all() -> [OptLevel; 5] {
-        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os]
+        [
+            OptLevel::O0,
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::Os,
+        ]
     }
 
     /// Compute-time multiplier relative to `-O3`.
@@ -91,11 +97,15 @@ impl OptLevel {
             for i in 1..n - 1 {
                 for j in 1..n - 1 {
                     let idx = |a: usize, b: usize| a * n + b;
-                    let lap = u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)]
-                        + u[idx(i, j + 1)]
-                        - 4.0 * u[idx(i, j)];
+                    let lap =
+                        u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)] + u[idx(i, j + 1)]
+                            - 4.0 * u[idx(i, j)];
                     let cand = u[idx(i, j)] + 0.2 * lap;
-                    let proj = if cand < psi[idx(i, j)] { psi[idx(i, j)] } else { cand };
+                    let proj = if cand < psi[idx(i, j)] {
+                        psi[idx(i, j)]
+                    } else {
+                        cand
+                    };
                     u[idx(i, j)] = proj;
                     acc_naive += proj;
                 }

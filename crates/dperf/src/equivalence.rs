@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(classify(secs(8.0), secs(10.0), tol), Comparison::Higher);
         assert_eq!(classify(secs(10.5), secs(10.0), tol), Comparison::Same);
         assert_eq!(classify(secs(9.5), secs(10.0), tol), Comparison::Same);
-        assert_eq!(classify(secs(13.0), secs(10.0), tol), Comparison::SlightlyLower);
+        assert_eq!(
+            classify(secs(13.0), secs(10.0), tol),
+            Comparison::SlightlyLower
+        );
         assert_eq!(classify(secs(25.0), secs(10.0), tol), Comparison::MuchLower);
         assert!(Comparison::SlightlyLower.is_acceptable());
         assert!(!Comparison::MuchLower.is_acceptable());
@@ -265,7 +268,10 @@ mod tests {
     #[test]
     fn equivalent_picks_the_smallest_acceptable_configuration() {
         let grid = PerfCurve::from_secs("Grid5000", &[(2, 42.0), (4, 21.5), (8, 11.0)]);
-        let lan = PerfCurve::from_secs("LAN", &[(2, 48.0), (4, 25.0), (8, 15.0), (16, 12.0), (32, 11.5)]);
+        let lan = PerfCurve::from_secs(
+            "LAN",
+            &[(2, 48.0), (4, 25.0), (8, 15.0), (16, 12.0), (32, 11.5)],
+        );
         let tol = Tolerance::default();
         let row = EquivalenceTable::equivalent_for(&grid, 2, &lan, tol).unwrap();
         assert_eq!(row.candidate_procs, 2);
@@ -277,7 +283,10 @@ mod tests {
         );
         assert_eq!(row8.comparison, Comparison::SlightlyLower);
         // Tightening the slight-factor pushes the equivalent to 16 LAN peers.
-        let strict = Tolerance { same_band: 0.10, slight_factor: 1.2 };
+        let strict = Tolerance {
+            same_band: 0.10,
+            slight_factor: 1.2,
+        };
         let row8s = EquivalenceTable::equivalent_for(&grid, 8, &lan, strict).unwrap();
         assert_eq!(row8s.candidate_procs, 16);
     }

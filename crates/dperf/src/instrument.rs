@@ -146,7 +146,10 @@ fn unparse_stmts(stmts: &[Stmt], depth: usize, next_probe: &mut u32, out: &mut S
                 ));
             }
             Stmt::Loop { count, body } => {
-                out.push_str(&format!("{}for (i = 0; i < {count}; i++) {{\n", indent(depth)));
+                out.push_str(&format!(
+                    "{}for (i = 0; i < {count}; i++) {{\n",
+                    indent(depth)
+                ));
                 unparse_stmts(body, depth + 1, next_probe, out);
                 out.push_str(&format!("{}}}\n", indent(depth)));
             }

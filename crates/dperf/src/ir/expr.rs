@@ -29,6 +29,10 @@ pub enum Expr {
     Ceil(Box<Expr>),
 }
 
+// `add`/`sub`/`mul`/`div` are AST constructors, not arithmetic on `Expr`
+// values; implementing the `std::ops` traits would wrongly suggest the
+// latter.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A constant.
     pub fn c(v: f64) -> Expr {
@@ -112,7 +116,11 @@ impl Expr {
         match self {
             Expr::Const(_) => {}
             Expr::Param(name) => out.push(name.clone()),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Max(a, b) => {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Max(a, b) => {
                 a.collect_params(out);
                 b.collect_params(out);
             }
@@ -216,7 +224,10 @@ mod tests {
         let env = ParamEnv::new().with("N", 10.0);
         let e = Expr::p("N").mul(Expr::p("missing"));
         assert_eq!(e.eval(&env), 0.0);
-        assert_eq!(e.free_params(), vec!["N".to_string(), "missing".to_string()]);
+        assert_eq!(
+            e.free_params(),
+            vec!["N".to_string(), "missing".to_string()]
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Programs and the builder used to describe applications.
 
 use super::expr::{Expr, ParamEnv};
-use super::stmt::{Collective, CollectiveKind, CommCall, CommKind, ComputeBlock, Guard, Stmt, Target};
+use super::stmt::{
+    Collective, CollectiveKind, CommCall, CommKind, ComputeBlock, Guard, Stmt, Target,
+};
 use serde::{Deserialize, Serialize};
 
 /// A complete SPMD program description: one body executed by every rank, with
@@ -88,7 +90,8 @@ impl BlockBuilder {
 
     /// Append a collective.
     pub fn collective(mut self, kind: CollectiveKind, bytes: Expr, tag: u32) -> Self {
-        self.stmts.push(Stmt::Collective(Collective { kind, bytes, tag }));
+        self.stmts
+            .push(Stmt::Collective(Collective { kind, bytes, tag }));
         self
     }
 
@@ -205,9 +208,12 @@ mod tests {
             .param("iters", 4.0)
             .loop_(Expr::p("iters"), |b| {
                 b.compute(
-                    ComputeBlock::new("sweep", Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")))
-                        .reading(&["u_old"])
-                        .writing(&["u_new"]),
+                    ComputeBlock::new(
+                        "sweep",
+                        Expr::c(5.0).mul(Expr::p("N")).mul(Expr::p("my_rows")),
+                    )
+                    .reading(&["u_old"])
+                    .writing(&["u_new"]),
                 )
                 .if_(
                     Guard::HasUpNeighbor,

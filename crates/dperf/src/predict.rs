@@ -11,10 +11,10 @@
 //! derives the P2PSAP per-message costs from the network context and the
 //! application scheme, and replays the traces with `netsim`.
 
+use crate::bench_block::ModeledBencher;
 use crate::compiler::OptLevel;
 use crate::ir::{ParamEnv, Program};
 use crate::machine::MachineModel;
-use crate::bench_block::ModeledBencher;
 use crate::trace::TraceSet;
 use crate::tracegen::{generate_traces, RankEnv};
 use netsim::{replay, ReplayConfig, SharingMode, Topology};
@@ -129,14 +129,16 @@ impl<'p> Predictor<'p> {
 
     /// Generate the trace set for `nprocs` ranks (the block-benchmarking +
     /// instrumented-run stage).
-    pub fn traces(
-        &self,
-        env: &ParamEnv,
-        nprocs: usize,
-        rank_env: Option<RankEnv<'_>>,
-    ) -> TraceSet {
+    pub fn traces(&self, env: &ParamEnv, nprocs: usize, rank_env: Option<RankEnv<'_>>) -> TraceSet {
         let bencher = ModeledBencher::new(self.machine.clone(), self.opt);
-        generate_traces(self.program, env, nprocs, &bencher, rank_env, self.opt.label())
+        generate_traces(
+            self.program,
+            env,
+            nprocs,
+            &bencher,
+            rank_env,
+            self.opt.label(),
+        )
     }
 
     /// Full pipeline: traces + replay on `topology` over the given hosts.
@@ -195,7 +197,13 @@ mod tests {
         let predictor = Predictor::new(&p, OptLevel::O3);
         let topo = cluster_bordeplage(4, HostSpec::default());
         let traces = predictor.traces(&ParamEnv::new(), 4, Some(&rows));
-        let pred = predict_traces(&traces, &topo, &topo.hosts, IterativeScheme::Synchronous, SharingMode::Bottleneck);
+        let pred = predict_traces(
+            &traces,
+            &topo,
+            &topo.hosts,
+            IterativeScheme::Synchronous,
+            SharingMode::Bottleneck,
+        );
         let compute_floor = traces.max_compute_time();
         assert!(pred.total >= compute_floor);
         assert!(pred.total.as_secs_f64() < compute_floor.as_secs_f64() * 3.0 + 1.0);
@@ -213,7 +221,10 @@ mod tests {
         let t8 = predictor
             .predict(&ParamEnv::new(), &topo, &topo.hosts[..8], Some(&rows))
             .total;
-        assert!(t8 < t2, "scaling must help on a fast network ({t2} -> {t8})");
+        assert!(
+            t8 < t2,
+            "scaling must help on a fast network ({t2} -> {t8})"
+        );
     }
 
     #[test]
@@ -223,9 +234,13 @@ mod tests {
         let cluster = cluster_bordeplage(4, HostSpec::default());
         let xdsl = daisy_xdsl(64, HostSpec::default(), 42);
         let env = ParamEnv::new();
-        let t_cluster = predictor.predict(&env, &cluster, &cluster.hosts, Some(&rows)).total;
+        let t_cluster = predictor
+            .predict(&env, &cluster, &cluster.hosts, Some(&rows))
+            .total;
         let xdsl_hosts = xdsl.pick_hosts(4, PlacementPolicy::Spread);
-        let t_xdsl = predictor.predict(&env, &xdsl, &xdsl_hosts, Some(&rows)).total;
+        let t_xdsl = predictor
+            .predict(&env, &xdsl, &xdsl_hosts, Some(&rows))
+            .total;
         assert!(
             t_xdsl > t_cluster * 2u64,
             "xDSL ({t_xdsl}) must be far slower than the cluster ({t_cluster})"
@@ -238,7 +253,13 @@ mod tests {
         let predictor = Predictor::new(&p, OptLevel::O3);
         let topo = cluster_bordeplage(1, HostSpec::default());
         let traces = predictor.traces(&ParamEnv::new(), 1, Some(&rows));
-        let pred = predict_traces(&traces, &topo, &topo.hosts, IterativeScheme::Synchronous, SharingMode::Bottleneck);
+        let pred = predict_traces(
+            &traces,
+            &topo,
+            &topo.hosts,
+            IterativeScheme::Synchronous,
+            SharingMode::Bottleneck,
+        );
         assert_eq!(pred.messages, 0);
         assert_eq!(pred.total, traces.max_compute_time());
         assert_eq!(pred.comm_fraction(), 0.0);
@@ -251,6 +272,12 @@ mod tests {
         let predictor = Predictor::new(&p, OptLevel::O3);
         let topo = cluster_bordeplage(4, HostSpec::default());
         let traces = predictor.traces(&ParamEnv::new(), 4, Some(&rows));
-        predict_traces(&traces, &topo, &topo.hosts[..2], IterativeScheme::Synchronous, SharingMode::Bottleneck);
+        predict_traces(
+            &traces,
+            &topo,
+            &topo.hosts[..2],
+            IterativeScheme::Synchronous,
+            SharingMode::Bottleneck,
+        );
     }
 }

@@ -84,7 +84,11 @@ impl Figure {
         }
         out.push('\n');
         // Union of x values, sorted.
-        let mut xs: Vec<usize> = self.series.iter().flat_map(|s| s.x.iter().copied()).collect();
+        let mut xs: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.x.iter().copied())
+            .collect();
         xs.sort_unstable();
         xs.dedup();
         for x in xs {

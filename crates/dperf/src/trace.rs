@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One event of a process trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,8 +25,10 @@ pub enum TraceEvent {
     Compute {
         /// Measured/modelled duration in nanoseconds.
         ns: u64,
-        /// Name of the block (instrumentation site).
-        block: String,
+        /// Name of the block (instrumentation site). Interned: every event
+        /// of a block shares one allocation instead of cloning a `String`
+        /// per event (compute events dominate large traces).
+        block: Arc<str>,
     },
     /// The process sent `bytes` bytes to rank `to` with tag `tag`.
     Send {
@@ -226,16 +229,30 @@ mod tests {
                 ProcessTrace {
                     rank: 0,
                     events: vec![
-                        TraceEvent::Compute { ns: 1_000_000, block: "sweep".into() },
-                        TraceEvent::Send { to: 1, bytes: 9600, tag: 1 },
+                        TraceEvent::Compute {
+                            ns: 1_000_000,
+                            block: "sweep".into(),
+                        },
+                        TraceEvent::Send {
+                            to: 1,
+                            bytes: 9600,
+                            tag: 1,
+                        },
                         TraceEvent::Recv { from: 1, tag: 1 },
                     ],
                 },
                 ProcessTrace {
                     rank: 1,
                     events: vec![
-                        TraceEvent::Compute { ns: 2_000_000, block: "sweep".into() },
-                        TraceEvent::Send { to: 0, bytes: 9600, tag: 1 },
+                        TraceEvent::Compute {
+                            ns: 2_000_000,
+                            block: "sweep".into(),
+                        },
+                        TraceEvent::Send {
+                            to: 0,
+                            bytes: 9600,
+                            tag: 1,
+                        },
                         TraceEvent::Recv { from: 0, tag: 1 },
                     ],
                 },
@@ -281,8 +298,18 @@ mod tests {
         assert_eq!(scripts[0].rank, 0);
         assert_eq!(scripts[0].ops.len(), 3);
         assert!(matches!(scripts[0].ops[0], ReplayOp::Compute { .. }));
-        assert!(matches!(scripts[0].ops[1], ReplayOp::Send { to: 1, bytes: 9600, tag: 1 }));
-        assert!(matches!(scripts[0].ops[2], ReplayOp::Recv { from: 1, tag: 1 }));
+        assert!(matches!(
+            scripts[0].ops[1],
+            ReplayOp::Send {
+                to: 1,
+                bytes: 9600,
+                tag: 1
+            }
+        ));
+        assert!(matches!(
+            scripts[0].ops[2],
+            ReplayOp::Recv { from: 1, tag: 1 }
+        ));
     }
 
     #[test]
@@ -290,7 +317,11 @@ mod tests {
         let ts = sample();
         assert!(ts.validate().is_empty());
         let mut broken = ts.clone();
-        broken.traces[0].events.push(TraceEvent::Send { to: 1, bytes: 1, tag: 9 });
+        broken.traces[0].events.push(TraceEvent::Send {
+            to: 1,
+            bytes: 1,
+            tag: 9,
+        });
         let problems = broken.validate();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("tag 9"));

@@ -22,6 +22,23 @@
 use crate::bench_block::BlockBencher;
 use crate::ir::{CollectiveKind, CommKind, ParamEnv, Program, RankContext, Stmt};
 use crate::trace::{ProcessTrace, TraceEvent, TraceSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interns compute-block names so every event of a block shares one
+/// allocation (an `Arc<str>` refcount bump per event instead of a `String`
+/// clone). One interner serves all ranks of a generation run: block names
+/// come from the program, which is shared.
+#[derive(Default)]
+struct BlockNames<'p> {
+    map: HashMap<&'p str, Arc<str>>,
+}
+
+impl<'p> BlockNames<'p> {
+    fn intern(&mut self, name: &'p str) -> Arc<str> {
+        Arc::clone(self.map.entry(name).or_insert_with(|| Arc::from(name)))
+    }
+}
 
 /// Optional per-rank parameter hook: given `(rank, nprocs, global env)` return
 /// extra bindings (e.g. `my_rows` for a 1-D block decomposition).
@@ -44,6 +61,7 @@ pub fn generate_traces(
     assert!(nprocs > 0, "need at least one process");
     let global = program.defaults.overlaid_with(base_env);
     let mut traces = Vec::with_capacity(nprocs);
+    let mut names = BlockNames::default();
     for rank in 0..nprocs {
         let ctx = RankContext { rank, nprocs };
         let mut env = global
@@ -53,8 +71,17 @@ pub fn generate_traces(
         if let Some(f) = rank_env {
             env = env.overlaid_with(&f(rank, nprocs, &global));
         }
-        let mut events = Vec::new();
-        emit_stmts(&program.body, ctx, &env, bencher, &mut events);
+        // One cheap counting pass (loop trip counts and guards resolved the
+        // same way the emitting pass resolves them) sizes the event vector
+        // exactly, so the emitting pass never reallocates.
+        let expected = count_events(&program.body, ctx, &env);
+        let mut events = Vec::with_capacity(expected);
+        emit_stmts(&program.body, ctx, &env, bencher, &mut names, &mut events);
+        debug_assert_eq!(
+            events.len(),
+            expected,
+            "count_events must size the event vector exactly"
+        );
         traces.push(ProcessTrace { rank, events });
     }
     TraceSet {
@@ -65,11 +92,72 @@ pub fn generate_traces(
     }
 }
 
-fn emit_stmts(
-    stmts: &[Stmt],
+/// Count the events `emit_stmts` will produce for the same inputs, without
+/// benchmarking any block. Used to pre-size the event vectors.
+fn count_events(stmts: &[Stmt], ctx: RankContext, env: &ParamEnv) -> usize {
+    let mut total = 0usize;
+    for stmt in stmts {
+        match stmt {
+            Stmt::Compute(_) => total += 1,
+            Stmt::Comm(call) => {
+                let Some(peer) = call.peer.resolve(ctx) else {
+                    continue;
+                };
+                if peer == ctx.rank {
+                    continue;
+                }
+                total += match call.kind {
+                    CommKind::Send | CommKind::Recv => 1,
+                    CommKind::SendRecv => 2,
+                };
+            }
+            Stmt::Collective(coll) => total += collective_event_count(coll.kind, ctx),
+            Stmt::Loop { count, body } => {
+                let trips = count.eval_count(env) as usize;
+                total += trips * count_events(body, ctx, env);
+            }
+            Stmt::If {
+                guard,
+                then_branch,
+                else_branch,
+            } => {
+                total += if guard.eval(ctx, env) {
+                    count_events(then_branch, ctx, env)
+                } else {
+                    count_events(else_branch, ctx, env)
+                };
+            }
+        }
+    }
+    total
+}
+
+/// Number of point-to-point events a collective expands to on this rank.
+fn collective_event_count(kind: CollectiveKind, ctx: RankContext) -> usize {
+    if ctx.nprocs == 1 {
+        return 0;
+    }
+    match kind {
+        CollectiveKind::Gather | CollectiveKind::Broadcast => {
+            if ctx.is_coordinator() {
+                ctx.nprocs - 1
+            } else {
+                1
+            }
+        }
+        CollectiveKind::AllReduce => {
+            collective_event_count(CollectiveKind::Gather, ctx)
+                + collective_event_count(CollectiveKind::Broadcast, ctx)
+        }
+    }
+}
+
+fn emit_stmts<'p>(
+    stmts: &'p [Stmt],
     ctx: RankContext,
     env: &ParamEnv,
     bencher: &dyn BlockBencher,
+    names: &mut BlockNames<'p>,
     out: &mut Vec<TraceEvent>,
 ) {
     for stmt in stmts {
@@ -78,7 +166,7 @@ fn emit_stmts(
                 let t = bencher.block_time(block, env);
                 out.push(TraceEvent::Compute {
                     ns: t.as_nanos(),
-                    block: block.name.clone(),
+                    block: names.intern(&block.name),
                 });
             }
             Stmt::Comm(call) => {
@@ -119,7 +207,7 @@ fn emit_stmts(
             Stmt::Loop { count, body } => {
                 let trips = count.eval_count(env);
                 for _ in 0..trips {
-                    emit_stmts(body, ctx, env, bencher, out);
+                    emit_stmts(body, ctx, env, bencher, names, out);
                 }
             }
             Stmt::If {
@@ -128,9 +216,9 @@ fn emit_stmts(
                 else_branch,
             } => {
                 if guard.eval(ctx, env) {
-                    emit_stmts(then_branch, ctx, env, bencher, out);
+                    emit_stmts(then_branch, ctx, env, bencher, names, out);
                 } else {
-                    emit_stmts(else_branch, ctx, env, bencher, out);
+                    emit_stmts(else_branch, ctx, env, bencher, names, out);
                 }
             }
         }
@@ -229,7 +317,14 @@ mod tests {
     #[test]
     fn traces_are_balanced_and_validate() {
         let p = stencil();
-        let ts = generate_traces(&p, &ParamEnv::new(), 4, &bencher(OptLevel::O3), Some(&rows), "3");
+        let ts = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            4,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
         assert_eq!(ts.nprocs, 4);
         assert_eq!(ts.traces.len(), 4);
         assert!(ts.validate().is_empty(), "{:?}", ts.validate());
@@ -241,7 +336,14 @@ mod tests {
     #[test]
     fn boundary_ranks_skip_their_missing_neighbour() {
         let p = stencil();
-        let ts = generate_traces(&p, &ParamEnv::new(), 4, &bencher(OptLevel::O3), Some(&rows), "3");
+        let ts = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            4,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
         // Rank 0 has no up neighbour, rank 3 no down neighbour: count the
         // halo-exchange sends (tag 7) only, ignoring the reduction traffic.
         let halo_sends = |rank: usize| {
@@ -251,8 +353,16 @@ mod tests {
                 .filter(|e| matches!(e, TraceEvent::Send { tag: 7, .. }))
                 .count()
         };
-        assert_eq!(halo_sends(0), 3, "boundary rank exchanges with one neighbour");
-        assert_eq!(halo_sends(1), 6, "interior rank exchanges with two neighbours");
+        assert_eq!(
+            halo_sends(0),
+            3,
+            "boundary rank exchanges with one neighbour"
+        );
+        assert_eq!(
+            halo_sends(1),
+            6,
+            "interior rank exchanges with two neighbours"
+        );
         assert_eq!(halo_sends(3), 3);
         let last = &ts.traces[3];
         let sends_to: Vec<usize> = last
@@ -263,34 +373,110 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(sends_to.iter().all(|&t| t == 2 || t == 0), "rank 3 talks only to 2 and the coordinator");
+        assert!(
+            sends_to.iter().all(|&t| t == 2 || t == 0),
+            "rank 3 talks only to 2 and the coordinator"
+        );
     }
 
     #[test]
     fn opt_level_scales_compute_but_not_messages() {
         let p = stencil();
-        let fast = generate_traces(&p, &ParamEnv::new(), 2, &bencher(OptLevel::O3), Some(&rows), "3");
-        let slow = generate_traces(&p, &ParamEnv::new(), 2, &bencher(OptLevel::O0), Some(&rows), "0");
+        let fast = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            2,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
+        let slow = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            2,
+            &bencher(OptLevel::O0),
+            Some(&rows),
+            "0",
+        );
         assert_eq!(fast.total_messages(), slow.total_messages());
         let ratio = slow.max_compute_time().as_secs_f64() / fast.max_compute_time().as_secs_f64();
-        assert!((ratio - OptLevel::O0.time_factor()).abs() < 0.05, "ratio {ratio}");
+        assert!(
+            (ratio - OptLevel::O0.time_factor()).abs() < 0.05,
+            "ratio {ratio}"
+        );
         assert_eq!(slow.opt_level, "0");
     }
 
     #[test]
     fn work_is_split_across_ranks() {
         let p = stencil();
-        let one = generate_traces(&p, &ParamEnv::new(), 1, &bencher(OptLevel::O3), Some(&rows), "3");
-        let four = generate_traces(&p, &ParamEnv::new(), 4, &bencher(OptLevel::O3), Some(&rows), "3");
+        let one = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            1,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
+        let four = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            4,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
         let t1 = one.max_compute_time().as_secs_f64();
         let t4 = four.max_compute_time().as_secs_f64();
-        assert!(t4 < t1 / 3.0, "4-way split must cut per-rank compute time, {t1} vs {t4}");
+        assert!(
+            t4 < t1 / 3.0,
+            "4-way split must cut per-rank compute time, {t1} vs {t4}"
+        );
+    }
+
+    #[test]
+    fn block_names_are_interned_across_events_and_ranks() {
+        use crate::trace::TraceEvent;
+        let p = stencil();
+        let ts = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            4,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
+        let blocks: Vec<&std::sync::Arc<str>> = ts
+            .traces
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter_map(|e| match e {
+                TraceEvent::Compute { block, .. } => Some(block),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            blocks.len() > 4,
+            "the stencil has compute events on every rank"
+        );
+        let first = blocks[0];
+        assert!(
+            blocks.iter().all(|b| std::sync::Arc::ptr_eq(b, first)),
+            "every event of the same block must share one allocation"
+        );
     }
 
     #[test]
     fn single_rank_has_no_communication() {
         let p = stencil();
-        let ts = generate_traces(&p, &ParamEnv::new(), 1, &bencher(OptLevel::O3), Some(&rows), "3");
+        let ts = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            1,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
         assert_eq!(ts.total_messages(), 0);
         assert!(ts.validate().is_empty());
     }
@@ -299,10 +485,22 @@ mod tests {
     fn replaying_generated_traces_yields_a_finite_time() {
         use netsim::{cluster_bordeplage, replay, HostSpec, ReplayConfig};
         let p = stencil();
-        let ts = generate_traces(&p, &ParamEnv::new(), 4, &bencher(OptLevel::O3), Some(&rows), "3");
+        let ts = generate_traces(
+            &p,
+            &ParamEnv::new(),
+            4,
+            &bencher(OptLevel::O3),
+            Some(&rows),
+            "3",
+        );
         let topo = cluster_bordeplage(4, HostSpec::default());
         let scripts = ts.to_replay_scripts();
-        let res = replay(topo.platform, &topo.hosts, &scripts, &ReplayConfig::default());
+        let res = replay(
+            topo.platform,
+            &topo.hosts,
+            &scripts,
+            &ReplayConfig::default(),
+        );
         assert!(res.makespan >= ts.max_compute_time());
         assert_eq!(res.messages_sent as usize, ts.total_messages());
     }

@@ -45,6 +45,11 @@ pub struct Scheduler<E> {
     seq: u64,
     heap: BinaryHeap<Entry<E>>,
     delivered: u64,
+    /// Pending entries known to be stale (their producer superseded them).
+    /// Maintained by producers through [`Scheduler::mark_dead`] /
+    /// [`Scheduler::resolve_dead`]; makes the heap's live/dead ratio
+    /// observable so callers can decide when to [`Scheduler::compact_pending`].
+    dead: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -61,6 +66,7 @@ impl<E> Scheduler<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             delivered: 0,
+            dead: 0,
         }
     }
 
@@ -105,6 +111,41 @@ impl<E> Scheduler<E> {
     /// Schedule `event` after a delay relative to the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.schedule_at(self.now + delay, event);
+    }
+
+    /// Record that one pending entry has become stale (its producer
+    /// superseded it and will ignore it when it fires).
+    pub fn mark_dead(&mut self) {
+        self.dead += 1;
+    }
+
+    /// Record that a previously [`mark_dead`](Scheduler::mark_dead)ed entry
+    /// has been popped and discarded.
+    pub fn resolve_dead(&mut self) {
+        self.dead = self.dead.saturating_sub(1);
+    }
+
+    /// Number of pending entries known to be stale.
+    pub fn dead_pending(&self) -> u64 {
+        self.dead
+    }
+
+    /// Number of pending entries believed live.
+    pub fn live_pending(&self) -> usize {
+        (self.heap.len() as u64).saturating_sub(self.dead) as usize
+    }
+
+    /// Drop every pending entry for which `keep` returns false, preserving
+    /// the relative order (time, then scheduling order) of the survivors.
+    /// Returns the number of entries removed; the dead counter is reduced by
+    /// that amount (callers are expected to drop exactly the stale entries).
+    pub fn compact_pending(&mut self, mut keep: impl FnMut(&E) -> bool) -> usize {
+        let before = self.heap.len();
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries.into_iter().filter(|e| keep(&e.event)).collect();
+        let removed = before - self.heap.len();
+        self.dead = self.dead.saturating_sub(removed as u64);
+        removed
     }
 
     /// Time of the next pending event, if any.
@@ -223,7 +264,13 @@ mod tests {
     fn handlers_can_schedule_followups() {
         let mut world = Recorder { seen: vec![] };
         let mut sched = Scheduler::new();
-        sched.schedule_at(SimTime::ZERO, Ev::Chain { tag: 0, remaining: 4 });
+        sched.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain {
+                tag: 0,
+                remaining: 4,
+            },
+        );
         let end = run_world(&mut world, &mut sched, None);
         assert_eq!(world.seen.len(), 5);
         assert_eq!(end, SimTime::from_millis(40));
@@ -234,7 +281,13 @@ mod tests {
     fn run_until_stops_at_horizon() {
         let mut world = Recorder { seen: vec![] };
         let mut sched = Scheduler::new();
-        sched.schedule_at(SimTime::ZERO, Ev::Chain { tag: 0, remaining: 100 });
+        sched.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain {
+                tag: 0,
+                remaining: 100,
+            },
+        );
         run_world(&mut world, &mut sched, Some(SimTime::from_millis(35)));
         assert_eq!(world.seen.len(), 4, "events after the horizon must not run");
         assert!(!sched.is_empty());

@@ -23,7 +23,11 @@
 //!   compute / send / receive operations are executed against a platform and
 //!   yield the simulated makespan. dPerf converts its trace files into these
 //!   scripts to obtain `t_predicted`.
+//! * [`baseline`] — the pre-refactor from-scratch max–min engine, kept as a
+//!   differential-testing and benchmarking baseline for the incremental
+//!   engine in [`network`].
 
+pub mod baseline;
 pub mod event;
 pub mod network;
 pub mod platform;

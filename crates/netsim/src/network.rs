@@ -16,11 +16,51 @@
 //! Control-plane messages of the P2PDC overlay are small and latency-bound;
 //! [`Network::message_delay`] provides their delivery delay analytically
 //! without materialising a flow.
+//!
+//! # The incremental max–min engine
+//!
+//! The first version of this module recomputed max–min fairness from scratch
+//! with freshly allocated `HashMap`s on every flow start/finish, and bumped a
+//! *global* version counter on each rebalance — which invalidated and
+//! rescheduled the completion event of **every** active flow even when only
+//! one flow's rate had changed, piling dead entries onto the event heap at a
+//! rate of O(F) per flow arrival/departure (O(F²) per busy period).
+//!
+//! The current engine keeps the same observable behaviour (identical
+//! simulated timestamps, deliveries and statistics) with an incremental
+//! design:
+//!
+//! * **Slab flow table** — flows live in a `Vec` of slots addressed by the
+//!   low 32 bits of [`FlowId`]; the high 32 bits carry the slot *generation*
+//!   ([`FlowId::from_parts`]) so recycled slots reject ids of their previous
+//!   occupants in O(1) without any hashing.
+//! * **Persistent link incidence** — `link_flows` maps every directed link
+//!   (indexed like [`Platform::links`]) to the active flows crossing it,
+//!   updated incrementally on activate/finish instead of being rebuilt per
+//!   rebalance. Swap-remove with back-pointers (`FlowState::link_pos`)
+//!   keeps removal O(route length).
+//! * **Flat-array progressive filling** — [`Network::recompute_rates`] walks
+//!   epoch-stamped per-link capacity/unfixed-count arrays; no allocation
+//!   after the first rebalance at a given scale.
+//! * **Per-flow versions** — a rebalance bumps the version of (and
+//!   reschedules a completion for) *only* the flows whose rate actually
+//!   changed. Flows untouched by the rebalance keep their scheduled
+//!   completion event, which stays exact because their rate is unchanged.
+//!   Progress (`remaining` bytes) is likewise brought up to date lazily, only
+//!   when a flow's rate is about to change — between rate changes the drain
+//!   is linear, so nothing is lost.
+//! * **Observable dead entries** — when a reschedule obsoletes a pending
+//!   completion event the network calls [`Scheduler::mark_dead`], so the
+//!   heap's live/dead ratio is visible ([`Scheduler::dead_pending`]) and the
+//!   heap can be compacted on demand ([`Network::compact_events`]).
+//!
+//! This diverges from the seed's *progressive filling loop over hash maps*
+//! only in mechanics, not in the fixed point it computes: the per-link
+//! bottleneck shares are identical, so simulated results are too.
 
 use crate::event::Scheduler;
 use crate::platform::{Platform, Route};
 use p2p_common::{DataSize, FlowId, HostId, SimDuration, SimTime};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How concurrent flows share link capacity.
@@ -37,9 +77,18 @@ pub enum SharingMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetEvent {
     /// The flow's latency has elapsed; it now competes for bandwidth.
-    FlowActivate { flow: FlowId },
+    FlowActivate {
+        /// The flow in question.
+        flow: FlowId,
+    },
     /// A flow may have finished draining (stale if `version` is outdated).
-    FlowCompletion { flow: FlowId, version: u64 },
+    FlowCompletion {
+        /// The flow in question.
+        flow: FlowId,
+        /// The flow's rate version this event was scheduled under; the event
+        /// is stale if the flow's rate changed since.
+        version: u64,
+    },
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -72,6 +121,21 @@ pub struct NetStats {
     pub link_bytes: Vec<u64>,
 }
 
+/// Effectively infinite rate used for loopback (empty-route) flows.
+const LOOPBACK_RATE: f64 = f64::MAX / 4.0;
+
+/// Residual byte threshold below which a flow counts as drained (absorbs
+/// floating-point error accumulated across rate recomputations).
+const DRAIN_EPSILON: f64 = 1e-3;
+
+/// Relative rate change below which a flow keeps its scheduled completion
+/// (absorbs re-derivation noise of the progressive filling arithmetic).
+const RATE_EPSILON: f64 = 1e-12;
+
+/// Rates below this (bytes/s) are float dust left by capacity cancellation,
+/// not real allocations; flows "allocated" less are treated as starved.
+const MIN_RATE: f64 = 1e-6;
+
 #[derive(Debug, Clone)]
 struct FlowState {
     id: FlowId,
@@ -80,13 +144,33 @@ struct FlowState {
     token: u64,
     size: DataSize,
     route: Arc<Route>,
-    /// Payload bytes still to drain (only meaningful once active).
+    /// Payload bytes still to drain, exact as of `last_progress`.
     remaining: f64,
     /// Currently allocated rate in bytes/s (0 until activated).
     rate: f64,
     /// Last instant at which `remaining` was brought up to date.
     last_progress: SimTime,
     active: bool,
+    /// Bumped whenever this flow's rate changes; stale completions are
+    /// recognised by carrying an older version.
+    version: u64,
+    /// Whether a completion event for `version` is pending on the heap.
+    pending_completion: bool,
+    /// Position of this flow in `Network::active` (valid while active).
+    active_pos: u32,
+    /// For each hop `i` of `route.links`, this flow's position inside
+    /// `Network::link_flows[route.links[i]]` (valid while active).
+    link_pos: Vec<u32>,
+    /// Scratch: epoch at which this flow's rate was fixed by the filling.
+    fixed_epoch: u64,
+    /// Scratch: rate assigned by the in-progress recomputation.
+    new_rate: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    state: Option<FlowState>,
 }
 
 /// The flow-level network simulator state.
@@ -94,16 +178,23 @@ struct FlowState {
 pub struct Network {
     platform: Platform,
     mode: SharingMode,
-    flows: HashMap<FlowId, FlowState>,
-    next_flow: u64,
-    /// Bumped whenever rates change; stale completion events are ignored.
-    version: u64,
+    /// Slab flow table; `FlowId::slot()` indexes it directly.
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    live_flows: usize,
+    /// Slot indices of currently *active* (draining) flows.
+    active: Vec<u32>,
+    /// Per directed link (indexed like `Platform::links`): slot indices of
+    /// the active flows crossing it. Maintained incrementally.
+    link_flows: Vec<Vec<u32>>,
+    /// Rebalance scratch (epoch-stamped, reused across rebalances).
+    link_capacity: Vec<f64>,
+    link_unfixed: Vec<u32>,
+    link_epoch: Vec<u64>,
+    touched_links: Vec<usize>,
+    epoch: u64,
     stats: NetStats,
 }
-
-/// Residual byte threshold below which a flow counts as drained (absorbs
-/// floating-point error accumulated across rate recomputations).
-const DRAIN_EPSILON: f64 = 1e-3;
 
 impl Network {
     /// Wrap a platform in a network simulator.
@@ -112,9 +203,16 @@ impl Network {
         Network {
             platform,
             mode,
-            flows: HashMap::new(),
-            next_flow: 0,
-            version: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live_flows: 0,
+            active: Vec::new(),
+            link_flows: vec![Vec::new(); link_count],
+            link_capacity: vec![0.0; link_count],
+            link_unfixed: vec![0; link_count],
+            link_epoch: vec![0; link_count],
+            touched_links: Vec::new(),
+            epoch: 0,
             stats: NetStats {
                 link_bytes: vec![0; link_count],
                 ..NetStats::default()
@@ -144,7 +242,24 @@ impl Network {
 
     /// Number of flows currently in flight (activated or not).
     pub fn flows_in_flight(&self) -> usize {
-        self.flows.len()
+        self.live_flows
+    }
+
+    /// Resolve a flow id against the slab (generation-checked).
+    fn flow(&self, id: FlowId) -> Option<&FlowState> {
+        let slot = self.slots.get(id.slot() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        slot.state.as_ref()
+    }
+
+    fn flow_mut(&mut self, id: FlowId) -> Option<&mut FlowState> {
+        let slot = self.slots.get_mut(id.slot() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        slot.state.as_mut()
     }
 
     /// Analytic one-way delivery delay of a small control message, without
@@ -169,11 +284,24 @@ impl Network {
         size: DataSize,
         token: u64,
     ) -> FlowId {
-        let id = FlowId::new(self.next_flow);
-        self.next_flow += 1;
         self.stats.flows_started += 1;
+        self.live_flows += 1;
         let route = self.platform.route(src, dst);
         let now = sched.now();
+        // Allocate a slab slot (recycle if possible).
+        let slot_idx = match self.free_slots.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot_idx as usize].generation;
+        let id = FlowId::from_parts(slot_idx, generation);
+        let hops = route.links.len();
         let state = FlowState {
             id,
             src,
@@ -185,18 +313,25 @@ impl Network {
             rate: 0.0,
             last_progress: now,
             active: false,
+            version: 0,
+            pending_completion: false,
+            active_pos: 0,
+            link_pos: Vec::with_capacity(hops),
+            fixed_epoch: 0,
+            new_rate: 0.0,
         };
-        self.flows.insert(id, state);
+        self.slots[slot_idx as usize].state = Some(state);
         match self.mode {
             SharingMode::Bottleneck => {
-                // No interaction between flows: one event at the analytic time.
+                // No interaction between flows: one event at the analytic
+                // time. The version field is meaningless here (nothing ever
+                // invalidates the event), so it stays at zero.
                 let total = route.analytic_transfer_time(size);
-                self.version += 1;
                 sched.schedule_in(
                     total,
                     NetEvent::FlowCompletion {
                         flow: id,
-                        version: self.version,
+                        version: 0,
                     }
                     .into(),
                 );
@@ -219,45 +354,174 @@ impl Network {
     ) -> Vec<FlowDelivery> {
         match (self.mode, event) {
             (SharingMode::Bottleneck, NetEvent::FlowCompletion { flow, .. }) => {
-                match self.flows.remove(&flow) {
+                match self.take_flow(flow) {
                     Some(state) => vec![self.finish_flow(state)],
                     None => vec![],
                 }
             }
             (SharingMode::Bottleneck, NetEvent::FlowActivate { .. }) => vec![],
             (SharingMode::MaxMinFair, NetEvent::FlowActivate { flow }) => {
-                let now = sched.now();
-                self.progress_all(now);
-                if let Some(f) = self.flows.get_mut(&flow) {
-                    f.active = true;
-                    f.last_progress = now;
-                }
-                self.rebalance(sched);
+                self.activate_flow(sched, flow);
                 vec![]
             }
-            (SharingMode::MaxMinFair, NetEvent::FlowCompletion { flow: _, version }) => {
-                if version != self.version {
-                    return vec![]; // stale: rates changed since this was scheduled
-                }
-                let now = sched.now();
-                self.progress_all(now);
-                let done: Vec<FlowId> = self
-                    .flows
-                    .values()
-                    .filter(|f| f.active && f.remaining <= DRAIN_EPSILON)
-                    .map(|f| f.id)
-                    .collect();
-                let mut deliveries = Vec::with_capacity(done.len());
-                for id in done {
-                    let state = self.flows.remove(&id).expect("flow just observed");
-                    deliveries.push(self.finish_flow(state));
-                }
-                if !deliveries.is_empty() {
-                    self.rebalance(sched);
-                }
-                deliveries
+            (SharingMode::MaxMinFair, NetEvent::FlowCompletion { flow, version }) => {
+                self.complete_flow(sched, flow, version)
             }
         }
+    }
+
+    /// Handle a `FlowActivate`: enter the incidence structure and rebalance.
+    fn activate_flow<E: From<NetEvent>>(&mut self, sched: &mut Scheduler<E>, flow: FlowId) {
+        let now = sched.now();
+        let slot_idx = flow.slot();
+        let active_pos = self.active.len() as u32;
+        let loopback_version = {
+            let Some(f) = self.flow_mut(flow) else {
+                return;
+            };
+            f.active = true;
+            f.last_progress = now;
+            f.active_pos = active_pos;
+            if f.route.links.is_empty() {
+                // Loopback transfer: drained as soon as it is active. It
+                // holds no link capacity, so it skips the rebalance.
+                f.remaining = 0.0;
+                f.rate = LOOPBACK_RATE;
+                f.pending_completion = true;
+                Some(f.version)
+            } else {
+                f.link_pos.clear();
+                None
+            }
+        };
+        self.active.push(slot_idx);
+        if let Some(version) = loopback_version {
+            sched.schedule_at(now, NetEvent::FlowCompletion { flow, version }.into());
+            return;
+        }
+        let route = Arc::clone(
+            &self.slots[slot_idx as usize]
+                .state
+                .as_ref()
+                .expect("flow just observed")
+                .route,
+        );
+        for &l in &route.links {
+            let list = &mut self.link_flows[l];
+            // Record the back-pointer before pushing.
+            let pos = list.len() as u32;
+            list.push(slot_idx);
+            self.slots[slot_idx as usize]
+                .state
+                .as_mut()
+                .expect("flow just observed")
+                .link_pos
+                .push(pos);
+        }
+        self.rebalance(sched);
+    }
+
+    /// Handle a `FlowCompletion`: finish the flow if the event is current.
+    fn complete_flow<E: From<NetEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        flow: FlowId,
+        version: u64,
+    ) -> Vec<FlowDelivery> {
+        let now = sched.now();
+        let Some(f) = self.flow_mut(flow) else {
+            // Slot recycled or already finished: a stale entry just drained.
+            sched.resolve_dead();
+            return vec![];
+        };
+        if f.version != version {
+            sched.resolve_dead();
+            return vec![];
+        }
+        f.pending_completion = false;
+        progress_to(f, now);
+        if f.remaining > DRAIN_EPSILON {
+            // Paranoia against floating-point slack (the ceil in `drain_eta`
+            // makes this unreachable in practice): reschedule at the
+            // corrected drain time under the same rate version — unless that
+            // is below the clock's resolution, in which case the flow is
+            // drained for every observable purpose.
+            if f.rate <= 0.0 {
+                return vec![]; // starved; a rebalance will reschedule it
+            }
+            let eta = drain_eta(f.remaining, f.rate);
+            if eta > SimDuration::ZERO {
+                f.pending_completion = true;
+                sched.schedule_at(now + eta, NetEvent::FlowCompletion { flow, version }.into());
+                return vec![];
+            }
+        }
+        self.detach_active(flow.slot());
+        let state = self.take_flow(flow).expect("flow just observed");
+        let delivery = self.finish_flow(state);
+        self.rebalance(sched);
+        vec![delivery]
+    }
+
+    /// Remove a flow from the active list and the link incidence lists,
+    /// fixing the back-pointers of the entries swapped into its places.
+    fn detach_active(&mut self, slot_idx: u32) {
+        let (active_pos, route, link_pos) = {
+            let f = self.slots[slot_idx as usize]
+                .state
+                .as_mut()
+                .expect("detaching a live flow");
+            // The flow is destroyed by `take_flow` right after, so its
+            // back-pointer vector can be taken rather than cloned.
+            (
+                f.active_pos as usize,
+                Arc::clone(&f.route),
+                std::mem::take(&mut f.link_pos),
+            )
+        };
+        // Active list: swap-remove + back-pointer fix.
+        self.active.swap_remove(active_pos);
+        if let Some(&moved) = self.active.get(active_pos) {
+            self.slots[moved as usize]
+                .state
+                .as_mut()
+                .expect("active flows are live")
+                .active_pos = active_pos as u32;
+        }
+        // Incidence lists: swap-remove at the recorded position per hop.
+        for (&l, &pos) in route.links.iter().zip(&link_pos) {
+            let list = &mut self.link_flows[l];
+            list.swap_remove(pos as usize);
+            if let Some(&moved) = list.get(pos as usize) {
+                // The moved flow crosses link `l` at some hop: update that
+                // hop's back-pointer (routes are a handful of links, so the
+                // linear scan is cheap).
+                let moved_state = self.slots[moved as usize]
+                    .state
+                    .as_mut()
+                    .expect("incident flows are live");
+                let hop = moved_state
+                    .route
+                    .links
+                    .iter()
+                    .position(|&ml| ml == l)
+                    .expect("moved flow crosses the link it was listed on");
+                moved_state.link_pos[hop] = pos;
+            }
+        }
+    }
+
+    /// Remove a flow from the slab, recycling its slot.
+    fn take_flow(&mut self, id: FlowId) -> Option<FlowState> {
+        let slot = self.slots.get_mut(id.slot() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        let state = slot.state.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_slots.push(id.slot());
+        self.live_flows -= 1;
+        Some(state)
     }
 
     fn finish_flow(&mut self, state: FlowState) -> FlowDelivery {
@@ -275,120 +539,199 @@ impl Network {
         }
     }
 
-    /// Advance every active flow's `remaining` to `now` at its current rate.
-    fn progress_all(&mut self, now: SimTime) {
-        for f in self.flows.values_mut() {
-            if !f.active {
-                continue;
-            }
-            if f.route.links.is_empty() {
-                // Loopback transfer: drained as soon as it is active.
-                f.remaining = 0.0;
-            }
-            let dt = now.duration_since(f.last_progress).as_secs_f64();
-            if dt > 0.0 && f.rate > 0.0 {
-                f.remaining = (f.remaining - f.rate * dt).max(0.0);
-            }
-            f.last_progress = now;
-        }
-    }
-
-    /// Recompute max–min fair rates and reschedule completion candidates.
+    /// Recompute max–min rates and reschedule completions — but only for the
+    /// flows whose rate actually changed.
     fn rebalance<E: From<NetEvent>>(&mut self, sched: &mut Scheduler<E>) {
-        self.version += 1;
-        self.compute_max_min_rates();
+        self.recompute_rates();
         let now = sched.now();
-        for f in self.flows.values() {
-            if !f.active {
+        for i in 0..self.active.len() {
+            let slot_idx = self.active[i] as usize;
+            let f = self.slots[slot_idx]
+                .state
+                .as_mut()
+                .expect("active flows are live");
+            let old = f.rate;
+            let new = f.new_rate;
+            let unchanged = (new - old).abs() <= old.abs() * RATE_EPSILON;
+            if unchanged {
                 continue;
+            }
+            // Bring the drain up to date under the old rate, then switch.
+            progress_to(f, now);
+            f.rate = new;
+            f.version += 1;
+            if f.pending_completion {
+                // The completion scheduled under the old rate is now stale.
+                f.pending_completion = false;
+                sched.mark_dead();
             }
             let eta = if f.remaining <= DRAIN_EPSILON {
                 SimDuration::ZERO
-            } else if f.rate <= 0.0 {
-                continue; // starved; will be rescheduled on the next rebalance
+            } else if new <= 0.0 {
+                continue; // starved; rescheduled when a rebalance feeds it
             } else {
-                SimDuration::from_secs_f64(f.remaining / f.rate)
+                drain_eta(f.remaining, new)
             };
-            sched.schedule_at(
-                now + eta,
-                NetEvent::FlowCompletion {
-                    flow: f.id,
-                    version: self.version,
-                }
-                .into(),
-            );
+            let event = NetEvent::FlowCompletion {
+                flow: f.id,
+                version: f.version,
+            };
+            f.pending_completion = true;
+            sched.schedule_at(now + eta, event.into());
         }
     }
 
-    /// Progressive-filling max–min fairness over the active flows.
-    fn compute_max_min_rates(&mut self) {
-        // Collect link capacities (bytes/s) restricted to links in use.
-        let mut capacity: HashMap<usize, f64> = HashMap::new();
-        let mut flows_on_link: HashMap<usize, Vec<FlowId>> = HashMap::new();
-        let mut unfixed: Vec<FlowId> = Vec::new();
-        for f in self.flows.values_mut() {
-            if !f.active {
-                continue;
-            }
-            f.rate = 0.0;
+    /// Progressive-filling max–min fairness over the active flows, using the
+    /// persistent incidence lists and epoch-stamped flat scratch arrays.
+    /// Results land in each active flow's `new_rate`.
+    fn recompute_rates(&mut self) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.touched_links.clear();
+        let mut unfixed_flows = 0usize;
+        for i in 0..self.active.len() {
+            let slot_idx = self.active[i] as usize;
+            let f = self.slots[slot_idx]
+                .state
+                .as_mut()
+                .expect("active flows are live");
             if f.route.links.is_empty() {
-                // Loopback: effectively infinite rate.
-                f.rate = f64::MAX / 4.0;
+                f.new_rate = LOOPBACK_RATE;
+                f.fixed_epoch = epoch;
                 continue;
             }
-            unfixed.push(f.id);
-            for &l in &f.route.links {
-                capacity
-                    .entry(l)
-                    .or_insert_with(|| self.platform.links()[l].bandwidth.bytes_per_sec());
-                flows_on_link.entry(l).or_default().push(f.id);
+            f.new_rate = 0.0;
+            f.fixed_epoch = 0;
+            unfixed_flows += 1;
+            let route = Arc::clone(&f.route);
+            for &l in &route.links {
+                if self.link_epoch[l] != epoch {
+                    self.link_epoch[l] = epoch;
+                    self.link_capacity[l] = self.platform.links()[l].bandwidth.bytes_per_sec();
+                    self.link_unfixed[l] = 0;
+                    self.touched_links.push(l);
+                }
+                self.link_unfixed[l] += 1;
             }
         }
-        let mut fixed: HashMap<FlowId, f64> = HashMap::new();
-        while !unfixed.is_empty() {
-            // Fair share on each link = remaining capacity / unfixed flows on it.
+        while unfixed_flows > 0 {
+            // Bottleneck link = the smallest fair share among links that
+            // still carry unfixed flows.
             let mut best: Option<(usize, f64)> = None;
-            for (&l, flows) in &flows_on_link {
-                let n_unfixed = flows.iter().filter(|f| !fixed.contains_key(f)).count();
-                if n_unfixed == 0 {
+            for &l in &self.touched_links {
+                let n = self.link_unfixed[l];
+                if n == 0 {
                     continue;
                 }
-                let share = capacity[&l] / n_unfixed as f64;
-                if best.map_or(true, |(_, s)| share < s) {
+                let share = self.link_capacity[l] / n as f64;
+                if best.is_none_or(|(_, s)| share < s) {
                     best = Some((l, share));
                 }
             }
-            let Some((bottleneck_link, share)) = best else {
+            let Some((bottleneck, share)) = best else {
                 break;
             };
-            let to_fix: Vec<FlowId> = flows_on_link[&bottleneck_link]
-                .iter()
-                .copied()
-                .filter(|f| !fixed.contains_key(f))
-                .collect();
-            for fid in to_fix {
-                fixed.insert(fid, share);
-                // Reserve this flow's share on every link it crosses.
-                let route = Arc::clone(&self.flows[&fid].route);
+            // Fix every unfixed flow crossing the bottleneck at the share,
+            // and release that much capacity on every link it crosses.
+            for i in 0..self.link_flows[bottleneck].len() {
+                let slot_idx = self.link_flows[bottleneck][i] as usize;
+                let f = self.slots[slot_idx]
+                    .state
+                    .as_mut()
+                    .expect("incident flows are live");
+                if f.fixed_epoch == epoch {
+                    continue;
+                }
+                f.fixed_epoch = epoch;
+                // Float cancellation in the capacity subtractions can leave a
+                // link with dust capacity; a "fair share" of dust is not a
+                // real allocation. Treat it as starvation (rate 0, no event)
+                // — the flow is revived by the next genuine rebalance —
+                // instead of scheduling a completion centuries out.
+                f.new_rate = if share < MIN_RATE { 0.0 } else { share };
+                unfixed_flows -= 1;
+                let route = Arc::clone(&f.route);
                 for &l in &route.links {
-                    if let Some(c) = capacity.get_mut(&l) {
-                        *c = (*c - share).max(0.0);
-                    }
+                    self.link_capacity[l] = (self.link_capacity[l] - share).max(0.0);
+                    self.link_unfixed[l] -= 1;
                 }
             }
-            unfixed.retain(|f| !fixed.contains_key(f));
         }
-        for (fid, rate) in fixed {
-            if let Some(f) = self.flows.get_mut(&fid) {
-                f.rate = rate;
+    }
+
+    /// Drop every stale completion entry from the heap, preserving the
+    /// firing order of the survivors. Call when
+    /// [`Scheduler::dead_pending`] grows past the caller's tolerance.
+    pub fn compact_events<E: From<NetEvent>>(
+        &self,
+        sched: &mut Scheduler<E>,
+        as_net_event: impl Fn(&E) -> Option<NetEvent>,
+    ) -> usize {
+        sched.compact_pending(|event| match as_net_event(event) {
+            Some(NetEvent::FlowCompletion { flow, version }) => {
+                self.flow(flow).is_some_and(|f| f.version == version)
             }
-        }
+            Some(NetEvent::FlowActivate { flow }) => self.flow(flow).is_some(),
+            None => true,
+        })
     }
 
     /// Current rate (bytes/s) of a flow, for tests and diagnostics.
     pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
-        self.flows.get(&flow).map(|f| f.rate)
+        self.flow(flow).map(|f| f.rate)
     }
+
+    /// Snapshot of the active flows — `(id, route, rate)` — for invariant
+    /// checks and diagnostics.
+    pub fn active_flows(&self) -> Vec<(FlowId, Arc<Route>, f64)> {
+        self.active
+            .iter()
+            .map(|&s| {
+                let f = self.slots[s as usize]
+                    .state
+                    .as_ref()
+                    .expect("active flows are live");
+                (f.id, Arc::clone(&f.route), f.rate)
+            })
+            .collect()
+    }
+}
+
+/// Time to drain `remaining` bytes at `rate`, rounded **up** to the clock's
+/// nanosecond resolution.
+///
+/// Rounding up matters: with round-to-nearest the scheduled instant can
+/// undershoot the true drain time by up to half a nanosecond, leaving a
+/// residual above [`DRAIN_EPSILON`] when the completion event fires — which
+/// would force a degenerate zero-delay reschedule. Ceiling the conversion
+/// guarantees the flow is fully drained when its event fires.
+pub(crate) fn drain_eta(remaining: f64, rate: f64) -> SimDuration {
+    debug_assert!(rate > 0.0);
+    // Cap absurd ETAs well below the clock's range so `now + eta` cannot
+    // overflow `SimTime`'s unchecked nanosecond addition (u64::MAX / 4 ns is
+    // ~146 simulated years — unreachable by any legitimate workload).
+    const ETA_CAP_NS: f64 = (u64::MAX / 4) as f64;
+    let ns = (remaining / rate) * 1e9;
+    if !ns.is_finite() || ns >= ETA_CAP_NS {
+        return SimDuration::from_nanos(u64::MAX / 4);
+    }
+    SimDuration::from_nanos(ns.ceil().max(0.0) as u64)
+}
+
+/// Advance one flow's `remaining` to `now` at its current rate.
+///
+/// Loopback flows (empty route) skip the elapsed-time arithmetic entirely:
+/// they drain to zero at activation and their `remaining` never moves again.
+fn progress_to(f: &mut FlowState, now: SimTime) {
+    if !f.active || f.route.links.is_empty() {
+        f.last_progress = now;
+        return;
+    }
+    let dt = now.duration_since(f.last_progress).as_secs_f64();
+    if dt > 0.0 && f.rate > 0.0 {
+        f.remaining = (f.remaining - f.rate * dt).max(0.0);
+    }
+    f.last_progress = now;
 }
 
 #[cfg(test)]
@@ -430,7 +773,11 @@ mod tests {
         let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
         let sw = b.add_router("sw");
         for i in 0..4 {
-            let h = b.add_host(format!("h{i}"), format!("10.0.0.{}", i + 1).parse().unwrap(), HostSpec::default());
+            let h = b.add_host(
+                format!("h{i}"),
+                format!("10.0.0.{}", i + 1).parse().unwrap(),
+                HostSpec::default(),
+            );
             b.add_host_link(format!("l{i}"), h, sw, spec);
         }
         NetWorld {
@@ -444,7 +791,13 @@ mod tests {
         let mut w = dumbbell(SharingMode::Bottleneck);
         let mut sched = Scheduler::new();
         // 1.25 MB over 100 Mbps = 100 ms, plus 200 us of latency.
-        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1_250_000), 7);
+        w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1_250_000),
+            7,
+        );
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 1);
         let (t, d) = w.deliveries[0];
@@ -459,7 +812,13 @@ mod tests {
     fn maxmin_single_flow_matches_bottleneck() {
         let mut w = dumbbell(SharingMode::MaxMinFair);
         let mut sched = Scheduler::new();
-        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1_250_000), 0);
+        w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1_250_000),
+            0,
+        );
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 1);
         let (t, _) = w.deliveries[0];
@@ -475,8 +834,10 @@ mod tests {
         let mut w = dumbbell(SharingMode::MaxMinFair);
         let mut sched = Scheduler::new();
         let size = DataSize::from_bytes(1_250_000); // 100 ms alone
-        w.net.start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
-        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        w.net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 2);
         let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
@@ -490,12 +851,17 @@ mod tests {
         let mut w = dumbbell(SharingMode::MaxMinFair);
         let mut sched = Scheduler::new();
         let size = DataSize::from_bytes(1_250_000);
-        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), size, 1);
-        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(3), size, 2);
+        w.net
+            .start_flow(&mut sched, HostId::new(0), HostId::new(1), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(3), size, 2);
         run_world(&mut w, &mut sched, None);
         let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
         let secs = last.as_secs_f64();
-        assert!(secs < 0.105, "disjoint flows must proceed at full rate, took {secs}s");
+        assert!(
+            secs < 0.105,
+            "disjoint flows must proceed at full rate, took {secs}s"
+        );
     }
 
     #[test]
@@ -503,8 +869,10 @@ mod tests {
         let mut w = dumbbell(SharingMode::Bottleneck);
         let mut sched = Scheduler::new();
         let size = DataSize::from_bytes(1_250_000);
-        w.net.start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
-        w.net.start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        w.net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
         run_world(&mut w, &mut sched, None);
         let last = w.deliveries.iter().map(|&(t, _)| t).max().unwrap();
         assert_eq!(last, SimTime::from_micros(100_200));
@@ -520,7 +888,8 @@ mod tests {
         assert_eq!(d, SimDuration::from_micros(300));
         assert_eq!(w.net.stats().control_messages, 1);
         assert_eq!(
-            w.net.message_delay(HostId::new(2), HostId::new(2), DataSize::from_bytes(1)),
+            w.net
+                .message_delay(HostId::new(2), HostId::new(2), DataSize::from_bytes(1)),
             SimDuration::ZERO
         );
     }
@@ -529,7 +898,13 @@ mod tests {
     fn link_byte_accounting_covers_the_route() {
         let mut w = dumbbell(SharingMode::Bottleneck);
         let mut sched = Scheduler::new();
-        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(1), DataSize::from_bytes(1000), 0);
+        w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1000),
+            0,
+        );
         run_world(&mut w, &mut sched, None);
         let carried: u64 = w.net.stats().link_bytes.iter().sum();
         assert_eq!(carried, 2000, "the payload crosses two directed links");
@@ -539,7 +914,13 @@ mod tests {
     fn loopback_flow_delivers_immediately() {
         let mut w = dumbbell(SharingMode::MaxMinFair);
         let mut sched = Scheduler::new();
-        w.net.start_flow(&mut sched, HostId::new(0), HostId::new(0), DataSize::from_bytes(1_000_000), 9);
+        w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(0),
+            DataSize::from_bytes(1_000_000),
+            9,
+        );
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 1);
         assert_eq!(w.deliveries[0].0, SimTime::ZERO);
@@ -552,7 +933,13 @@ mod tests {
         for i in 0..32u64 {
             let src = HostId::new((i % 4) as u32);
             let dst = HostId::new(((i + 1) % 4) as u32);
-            w.net.start_flow(&mut sched, src, dst, DataSize::from_bytes(10_000 + i * 500), i);
+            w.net.start_flow(
+                &mut sched,
+                src,
+                dst,
+                DataSize::from_bytes(10_000 + i * 500),
+                i,
+            );
         }
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 32);
@@ -561,5 +948,120 @@ mod tests {
         let mut tokens: Vec<u64> = w.deliveries.iter().map(|(_, d)| d.token).collect();
         tokens.sort_unstable();
         assert_eq!(tokens, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_with_fresh_generations() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let first = w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1000),
+            0,
+        );
+        run_world(&mut w, &mut sched, None);
+        let second = w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1000),
+            1,
+        );
+        assert_eq!(first.slot(), second.slot(), "the slot must be recycled");
+        assert_ne!(first.generation(), second.generation());
+        assert_ne!(first, second, "recycled ids must not collide");
+        assert!(w.net.flow_rate(first).is_none(), "the old id must be dead");
+        assert!(w.net.flow_rate(second).is_some());
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn unaffected_flows_keep_their_completion_events() {
+        // h0->h1 and h2->h3 are disjoint: starting the second flow must not
+        // invalidate the first one's completion event.
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        w.net
+            .start_flow(&mut sched, HostId::new(0), HostId::new(1), size, 1);
+        // Drain the activation + first schedule.
+        while sched.pending() > 0 && w.net.stats().flows_completed == 0 {
+            let dead_before = sched.dead_pending();
+            let (_, ev) = sched.pop().unwrap();
+            w.handle(&mut sched, ev);
+            // Activating the disjoint second flow right after the first
+            // rebalance must not mark the first flow's event dead.
+            if w.net.flows_in_flight() == 1 && sched.dead_pending() == dead_before {
+                break;
+            }
+        }
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(3), size, 2);
+        let dead_before = sched.dead_pending();
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
+        assert_eq!(
+            sched.dead_pending(),
+            dead_before,
+            "disjoint flows must not invalidate each other's events"
+        );
+    }
+
+    #[test]
+    fn shared_bottleneck_marks_superseded_events_dead_and_compacts() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        w.net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        // Process the two activations: the second rebalance halves the first
+        // flow's rate, so exactly its completion event goes stale.
+        for _ in 0..2 {
+            let (_, ev) = sched.pop().unwrap();
+            w.handle(&mut sched, ev);
+        }
+        assert_eq!(sched.dead_pending(), 1, "one superseded completion");
+        assert_eq!(sched.live_pending(), 2, "one live completion per flow");
+        let removed = w.net.compact_events(&mut sched, |e| {
+            let Ev::Net(ne) = e;
+            Some(*ne)
+        });
+        assert_eq!(removed, 1);
+        assert_eq!(sched.dead_pending(), 0);
+        assert_eq!(sched.pending(), 2);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(
+            w.deliveries.len(),
+            2,
+            "compaction must not lose live events"
+        );
+    }
+
+    #[test]
+    fn rates_track_the_fair_share_as_flows_come_and_go() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(12_500_000); // 1 s alone
+        let a = w
+            .net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        let b = w
+            .net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        // Both activations processed: each should hold half the 12.5 MB/s.
+        for _ in 0..2 {
+            let (_, ev) = sched.pop().unwrap();
+            w.handle(&mut sched, ev);
+        }
+        let half = 12.5e6 / 2.0;
+        assert!((w.net.flow_rate(a).unwrap() - half).abs() < 1.0);
+        assert!((w.net.flow_rate(b).unwrap() - half).abs() < 1.0);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
     }
 }

@@ -157,7 +157,9 @@ impl Platform {
 
     /// Look a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<&Node> {
-        self.node_of_name.get(name).map(|id| &self.nodes[id.index()])
+        self.node_of_name
+            .get(name)
+            .map(|id| &self.nodes[id.index()])
     }
 
     /// Look a host up by name.
@@ -220,10 +222,7 @@ impl Platform {
             }
             for &(link_idx, next) in &self.adj[node.index()] {
                 let link = &self.links[link_idx];
-                let cand = (
-                    cost.0.saturating_add(link.latency.as_nanos()),
-                    cost.1 + 1,
-                );
+                let cand = (cost.0.saturating_add(link.latency.as_nanos()), cost.1 + 1);
                 if cand < dist[next.index()] {
                     dist[next.index()] = cand;
                     prev[next.index()] = Some(link_idx);
@@ -352,11 +351,7 @@ impl PlatformBuilder {
         for (i, link) in self.links.iter().enumerate() {
             adj[link.from.index()].push((i, link.to));
         }
-        let node_of_name = self
-            .nodes
-            .iter()
-            .map(|n| (n.name.clone(), n.id))
-            .collect();
+        let node_of_name = self.nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
         Platform {
             nodes: self.nodes,
             links: self.links,
@@ -450,7 +445,12 @@ mod tests {
     fn self_links_are_rejected() {
         let mut b = PlatformBuilder::new();
         let r = b.add_router("r");
-        b.add_link("loop", r, r, LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::ZERO));
+        b.add_link(
+            "loop",
+            r,
+            r,
+            LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::ZERO),
+        );
     }
 
     #[test]

@@ -219,7 +219,14 @@ impl ReplayWorld {
         }
     }
 
-    fn post_send(&mut self, sched: &mut Scheduler<Ev>, from: usize, to: usize, bytes: u64, tag: u32) {
+    fn post_send(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        tag: u32,
+    ) {
         assert!(to < self.procs.len(), "send to unknown rank {to}");
         let token = self.next_token;
         self.next_token += 1;
@@ -290,7 +297,12 @@ fn expand_ops(ops: &[ReplayOp]) -> Vec<ReplayOp> {
     let mut out = Vec::with_capacity(ops.len());
     for &op in ops {
         match op {
-            ReplayOp::SendRecv { to, from, bytes, tag } => {
+            ReplayOp::SendRecv {
+                to,
+                from,
+                bytes,
+                tag,
+            } => {
                 out.push(ReplayOp::Send { to, bytes, tag });
                 out.push(ReplayOp::Recv { from, tag });
             }
@@ -384,7 +396,11 @@ mod tests {
         let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
         let hosts: Vec<HostId> = (0..n)
             .map(|i| {
-                let h = b.add_host(format!("h{i}"), format!("10.0.0.{}", i + 1).parse().unwrap(), HostSpec::default());
+                let h = b.add_host(
+                    format!("h{i}"),
+                    format!("10.0.0.{}", i + 1).parse().unwrap(),
+                    HostSpec::default(),
+                );
                 b.add_host_link(format!("l{i}"), h, sw, spec);
                 h
             })
@@ -402,9 +418,18 @@ mod tests {
     fn pure_compute_makespan_is_the_slowest_rank() {
         let (p, hosts) = star_platform(3);
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![compute(10)] },
-            ProcessScript { rank: 1, ops: vec![compute(30)] },
-            ProcessScript { rank: 2, ops: vec![compute(20), compute(5)] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![compute(10)],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![compute(30)],
+            },
+            ProcessScript {
+                rank: 2,
+                ops: vec![compute(20), compute(5)],
+            },
         ];
         let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
         assert_eq!(res.makespan, SimDuration::from_millis(30));
@@ -417,8 +442,18 @@ mod tests {
         let (p, hosts) = star_platform(2);
         // 12500 bytes over 100 Mbps = 1 ms, plus 200 us of route latency.
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![ReplayOp::Send { to: 1, bytes: 12_500, tag: 0 }] },
-            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 0 }] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![ReplayOp::Send {
+                    to: 1,
+                    bytes: 12_500,
+                    tag: 0,
+                }],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![ReplayOp::Recv { from: 0, tag: 0 }],
+            },
         ];
         let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
         assert_eq!(res.makespan, SimDuration::from_micros(1200));
@@ -430,10 +465,21 @@ mod tests {
     #[test]
     fn sendrecv_exchange_does_not_deadlock() {
         let (p, hosts) = star_platform(2);
-        let xchg = |other: usize| ReplayOp::SendRecv { to: other, from: other, bytes: 9600, tag: 7 };
+        let xchg = |other: usize| ReplayOp::SendRecv {
+            to: other,
+            from: other,
+            bytes: 9600,
+            tag: 7,
+        };
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![compute(1), xchg(1), compute(1)] },
-            ProcessScript { rank: 1, ops: vec![compute(2), xchg(0), compute(1)] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![compute(1), xchg(1), compute(1)],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![compute(2), xchg(0), compute(1)],
+            },
         ];
         let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
         // Rank 1 computes 2 ms, exchanges (~0.968 ms), computes 1 ms more.
@@ -445,8 +491,21 @@ mod tests {
     fn recv_before_send_blocks_until_delivery() {
         let (p, hosts) = star_platform(2);
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![compute(50), ReplayOp::Send { to: 1, bytes: 100, tag: 1 }] },
-            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 1 }] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![
+                    compute(50),
+                    ReplayOp::Send {
+                        to: 1,
+                        bytes: 100,
+                        tag: 1,
+                    },
+                ],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![ReplayOp::Recv { from: 0, tag: 1 }],
+            },
         ];
         let res = replay(p, &hosts, &scripts, &ReplayConfig::default());
         assert!(res.wait_time[1] >= SimDuration::from_millis(50));
@@ -462,8 +521,16 @@ mod tests {
             ProcessScript {
                 rank: 0,
                 ops: vec![
-                    ReplayOp::Send { to: 1, bytes: 50_000, tag: 2 },
-                    ReplayOp::Send { to: 1, bytes: 100, tag: 1 },
+                    ReplayOp::Send {
+                        to: 1,
+                        bytes: 50_000,
+                        tag: 2,
+                    },
+                    ReplayOp::Send {
+                        to: 1,
+                        bytes: 100,
+                        tag: 1,
+                    },
                 ],
             },
             ProcessScript {
@@ -491,12 +558,32 @@ mod tests {
         let scripts = vec![
             ProcessScript {
                 rank: 0,
-                ops: vec![ReplayOp::Recv { from: 1, tag: 0 }, ReplayOp::Recv { from: 2, tag: 0 }],
+                ops: vec![
+                    ReplayOp::Recv { from: 1, tag: 0 },
+                    ReplayOp::Recv { from: 2, tag: 0 },
+                ],
             },
-            ProcessScript { rank: 1, ops: vec![ReplayOp::Send { to: 0, bytes: 8, tag: 0 }] },
-            ProcessScript { rank: 2, ops: vec![ReplayOp::Send { to: 0, bytes: 8, tag: 0 }] },
+            ProcessScript {
+                rank: 1,
+                ops: vec![ReplayOp::Send {
+                    to: 0,
+                    bytes: 8,
+                    tag: 0,
+                }],
+            },
+            ProcessScript {
+                rank: 2,
+                ops: vec![ReplayOp::Send {
+                    to: 0,
+                    bytes: 8,
+                    tag: 0,
+                }],
+            },
         ];
-        let cfg = ReplayConfig { sharing: SharingMode::Bottleneck, protocol };
+        let cfg = ReplayConfig {
+            sharing: SharingMode::Bottleneck,
+            protocol,
+        };
         let res = replay(p, &hosts, &scripts, &cfg);
         // Receiver pays 2 * 50 us of protocol processing.
         assert_eq!(res.compute_time[0], SimDuration::from_micros(100));
@@ -510,8 +597,14 @@ mod tests {
     fn unmatched_receive_is_reported() {
         let (p, hosts) = star_platform(2);
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![] },
-            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 9 }] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![ReplayOp::Recv { from: 0, tag: 9 }],
+            },
         ];
         replay(p, &hosts, &scripts, &ReplayConfig::default());
     }
@@ -524,10 +617,17 @@ mod tests {
         for r in 0..n {
             let mut ops = vec![compute(1)];
             if r > 0 {
-                ops.push(ReplayOp::Recv { from: r - 1, tag: 0 });
+                ops.push(ReplayOp::Recv {
+                    from: r - 1,
+                    tag: 0,
+                });
             }
             if r + 1 < n {
-                ops.push(ReplayOp::Send { to: r + 1, bytes: 1000, tag: 0 });
+                ops.push(ReplayOp::Send {
+                    to: r + 1,
+                    bytes: 1000,
+                    tag: 0,
+                });
             }
             scripts.push(ProcessScript { rank: r, ops });
         }
@@ -541,13 +641,27 @@ mod tests {
     fn maxmin_and_bottleneck_agree_for_sparse_traffic() {
         let (p, hosts) = star_platform(2);
         let scripts = vec![
-            ProcessScript { rank: 0, ops: vec![ReplayOp::Send { to: 1, bytes: 125_000, tag: 0 }] },
-            ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 0 }] },
+            ProcessScript {
+                rank: 0,
+                ops: vec![ReplayOp::Send {
+                    to: 1,
+                    bytes: 125_000,
+                    tag: 0,
+                }],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![ReplayOp::Recv { from: 0, tag: 0 }],
+            },
         ];
         let a = replay(p.clone(), &hosts, &scripts, &ReplayConfig::default());
-        let cfg = ReplayConfig { sharing: SharingMode::MaxMinFair, protocol: ProtocolCosts::none() };
+        let cfg = ReplayConfig {
+            sharing: SharingMode::MaxMinFair,
+            protocol: ProtocolCosts::none(),
+        };
         let b = replay(p, &hosts, &scripts, &cfg);
-        let rel = (a.makespan.as_secs_f64() - b.makespan.as_secs_f64()).abs() / a.makespan.as_secs_f64();
+        let rel =
+            (a.makespan.as_secs_f64() - b.makespan.as_secs_f64()).abs() / a.makespan.as_secs_f64();
         assert!(rel < 0.01, "models disagree by {rel}");
     }
 }

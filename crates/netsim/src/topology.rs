@@ -78,7 +78,9 @@ impl Topology {
                     return vec![];
                 }
                 let stride = (self.hosts.len() / n).max(1);
-                let mut picked: Vec<HostId> = (0..n).map(|i| self.hosts[(i * stride) % self.hosts.len()]).collect();
+                let mut picked: Vec<HostId> = (0..n)
+                    .map(|i| self.hosts[(i * stride) % self.hosts.len()])
+                    .collect();
                 picked.dedup();
                 // Guard against collisions when stride wraps.
                 let mut next = 0usize;
@@ -139,22 +141,30 @@ pub const XDSL_METRO_LATENCY: SimDuration = SimDuration::from_millis(1);
 /// as in the paper ("all links from nodes to DSLAM are of 5 to 10 Mbps, value
 /// randomly assigned").
 pub fn daisy_xdsl(n_nodes: usize, host: HostSpec, seed: u64) -> Topology {
-    assert!(n_nodes > 0 && n_nodes <= 1024, "the Daisy structure holds 1 to 1024 nodes");
+    assert!(
+        n_nodes > 0 && n_nodes <= 1024,
+        "the Daisy structure holds 1 to 1024 nodes"
+    );
     let mut rng = DetRng::new(seed).fork(0xD51);
     let mut b = PlatformBuilder::new();
     let ring = LinkSpec::new(Bandwidth::from_gbps(100.0), XDSL_METRO_LATENCY);
     let metro = LinkSpec::new(Bandwidth::from_gbps(10.0), XDSL_METRO_LATENCY);
 
     // 5 central routers on a ring (l1 @ 100 Gbps).
-    let centrals: Vec<_> = (0..5).map(|i| b.add_router(format!("central{i}"))).collect();
+    let centrals: Vec<_> = (0..5)
+        .map(|i| b.add_router(format!("central{i}")))
+        .collect();
     for i in 0..5 {
         b.add_link(format!("ring{i}"), centrals[i], centrals[(i + 1) % 5], ring);
     }
     // 5 petals of 10 routers each (l2 @ 10 Gbps), attached to their central
     // router at both ends of the chain so the petal forms a loop.
     let mut petal_routers = Vec::new(); // [petal][router]
+    #[allow(clippy::needless_range_loop)] // indices name both ends of each link
     for p in 0..5 {
-        let routers: Vec<_> = (0..10).map(|r| b.add_router(format!("petal{p}-r{r}"))).collect();
+        let routers: Vec<_> = (0..10)
+            .map(|r| b.add_router(format!("petal{p}-r{r}")))
+            .collect();
         b.add_link(format!("petal{p}-in"), centrals[p], routers[0], metro);
         for r in 0..9 {
             b.add_link(format!("petal{p}-l{r}"), routers[r], routers[r + 1], metro);
@@ -164,6 +174,7 @@ pub fn daisy_xdsl(n_nodes: usize, host: HostSpec, seed: u64) -> Topology {
     }
     // 4 DSLAMs per petal router (l2 @ 10 Gbps).
     let mut dslams = Vec::new(); // (petal, router, dslam) -> NodeId
+    #[allow(clippy::needless_range_loop)] // indices name both ends of each link
     for p in 0..5 {
         for r in 0..10 {
             for d in 0..4 {
@@ -280,7 +291,11 @@ mod tests {
         let b = daisy_xdsl(64, HostSpec::default(), 7);
         let c = daisy_xdsl(64, HostSpec::default(), 8);
         let bw = |t: &Topology| -> Vec<u64> {
-            t.platform.links().iter().map(|l| l.bandwidth.bps() as u64).collect()
+            t.platform
+                .links()
+                .iter()
+                .map(|l| l.bandwidth.bps() as u64)
+                .collect()
         };
         assert_eq!(bw(&a), bw(&b));
         assert_ne!(bw(&a), bw(&c));
@@ -291,8 +306,14 @@ mod tests {
         let mut topo = daisy_xdsl(64, HostSpec::default(), 1);
         let hosts = topo.pick_hosts(2, PlacementPolicy::Spread);
         let r = topo.platform.route(hosts[0], hosts[1]);
-        assert!(r.bottleneck.bps() < 10.5e6, "bottleneck must be an xDSL last mile");
-        assert!(r.latency >= SimDuration::from_millis(20), "two last miles dominate the latency");
+        assert!(
+            r.bottleneck.bps() < 10.5e6,
+            "bottleneck must be an xDSL last mile"
+        );
+        assert!(
+            r.latency >= SimDuration::from_millis(20),
+            "two last miles dominate the latency"
+        );
         // A 9600-byte halo row takes far longer here than on the cluster.
         let t = r.analytic_transfer_time(DataSize::from_bytes(9600));
         assert!(t > SimDuration::from_millis(25));

@@ -1,0 +1,239 @@
+//! Property-based tests of the incremental max–min flow engine.
+//!
+//! Two families of properties:
+//!
+//! * **Max–min invariants** — after every event of a randomised workload,
+//!   the per-link sum of active flow rates stays within capacity (up to
+//!   floating-point slack), and every active non-loopback flow with a
+//!   non-empty route holds a non-negative rate.
+//! * **Differential equivalence** — the incremental engine and the retained
+//!   seed engine ([`netsim::baseline::BaselineNetwork`]) produce identical
+//!   simulated results on randomised flow workloads: completion counts and
+//!   byte/link statistics are bit-identical, and per-token delivery
+//!   timestamps agree to within one nanosecond clock tick. (The single-tick
+//!   slack exists because the engines associate the floating-point drain
+//!   arithmetic differently: the seed progresses every flow at every event,
+//!   the incremental engine only when a flow's rate changes, so `remaining`
+//!   can differ by one ulp at completion time.)
+
+use netsim::baseline::BaselineNetwork;
+use netsim::event::{run_world, Scheduler, World};
+use netsim::network::{FlowDelivery, NetEvent, Network, SharingMode};
+use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A star of `n` hosts around one switch (100 Mbps access links).
+fn star(n: usize) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let sw = b.add_router("sw");
+    let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+    for i in 0..n {
+        let h = b.add_host(
+            format!("h{i}"),
+            format!("10.0.{}.{}", i / 250, i % 250 + 1).parse().unwrap(),
+            HostSpec::default(),
+        );
+        b.add_host_link(format!("l{i}"), h, sw, spec);
+    }
+    b.build()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Net(NetEvent),
+}
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev::Net(e)
+    }
+}
+
+struct NewWorld {
+    net: Network,
+    deliveries: Vec<(SimTime, FlowDelivery)>,
+}
+impl World for NewWorld {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        let Ev::Net(ne) = ev;
+        let now = sched.now();
+        for d in self.net.on_event(sched, ne) {
+            self.deliveries.push((now, d));
+        }
+    }
+}
+
+struct OldWorld {
+    net: BaselineNetwork,
+    deliveries: Vec<(SimTime, FlowDelivery)>,
+}
+impl World for OldWorld {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        let Ev::Net(ne) = ev;
+        let now = sched.now();
+        for d in self.net.on_event(sched, ne) {
+            self.deliveries.push((now, d));
+        }
+    }
+}
+
+/// Map host/size triples onto a concrete workload of (src, dst, size, token).
+fn workload(n_hosts: usize, raw: &[(u32, u32, u64)]) -> Vec<(HostId, HostId, DataSize, u64)> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(a, b, size))| {
+            (
+                HostId::new(a % n_hosts as u32),
+                HostId::new(b % n_hosts as u32),
+                DataSize::from_bytes(1 + size % 5_000_000),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Per-token delivery timestamps (nanoseconds) of a finished run.
+fn by_token(deliveries: &[(SimTime, FlowDelivery)]) -> BTreeMap<u64, u64> {
+    deliveries
+        .iter()
+        .map(|&(t, d)| (d.token, t.duration_since(SimTime::ZERO).as_nanos()))
+        .collect()
+}
+
+proptest! {
+    /// Per-link Σ rates never exceeds capacity, at every step of the run.
+    #[test]
+    fn maxmin_rates_respect_link_capacity(
+        raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
+        n_hosts in 2usize..8,
+    ) {
+        let platform = star(n_hosts);
+        let capacities: Vec<f64> = platform
+            .links()
+            .iter()
+            .map(|l| l.bandwidth.bytes_per_sec())
+            .collect();
+        let mut world = NewWorld { net: Network::new(platform, SharingMode::MaxMinFair), deliveries: vec![] };
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &workload(n_hosts, &raw) {
+            world.net.start_flow(&mut sched, src, dst, size, token);
+        }
+        let mut steps = 0u32;
+        while let Some((_, ev)) = sched.pop() {
+            world.handle(&mut sched, ev);
+            steps += 1;
+            prop_assert!(steps < 100_000, "runaway event loop");
+            // Invariant: per-link allocated rate within capacity.
+            let mut per_link: Vec<f64> = vec![0.0; capacities.len()];
+            for (_, route, rate) in world.net.active_flows() {
+                if route.links.is_empty() {
+                    continue; // loopback holds no link capacity
+                }
+                prop_assert!(rate >= 0.0, "negative rate");
+                for &l in &route.links {
+                    per_link[l] += rate;
+                }
+            }
+            for (l, &used) in per_link.iter().enumerate() {
+                prop_assert!(
+                    used <= capacities[l] * (1.0 + 1e-9) + 1e-6,
+                    "link {l} oversubscribed: {used} > {}",
+                    capacities[l]
+                );
+            }
+        }
+        prop_assert_eq!(world.net.flows_in_flight(), 0, "every flow must finish");
+        prop_assert_eq!(world.deliveries.len(), raw.len());
+    }
+
+    /// The incremental engine reproduces the seed engine's simulated results
+    /// exactly on randomised workloads (per-token timestamps, counts, bytes).
+    #[test]
+    fn incremental_engine_matches_seed_engine(
+        raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
+        n_hosts in 2usize..8,
+    ) {
+        let flows = workload(n_hosts, &raw);
+
+        let mut new_world = NewWorld {
+            net: Network::new(star(n_hosts), SharingMode::MaxMinFair),
+            deliveries: vec![],
+        };
+        let mut new_sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &flows {
+            new_world.net.start_flow(&mut new_sched, src, dst, size, token);
+        }
+        run_world(&mut new_world, &mut new_sched, None);
+
+        let mut old_world = OldWorld {
+            net: BaselineNetwork::new(star(n_hosts), SharingMode::MaxMinFair),
+            deliveries: vec![],
+        };
+        let mut old_sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &flows {
+            old_world.net.start_flow(&mut old_sched, src, dst, size, token);
+        }
+        run_world(&mut old_world, &mut old_sched, None);
+
+        let new_times = by_token(&new_world.deliveries);
+        let old_times = by_token(&old_world.deliveries);
+        prop_assert_eq!(new_times.len(), flows.len(), "every token must be delivered");
+        prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver too");
+        for (token, &old_ns) in &old_times {
+            let Some(&new_ns) = new_times.get(token) else {
+                panic!("token {token} missing from the incremental engine");
+            };
+            prop_assert!(
+                new_ns.abs_diff(old_ns) <= 1,
+                "token {} delivered at {} vs {} (>1ns apart)",
+                token, new_ns, old_ns
+            );
+        }
+        prop_assert_eq!(
+            new_world.net.stats().flows_completed,
+            old_world.net.stats().flows_completed
+        );
+        prop_assert_eq!(
+            new_world.net.stats().bytes_delivered,
+            old_world.net.stats().bytes_delivered
+        );
+        prop_assert_eq!(
+            &new_world.net.stats().link_bytes,
+            &old_world.net.stats().link_bytes
+        );
+    }
+
+    /// Bottleneck mode is trivially identical between the two engines (same
+    /// analytic formula), and no longer pollutes the heap with versions.
+    #[test]
+    fn bottleneck_mode_matches_seed_engine(
+        raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..30),
+        n_hosts in 2usize..6,
+    ) {
+        let flows = workload(n_hosts, &raw);
+        let mut new_world = NewWorld {
+            net: Network::new(star(n_hosts), SharingMode::Bottleneck),
+            deliveries: vec![],
+        };
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &flows {
+            new_world.net.start_flow(&mut sched, src, dst, size, token);
+        }
+        run_world(&mut new_world, &mut sched, None);
+        prop_assert_eq!(sched.dead_pending(), 0, "bottleneck flows never go stale");
+
+        let mut old_world = OldWorld {
+            net: BaselineNetwork::new(star(n_hosts), SharingMode::Bottleneck),
+            deliveries: vec![],
+        };
+        let mut old_sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &flows {
+            old_world.net.start_flow(&mut old_sched, src, dst, size, token);
+        }
+        run_world(&mut old_world, &mut old_sched, None);
+        prop_assert_eq!(by_token(&new_world.deliveries), by_token(&old_world.deliveries));
+    }
+}

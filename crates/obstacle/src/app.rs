@@ -115,19 +115,33 @@ impl ObstacleApp {
                 b.compute(
                     ComputeBlock::new(
                         "relaxation_sweep",
-                        Expr::p("flops_per_point").mul(Expr::p("N")).mul(Expr::p("my_rows")),
+                        Expr::p("flops_per_point")
+                            .mul(Expr::p("N"))
+                            .mul(Expr::p("my_rows")),
                     )
                     .reading(&["u", "psi", "rhs"])
                     .writing(&["u"]),
                 )
                 .if_(
                     Guard::HasUpNeighbor,
-                    |t| t.send(Target::RelativeRank(-1), Expr::c(8.0).mul(Expr::p("N")), TAG_HALO),
+                    |t| {
+                        t.send(
+                            Target::RelativeRank(-1),
+                            Expr::c(8.0).mul(Expr::p("N")),
+                            TAG_HALO,
+                        )
+                    },
                     |e| e,
                 )
                 .if_(
                     Guard::HasDownNeighbor,
-                    |t| t.send(Target::RelativeRank(1), Expr::c(8.0).mul(Expr::p("N")), TAG_HALO),
+                    |t| {
+                        t.send(
+                            Target::RelativeRank(1),
+                            Expr::c(8.0).mul(Expr::p("N")),
+                            TAG_HALO,
+                        )
+                    },
                     |e| e,
                 )
                 .if_(
@@ -250,7 +264,10 @@ mod tests {
         // The modelled compute time of rank 1 matches flops / rate.
         let expected = app.compute_flops(1, 4) * app.sweeps as f64 / 1.0e9;
         let got = traces.traces[1].compute_time().as_secs_f64();
-        assert!((got - expected).abs() / expected < 0.02, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

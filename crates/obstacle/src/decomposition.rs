@@ -19,7 +19,10 @@ impl BlockRows {
     /// Create a decomposition. Panics if there are more ranks than rows.
     pub fn new(n: usize, nprocs: usize) -> Self {
         assert!(nprocs > 0, "need at least one rank");
-        assert!(n >= nprocs, "cannot give {nprocs} ranks fewer than one row each ({n})");
+        assert!(
+            n >= nprocs,
+            "cannot give {nprocs} ranks fewer than one row each ({n})"
+        );
         BlockRows { n, nprocs }
     }
 
@@ -88,7 +91,10 @@ mod tests {
         let d = BlockRows::new(100, 8);
         let counts: Vec<usize> = (0..8).map(|r| d.rows_of(r)).collect();
         assert_eq!(counts.iter().sum::<usize>(), 100);
-        assert_eq!(*counts.iter().max().unwrap() - *counts.iter().min().unwrap(), 1);
+        assert_eq!(
+            *counts.iter().max().unwrap() - *counts.iter().min().unwrap(),
+            1
+        );
     }
 
     #[test]

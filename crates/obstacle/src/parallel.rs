@@ -59,7 +59,10 @@ pub fn solve_parallel_sync(
                     (begin, end, rows, diff)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
         .expect("scope failed");
 
@@ -158,8 +161,14 @@ pub fn solve_parallel_async(
                     }
                     let snapshot = shared.read().clone();
                     let mut scratch = snapshot.clone();
-                    let diff =
-                        sweep_rows(problem, &snapshot, &mut scratch, 1, problem.n + 1, params.omega);
+                    let diff = sweep_rows(
+                        problem,
+                        &snapshot,
+                        &mut scratch,
+                        1,
+                        problem.n + 1,
+                        params.omega,
+                    );
                     if diff <= params.tol {
                         converged.store(true, Ordering::SeqCst);
                         stop.store(true, Ordering::SeqCst);
@@ -178,7 +187,11 @@ pub fn solve_parallel_async(
     let did_converge = converged.load(Ordering::SeqCst);
     let stats = SolveStats {
         sweeps: max_sweeps,
-        final_diff: if did_converge { params.tol } else { f64::INFINITY },
+        final_diff: if did_converge {
+            params.tol
+        } else {
+            f64::INFINITY
+        },
         converged: did_converge,
     };
     (solution, counts, stats)

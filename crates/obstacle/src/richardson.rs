@@ -85,7 +85,10 @@ pub fn solve_sequential(
     problem: &ObstacleProblem,
     params: &RichardsonParams,
 ) -> (Grid2D, SolveStats) {
-    assert!(params.omega > 0.0 && params.omega <= 1.0, "omega must be in (0, 1]");
+    assert!(
+        params.omega > 0.0 && params.omega <= 1.0,
+        "omega must be in (0, 1]"
+    );
     let mut u_old = problem.initial_guess();
     let mut u_new = u_old.clone();
     let mut stats = SolveStats {
@@ -127,7 +130,11 @@ mod tests {
     fn solver_converges_on_a_small_instance() {
         let p = ObstacleProblem::membrane(24);
         let (u, stats) = solve_sequential(&p, &RichardsonParams::default());
-        assert!(stats.converged, "no convergence after {} sweeps", stats.sweeps);
+        assert!(
+            stats.converged,
+            "no convergence after {} sweeps",
+            stats.sweeps
+        );
         assert!(stats.final_diff <= 1e-7);
         // The solution respects the obstacle and the boundary conditions.
         assert_eq!(p.constraint_violations(&u, 1e-9), 0);
@@ -144,7 +151,10 @@ mod tests {
         assert!(stats.converged);
         let mid = (p.n + 2) / 2;
         // In the middle the obstacle binds: u == psi.
-        assert!((u[(mid, mid)] - p.psi[(mid, mid)]).abs() < 1e-6, "centre must be in contact");
+        assert!(
+            (u[(mid, mid)] - p.psi[(mid, mid)]).abs() < 1e-6,
+            "centre must be in contact"
+        );
         // Near the boundary the membrane is free: the PDE residual is ~0 and
         // the membrane sits strictly above the (very negative) obstacle.
         assert!(u[(2, 2)] > p.psi[(2, 2)] + 0.1);
@@ -154,7 +164,13 @@ mod tests {
     #[test]
     fn unconstrained_problem_reduces_to_the_poisson_membrane() {
         let p = ObstacleProblem::unconstrained(16);
-        let (u, stats) = solve_sequential(&p, &RichardsonParams { tol: 1e-9, ..Default::default() });
+        let (u, stats) = solve_sequential(
+            &p,
+            &RichardsonParams {
+                tol: 1e-9,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged);
         // With a positive load the unconstrained membrane dips below zero.
         let mid = (p.n + 2) / 2;
@@ -167,7 +183,13 @@ mod tests {
         let p = ObstacleProblem::membrane(16);
         let coarse = run_fixed_sweeps(&p, 50, 0.95);
         let fine = run_fixed_sweeps(&p, 500, 0.95);
-        let (converged, _) = solve_sequential(&p, &RichardsonParams { tol: 1e-10, ..Default::default() });
+        let (converged, _) = solve_sequential(
+            &p,
+            &RichardsonParams {
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
         assert!(fine.max_abs_diff(&converged) <= coarse.max_abs_diff(&converged));
     }
 
@@ -187,6 +209,12 @@ mod tests {
     #[should_panic(expected = "omega")]
     fn invalid_omega_is_rejected() {
         let p = ObstacleProblem::membrane(8);
-        solve_sequential(&p, &RichardsonParams { omega: 1.5, ..Default::default() });
+        solve_sequential(
+            &p,
+            &RichardsonParams {
+                omega: 1.5,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -31,7 +31,10 @@ pub struct Group {
 impl Group {
     /// Members other than the coordinator.
     pub fn workers(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.members.iter().copied().filter(move |&p| p != self.coordinator)
+        self.members
+            .iter()
+            .copied()
+            .filter(move |&p| p != self.coordinator)
     }
 }
 
@@ -52,7 +55,11 @@ impl AllocationGraph {
 
     /// Size of the largest group.
     pub fn max_group_size(&self) -> usize {
-        self.groups.iter().map(|g| g.members.len()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.members.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The group a peer belongs to, if any.
@@ -151,7 +158,11 @@ mod tests {
         let graph = build_allocation(PeerId::new(1), &peers, CMAX);
         assert_eq!(graph.peer_count(), 100);
         assert!(graph.max_group_size() <= CMAX);
-        assert_eq!(graph.groups.len(), 4, "100 peers need ceil(100/32) = 4 groups");
+        assert_eq!(
+            graph.groups.len(),
+            4,
+            "100 peers need ceil(100/32) = 4 groups"
+        );
         // Every coordinator is a member of its own group.
         for g in &graph.groups {
             assert!(g.members.contains(&g.coordinator));

@@ -153,8 +153,14 @@ pub fn run_reference(
         })
         .collect();
     let graph = build_allocation(submitter, &candidates, CMAX);
-    let allocation_time =
-        input_distribution_time(app, &graph, submitter_host, &host_of_peer, &mut network, nprocs);
+    let allocation_time = input_distribution_time(
+        app,
+        &graph,
+        submitter_host,
+        &host_of_peer,
+        &mut network,
+        nprocs,
+    );
     let alloc_cost = hierarchical_cost(&graph);
 
     // ---- The distributed iteration loop -------------------------------------
@@ -172,8 +178,14 @@ pub fn run_reference(
     let exec = replay(topology.platform.clone(), hosts, &scripts, &replay_cfg);
 
     // ---- Result collection through the coordinators -------------------------
-    let result_time =
-        result_collection_time(app, &graph, submitter_host, &host_of_peer, &mut network, nprocs);
+    let result_time = result_collection_time(
+        app,
+        &graph,
+        submitter_host,
+        &host_of_peer,
+        &mut network,
+        nprocs,
+    );
 
     overlay.release_peers(task);
 
@@ -202,9 +214,8 @@ fn build_scripts(
     let mut scripts = Vec::with_capacity(nprocs);
     for (rank, &host) in hosts.iter().enumerate() {
         let speed = topology.platform.host(host).speed_flops;
-        let compute = SimDuration::from_secs_f64(
-            app.compute_flops(rank, nprocs) / speed * cfg.opt_factor,
-        );
+        let compute =
+            SimDuration::from_secs_f64(app.compute_flops(rank, nprocs) / speed * cfg.opt_factor);
         let neighbors = app.neighbors(rank, nprocs);
         let halo = app.halo_bytes();
         let mut ops = Vec::new();
@@ -223,7 +234,10 @@ fn build_scripts(
                         });
                     }
                     for &n in &neighbors {
-                        ops.push(ReplayOp::Recv { from: n, tag: TAG_HALO });
+                        ops.push(ReplayOp::Recv {
+                            from: n,
+                            tag: TAG_HALO,
+                        });
                     }
                     if app.reduction_bytes() > 0 && nprocs > 1 && iter % reduction_every == 0 {
                         push_reduction(&mut ops, rank, nprocs, app.reduction_bytes(), TAG_REDUCE);
@@ -243,7 +257,13 @@ fn build_scripts(
         }
         if cfg.scheme == IterativeScheme::Asynchronous && nprocs > 1 {
             // One final synchronisation so that termination is detected.
-            push_reduction(&mut ops, rank, nprocs, app.reduction_bytes().max(8), TAG_FINAL);
+            push_reduction(
+                &mut ops,
+                rank,
+                nprocs,
+                app.reduction_bytes().max(8),
+                TAG_FINAL,
+            );
         }
         scripts.push(ProcessScript { rank, ops });
     }
@@ -330,8 +350,11 @@ fn result_collection_time(
             group_bytes += app.result_bytes(0, nprocs);
         }
         slowest_group = slowest_group.max(group_phase);
-        submitter_phase +=
-            network.message_delay(coord_host, submitter_host, DataSize::from_bytes(group_bytes));
+        submitter_phase += network.message_delay(
+            coord_host,
+            submitter_host,
+            DataSize::from_bytes(group_bytes),
+        );
     }
     slowest_group + submitter_phase
 }
@@ -375,7 +398,10 @@ mod tests {
         assert!(report.result_time > SimDuration::ZERO);
         assert_eq!(
             report.total,
-            report.collection_time + report.allocation_time + report.execution_time + report.result_time
+            report.collection_time
+                + report.allocation_time
+                + report.execution_time
+                + report.result_time
         );
         assert!(report.overlay_messages > 0);
         assert!(report.app_messages > 0);
@@ -415,7 +441,12 @@ mod tests {
     fn xdsl_runs_are_much_slower_than_cluster_runs() {
         let cluster = cluster_bordeplage(4, HostSpec::default());
         let xdsl = daisy_xdsl(64, HostSpec::default(), 5);
-        let c = run_reference(&app(), &cluster, &cluster.hosts, &ExecutionConfig::default());
+        let c = run_reference(
+            &app(),
+            &cluster,
+            &cluster.hosts,
+            &ExecutionConfig::default(),
+        );
         let x = run_reference_on(
             &app(),
             &xdsl,

@@ -53,7 +53,8 @@ impl ChurnInjector {
     /// the event and the time gap before it happens.
     pub fn next_event(&mut self, overlay: &Overlay) -> (ChurnEvent, SimDuration) {
         let gap = SimDuration::from_secs_f64(
-            self.rng.gen_exponential(self.mean_interarrival.as_secs_f64()),
+            self.rng
+                .gen_exponential(self.mean_interarrival.as_secs_f64()),
         );
         let tracker_event = self.rng.gen_bool(self.tracker_fraction);
         let departure = self.rng.gen_bool(self.departure_fraction);
@@ -136,7 +137,10 @@ mod tests {
         let mut churn = ChurnInjector::new(7);
         churn.run(&mut overlay, 200);
         let problems = overlay.check_invariants();
-        assert!(problems.is_empty(), "invariants violated after churn: {problems:?}");
+        assert!(
+            problems.is_empty(),
+            "invariants violated after churn: {problems:?}"
+        );
         assert!(overlay.tracker_count() >= 1);
     }
 
@@ -162,7 +166,10 @@ mod tests {
         // Make sure at least a handful of peers survived, then collect.
         while overlay.peer_count() < 6 {
             let next = overlay.peer_count() as u8 + 1;
-            churn.apply(&mut overlay, ChurnEvent::PeerJoin(IpAddr::from_octets(10, 1, 7, next)));
+            churn.apply(
+                &mut overlay,
+                ChurnEvent::PeerJoin(IpAddr::from_octets(10, 1, 7, next)),
+            );
         }
         let submitter = overlay.peers().next().unwrap().id;
         let (collected, _) =
@@ -181,6 +188,9 @@ mod tests {
         churn.tracker_fraction = 1.0;
         churn.departure_fraction = 1.0;
         churn.run(&mut overlay, 20);
-        assert!(overlay.tracker_count() >= 1, "the overlay must keep a core tracker");
+        assert!(
+            overlay.tracker_count() >= 1,
+            "the overlay must keep a core tracker"
+        );
     }
 }

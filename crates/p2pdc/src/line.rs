@@ -98,7 +98,10 @@ impl NeighborSet {
 
     /// Is the tracker known?
     pub fn contains(&self, id: TrackerId) -> bool {
-        self.left.iter().chain(self.right.iter()).any(|e| e.id == id)
+        self.left
+            .iter()
+            .chain(self.right.iter())
+            .any(|e| e.id == id)
     }
 
     /// The closest tracker with a smaller IP (the direct left neighbour).
@@ -197,7 +200,10 @@ mod tests {
         n.insert(entry(2, 50));
         assert!(n.insert(entry(3, 90)), "closer entry must be retained");
         assert_eq!(n.left_side().len(), 2);
-        assert!(!n.contains(TrackerId::new(1)), "farthest left neighbour evicted");
+        assert!(
+            !n.contains(TrackerId::new(1)),
+            "farthest left neighbour evicted"
+        );
         assert!(n.contains(TrackerId::new(2)));
         assert!(n.contains(TrackerId::new(3)));
         // Inserting something farther than everything kept is rejected.

@@ -178,7 +178,7 @@ impl Overlay {
 
     /// Advance the overlay clock (peer updates, timeouts).
     pub fn advance_time(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 
     /// The overlay configuration.
@@ -245,7 +245,10 @@ impl Overlay {
     /// Proximity ordering used by the overlay: longest common IP prefix first
     /// (the paper's metric), numeric distance as tie-break.
     fn proximity_key(a: IpAddr, b: IpAddr) -> (u32, u32) {
-        (u32::MAX - a.common_prefix_len(b), a.as_u32().abs_diff(b.as_u32()))
+        (
+            u32::MAX - a.common_prefix_len(b),
+            a.as_u32().abs_diff(b.as_u32()),
+        )
     }
 
     /// The tracker closest to `ip` (ground truth over all live trackers).
@@ -273,7 +276,9 @@ impl Overlay {
                 .filter(|e| self.trackers.contains_key(&e.id) && !visited.contains(&e.id))
                 .min_by_key(|e| Self::proximity_key(e.ip, ip));
             match best_neighbor {
-                Some(next) if Self::proximity_key(next.ip, ip) < Self::proximity_key(state.ip, ip) => {
+                Some(next)
+                    if Self::proximity_key(next.ip, ip) < Self::proximity_key(state.ip, ip) =>
+                {
                     current = next.id;
                     hops += 1;
                 }
@@ -362,8 +367,14 @@ impl Overlay {
         self.server.known_trackers.retain(|e| e.id != id);
 
         // Direct neighbours on the line.
-        let left = dead.neighbors.closest_left().filter(|e| self.trackers.contains_key(&e.id));
-        let right = dead.neighbors.closest_right().filter(|e| self.trackers.contains_key(&e.id));
+        let left = dead
+            .neighbors
+            .closest_left()
+            .filter(|e| self.trackers.contains_key(&e.id));
+        let right = dead
+            .neighbors
+            .closest_right()
+            .filter(|e| self.trackers.contains_key(&e.id));
 
         // Every tracker that knew the dead one drops it and receives
         // replacement candidates from the repairing neighbours.
@@ -408,7 +419,13 @@ impl Overlay {
         cost.critical_hops += u32::from(!orphans.is_empty());
         for zp in orphans {
             if let Some(peer) = self.peers.get(&zp.id).cloned() {
-                let rejoin = self.attach_peer_to_closest(peer.id, peer.ip, peer.host, peer.resources, zp.reserved_for);
+                let rejoin = self.attach_peer_to_closest(
+                    peer.id,
+                    peer.ip,
+                    peer.host,
+                    peer.resources,
+                    zp.reserved_for,
+                );
                 cost.messages += rejoin.messages;
             }
         }
@@ -611,9 +628,7 @@ impl Overlay {
                 .zone
                 .values()
                 .filter(|zp| {
-                    zp.id != submitter
-                        && zp.reserved_for.is_none()
-                        && zp.resources.satisfies(req)
+                    zp.id != submitter && zp.reserved_for.is_none() && zp.resources.satisfies(req)
                 })
                 .map(|zp| zp.id)
                 .collect();
@@ -738,7 +753,11 @@ mod tests {
     fn bootstrap_builds_a_consistent_line() {
         let overlay = small_overlay();
         assert_eq!(overlay.tracker_count(), 3);
-        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        assert!(
+            overlay.check_invariants().is_empty(),
+            "{:?}",
+            overlay.check_invariants()
+        );
         assert_eq!(overlay.server().known_trackers.len(), 3);
     }
 
@@ -748,7 +767,11 @@ mod tests {
         let (id, cost) = overlay.tracker_join(ip(10, 0, 1, 200));
         assert!(cost.messages > 0);
         assert!(overlay.tracker(id).is_some());
-        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        assert!(
+            overlay.check_invariants().is_empty(),
+            "{:?}",
+            overlay.check_invariants()
+        );
         // Its line neighbours must be 10.0.1.10 (left) and 10.0.2.10 (right).
         let t = overlay.tracker(id).unwrap();
         assert_eq!(t.neighbors.closest_left().unwrap().ip, ip(10, 0, 1, 10));
@@ -762,7 +785,11 @@ mod tests {
             overlay.tracker_join(ip(10, 0, i % 5, 20 + i));
         }
         assert_eq!(overlay.tracker_count(), 23);
-        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        assert!(
+            overlay.check_invariants().is_empty(),
+            "{:?}",
+            overlay.check_invariants()
+        );
     }
 
     #[test]
@@ -771,7 +798,11 @@ mod tests {
         let (peer, cost) = overlay.peer_join(ip(10, 0, 2, 77), None, PeerResources::xeon_em64t());
         assert!(cost.messages >= 3);
         let tid = overlay.peer(peer).unwrap().tracker.unwrap();
-        assert_eq!(overlay.tracker(tid).unwrap().ip, ip(10, 0, 2, 10), "same /24 wins");
+        assert_eq!(
+            overlay.tracker(tid).unwrap().ip,
+            ip(10, 0, 2, 10),
+            "same /24 wins"
+        );
         assert!(overlay.tracker(tid).unwrap().zone.contains_key(&peer));
         assert!(!overlay.peer(peer).unwrap().tracker_list.is_empty());
         assert!(overlay.check_invariants().is_empty());
@@ -786,11 +817,19 @@ mod tests {
         let cost = overlay.tracker_crash(mid);
         assert!(cost.messages > 0);
         assert_eq!(overlay.tracker_count(), 3);
-        assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+        assert!(
+            overlay.check_invariants().is_empty(),
+            "{:?}",
+            overlay.check_invariants()
+        );
         // The orphaned peer is attached to a surviving tracker.
         let new_tracker = overlay.peer(peer).unwrap().tracker.unwrap();
         assert!(overlay.tracker(new_tracker).is_some());
-        assert!(overlay.tracker(new_tracker).unwrap().zone.contains_key(&peer));
+        assert!(overlay
+            .tracker(new_tracker)
+            .unwrap()
+            .zone
+            .contains_key(&peer));
     }
 
     #[test]
@@ -838,13 +877,22 @@ mod tests {
         // 4 peers near tracker 0, 4 near tracker 2.
         let mut near = Vec::new();
         for i in 0..4u8 {
-            near.push(overlay.peer_join(ip(10, 0, 0, 100 + i), None, PeerResources::xeon_em64t()).0);
+            near.push(
+                overlay
+                    .peer_join(ip(10, 0, 0, 100 + i), None, PeerResources::xeon_em64t())
+                    .0,
+            );
         }
         let mut far = Vec::new();
         for i in 0..4u8 {
-            far.push(overlay.peer_join(ip(10, 0, 2, 100 + i), None, PeerResources::xeon_em64t()).0);
+            far.push(
+                overlay
+                    .peer_join(ip(10, 0, 2, 100 + i), None, PeerResources::xeon_em64t())
+                    .0,
+            );
         }
-        let (submitter, _) = overlay.peer_join(ip(10, 0, 0, 250), None, PeerResources::xeon_em64t());
+        let (submitter, _) =
+            overlay.peer_join(ip(10, 0, 0, 250), None, PeerResources::xeon_em64t());
         let task = TaskId::new(1);
         let (collected, cost) =
             overlay.collect_peers(submitter, 6, &ResourceRequirements::none(), task);
@@ -855,11 +903,13 @@ mod tests {
             assert!(collected.contains(p), "zone peers must be collected first");
         }
         // Collected peers are now busy and cannot be collected again.
-        let (second, _) = overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(2));
+        let (second, _) =
+            overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(2));
         assert_eq!(second.len(), 2, "only the two unreserved far peers remain");
         // Releasing makes them available again.
         assert_eq!(overlay.release_peers(task), 6);
-        let (third, _) = overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(3));
+        let (third, _) =
+            overlay.collect_peers(submitter, 8, &ResourceRequirements::none(), TaskId::new(3));
         assert_eq!(third.len(), 6);
     }
 

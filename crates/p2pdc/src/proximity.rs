@@ -25,7 +25,10 @@ pub struct GroupCandidate {
 /// Split `peers` into proximity groups of at most `max_group_size` members.
 /// Groups are balanced (sizes differ by at most one) and preserve IP order,
 /// so members of a group share the longest possible IP prefixes.
-pub fn group_by_proximity(peers: &[GroupCandidate], max_group_size: usize) -> Vec<Vec<GroupCandidate>> {
+pub fn group_by_proximity(
+    peers: &[GroupCandidate],
+    max_group_size: usize,
+) -> Vec<Vec<GroupCandidate>> {
     assert!(max_group_size > 0, "groups must hold at least one peer");
     if peers.is_empty() {
         return Vec::new();
@@ -98,7 +101,13 @@ mod tests {
 
     fn cluster(count: usize, subnet: u8) -> Vec<GroupCandidate> {
         (0..count)
-            .map(|i| candidate(subnet as u64 * 1000 + i as u64, [10, subnet, 0, i as u8 + 1], 1e9))
+            .map(|i| {
+                candidate(
+                    subnet as u64 * 1000 + i as u64,
+                    [10, subnet, 0, i as u8 + 1],
+                    1e9,
+                )
+            })
             .collect()
     }
 

@@ -69,7 +69,11 @@ impl TaskSpec {
                 | (Running, Completed)
                 | (Running, Aborted)
         );
-        assert!(legal, "illegal task transition {:?} -> {:?}", self.status, next);
+        assert!(
+            legal,
+            "illegal task transition {:?} -> {:?}",
+            self.status, next
+        );
         self.status = next;
     }
 

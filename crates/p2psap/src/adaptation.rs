@@ -71,9 +71,16 @@ mod tests {
 
     #[test]
     fn synchronous_configurations_are_reliable_everywhere() {
-        for ctx in [NetworkContext::IntraCluster, NetworkContext::Lan, NetworkContext::Wan] {
+        for ctx in [
+            NetworkContext::IntraCluster,
+            NetworkContext::Lan,
+            NetworkContext::Wan,
+        ] {
             let c = AdaptationController::decide(IterativeScheme::Synchronous, ctx);
-            assert!(c.has(MicroProtocol::Reliability), "sync over {ctx:?} must be reliable");
+            assert!(
+                c.has(MicroProtocol::Reliability),
+                "sync over {ctx:?} must be reliable"
+            );
             assert!(c.has(MicroProtocol::Ordering));
             assert_eq!(c.transport, TransportKind::TcpLike);
         }
@@ -81,23 +88,36 @@ mod tests {
 
     #[test]
     fn congestion_control_is_dropped_inside_a_cluster() {
-        let intra = AdaptationController::decide(IterativeScheme::Synchronous, NetworkContext::IntraCluster);
+        let intra = AdaptationController::decide(
+            IterativeScheme::Synchronous,
+            NetworkContext::IntraCluster,
+        );
         let wan = AdaptationController::decide(IterativeScheme::Synchronous, NetworkContext::Wan);
         assert!(!intra.has(MicroProtocol::CongestionControl));
         assert!(wan.has(MicroProtocol::CongestionControl));
-        assert!(intra.send_cpu() < wan.send_cpu(), "lighter stack must be cheaper");
+        assert!(
+            intra.send_cpu() < wan.send_cpu(),
+            "lighter stack must be cheaper"
+        );
     }
 
     #[test]
     fn asynchronous_configurations_shed_reliability() {
-        for ctx in [NetworkContext::IntraCluster, NetworkContext::Lan, NetworkContext::Wan] {
+        for ctx in [
+            NetworkContext::IntraCluster,
+            NetworkContext::Lan,
+            NetworkContext::Wan,
+        ] {
             let c = AdaptationController::decide(IterativeScheme::Asynchronous, ctx);
             assert!(!c.has(MicroProtocol::Reliability));
         }
         let wan = AdaptationController::decide(IterativeScheme::Asynchronous, NetworkContext::Wan);
         assert!(wan.drops_stale_updates());
         assert_eq!(wan.transport, TransportKind::DccpLike);
-        let intra = AdaptationController::decide(IterativeScheme::Asynchronous, NetworkContext::IntraCluster);
+        let intra = AdaptationController::decide(
+            IterativeScheme::Asynchronous,
+            NetworkContext::IntraCluster,
+        );
         assert_eq!(intra.transport, TransportKind::UdpLike);
     }
 

@@ -83,9 +83,9 @@ impl ChannelConfig {
     /// session header + per-micro-protocol fields).
     pub fn header_bytes(&self) -> u64 {
         let transport = match self.transport {
-            TransportKind::TcpLike => 40, // IP + TCP
+            TransportKind::TcpLike => 40,  // IP + TCP
             TransportKind::DccpLike => 36, // IP + DCCP
-            TransportKind::UdpLike => 28, // IP + UDP
+            TransportKind::UdpLike => 28,  // IP + UDP
         };
         let stack: u64 = self
             .stack
@@ -194,8 +194,14 @@ mod tests {
 
     #[test]
     fn handshake_counts() {
-        assert_eq!(ChannelConfig::bare(TransportKind::TcpLike).handshake_rtts(), 2);
-        assert_eq!(ChannelConfig::bare(TransportKind::UdpLike).handshake_rtts(), 1);
+        assert_eq!(
+            ChannelConfig::bare(TransportKind::TcpLike).handshake_rtts(),
+            2
+        );
+        assert_eq!(
+            ChannelConfig::bare(TransportKind::UdpLike).handshake_rtts(),
+            1
+        );
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl Session {
             return SimDuration::ZERO;
         }
         let route = platform.route(self.local, self.remote);
-        route.latency.saturating_mul(2 * self.config.handshake_rtts() as u64)
+        route
+            .latency
+            .saturating_mul(2 * self.config.handshake_rtts() as u64)
     }
 
     /// Switch the session to a new scheme. Returns `true` (and bumps the
@@ -158,7 +160,13 @@ impl Socket {
     /// Get (opening lazily) the session towards `remote`.
     pub fn session(&mut self, platform: &mut Platform, remote: HostId) -> &mut Session {
         if !self.sessions.contains_key(&remote) {
-            let s = Session::open(platform, &mut self.controller, self.local, remote, self.scheme);
+            let s = Session::open(
+                platform,
+                &mut self.controller,
+                self.local,
+                remote,
+                self.scheme,
+            );
             self.sessions.insert(remote, s);
         }
         self.sessions.get_mut(&remote).expect("just inserted")
@@ -218,19 +226,41 @@ mod tests {
         let mut cluster = cluster_bordeplage(4, HostSpec::default());
         let mut xdsl = daisy_xdsl(16, HostSpec::default(), 1);
         let mut ctl = AdaptationController::new();
-        let near = Session::open(&mut cluster.platform, &mut ctl, cluster.hosts[0], cluster.hosts[1], IterativeScheme::Synchronous);
-        let far = Session::open(&mut xdsl.platform, &mut ctl, xdsl.hosts[0], xdsl.hosts[10], IterativeScheme::Synchronous);
-        assert!(far.handshake_delay(&mut xdsl.platform) > near.handshake_delay(&mut cluster.platform));
+        let near = Session::open(
+            &mut cluster.platform,
+            &mut ctl,
+            cluster.hosts[0],
+            cluster.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let far = Session::open(
+            &mut xdsl.platform,
+            &mut ctl,
+            xdsl.hosts[0],
+            xdsl.hosts[10],
+            IterativeScheme::Synchronous,
+        );
+        assert!(
+            far.handshake_delay(&mut xdsl.platform) > near.handshake_delay(&mut cluster.platform)
+        );
     }
 
     #[test]
     fn socket_opens_sessions_lazily_and_caches_them() {
         let mut topo = cluster_bordeplage(4, HostSpec::default());
         let mut sock = Socket::new(topo.hosts[0], IterativeScheme::Synchronous);
-        let cfg1 = sock.session(&mut topo.platform, topo.hosts[1]).config.clone();
-        sock.session(&mut topo.platform, topo.hosts[1]).record_send(100);
-        sock.session(&mut topo.platform, topo.hosts[2]).record_send(200);
-        let cfg2 = sock.session(&mut topo.platform, topo.hosts[1]).config.clone();
+        let cfg1 = sock
+            .session(&mut topo.platform, topo.hosts[1])
+            .config
+            .clone();
+        sock.session(&mut topo.platform, topo.hosts[1])
+            .record_send(100);
+        sock.session(&mut topo.platform, topo.hosts[2])
+            .record_send(200);
+        let cfg2 = sock
+            .session(&mut topo.platform, topo.hosts[1])
+            .config
+            .clone();
         assert_eq!(cfg1, cfg2);
         let st = sock.stats();
         assert_eq!(st.sessions, 2);
@@ -255,7 +285,13 @@ mod tests {
     fn loopback_session_has_no_handshake_cost() {
         let mut topo = cluster_bordeplage(2, HostSpec::default());
         let mut ctl = AdaptationController::new();
-        let s = Session::open(&mut topo.platform, &mut ctl, topo.hosts[0], topo.hosts[0], IterativeScheme::Synchronous);
+        let s = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[0],
+            IterativeScheme::Synchronous,
+        );
         assert_eq!(s.handshake_delay(&mut topo.platform), SimDuration::ZERO);
     }
 }

@@ -19,7 +19,10 @@ fn main() {
     let sizes = [2usize, 4, 8, 16, 32];
 
     println!("predicted execution times (seconds), optimization level 0:\n");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "peers", "Grid5000", "LAN", "xDSL");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "peers", "Grid5000", "LAN", "xDSL"
+    );
     let grid = prediction_curve(&app, PlatformKind::Grid5000, &sizes, OptLevel::O0);
     let lan = prediction_curve(&app, PlatformKind::Lan, &sizes, OptLevel::O0);
     let xdsl = prediction_curve(&app, PlatformKind::Xdsl, &sizes, OptLevel::O0);

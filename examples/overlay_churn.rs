@@ -49,13 +49,20 @@ fn main() {
 
     // The server comes back and receives the buffered statistics.
     let cost = overlay.server_reconnect();
-    println!("server reconnected, {} statistics reports flushed", cost.messages);
+    println!(
+        "server reconnected, {} statistics reports flushed",
+        cost.messages
+    );
 
     // A submitter can still assemble a computation.
     let submitter = overlay.peers().next().expect("peers remain").id;
     let want = overlay.peer_count().saturating_sub(1).min(16);
-    let (collected, cost) =
-        overlay.collect_peers(submitter, want, &ResourceRequirements::none(), TaskId::new(1));
+    let (collected, cost) = overlay.collect_peers(
+        submitter,
+        want,
+        &ResourceRequirements::none(),
+        TaskId::new(1),
+    );
     println!(
         "collected {} peers for a new computation in {} messages ({} hops on the critical path)",
         collected.len(),

@@ -27,12 +27,18 @@ fn main() {
     let env = ObstacleApp::rank_env(1, nprocs, &program.defaults);
     let report = analyze(&program, &env, RankContext { rank: 1, nprocs });
     println!("== static analysis (rank 1 of {nprocs}) ==");
-    println!("  statements: {}, loop depth: {}", report.stmt_count, report.max_loop_depth);
+    println!(
+        "  statements: {}, loop depth: {}",
+        report.stmt_count, report.max_loop_depth
+    );
     println!(
         "  communication sites: {} point-to-point, {} collective",
         report.comm_sites, report.collective_sites
     );
-    println!("  dynamic work: {:.2e} flops, {} messages", report.total_flops, report.dynamic_messages);
+    println!(
+        "  dynamic work: {:.2e} flops, {} messages",
+        report.total_flops, report.dynamic_messages
+    );
 
     // 2. Dependence graphs (the DDG/CDG of Fig. 7).
     let ddg = build_dependence_graph(&program);
@@ -46,7 +52,10 @@ fn main() {
 
     // 3. Instrumentation and unparsing.
     let instrumented = instrument(&program);
-    println!("\n== instrumented pseudo-source ({} probes) ==", instrumented.probes.len());
+    println!(
+        "\n== instrumented pseudo-source ({} probes) ==",
+        instrumented.probes.len()
+    );
     for line in instrumented.unparse().lines().take(12) {
         println!("  {line}");
     }
@@ -54,7 +63,14 @@ fn main() {
 
     // 4. Block benchmarking + trace generation (one trace file per process).
     let bencher = ModeledBencher::new(MachineModel::xeon_em64t_3ghz(), OptLevel::O0);
-    let traces = generate_traces(&program, &app.base_env(), nprocs, &bencher, Some(&ObstacleApp::rank_env), "0");
+    let traces = generate_traces(
+        &program,
+        &app.base_env(),
+        nprocs,
+        &bencher,
+        Some(&ObstacleApp::rank_env),
+        "0",
+    );
     println!("\n== traces ==");
     println!(
         "  {} processes, {} events, {} messages, max per-rank compute {}",
@@ -74,7 +90,13 @@ fn main() {
     ];
     for (name, topo) in platforms {
         let hosts = topo.pick_hosts(nprocs, PlacementPolicy::Spread);
-        let pred = predict_traces(&traces, &topo, &hosts, IterativeScheme::Synchronous, SharingMode::Bottleneck);
+        let pred = predict_traces(
+            &traces,
+            &topo,
+            &hosts,
+            IterativeScheme::Synchronous,
+            SharingMode::Bottleneck,
+        );
         println!(
             "  {name:<9} t_predicted = {:>9.3} s   (compute {:>7.3} s, waiting {:>7.3} s, {} messages)",
             pred.total.as_secs_f64(),

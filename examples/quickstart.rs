@@ -15,7 +15,10 @@ use p2p_perf::{PlatformKind, Scenario};
 
 fn main() {
     let app = ObstacleApp::small();
-    println!("obstacle problem: {}x{} grid, {} sweeps", app.n, app.n, app.sweeps);
+    println!(
+        "obstacle problem: {}x{} grid, {} sweeps",
+        app.n, app.n, app.sweeps
+    );
     println!(
         "{:>6}  {:>14}  {:>14}  {:>8}",
         "peers", "reference [s]", "predicted [s]", "error"

@@ -1,0 +1,8 @@
+//! Root shim of the `p2p-perf-repro` package.
+//!
+//! The package exists only to host the workspace-level integration tests
+//! (`tests/`) and examples (`examples/`); all functionality lives in the
+//! crates under `crates/`. Re-export the facade so examples can use either
+//! name.
+
+pub use p2p_perf::*;

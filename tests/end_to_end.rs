@@ -53,7 +53,11 @@ fn fig10_shape_prediction_tracks_reference_at_every_size() {
         let r = reference.at(n).unwrap();
         let p = prediction.at(n).unwrap();
         let err = (r - p).abs() / r;
-        assert!(err < 0.2, "n={n}: prediction error {:.1}% too large", err * 100.0);
+        assert!(
+            err < 0.2,
+            "n={n}: prediction error {:.1}% too large",
+            err * 100.0
+        );
     }
 }
 

@@ -21,7 +21,10 @@ fn tiny() -> ObstacleApp {
 fn table1_shape_lan_needs_more_peers_and_xdsl_is_marginal() {
     let sizes = [2usize, 4, 8, 16, 32];
     let table = equivalence_table(&tiny(), &[2, 4], &sizes, OptLevel::O0);
-    assert!(!table.rows.is_empty(), "the table must contain at least one row");
+    assert!(
+        !table.rows.is_empty(),
+        "the table must contain at least one row"
+    );
 
     // Every LAN equivalent of a cluster size needs at least as many peers.
     for row in table.rows.iter().filter(|r| r.candidate_label == "LAN") {
@@ -65,7 +68,10 @@ fn equivalence_search_is_consistent_with_manual_classification() {
     // Build a table from hand-written curves and cross-check each row against
     // a direct classification of its two times.
     let reference = PerfCurve::from_secs("Grid5000", &[(2, 40.0), (4, 20.0), (8, 10.0)]);
-    let lan = PerfCurve::from_secs("LAN", &[(2, 44.0), (4, 26.0), (8, 14.0), (16, 11.0), (32, 10.5)]);
+    let lan = PerfCurve::from_secs(
+        "LAN",
+        &[(2, 44.0), (4, 26.0), (8, 14.0), (16, 11.0), (32, 10.5)],
+    );
     let tol = Tolerance::default();
     let table = EquivalenceTable::build(&reference, &[2, 4, 8], &[&lan], tol);
     assert_eq!(table.rows.len(), 3);

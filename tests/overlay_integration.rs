@@ -5,15 +5,17 @@ use netsim::{cluster_bordeplage, daisy_xdsl, HostSpec, PlacementPolicy};
 use obstacle::ObstacleApp;
 use p2p_common::{IpAddr, PeerResources, ResourceRequirements, TaskId};
 use p2pdc::allocation::{flat_cost, hierarchical_cost};
+use p2pdc::proximity::GroupCandidate;
 use p2pdc::{
     build_allocation, run_reference, ChurnInjector, ExecutionConfig, Overlay, OverlayConfig, CMAX,
 };
-use p2pdc::proximity::GroupCandidate;
 use p2psap::IterativeScheme;
 
 #[test]
 fn collection_then_allocation_covers_every_collected_peer_once() {
-    let core: Vec<IpAddr> = (0..3u8).map(|i| IpAddr::from_octets(172, 16, i, 1)).collect();
+    let core: Vec<IpAddr> = (0..3u8)
+        .map(|i| IpAddr::from_octets(172, 16, i, 1))
+        .collect();
     let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &core);
     for i in 0..70u32 {
         let ip = IpAddr::from_octets(172, 16, (i % 3) as u8, (i + 10) as u8);
@@ -86,7 +88,10 @@ fn asynchronous_scheme_beats_synchronous_on_xdsl_but_not_on_the_cluster() {
             ..ExecutionConfig::default()
         },
     );
-    assert!(asyn.execution_time < sync.execution_time, "async must win on xDSL");
+    assert!(
+        asyn.execution_time < sync.execution_time,
+        "async must win on xDSL"
+    );
 
     let cluster = cluster_bordeplage(4, HostSpec::default());
     let csync = run_reference(&app, &cluster, &cluster.hosts, &ExecutionConfig::default());
@@ -124,7 +129,11 @@ fn overlay_survives_heavy_churn_and_still_serves_collections() {
     overlay.server_disconnect();
     let mut churn = ChurnInjector::new(77);
     churn.run(&mut overlay, 500);
-    assert!(overlay.check_invariants().is_empty(), "{:?}", overlay.check_invariants());
+    assert!(
+        overlay.check_invariants().is_empty(),
+        "{:?}",
+        overlay.check_invariants()
+    );
 
     // Refill a few peers if churn removed too many, then collect.
     let mut extra = 0u8;

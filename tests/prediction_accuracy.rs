@@ -17,7 +17,11 @@ fn tiny() -> ObstacleApp {
 
 #[test]
 fn prediction_matches_reference_within_tolerance_on_every_platform() {
-    for platform in [PlatformKind::Grid5000, PlatformKind::Lan, PlatformKind::Xdsl] {
+    for platform in [
+        PlatformKind::Grid5000,
+        PlatformKind::Lan,
+        PlatformKind::Xdsl,
+    ] {
         let scenario = Scenario::new(platform, 4)
             .with_app(tiny())
             .with_opt(OptLevel::O0);
@@ -87,7 +91,10 @@ fn compute_bound_lower_bound_holds() {
         let scenario = Scenario::new(PlatformKind::Lan, nprocs).with_app(tiny());
         let traces = scenario.traces();
         let prediction = scenario.predict();
-        assert!(prediction.total >= traces.max_compute_time(), "nprocs={nprocs}");
+        assert!(
+            prediction.total >= traces.max_compute_time(),
+            "nprocs={nprocs}"
+        );
     }
 }
 

@@ -1,0 +1,82 @@
+//! In-repo shim for `crossbeam` (see `vendor/README.md`).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which makes the real
+//! crossbeam implementation unnecessary for this workspace).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle through which scoped threads are spawned.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so it
+        /// can spawn nested threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller.
+    /// Returns `Err` if any spawned (and not explicitly joined) thread
+    /// panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

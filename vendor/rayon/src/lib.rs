@@ -1,0 +1,240 @@
+//! In-repo shim for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the slice/`Vec` parallel-iterator subset this workspace uses:
+//! `par_iter()` / `into_par_iter()`, chained `map`s, and `collect()` into a
+//! `Vec` with **deterministic, order-preserving output**. Work is split into
+//! one contiguous chunk per available core and executed on
+//! `std::thread::scope` threads — no work stealing, which is adequate for
+//! the coarse-grained simulation sweeps this workspace parallelises.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The traits a caller needs in scope.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Order-preserving parallel map of `items` through `f`.
+fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Slot buffer the worker threads fill in place, one disjoint chunk each.
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    // Hand each worker an owned chunk of inputs and the matching slot chunk.
+    let mut work: Vec<(Vec<T>, &mut [Option<U>])> = Vec::with_capacity(threads);
+    {
+        let mut items = items;
+        let mut rest: &mut [Option<U>] = &mut slots;
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let tail = items.split_off(take);
+            let (head, next) = rest.split_at_mut(take);
+            work.push((std::mem::replace(&mut items, tail), head));
+            rest = next;
+        }
+    }
+    std::thread::scope(|s| {
+        for (inputs, outputs) in work {
+            s.spawn(move || {
+                for (slot, item) in outputs.iter_mut().zip(inputs) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel worker filled every slot"))
+        .collect()
+}
+
+/// A parallel iterator: a finite, order-preserving pipeline of items.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialise all items, running the pipeline in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map every item through `op` (applied in parallel at `collect` time).
+    fn map<U, F>(self, op: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Containers collectible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run()
+    }
+}
+
+/// Leaf iterator over an owned batch of items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    op: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), &self.op)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IntoParIter<usize>;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types offering a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate in parallel by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_and_into_par_iter() {
+        let out: Vec<String> = (0..16)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out[0], "1");
+        assert_eq!(out[15], "16");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

@@ -1,0 +1,472 @@
+//! In-repo shim for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim funnels
+//! everything through an owned [`Value`] tree: `Serialize` renders a value
+//! into a `Value`, `Deserialize` reconstructs it from one. The `serde_json`
+//! shim prints and parses `Value`s. The encoding conventions match serde's
+//! JSON data model so files written by this shim look like serde_json's:
+//! newtype structs are transparent, unit enum variants are bare strings, and
+//! data-carrying variants are single-key objects.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (exact).
+    UInt(u64),
+    /// A negative integer (exact).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved for readable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64` (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(v) => i64::try_from(v).ok(),
+            Value::Int(v) => Some(v),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(v) => Some(v as f64),
+            Value::Int(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y, found Z" constructor.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> DeError {
+        DeError(format!(
+            "expected {what} while deserializing {ty}, found {}",
+            found.kind()
+        ))
+    }
+
+    /// Free-form constructor.
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`].
+pub trait Serialize {
+    /// The value tree of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: pull field `name` out of an object (missing
+/// fields read as `null`, which only `Option` fields accept).
+pub fn field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let v = fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| DeError(format!("{ty}.{name}: {e}")))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64", v))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("number", "f32", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::expected("bool", "bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| DeError::expected("string", "Arc<str>", v))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple", v))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if arr.len() != LEN {
+                    return Err(DeError::msg(format!(
+                        "expected a {LEN}-tuple, found array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key: strings pass through, integers print in decimal
+/// (serde_json's convention for integer-keyed maps).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        other => panic!(
+            "serde shim: map keys must serialize to strings or integers, got {}",
+            other.kind()
+        ),
+    }
+}
+
+/// Parse a map key back: try the string form first, then the integer forms.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::msg(format!("cannot parse map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap", v))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic regardless of hash seed.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap", v))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
