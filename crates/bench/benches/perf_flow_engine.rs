@@ -1,4 +1,5 @@
-//! Max–min flow-engine throughput: incremental engine vs the seed baseline.
+//! Max–min flow-engine throughput: bucket-queue engine vs scan engine vs
+//! the seed baseline.
 //!
 //! Measures complete simulation runs of N concurrent flows (every flow
 //! started at t = 0, run until the event queue drains) on two topologies:
@@ -7,18 +8,33 @@
 //!   destinations, so every arrival/departure rebalances a shared link), and
 //! * the paper's xDSL Daisy DSLAM topology (deep routes, shared uplinks).
 //!
-//! The baseline is the seed's engine (`netsim::baseline`): HashMap flow
-//! table, from-scratch rebalances, global version counter — O(F) reschedules
-//! per flow event. The incremental engine reschedules only rate-changed
-//! flows. The recorded reference numbers live in `BENCH_flow_engine.json`
-//! at the repository root (regenerate with
+//! Three engines are compared:
+//!
+//! * `baseline` — the seed engine (`netsim::baseline`): HashMap flow table,
+//!   from-scratch rebalances, global version counter — O(F) reschedules per
+//!   flow event. Skipped above 1000 flows (it is quadratic in flow events
+//!   and takes minutes there).
+//! * `scan` — the PR 1 incremental engine, retained behind
+//!   [`RebalanceEngine::ScanPerEvent`]: slab flow table, persistent link
+//!   incidence, per-flow versions, but one rebalance per event with a
+//!   linear bottleneck scan over the touched links.
+//! * `bucketed` — the current default ([`RebalanceEngine::BucketedBatched`]):
+//!   same data structures, but bottlenecks pop from the monotone bucket
+//!   queue and all rebalances of one simulated instant are coalesced into a
+//!   single batched pass.
+//!
+//! The heavy-churn scenario (`*_dslam_churn/10000`) is the PR 2 acceptance
+//! workload: 10 000 concurrent flows over a 256-host DSLAM platform, where
+//! the linear link scan and the per-event rebalance cadence of the PR 1
+//! engine dominate. Recorded reference numbers live in
+//! `BENCH_flow_engine.json` at the repository root (regenerate with
 //! `CRITERION_SHIM_JSON=... cargo bench --bench perf_flow_engine`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::baseline::BaselineNetwork;
 use netsim::{
-    daisy_xdsl, HostSpec, LinkSpec, NetEvent, Network, Platform, PlatformBuilder, Scheduler,
-    SharingMode, Topology,
+    daisy_xdsl, HostSpec, LinkSpec, NetEvent, NetWorldEvent, Network, Platform, PlatformBuilder,
+    RebalanceEngine, Scheduler, SharingMode, Topology,
 };
 use p2p_common::{Bandwidth, DataSize, HostId, SimDuration};
 
@@ -29,6 +45,12 @@ enum Ev {
 impl From<NetEvent> for Ev {
     fn from(e: NetEvent) -> Self {
         Ev::Net(e)
+    }
+}
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        let Ev::Net(e) = self;
+        Some(*e)
     }
 }
 
@@ -73,8 +95,12 @@ fn flow_list(hosts: usize, flows: usize) -> Vec<(HostId, HostId, DataSize)> {
 }
 
 /// Run the workload through the incremental engine; returns delivered count.
-fn run_incremental(platform: Platform, flows: &[(HostId, HostId, DataSize)]) -> u64 {
-    let mut net = Network::new(platform, SharingMode::MaxMinFair);
+fn run_incremental(
+    platform: Platform,
+    engine: RebalanceEngine,
+    flows: &[(HostId, HostId, DataSize)],
+) -> u64 {
+    let mut net = Network::with_engine(platform, SharingMode::MaxMinFair, engine);
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for (i, &(src, dst, size)) in flows.iter().enumerate() {
         net.start_flow(&mut sched, src, dst, size, i as u64);
@@ -111,9 +137,26 @@ fn bench_flow_engine(c: &mut Criterion) {
         // Dumbbell / star.
         let star_platform = star(hosts);
         group.bench_with_input(
-            BenchmarkId::new("incremental_star", n_flows),
+            BenchmarkId::new("bucketed_star", n_flows),
             &flows,
-            |b, flows| b.iter(|| run_incremental(star_platform.clone(), flows)),
+            |b, flows| {
+                b.iter(|| {
+                    run_incremental(
+                        star_platform.clone(),
+                        RebalanceEngine::BucketedBatched,
+                        flows,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_star", n_flows),
+            &flows,
+            |b, flows| {
+                b.iter(|| {
+                    run_incremental(star_platform.clone(), RebalanceEngine::ScanPerEvent, flows)
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("baseline_star", n_flows),
@@ -127,9 +170,26 @@ fn bench_flow_engine(c: &mut Criterion) {
             .map(|&(s, d, size)| (topo.hosts[s.index()], topo.hosts[d.index()], size))
             .collect();
         group.bench_with_input(
-            BenchmarkId::new("incremental_dslam", n_flows),
+            BenchmarkId::new("bucketed_dslam", n_flows),
             &dslam_flows,
-            |b, flows| b.iter(|| run_incremental(topo.platform.clone(), flows)),
+            |b, flows| {
+                b.iter(|| {
+                    run_incremental(
+                        topo.platform.clone(),
+                        RebalanceEngine::BucketedBatched,
+                        flows,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_dslam", n_flows),
+            &dslam_flows,
+            |b, flows| {
+                b.iter(|| {
+                    run_incremental(topo.platform.clone(), RebalanceEngine::ScanPerEvent, flows)
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("baseline_dslam", n_flows),
@@ -138,6 +198,40 @@ fn bench_flow_engine(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Heavy churn: 10k concurrent flows over a 256-host DSLAM platform. The
+    // seed baseline is omitted — it is O(F) reschedules per flow event and
+    // needs minutes per run at this scale; `scan` is the PR 1 engine.
+    let mut churn = c.benchmark_group("flow_engine_churn");
+    churn.sample_size(5);
+    let hosts = 256;
+    let n_flows = 10_000;
+    let topo = dslam(hosts);
+    let churn_flows: Vec<_> = flow_list(hosts, n_flows)
+        .iter()
+        .map(|&(s, d, size)| (topo.hosts[s.index()], topo.hosts[d.index()], size))
+        .collect();
+    churn.bench_with_input(
+        BenchmarkId::new("bucketed_dslam_churn", n_flows),
+        &churn_flows,
+        |b, flows| {
+            b.iter(|| {
+                run_incremental(
+                    topo.platform.clone(),
+                    RebalanceEngine::BucketedBatched,
+                    flows,
+                )
+            })
+        },
+    );
+    churn.bench_with_input(
+        BenchmarkId::new("scan_dslam_churn", n_flows),
+        &churn_flows,
+        |b, flows| {
+            b.iter(|| run_incremental(topo.platform.clone(), RebalanceEngine::ScanPerEvent, flows))
+        },
+    );
+    churn.finish();
 }
 
 criterion_group!(benches, bench_flow_engine);

@@ -6,6 +6,8 @@
 //! go through the same `p2p_perf::experiments` functions, so the numbers
 //! reported by EXPERIMENTS.md can be reproduced either way.
 
+#![warn(missing_docs)]
+
 use obstacle::ObstacleApp;
 
 /// The peer counts used by the paper (2..32 by powers of two).

@@ -86,6 +86,17 @@ impl FlowId {
     /// a slab flow table, the high 32 bits carry the slot's generation so a
     /// recycled slot invalidates every id handed out for its previous
     /// occupants.
+    ///
+    /// ```
+    /// use p2p_common::FlowId;
+    ///
+    /// let id = FlowId::from_parts(7, 3);
+    /// assert_eq!(id.slot(), 7);
+    /// assert_eq!(id.generation(), 3);
+    ///
+    /// // Recycling slot 7 mints a different id: stale handles can't collide.
+    /// assert_ne!(id, FlowId::from_parts(7, 4));
+    /// ```
     pub const fn from_parts(slot: u32, generation: u32) -> FlowId {
         FlowId(((generation as u64) << 32) | slot as u64)
     }

@@ -19,6 +19,8 @@
 //! * [`stats`] — online statistics and simple histograms used by benches and
 //!   the tracker statistics reports.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod ids;
 pub mod ip;

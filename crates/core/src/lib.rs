@@ -32,6 +32,8 @@
 //! assert!(rel_err < 0.2, "dPerf must track the reference time");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod scenario;
 

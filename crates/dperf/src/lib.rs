@@ -28,6 +28,8 @@
 //! *how many peers over xDSL or LAN match the computing power of the
 //! cluster?* (Table I).
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod bench_block;
 pub mod compiler;

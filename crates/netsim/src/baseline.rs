@@ -144,6 +144,9 @@ impl BaselineNetwork {
                 }
             }
             (SharingMode::Bottleneck, NetEvent::FlowActivate { .. }) => vec![],
+            // The seed engine rebalances inline; it never schedules (nor
+            // reacts to) the incremental engine's batching sentinel.
+            (_, NetEvent::Rebalance) => vec![],
             (SharingMode::MaxMinFair, NetEvent::FlowActivate { flow }) => {
                 let now = sched.now();
                 self.progress_all(now);

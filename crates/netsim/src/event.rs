@@ -8,7 +8,11 @@
 //! own state.
 //!
 //! Events with equal timestamps are delivered in scheduling order (FIFO), so a
-//! simulation is a deterministic function of its inputs.
+//! simulation is a deterministic function of its inputs. The network layer
+//! leans on that guarantee for its batched rebalances: a sentinel scheduled
+//! *at the current instant* is delivered after every event of the same
+//! instant that was already pending, which is exactly the point at which the
+//! whole batch can be processed at once.
 
 use p2p_common::{SimDuration, SimTime};
 use std::cmp::Ordering;
@@ -40,6 +44,23 @@ impl<E> Ord for Entry<E> {
 }
 
 /// The pending-event queue and simulated clock of one simulation.
+///
+/// ```
+/// use netsim::Scheduler;
+/// use p2p_common::{SimDuration, SimTime};
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_millis(20), "late");
+/// sched.schedule_in(SimDuration::from_millis(10), "early");
+/// sched.schedule_at(SimTime::from_millis(20), "late-but-fifo-second");
+///
+/// // Events pop in (time, scheduling order); the clock follows them.
+/// assert_eq!(sched.pop(), Some((SimTime::from_millis(10), "early")));
+/// assert_eq!(sched.pop(), Some((SimTime::from_millis(20), "late")));
+/// assert_eq!(sched.pop(), Some((SimTime::from_millis(20), "late-but-fifo-second")));
+/// assert_eq!(sched.now(), SimTime::from_millis(20));
+/// assert!(sched.is_empty());
+/// ```
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
@@ -48,8 +69,14 @@ pub struct Scheduler<E> {
     /// Pending entries known to be stale (their producer superseded them).
     /// Maintained by producers through [`Scheduler::mark_dead`] /
     /// [`Scheduler::resolve_dead`]; makes the heap's live/dead ratio
-    /// observable so callers can decide when to [`Scheduler::compact_pending`].
+    /// observable so callers can decide when to [`Scheduler::compact_pending`]
+    /// (the netsim `Network` does so automatically, driven by its
+    /// `CompactionPolicy`).
     dead: u64,
+    /// Number of [`Scheduler::compact_pending`] passes run.
+    compactions: u64,
+    /// Total entries removed by those passes.
+    compacted_entries: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -67,6 +94,8 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             delivered: 0,
             dead: 0,
+            compactions: 0,
+            compacted_entries: 0,
         }
     }
 
@@ -145,7 +174,19 @@ impl<E> Scheduler<E> {
         self.heap = entries.into_iter().filter(|e| keep(&e.event)).collect();
         let removed = before - self.heap.len();
         self.dead = self.dead.saturating_sub(removed as u64);
+        self.compactions += 1;
+        self.compacted_entries += removed as u64;
         removed
+    }
+
+    /// Number of compaction passes run over this heap.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Total entries removed by compaction passes.
+    pub fn compacted_entries(&self) -> u64 {
+        self.compacted_entries
     }
 
     /// Time of the next pending event, if any.

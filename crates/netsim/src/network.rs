@@ -39,9 +39,23 @@
 //!   updated incrementally on activate/finish instead of being rebuilt per
 //!   rebalance. Swap-remove with back-pointers (`FlowState::link_pos`)
 //!   keeps removal O(route length).
-//! * **Flat-array progressive filling** — [`Network::recompute_rates`] walks
+//! * **Flat-array progressive filling** — the rate recomputation walks
 //!   epoch-stamped per-link capacity/unfixed-count arrays; no allocation
 //!   after the first rebalance at a given scale.
+//! * **Bucket-queue bottleneck selection** — each progressive-filling
+//!   iteration pops the minimum-fair-share link straight out of a monotone
+//!   bucket queue (the `fairshare` module) instead of re-scanning every
+//!   touched link, cutting the inner loop from O(touched²) to
+//!   O(changed · log L) per rebalance. The previous linear scan is retained
+//!   behind [`RebalanceEngine::ScanPerEvent`] as a differential baseline.
+//! * **Batched same-timestamp rebalances** — flow arrivals and departures at
+//!   the same simulated instant are coalesced: instead of recomputing the
+//!   fixpoint per event, the network schedules one [`NetEvent::Rebalance`]
+//!   at the current time (the scheduler's FIFO order for equal timestamps
+//!   places it after every already-pending event of that instant) and runs a
+//!   single batched pass over the union of dirty links. Per-flow versions
+//!   (below) make this safe, and because zero simulated time elapses inside
+//!   a batch, delivery timestamps are *identical* to per-event execution.
 //! * **Per-flow versions** — a rebalance bumps the version of (and
 //!   reschedules a completion for) *only* the flows whose rate actually
 //!   changed. Flows untouched by the rebalance keep their scheduled
@@ -49,16 +63,21 @@
 //!   Progress (`remaining` bytes) is likewise brought up to date lazily, only
 //!   when a flow's rate is about to change — between rate changes the drain
 //!   is linear, so nothing is lost.
-//! * **Observable dead entries** — when a reschedule obsoletes a pending
-//!   completion event the network calls [`Scheduler::mark_dead`], so the
-//!   heap's live/dead ratio is visible ([`Scheduler::dead_pending`]) and the
-//!   heap can be compacted on demand ([`Network::compact_events`]).
+//! * **Automatic event-heap compaction** — when a reschedule obsoletes a
+//!   pending completion event the network calls [`Scheduler::mark_dead`], so
+//!   the heap's live/dead ratio is observable ([`Scheduler::dead_pending`]).
+//!   After each rebalance the network applies its [`CompactionPolicy`]
+//!   (default: compact once dead entries outnumber live ones four to one)
+//!   and drops the stale entries itself; [`Network::auto_compactions`]
+//!   counts the passes, and [`Network::compact_events`] remains available as
+//!   a manual escape hatch.
 //!
 //! This diverges from the seed's *progressive filling loop over hash maps*
 //! only in mechanics, not in the fixed point it computes: the per-link
 //! bottleneck shares are identical, so simulated results are too.
 
 use crate::event::Scheduler;
+use crate::fairshare::FairShareQueue;
 use crate::platform::{Platform, Route};
 use p2p_common::{DataSize, FlowId, HostId, SimDuration, SimTime};
 use std::sync::Arc;
@@ -73,7 +92,7 @@ pub enum SharingMode {
 }
 
 /// Events the network schedules for itself. Embed this in the world's event
-/// type via `From<NetEvent>`.
+/// type by implementing [`NetWorldEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetEvent {
     /// The flow's latency has elapsed; it now competes for bandwidth.
@@ -89,6 +108,98 @@ pub enum NetEvent {
         /// is stale if the flow's rate changed since.
         version: u64,
     },
+    /// Run the rate rebalance deferred by the current simulated instant.
+    ///
+    /// Under [`RebalanceEngine::BucketedBatched`] every flow arrival or
+    /// departure *requests* a rebalance instead of performing one; the first
+    /// request at a given instant schedules this sentinel at the current
+    /// time, and the scheduler's FIFO order for equal timestamps guarantees
+    /// it fires after every event of that instant that was already pending —
+    /// coalescing all of them into one batched pass.
+    Rebalance,
+}
+
+/// World event types that embed [`NetEvent`]s.
+///
+/// [`Network::on_event`] needs to recover the network's own events from the
+/// world's event alphabet — both to react to them and to recognise, during an
+/// automatic heap compaction, which pending entries are stale. Worlds
+/// therefore implement this trait on their event enum:
+///
+/// ```
+/// use netsim::{NetEvent, NetWorldEvent};
+///
+/// #[derive(Debug, Clone, Copy)]
+/// enum Ev {
+///     Net(NetEvent),
+///     Timer { id: u32 },
+/// }
+///
+/// impl From<NetEvent> for Ev {
+///     fn from(e: NetEvent) -> Self {
+///         Ev::Net(e)
+///     }
+/// }
+/// impl NetWorldEvent for Ev {
+///     fn as_net_event(&self) -> Option<NetEvent> {
+///         match self {
+///             Ev::Net(e) => Some(*e),
+///             Ev::Timer { .. } => None,
+///         }
+///     }
+/// }
+///
+/// assert!(Ev::from(NetEvent::Rebalance).as_net_event().is_some());
+/// assert!(Ev::Timer { id: 0 }.as_net_event().is_none());
+/// ```
+pub trait NetWorldEvent: From<NetEvent> {
+    /// The embedded network event, if this event is one.
+    fn as_net_event(&self) -> Option<NetEvent>;
+}
+
+/// How the network reacts to flow arrivals and departures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RebalanceEngine {
+    /// Recompute the max–min fixpoint immediately on every arrival and
+    /// departure, selecting each bottleneck with a linear scan over the
+    /// touched links — the PR 1 behaviour, kept as a comparison baseline
+    /// and for tests that need one rebalance per event.
+    ScanPerEvent,
+    /// Coalesce all rebalances requested at the same simulated instant into
+    /// one batched pass (via the [`NetEvent::Rebalance`] sentinel) and pop
+    /// bottlenecks from the monotone bucket queue. Identical simulated
+    /// results, asymptotically cheaper. The default.
+    #[default]
+    BucketedBatched,
+}
+
+/// When the network compacts the scheduler's event heap on its own.
+///
+/// Superseded completion events stay on the heap until they fire or are
+/// compacted away; this policy bounds how many may accumulate. After every
+/// rebalance the network compacts as soon as both triggers hold:
+///
+/// * `dead > live × dead_per_live` — the heap is mostly corpses, and
+/// * `dead ≥ min_dead` — it is large enough for a compaction pass to be
+///   worth its O(pending) cost.
+///
+/// The pass preserves the firing order of live events, so it is safe at any
+/// point of a simulation. [`Network::auto_compactions`] counts the passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Dead entries tolerated per live entry before compacting (default 4).
+    pub dead_per_live: u32,
+    /// Minimum number of dead entries before compacting at all (default 64).
+    pub min_dead: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            dead_per_live: 4,
+            min_dead: 64,
+        }
+    }
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -127,10 +238,6 @@ const LOOPBACK_RATE: f64 = f64::MAX / 4.0;
 /// Residual byte threshold below which a flow counts as drained (absorbs
 /// floating-point error accumulated across rate recomputations).
 const DRAIN_EPSILON: f64 = 1e-3;
-
-/// Relative rate change below which a flow keeps its scheduled completion
-/// (absorbs re-derivation noise of the progressive filling arithmetic).
-const RATE_EPSILON: f64 = 1e-12;
 
 /// Rates below this (bytes/s) are float dust left by capacity cancellation,
 /// not real allocations; flows "allocated" less are treated as starved.
@@ -193,12 +300,33 @@ pub struct Network {
     link_epoch: Vec<u64>,
     touched_links: Vec<usize>,
     epoch: u64,
+    /// Bottleneck-selection queue of the bucketed engine.
+    queue: FairShareQueue,
+    /// Scratch for the links affected by one filling round (stamp + list).
+    link_round: Vec<u64>,
+    affected_links: Vec<usize>,
+    fill_round: u64,
+    engine: RebalanceEngine,
+    /// True while a [`NetEvent::Rebalance`] sentinel is pending at the
+    /// current instant (reset when it fires; sentinels never cross
+    /// timestamps, so no time needs to be stored).
+    rebalance_pending: bool,
+    compaction: CompactionPolicy,
+    compactions: u64,
     stats: NetStats,
 }
 
 impl Network {
-    /// Wrap a platform in a network simulator.
+    /// Wrap a platform in a network simulator with the default
+    /// (bucket-queue, batching) rebalance engine.
     pub fn new(platform: Platform, mode: SharingMode) -> Self {
+        Self::with_engine(platform, mode, RebalanceEngine::default())
+    }
+
+    /// Wrap a platform in a network simulator with an explicit rebalance
+    /// engine (the per-event scan engine exists for differential tests and
+    /// benchmarks).
+    pub fn with_engine(platform: Platform, mode: SharingMode, engine: RebalanceEngine) -> Self {
         let link_count = platform.links().len();
         Network {
             platform,
@@ -213,11 +341,39 @@ impl Network {
             link_epoch: vec![0; link_count],
             touched_links: Vec::new(),
             epoch: 0,
+            queue: FairShareQueue::new(),
+            link_round: vec![0; link_count],
+            affected_links: Vec::new(),
+            fill_round: 0,
+            engine,
+            rebalance_pending: false,
+            compaction: CompactionPolicy::default(),
+            compactions: 0,
             stats: NetStats {
                 link_bytes: vec![0; link_count],
                 ..NetStats::default()
             },
         }
+    }
+
+    /// The rebalance engine in use.
+    pub fn engine(&self) -> RebalanceEngine {
+        self.engine
+    }
+
+    /// The event-heap compaction policy in force.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
+    /// Replace the event-heap compaction policy.
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    /// Number of automatic compaction passes run so far.
+    pub fn auto_compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The underlying platform.
@@ -264,6 +420,19 @@ impl Network {
 
     /// Analytic one-way delivery delay of a small control message, without
     /// creating a flow: `Σ latency + size / bottleneck`.
+    ///
+    /// ```
+    /// use netsim::{cluster_bordeplage, HostSpec, Network, SharingMode};
+    /// use p2p_common::DataSize;
+    ///
+    /// let topo = cluster_bordeplage(4, HostSpec::default());
+    /// let mut net = Network::new(topo.platform.clone(), SharingMode::Bottleneck);
+    ///
+    /// // Same rack: two 1 Gbps NIC hops at 100 µs each.
+    /// let d = net.message_delay(topo.hosts[0], topo.hosts[1], DataSize::from_bytes(1250));
+    /// assert_eq!(d.as_nanos(), 200_000 + 10_000); // 2 × latency + 1250 B / 125 MB/s
+    /// assert_eq!(net.stats().control_messages, 1);
+    /// ```
     pub fn message_delay(&mut self, src: HostId, dst: HostId, size: DataSize) -> SimDuration {
         self.stats.control_messages += 1;
         if src == dst {
@@ -347,7 +516,7 @@ impl Network {
 
     /// Feed a [`NetEvent`] back to the network. Returns the deliveries that
     /// became final at the current time.
-    pub fn on_event<E: From<NetEvent>>(
+    pub fn on_event<E: NetWorldEvent>(
         &mut self,
         sched: &mut Scheduler<E>,
         event: NetEvent,
@@ -360,6 +529,14 @@ impl Network {
                 }
             }
             (SharingMode::Bottleneck, NetEvent::FlowActivate { .. }) => vec![],
+            (_, NetEvent::Rebalance) => {
+                // The batched flush of every rebalance requested at this
+                // instant (never scheduled in Bottleneck mode).
+                self.rebalance_pending = false;
+                self.rebalance(sched);
+                self.maybe_compact(sched);
+                vec![]
+            }
             (SharingMode::MaxMinFair, NetEvent::FlowActivate { flow }) => {
                 self.activate_flow(sched, flow);
                 vec![]
@@ -370,8 +547,25 @@ impl Network {
         }
     }
 
+    /// React to a change of the active flow set: rebalance now (scan engine)
+    /// or coalesce into one batched pass at the current instant.
+    fn request_rebalance<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
+        match self.engine {
+            RebalanceEngine::ScanPerEvent => {
+                self.rebalance(sched);
+                self.maybe_compact(sched);
+            }
+            RebalanceEngine::BucketedBatched => {
+                if !self.rebalance_pending {
+                    self.rebalance_pending = true;
+                    sched.schedule_at(sched.now(), NetEvent::Rebalance.into());
+                }
+            }
+        }
+    }
+
     /// Handle a `FlowActivate`: enter the incidence structure and rebalance.
-    fn activate_flow<E: From<NetEvent>>(&mut self, sched: &mut Scheduler<E>, flow: FlowId) {
+    fn activate_flow<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>, flow: FlowId) {
         let now = sched.now();
         let slot_idx = flow.slot();
         let active_pos = self.active.len() as u32;
@@ -418,11 +612,11 @@ impl Network {
                 .link_pos
                 .push(pos);
         }
-        self.rebalance(sched);
+        self.request_rebalance(sched);
     }
 
     /// Handle a `FlowCompletion`: finish the flow if the event is current.
-    fn complete_flow<E: From<NetEvent>>(
+    fn complete_flow<E: NetWorldEvent>(
         &mut self,
         sched: &mut Scheduler<E>,
         flow: FlowId,
@@ -459,7 +653,7 @@ impl Network {
         self.detach_active(flow.slot());
         let state = self.take_flow(flow).expect("flow just observed");
         let delivery = self.finish_flow(state);
-        self.rebalance(sched);
+        self.request_rebalance(sched);
         vec![delivery]
     }
 
@@ -541,7 +735,7 @@ impl Network {
 
     /// Recompute max–min rates and reschedule completions — but only for the
     /// flows whose rate actually changed.
-    fn rebalance<E: From<NetEvent>>(&mut self, sched: &mut Scheduler<E>) {
+    fn rebalance<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
         self.recompute_rates();
         let now = sched.now();
         for i in 0..self.active.len() {
@@ -552,8 +746,14 @@ impl Network {
                 .expect("active flows are live");
             let old = f.rate;
             let new = f.new_rate;
-            let unchanged = (new - old).abs() <= old.abs() * RATE_EPSILON;
-            if unchanged {
+            // Exact comparison on purpose: the fill is deterministic (the
+            // bucket queue tie-breaks by seeding order, matching the scan),
+            // so a flow whose allocation truly did not change re-derives the
+            // *bit-identical* rate. A relative epsilon here would freeze
+            // whatever intermediate rate a per-event rebalance happened to
+            // assign first, making the final rate path-dependent — which is
+            // exactly what would break the batched ≡ per-event guarantee.
+            if new == old {
                 continue;
             }
             // Bring the drain up to date under the old rate, then switch.
@@ -614,6 +814,16 @@ impl Network {
                 self.link_unfixed[l] += 1;
             }
         }
+        match self.engine {
+            RebalanceEngine::ScanPerEvent => self.fill_by_scan(epoch, unfixed_flows),
+            RebalanceEngine::BucketedBatched => self.fill_by_bucket_queue(epoch, unfixed_flows),
+        }
+    }
+
+    /// PR 1 bottleneck selection: a linear scan over every touched link per
+    /// filling iteration. Retained as the differential/benchmark baseline of
+    /// the bucket-queue engine.
+    fn fill_by_scan(&mut self, epoch: u64, mut unfixed_flows: usize) {
         while unfixed_flows > 0 {
             // Bottleneck link = the smallest fair share among links that
             // still carry unfixed flows.
@@ -631,47 +841,128 @@ impl Network {
             let Some((bottleneck, share)) = best else {
                 break;
             };
-            // Fix every unfixed flow crossing the bottleneck at the share,
-            // and release that much capacity on every link it crosses.
-            for i in 0..self.link_flows[bottleneck].len() {
-                let slot_idx = self.link_flows[bottleneck][i] as usize;
-                let f = self.slots[slot_idx]
-                    .state
-                    .as_mut()
-                    .expect("incident flows are live");
-                if f.fixed_epoch == epoch {
-                    continue;
+            unfixed_flows -= self.fix_bottleneck_flows(epoch, bottleneck, share, None);
+        }
+    }
+
+    /// Bucket-queue bottleneck selection: seed the monotone queue with every
+    /// touched link's fair share, then pop minima directly; each filling
+    /// round refreshes only the links its fixed flows cross.
+    fn fill_by_bucket_queue(&mut self, epoch: u64, mut unfixed_flows: usize) {
+        self.queue.ensure_links(self.link_capacity.len());
+        self.queue.clear();
+        for i in 0..self.touched_links.len() {
+            let l = self.touched_links[i];
+            let n = self.link_unfixed[l];
+            if n > 0 {
+                self.queue.set(l, self.link_capacity[l] / n as f64);
+            }
+        }
+        let mut affected = std::mem::take(&mut self.affected_links);
+        while unfixed_flows > 0 {
+            let Some((bottleneck, share)) = self.queue.pop_min() else {
+                break;
+            };
+            // Collect the links crossed by this round's fixed flows, once
+            // each (round-stamped), then refresh their queue keys.
+            affected.clear();
+            unfixed_flows -=
+                self.fix_bottleneck_flows(epoch, bottleneck, share, Some(&mut affected));
+            for &l in &affected {
+                if l == bottleneck {
+                    continue; // popped above; its unfixed count drops to 0
                 }
-                f.fixed_epoch = epoch;
-                // Float cancellation in the capacity subtractions can leave a
-                // link with dust capacity; a "fair share" of dust is not a
-                // real allocation. Treat it as starvation (rate 0, no event)
-                // — the flow is revived by the next genuine rebalance —
-                // instead of scheduling a completion centuries out.
-                f.new_rate = if share < MIN_RATE { 0.0 } else { share };
-                unfixed_flows -= 1;
-                let route = Arc::clone(&f.route);
-                for &l in &route.links {
-                    self.link_capacity[l] = (self.link_capacity[l] - share).max(0.0);
-                    self.link_unfixed[l] -= 1;
+                let n = self.link_unfixed[l];
+                if n == 0 {
+                    self.queue.remove(l);
+                } else {
+                    self.queue.set(l, self.link_capacity[l] / n as f64);
                 }
             }
+        }
+        self.queue.clear();
+        self.affected_links = affected;
+    }
+
+    /// Fix every unfixed flow crossing `bottleneck` at `share`, releasing
+    /// that much capacity on each link those flows cross. Returns the number
+    /// of flows fixed. When `affected` is given, every link whose capacity
+    /// or count changed is collected into it exactly once (round-stamped) so
+    /// the bucket-queue engine can refresh just those keys.
+    fn fix_bottleneck_flows(
+        &mut self,
+        epoch: u64,
+        bottleneck: usize,
+        share: f64,
+        mut affected: Option<&mut Vec<usize>>,
+    ) -> usize {
+        self.fill_round += 1;
+        let round = self.fill_round;
+        let mut fixed = 0usize;
+        for i in 0..self.link_flows[bottleneck].len() {
+            let slot_idx = self.link_flows[bottleneck][i] as usize;
+            let f = self.slots[slot_idx]
+                .state
+                .as_mut()
+                .expect("incident flows are live");
+            if f.fixed_epoch == epoch {
+                continue;
+            }
+            f.fixed_epoch = epoch;
+            // Float cancellation in the capacity subtractions can leave a
+            // link with dust capacity; a "fair share" of dust is not a
+            // real allocation. Treat it as starvation (rate 0, no event)
+            // — the flow is revived by the next genuine rebalance —
+            // instead of scheduling a completion centuries out.
+            f.new_rate = if share < MIN_RATE { 0.0 } else { share };
+            fixed += 1;
+            let route = Arc::clone(&f.route);
+            for &l in &route.links {
+                self.link_capacity[l] = (self.link_capacity[l] - share).max(0.0);
+                self.link_unfixed[l] -= 1;
+                if let Some(list) = affected.as_deref_mut() {
+                    if self.link_round[l] != round {
+                        self.link_round[l] = round;
+                        list.push(l);
+                    }
+                }
+            }
+        }
+        fixed
+    }
+
+    /// Run one compaction pass if the [`CompactionPolicy`] says the heap has
+    /// accumulated enough dead entries. Called after every rebalance.
+    fn maybe_compact<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
+        let dead = sched.dead_pending();
+        if dead < self.compaction.min_dead {
+            return;
+        }
+        let live = sched.live_pending() as u64;
+        if dead > live.saturating_mul(u64::from(self.compaction.dead_per_live)) {
+            self.compact_events(sched);
+            self.compactions += 1;
         }
     }
 
     /// Drop every stale completion entry from the heap, preserving the
-    /// firing order of the survivors. Call when
-    /// [`Scheduler::dead_pending`] grows past the caller's tolerance.
-    pub fn compact_events<E: From<NetEvent>>(
-        &self,
-        sched: &mut Scheduler<E>,
-        as_net_event: impl Fn(&E) -> Option<NetEvent>,
-    ) -> usize {
-        sched.compact_pending(|event| match as_net_event(event) {
+    /// firing order of the survivors.
+    ///
+    /// The network runs this automatically after rebalances according to its
+    /// [`CompactionPolicy`]; calling it manually is only useful to reclaim
+    /// heap memory at a point the policy would not have chosen (say, right
+    /// before a long quiescent phase of a simulation).
+    pub fn compact_events<E: NetWorldEvent>(&self, sched: &mut Scheduler<E>) -> usize {
+        sched.compact_pending(|event| match event.as_net_event() {
+            // A version match is the live test for completions. (It must not
+            // be tightened with `pending_completion`: Bottleneck-mode flows
+            // schedule their single completion without ever setting that
+            // flag, and their events are always live.)
             Some(NetEvent::FlowCompletion { flow, version }) => {
                 self.flow(flow).is_some_and(|f| f.version == version)
             }
             Some(NetEvent::FlowActivate { flow }) => self.flow(flow).is_some(),
+            Some(NetEvent::Rebalance) => true,
             None => true,
         })
     }
@@ -756,6 +1047,12 @@ mod tests {
             Ev::Net(e)
         }
     }
+    impl NetWorldEvent for Ev {
+        fn as_net_event(&self) -> Option<NetEvent> {
+            let Ev::Net(e) = self;
+            Some(*e)
+        }
+    }
     impl World for NetWorld {
         type Event = Ev;
         fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
@@ -769,6 +1066,10 @@ mod tests {
 
     /// Two hosts joined through one switch: 100 Mbps access links, 100 us each.
     fn dumbbell(mode: SharingMode) -> NetWorld {
+        dumbbell_with(mode, RebalanceEngine::default())
+    }
+
+    fn dumbbell_with(mode: SharingMode, engine: RebalanceEngine) -> NetWorld {
         let mut b = PlatformBuilder::new();
         let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
         let sw = b.add_router("sw");
@@ -781,7 +1082,7 @@ mod tests {
             b.add_host_link(format!("l{i}"), h, sw, spec);
         }
         NetWorld {
-            net: Network::new(b.build(), mode),
+            net: Network::with_engine(b.build(), mode, engine),
             deliveries: vec![],
         }
     }
@@ -1012,7 +1313,10 @@ mod tests {
 
     #[test]
     fn shared_bottleneck_marks_superseded_events_dead_and_compacts() {
-        let mut w = dumbbell(SharingMode::MaxMinFair);
+        // The per-event scan engine rebalances on every activation, so the
+        // second activation supersedes the first flow's completion event —
+        // the mark-dead/compact machinery this test exercises.
+        let mut w = dumbbell_with(SharingMode::MaxMinFair, RebalanceEngine::ScanPerEvent);
         let mut sched = Scheduler::new();
         let size = DataSize::from_bytes(1_250_000);
         w.net
@@ -1027,10 +1331,7 @@ mod tests {
         }
         assert_eq!(sched.dead_pending(), 1, "one superseded completion");
         assert_eq!(sched.live_pending(), 2, "one live completion per flow");
-        let removed = w.net.compact_events(&mut sched, |e| {
-            let Ev::Net(ne) = e;
-            Some(*ne)
-        });
+        let removed = w.net.compact_events(&mut sched);
         assert_eq!(removed, 1);
         assert_eq!(sched.dead_pending(), 0);
         assert_eq!(sched.pending(), 2);
@@ -1040,6 +1341,31 @@ mod tests {
             2,
             "compaction must not lose live events"
         );
+    }
+
+    #[test]
+    fn batched_engine_coalesces_same_timestamp_activations() {
+        // Both activations land at the same instant (equal route latencies);
+        // the batched engine folds them into one rebalance, so no completion
+        // is ever superseded — where the scan engine marks one dead (see
+        // `shared_bottleneck_marks_superseded_events_dead_and_compacts`).
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        w.net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        // Drain the activation instant: two activations plus the sentinel.
+        let instant = sched.peek_time().unwrap();
+        while sched.peek_time() == Some(instant) {
+            let (_, ev) = sched.pop().unwrap();
+            w.handle(&mut sched, ev);
+        }
+        assert_eq!(sched.dead_pending(), 0, "one batch, nothing superseded");
+        assert_eq!(sched.live_pending(), 2, "one live completion per flow");
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
     }
 
     #[test]
@@ -1053,8 +1379,10 @@ mod tests {
         let b = w
             .net
             .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
-        // Both activations processed: each should hold half the 12.5 MB/s.
-        for _ in 0..2 {
+        // Drain the whole activation instant (both activations plus the
+        // batched rebalance): each flow should hold half the 12.5 MB/s.
+        let instant = sched.peek_time().unwrap();
+        while sched.peek_time() == Some(instant) {
             let (_, ev) = sched.pop().unwrap();
             w.handle(&mut sched, ev);
         }
@@ -1063,5 +1391,56 @@ mod tests {
         assert!((w.net.flow_rate(b).unwrap() - half).abs() < 1.0);
         run_world(&mut w, &mut sched, None);
         assert_eq!(w.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn compaction_keeps_live_bottleneck_completions() {
+        // Bottleneck-mode flows schedule their single completion without
+        // using the pending/version machinery; a manual compaction pass must
+        // treat those events as live (regression: an over-tight predicate
+        // once dropped them, losing the deliveries).
+        let mut w = dumbbell(SharingMode::Bottleneck);
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(1_250_000);
+        for i in 0..4 {
+            w.net.start_flow(
+                &mut sched,
+                HostId::new(i % 4),
+                HostId::new((i + 1) % 4),
+                size,
+                u64::from(i),
+            );
+        }
+        assert_eq!(w.net.compact_events(&mut sched), 0, "all events are live");
+        assert_eq!(sched.pending(), 4);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 4);
+    }
+
+    #[test]
+    fn auto_compaction_fires_once_the_policy_threshold_is_crossed() {
+        // Per-event rebalances of staggered arrivals on one shared link keep
+        // superseding the earlier flows' completions; with a tiny policy
+        // threshold the network must compact on its own.
+        let mut w = dumbbell_with(SharingMode::MaxMinFair, RebalanceEngine::ScanPerEvent);
+        w.net.set_compaction_policy(CompactionPolicy {
+            dead_per_live: 0,
+            min_dead: 1,
+        });
+        let mut sched = Scheduler::new();
+        let size = DataSize::from_bytes(12_500_000);
+        w.net
+            .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+        w.net
+            .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.deliveries.len(), 2);
+        assert!(
+            w.net.auto_compactions() > 0,
+            "dead_per_live = 0 and min_dead = 1 must force a compaction"
+        );
+        assert_eq!(sched.dead_pending(), 0, "the run ends with a clean heap");
+        assert!(sched.compacted_entries() >= w.net.auto_compactions());
+        assert_eq!(sched.compactions(), w.net.auto_compactions());
     }
 }

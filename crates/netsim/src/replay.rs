@@ -17,7 +17,7 @@
 //! the real protocol stack would.
 
 use crate::event::{run_world, Scheduler, World};
-use crate::network::{FlowDelivery, NetEvent, NetStats, Network, SharingMode};
+use crate::network::{FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, SharingMode};
 use crate::platform::Platform;
 use p2p_common::{DataSize, HostId, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -26,17 +26,36 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplayOp {
     /// Busy the CPU for the given duration (measured or modelled block time).
-    Compute { duration: SimDuration },
+    Compute {
+        /// How long the CPU is busy.
+        duration: SimDuration,
+    },
     /// Asynchronously send `bytes` to rank `to` with the given tag.
-    Send { to: usize, bytes: u64, tag: u32 },
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Payload size on the wire (before protocol headers).
+        bytes: u64,
+        /// Message tag matched by the receiver.
+        tag: u32,
+    },
     /// Block until a message from rank `from` with the given tag arrives.
-    Recv { from: usize, tag: u32 },
+    Recv {
+        /// Source rank to match.
+        from: usize,
+        /// Message tag to match.
+        tag: u32,
+    },
     /// Convenience: send to `to`, then wait for a message from `from`
     /// (the classic halo exchange). Expanded to `Send` + `Recv` internally.
     SendRecv {
+        /// Destination rank of the send half.
         to: usize,
+        /// Source rank the receive half waits for.
         from: usize,
+        /// Payload size of the send half.
         bytes: u64,
+        /// Tag used by both halves.
         tag: u32,
     },
 }
@@ -147,6 +166,15 @@ enum Ev {
 impl From<NetEvent> for Ev {
     fn from(e: NetEvent) -> Self {
         Ev::Net(e)
+    }
+}
+
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        match self {
+            Ev::Net(e) => Some(*e),
+            Ev::Resume { .. } => None,
+        }
     }
 }
 

@@ -140,6 +140,18 @@ pub const XDSL_METRO_LATENCY: SimDuration = SimDuration::from_millis(1);
 /// nodes. Last-mile bandwidths are drawn uniformly in 5–10 Mbps from `seed`,
 /// as in the paper ("all links from nodes to DSLAM are of 5 to 10 Mbps, value
 /// randomly assigned").
+///
+/// ```
+/// use netsim::{daisy_xdsl, HostSpec, TopologyKind};
+///
+/// let mut topo = daisy_xdsl(64, HostSpec::default(), 42);
+/// assert_eq!(topo.kind, TopologyKind::DaisyXdsl);
+/// assert_eq!(topo.hosts.len(), 64);
+///
+/// // Any host-to-host route bottlenecks on an xDSL last mile (< 10 Mbps).
+/// let route = topo.platform.route(topo.hosts[0], topo.hosts[63]);
+/// assert!(route.bottleneck.bps() < 10.0e6);
+/// ```
 pub fn daisy_xdsl(n_nodes: usize, host: HostSpec, seed: u64) -> Topology {
     assert!(
         n_nodes > 0 && n_nodes <= 1024,

@@ -6,19 +6,28 @@
 //!   the per-link sum of active flow rates stays within capacity (up to
 //!   floating-point slack), and every active non-loopback flow with a
 //!   non-empty route holds a non-negative rate.
-//! * **Differential equivalence** — the incremental engine and the retained
+//! * **Differential equivalence** — the incremental engines and the retained
 //!   seed engine ([`netsim::baseline::BaselineNetwork`]) produce identical
 //!   simulated results on randomised flow workloads: completion counts and
 //!   byte/link statistics are bit-identical, and per-token delivery
-//!   timestamps agree to within one nanosecond clock tick. (The single-tick
-//!   slack exists because the engines associate the floating-point drain
+//!   timestamps agree to within two nanosecond clock ticks. (The slack
+//!   exists because the engines associate the floating-point drain
 //!   arithmetic differently: the seed progresses every flow at every event,
-//!   the incremental engine only when a flow's rate changes, so `remaining`
-//!   can differ by one ulp at completion time.)
+//!   the incremental engines only when a flow's rate changes, so `remaining`
+//!   can differ by ulps at completion time, and the ceil-to-nanosecond of
+//!   each reschedule can land one tick apart twice over a flow's lifetime —
+//!   adversarial workloads at high `PROPTEST_CASES` do reach two ticks, with
+//!   either incremental engine, and did so before the bucket queue existed.)
+//!   The two *incremental* engines (per-event scan vs batched bucket queue),
+//!   by contrast, must agree **bit for bit**: the bucket queue tie-breaks
+//!   equal shares in seeding order exactly like the scan's strict `<`, and
+//!   coalescing rebalances at one instant passes zero simulated time.
 
 use netsim::baseline::BaselineNetwork;
 use netsim::event::{run_world, Scheduler, World};
-use netsim::network::{FlowDelivery, NetEvent, Network, SharingMode};
+use netsim::network::{
+    FlowDelivery, NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode,
+};
 use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
 use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -47,6 +56,12 @@ enum Ev {
 impl From<NetEvent> for Ev {
     fn from(e: NetEvent) -> Self {
         Ev::Net(e)
+    }
+}
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        let Ev::Net(e) = self;
+        Some(*e)
     }
 }
 
@@ -149,24 +164,15 @@ proptest! {
         prop_assert_eq!(world.deliveries.len(), raw.len());
     }
 
-    /// The incremental engine reproduces the seed engine's simulated results
+    /// Both incremental engines — the per-event scan and the bucket-queue
+    /// batching engine — reproduce the seed engine's simulated results
     /// exactly on randomised workloads (per-token timestamps, counts, bytes).
     #[test]
-    fn incremental_engine_matches_seed_engine(
+    fn incremental_engines_match_seed_engine(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
         n_hosts in 2usize..8,
     ) {
         let flows = workload(n_hosts, &raw);
-
-        let mut new_world = NewWorld {
-            net: Network::new(star(n_hosts), SharingMode::MaxMinFair),
-            deliveries: vec![],
-        };
-        let mut new_sched: Scheduler<Ev> = Scheduler::new();
-        for &(src, dst, size, token) in &flows {
-            new_world.net.start_flow(&mut new_sched, src, dst, size, token);
-        }
-        run_world(&mut new_world, &mut new_sched, None);
 
         let mut old_world = OldWorld {
             net: BaselineNetwork::new(star(n_hosts), SharingMode::MaxMinFair),
@@ -177,33 +183,79 @@ proptest! {
             old_world.net.start_flow(&mut old_sched, src, dst, size, token);
         }
         run_world(&mut old_world, &mut old_sched, None);
-
-        let new_times = by_token(&new_world.deliveries);
         let old_times = by_token(&old_world.deliveries);
-        prop_assert_eq!(new_times.len(), flows.len(), "every token must be delivered");
-        prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver too");
-        for (token, &old_ns) in &old_times {
-            let Some(&new_ns) = new_times.get(token) else {
-                panic!("token {token} missing from the incremental engine");
+        prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver");
+
+        for engine in [RebalanceEngine::BucketedBatched, RebalanceEngine::ScanPerEvent] {
+            let mut new_world = NewWorld {
+                net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
+                deliveries: vec![],
             };
-            prop_assert!(
-                new_ns.abs_diff(old_ns) <= 1,
-                "token {} delivered at {} vs {} (>1ns apart)",
-                token, new_ns, old_ns
+            let mut new_sched: Scheduler<Ev> = Scheduler::new();
+            for &(src, dst, size, token) in &flows {
+                new_world.net.start_flow(&mut new_sched, src, dst, size, token);
+            }
+            run_world(&mut new_world, &mut new_sched, None);
+
+            let new_times = by_token(&new_world.deliveries);
+            prop_assert_eq!(
+                new_times.len(),
+                flows.len(),
+                "every token must be delivered ({:?})",
+                engine
+            );
+            for (token, &old_ns) in &old_times {
+                let Some(&new_ns) = new_times.get(token) else {
+                    panic!("token {token} missing from the {engine:?} engine");
+                };
+                // Two ticks of slack vs the seed, not one: see the module
+                // docs — reschedule ceil rounding can land a tick apart at
+                // both ends of a flow's lifetime.
+                prop_assert!(
+                    new_ns.abs_diff(old_ns) <= 2,
+                    "token {} delivered at {} vs {} (>2ns apart, {:?})",
+                    token, new_ns, old_ns, engine
+                );
+            }
+            prop_assert_eq!(
+                new_world.net.stats().flows_completed,
+                old_world.net.stats().flows_completed
+            );
+            prop_assert_eq!(
+                new_world.net.stats().bytes_delivered,
+                old_world.net.stats().bytes_delivered
+            );
+            prop_assert_eq!(
+                &new_world.net.stats().link_bytes,
+                &old_world.net.stats().link_bytes
             );
         }
-        prop_assert_eq!(
-            new_world.net.stats().flows_completed,
-            old_world.net.stats().flows_completed
-        );
-        prop_assert_eq!(
-            new_world.net.stats().bytes_delivered,
-            old_world.net.stats().bytes_delivered
-        );
-        prop_assert_eq!(
-            &new_world.net.stats().link_bytes,
-            &old_world.net.stats().link_bytes
-        );
+    }
+
+    /// The batching engine and the per-event scan engine agree *bit for bit*:
+    /// coalescing rebalances at one simulated instant passes zero simulated
+    /// time, so per-token delivery timestamps must be identical — not merely
+    /// within the one-tick slack granted against the seed engine.
+    #[test]
+    fn batched_and_per_event_rebalances_deliver_identically(
+        raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
+        n_hosts in 2usize..8,
+    ) {
+        let flows = workload(n_hosts, &raw);
+        let mut results: Vec<BTreeMap<u64, u64>> = vec![];
+        for engine in [RebalanceEngine::BucketedBatched, RebalanceEngine::ScanPerEvent] {
+            let mut world = NewWorld {
+                net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
+                deliveries: vec![],
+            };
+            let mut sched: Scheduler<Ev> = Scheduler::new();
+            for &(src, dst, size, token) in &flows {
+                world.net.start_flow(&mut sched, src, dst, size, token);
+            }
+            run_world(&mut world, &mut sched, None);
+            results.push(by_token(&world.deliveries));
+        }
+        prop_assert_eq!(&results[0], &results[1], "engines diverged");
     }
 
     /// Bottleneck mode is trivially identical between the two engines (same

@@ -18,9 +18,11 @@
 //!   used to validate the decomposition and to feed the *measured* block
 //!   bencher: synchronous (barrier per sweep) and asynchronous (no barrier)
 //!   schemes.
-//! * [`app`] — [`ObstacleApp`](app::ObstacleApp): the paper-calibrated
+//! * [`app`] — [`ObstacleApp`]: the paper-calibrated
 //!   workload description implementing `p2pdc::IterativeApp` and producing
 //!   the dPerf IR program of the obstacle code.
+
+#![warn(missing_docs)]
 
 pub mod app;
 pub mod decomposition;

@@ -3,7 +3,7 @@
 //! The paper's motivation for the decentralized topology manager is
 //! robustness: trackers and peers come and go. This module generates
 //! reproducible churn schedules (exponential inter-arrival and session times)
-//! and applies them to an [`Overlay`](crate::overlay::Overlay), so the tests
+//! and applies them to an [`Overlay`] so the tests
 //! and the robustness bench can verify that the line stays consistent and
 //! that computations can still collect peers while the overlay is being
 //! shaken.

@@ -2,7 +2,7 @@
 //!
 //! Reproduction of the decentralized P2PDC environment of the paper (§III):
 //!
-//! * [`line`] — the tracker *line* topology: every tracker maintains a set `N`
+//! * [`line`](mod@line) — the tracker *line* topology: every tracker maintains a set `N`
 //!   of closest trackers, half with smaller and half with larger IP addresses,
 //!   plus live connections to its immediate left/right neighbours.
 //! * [`overlay`] — the hybrid topology manager: server, trackers and peers;
@@ -16,13 +16,15 @@
 //!   `Cmax = 32`, plus the flat (no-coordinator) baseline used by the
 //!   ablation bench.
 //! * [`task`] — task specifications and resource requirements.
-//! * [`app`] — the [`IterativeApp`](app::IterativeApp) trait: what a
+//! * [`app`] — the [`IterativeApp`] trait: what a
 //!   distributed iterative application must describe for P2PDC to run it.
 //! * [`executor`] — the reference execution: overlay allocation + iterative
 //!   computation (simulated with `netsim` flows and P2PSAP channel costs) +
 //!   hierarchical result collection. Produces `t_normal_execution`, the
 //!   reference time of Figs. 9–11.
 //! * [`faults`] — peer/tracker churn injection used by robustness tests.
+
+#![warn(missing_docs)]
 
 pub mod allocation;
 pub mod app;

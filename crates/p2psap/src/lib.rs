@@ -27,6 +27,8 @@
 //! dPerf trace replay, so the protocol's influence on predicted and reference
 //! times is identical — exactly the property dPerf relies on.
 
+#![warn(missing_docs)]
+
 pub mod adaptation;
 pub mod channel;
 pub mod context;
