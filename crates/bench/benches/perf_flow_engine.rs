@@ -1,5 +1,5 @@
-//! Max–min flow-engine throughput: bucket-queue engine vs scan engine vs
-//! the seed baseline.
+//! Max–min flow-engine throughput: dirty-component engine vs bucket-queue
+//! engine vs scan engine vs the seed baseline.
 //!
 //! Measures complete simulation runs of N concurrent flows (every flow
 //! started at t = 0, run until the event queue drains) on two topologies:
@@ -8,7 +8,7 @@
 //!   destinations, so every arrival/departure rebalances a shared link), and
 //! * the paper's xDSL Daisy DSLAM topology (deep routes, shared uplinks).
 //!
-//! Three engines are compared:
+//! Four engines are compared:
 //!
 //! * `baseline` — the seed engine (`netsim::baseline`): HashMap flow table,
 //!   from-scratch rebalances, global version counter — O(F) reschedules per
@@ -18,23 +18,35 @@
 //!   [`RebalanceEngine::ScanPerEvent`]: slab flow table, persistent link
 //!   incidence, per-flow versions, but one rebalance per event with a
 //!   linear bottleneck scan over the touched links.
-//! * `bucketed` — the current default ([`RebalanceEngine::BucketedBatched`]):
+//! * `bucketed` — the PR 2 engine ([`RebalanceEngine::BucketedBatched`]):
 //!   same data structures, but bottlenecks pop from the monotone bucket
 //!   queue and all rebalances of one simulated instant are coalesced into a
 //!   single batched pass.
+//! * `dirty` — the current default ([`RebalanceEngine::DirtyComponent`]):
+//!   batching plus a flush limited to the connected component(s) of links
+//!   actually touched since the last flush.
 //!
 //! The heavy-churn scenario (`*_dslam_churn/10000`) is the PR 2 acceptance
 //! workload: 10 000 concurrent flows over a 256-host DSLAM platform, where
 //! the linear link scan and the per-event rebalance cadence of the PR 1
-//! engine dominate. Recorded reference numbers live in
+//! engine dominate. The DSLAM fabric couples every flow through the metro
+//! ring, so it is a near-single-component worst case for `dirty` — the
+//! number to watch there is that it does not regress against `bucketed`.
+//!
+//! The multi-component scenario (`flow_engine_multi`, 10 000 flows over a
+//! 16-tree [`dslam_forest`]) is the dirty-component acceptance workload:
+//! most flows are long-lived background traffic spread over 15 disjoint
+//! trees, churn is concentrated in the remaining tree, and every completion
+//! anywhere forces the full engines to walk the whole active set while
+//! `dirty` walks one tree's component. Recorded reference numbers live in
 //! `BENCH_flow_engine.json` at the repository root (regenerate with
 //! `CRITERION_SHIM_JSON=... cargo bench --bench perf_flow_engine`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::baseline::BaselineNetwork;
 use netsim::{
-    daisy_xdsl, HostSpec, LinkSpec, NetEvent, NetWorldEvent, Network, Platform, PlatformBuilder,
-    RebalanceEngine, Scheduler, SharingMode, Topology,
+    daisy_xdsl, dslam_forest, HostSpec, LinkSpec, NetEvent, NetWorldEvent, Network, Platform,
+    PlatformBuilder, RebalanceEngine, Scheduler, SharingMode, Topology,
 };
 use p2p_common::{Bandwidth, DataSize, HostId, SimDuration};
 
@@ -136,28 +148,13 @@ fn bench_flow_engine(c: &mut Criterion) {
         let flows = flow_list(hosts, n_flows);
         // Dumbbell / star.
         let star_platform = star(hosts);
-        group.bench_with_input(
-            BenchmarkId::new("bucketed_star", n_flows),
-            &flows,
-            |b, flows| {
-                b.iter(|| {
-                    run_incremental(
-                        star_platform.clone(),
-                        RebalanceEngine::BucketedBatched,
-                        flows,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("scan_star", n_flows),
-            &flows,
-            |b, flows| {
-                b.iter(|| {
-                    run_incremental(star_platform.clone(), RebalanceEngine::ScanPerEvent, flows)
-                })
-            },
-        );
+        for (label, engine) in ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_star"), n_flows),
+                &flows,
+                |b, flows| b.iter(|| run_incremental(star_platform.clone(), engine, flows)),
+            );
+        }
         group.bench_with_input(
             BenchmarkId::new("baseline_star", n_flows),
             &flows,
@@ -169,28 +166,13 @@ fn bench_flow_engine(c: &mut Criterion) {
             .iter()
             .map(|&(s, d, size)| (topo.hosts[s.index()], topo.hosts[d.index()], size))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("bucketed_dslam", n_flows),
-            &dslam_flows,
-            |b, flows| {
-                b.iter(|| {
-                    run_incremental(
-                        topo.platform.clone(),
-                        RebalanceEngine::BucketedBatched,
-                        flows,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("scan_dslam", n_flows),
-            &dslam_flows,
-            |b, flows| {
-                b.iter(|| {
-                    run_incremental(topo.platform.clone(), RebalanceEngine::ScanPerEvent, flows)
-                })
-            },
-        );
+        for (label, engine) in ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_dslam"), n_flows),
+                &dslam_flows,
+                |b, flows| b.iter(|| run_incremental(topo.platform.clone(), engine, flows)),
+            );
+        }
         group.bench_with_input(
             BenchmarkId::new("baseline_dslam", n_flows),
             &dslam_flows,
@@ -201,7 +183,9 @@ fn bench_flow_engine(c: &mut Criterion) {
 
     // Heavy churn: 10k concurrent flows over a 256-host DSLAM platform. The
     // seed baseline is omitted — it is O(F) reschedules per flow event and
-    // needs minutes per run at this scale; `scan` is the PR 1 engine.
+    // needs minutes per run at this scale; `scan` is the PR 1 engine. The
+    // metro ring couples (nearly) every flow, so this is the dirty engine's
+    // worst case: one giant component, where "don't regress" is the bar.
     let mut churn = c.benchmark_group("flow_engine_churn");
     churn.sample_size(5);
     let hosts = 256;
@@ -211,27 +195,86 @@ fn bench_flow_engine(c: &mut Criterion) {
         .iter()
         .map(|&(s, d, size)| (topo.hosts[s.index()], topo.hosts[d.index()], size))
         .collect();
-    churn.bench_with_input(
-        BenchmarkId::new("bucketed_dslam_churn", n_flows),
-        &churn_flows,
-        |b, flows| {
-            b.iter(|| {
-                run_incremental(
-                    topo.platform.clone(),
-                    RebalanceEngine::BucketedBatched,
-                    flows,
-                )
-            })
-        },
-    );
-    churn.bench_with_input(
-        BenchmarkId::new("scan_dslam_churn", n_flows),
-        &churn_flows,
-        |b, flows| {
-            b.iter(|| run_incremental(topo.platform.clone(), RebalanceEngine::ScanPerEvent, flows))
-        },
-    );
+    for (label, engine) in ENGINES {
+        churn.bench_with_input(
+            BenchmarkId::new(format!("{label}_dslam_churn"), n_flows),
+            &churn_flows,
+            |b, flows| b.iter(|| run_incremental(topo.platform.clone(), engine, flows)),
+        );
+    }
     churn.finish();
+
+    // Multi-component heavy churn: 10k flows over a 16-tree DSLAM forest —
+    // the dirty-component acceptance scenario. 9600 long background flows
+    // spread over trees 1..15 stay in flight for most of the run; 400 small
+    // churning flows concentrate in tree 0. Every arrival/departure forces
+    // the full engines to reset and re-walk the whole active set, while the
+    // dirty engine touches only the component (tree) that changed.
+    let mut multi = c.benchmark_group("flow_engine_multi");
+    multi.sample_size(5);
+    let forest = dslam_forest(16, 64, HostSpec::default(), 42);
+    let multi_flows = forest_churn_workload(&forest, 9600, 400);
+    assert_eq!(multi_flows.len(), n_flows);
+    for (label, engine) in ENGINES {
+        multi.bench_with_input(
+            BenchmarkId::new(format!("{label}_forest_churn"), multi_flows.len()),
+            &multi_flows,
+            |b, flows| b.iter(|| run_incremental(forest.platform.clone(), engine, flows)),
+        );
+    }
+    multi.finish();
+}
+
+/// The incremental engines under comparison, newest first.
+const ENGINES: [(&str, RebalanceEngine); 3] = [
+    ("dirty", RebalanceEngine::DirtyComponent),
+    ("bucketed", RebalanceEngine::BucketedBatched),
+    ("scan", RebalanceEngine::ScanPerEvent),
+];
+
+/// The multi-component workload: `background` large flows spread round-robin
+/// over trees 1.., `churn` small flows inside tree 0, all intra-tree (the
+/// forest is disconnected). Background flows are ~40× larger, so they are
+/// still draining while the churn tree's arrivals and departures force flush
+/// after flush.
+fn forest_churn_workload(
+    forest: &Topology,
+    background: usize,
+    churn: usize,
+) -> Vec<(HostId, HostId, DataSize)> {
+    let trees = forest.components.len();
+    let mut flows = Vec::with_capacity(background + churn);
+    for i in 0..background {
+        let tree = forest.component_hosts(1 + i % (trees - 1));
+        let src = (i * 7 + 1) % tree.len();
+        let dst = (i * 13 + tree.len() / 2) % tree.len();
+        let dst = if dst == src {
+            (dst + 1) % tree.len()
+        } else {
+            dst
+        };
+        flows.push((
+            tree[src],
+            tree[dst],
+            DataSize::from_bytes(8_000_000 + (i as u64 * 97_003) % 8_000_000),
+        ));
+    }
+    let tree = forest.component_hosts(0);
+    for i in 0..churn {
+        let src = (i * 5 + 1) % tree.len();
+        let dst = (i * 11 + tree.len() / 2) % tree.len();
+        let dst = if dst == src {
+            (dst + 1) % tree.len()
+        } else {
+            dst
+        };
+        flows.push((
+            tree[src],
+            tree[dst],
+            DataSize::from_bytes(200_000 + (i as u64 * 37_411) % 400_000),
+        ));
+    }
+    flows
 }
 
 criterion_group!(benches, bench_flow_engine);

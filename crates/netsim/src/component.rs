@@ -1,0 +1,331 @@
+//! Incremental link-connectivity index for the dirty-component engine.
+//!
+//! The max–min fixpoint factors over the *connected components* of the
+//! "shares a flow" relation on directed links: two links interact only if
+//! some active flow crosses both (directly or transitively). A flow arrival
+//! or departure can therefore change rates only inside the component(s) its
+//! route touches — everything else is provably unchanged (see
+//! `docs/ARCHITECTURE.md`, "Dirty-component recompute").
+//!
+//! [`LinkComponents`] maintains that partition incrementally:
+//!
+//! * **Union–find over links** (union by size, path halving). Activating a
+//!   flow unions the links of its route in O(route · α).
+//! * **Per-component flow lists** — each component root carries an intrusive
+//!   singly-linked list of the [`FlowId`]s attached to it, concatenated in
+//!   O(1) on union. The list is what lets a flush enumerate exactly the
+//!   flows of a dirty component without scanning the global active set.
+//! * **Conservative under removal, exact after a rebuilding flush.**
+//!   Union–find cannot split, so a departed flow leaves its unions behind:
+//!   between rebuilds the partition is a *coarsening* of the true one,
+//!   which is safe — a flush recomputes a superset of the flows whose rates
+//!   may change, and re-derives identical rates for the rest. A flush that
+//!   chooses to pay for precision rebuilds exact connectivity for just the
+//!   flushed region: [`LinkComponents::clear_list`] +
+//!   [`LinkComponents::reset`] return the region to singletons and
+//!   [`LinkComponents::attach`] re-unions the routes of the surviving
+//!   flows. A flush of a component already spanning most of the active set
+//!   skips the rebuild instead (splitting it could not shrink future
+//!   flushes by much, and the rebuild is the flush's dominant overhead) —
+//!   links orphaned by departed flows then dangle conservatively until a
+//!   later rebuild sweeps them up, which only ever *over*-approximates
+//!   connectivity. No global rebuild ever happens, so the cost of a flush
+//!   stays proportional to the component it touched, not to the platform.
+//!
+//! List entries are validated by the caller during [`LinkComponents::gather`]
+//! (the slab's generation check in `FlowId` rejects recycled slots), so a
+//! finished flow's stale entry is dropped — and its arena node recycled —
+//! the first time its component is flushed, which the dirty marks guarantee
+//! happens at the same simulated instant the flow finished.
+
+use p2p_common::FlowId;
+
+/// Sentinel for "no node" in the flow-list arena.
+const NO_NODE: u32 = u32::MAX;
+
+/// One intrusive flow-list node (arena-allocated, free-listed).
+#[derive(Debug, Clone, Copy)]
+struct FlowNode {
+    flow: FlowId,
+    next: u32,
+}
+
+/// Union–find over directed links with per-component flow lists.
+#[derive(Debug)]
+pub(crate) struct LinkComponents {
+    /// Union–find parent per link (self-parent at roots).
+    parent: Vec<u32>,
+    /// Union-by-size weights (meaningful at roots).
+    size: Vec<u32>,
+    /// First flow-list node of the component (meaningful at roots).
+    head: Vec<u32>,
+    /// Last flow-list node of the component (for O(1) concatenation).
+    tail: Vec<u32>,
+    /// Live attached flows per component (meaningful at roots). Maintained
+    /// by attach/detach/union/reset — list entries of *finished* flows do
+    /// not count, so a flush can compare a component's live population
+    /// against the network's attached total without walking the list.
+    live: Vec<u32>,
+    /// Flow-list node arena plus its free list.
+    nodes: Vec<FlowNode>,
+    free: Vec<u32>,
+}
+
+impl LinkComponents {
+    /// Every link starts as its own singleton component.
+    pub(crate) fn new(links: usize) -> Self {
+        LinkComponents {
+            parent: (0..links as u32).collect(),
+            size: vec![1; links],
+            head: vec![NO_NODE; links],
+            tail: vec![NO_NODE; links],
+            live: vec![0; links],
+            nodes: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Root of `link`'s component (path-halving).
+    pub(crate) fn find(&mut self, mut link: usize) -> usize {
+        while self.parent[link] as usize != link {
+            let grandparent = self.parent[self.parent[link] as usize];
+            self.parent[link] = grandparent;
+            link = grandparent as usize;
+        }
+        link
+    }
+
+    /// Merge the components of `a` and `b`; returns the surviving root.
+    /// The smaller component's flow list is concatenated onto the larger's.
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.live[ra] += self.live[rb];
+        self.live[rb] = 0;
+        if self.head[rb] != NO_NODE {
+            if self.tail[ra] == NO_NODE {
+                self.head[ra] = self.head[rb];
+            } else {
+                self.nodes[self.tail[ra] as usize].next = self.head[rb];
+            }
+            self.tail[ra] = self.tail[rb];
+            self.head[rb] = NO_NODE;
+            self.tail[rb] = NO_NODE;
+        }
+        ra
+    }
+
+    /// Union every link of `links` into one component and append `flow` to
+    /// that component's list. `links` must be non-empty (loopback flows hold
+    /// no links and are never attached).
+    pub(crate) fn attach(&mut self, links: &[usize], flow: FlowId) {
+        let mut root = self.find(links[0]);
+        for &l in &links[1..] {
+            root = self.union(root, l);
+        }
+        let node = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = FlowNode {
+                    flow,
+                    next: NO_NODE,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(FlowNode {
+                    flow,
+                    next: NO_NODE,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        if self.tail[root] == NO_NODE {
+            self.head[root] = node;
+        } else {
+            self.nodes[self.tail[root] as usize].next = node;
+        }
+        self.tail[root] = node;
+        self.live[root] += 1;
+    }
+
+    /// Record that one attached flow of `link`'s component finished (its
+    /// list entry goes stale; [`LinkComponents::gather`] reclaims it later).
+    pub(crate) fn detach_one(&mut self, link: usize) {
+        let root = self.find(link);
+        self.live[root] = self.live[root].saturating_sub(1);
+    }
+
+    /// Live attached flows of the component rooted at `root`. Conservative
+    /// in the same way the partition is: a stale root orphaned by a region
+    /// rebuild may keep a nonzero count, which can only *over*-state how
+    /// many flows a set of dirty components covers.
+    pub(crate) fn live_of_root(&self, root: usize) -> u32 {
+        self.live[root]
+    }
+
+    /// Walk the flow list of the component rooted at `root`, pushing every
+    /// id for which `keep` returns true into `out` and unlinking (and
+    /// recycling) the rest; returns how many entries were dropped. The list
+    /// itself survives — a flush that decides against rebuilding the region
+    /// keeps the garbage-collected list as is.
+    pub(crate) fn gather(
+        &mut self,
+        root: usize,
+        out: &mut Vec<FlowId>,
+        mut keep: impl FnMut(FlowId) -> bool,
+    ) -> usize {
+        let mut dropped = 0;
+        let mut prev = NO_NODE;
+        let mut n = self.head[root];
+        while n != NO_NODE {
+            let node = self.nodes[n as usize];
+            if keep(node.flow) {
+                out.push(node.flow);
+                prev = n;
+            } else {
+                if prev == NO_NODE {
+                    self.head[root] = node.next;
+                } else {
+                    self.nodes[prev as usize].next = node.next;
+                }
+                if node.next == NO_NODE {
+                    self.tail[root] = prev;
+                }
+                self.free.push(n);
+                dropped += 1;
+            }
+            n = node.next;
+        }
+        dropped
+    }
+
+    /// Recycle every node of the component list rooted at `root`, leaving it
+    /// empty. The first step of a region rebuild (the gathered flows are
+    /// re-attached afterwards).
+    pub(crate) fn clear_list(&mut self, root: usize) {
+        let mut n = self.head[root];
+        while n != NO_NODE {
+            self.free.push(n);
+            n = self.nodes[n as usize].next;
+        }
+        self.head[root] = NO_NODE;
+        self.tail[root] = NO_NODE;
+    }
+
+    /// Return `link` to a singleton component with an empty flow list.
+    ///
+    /// Only valid for links of a region whose lists have been cleared (the
+    /// flush calls [`LinkComponents::clear_list`] on every dirty root before
+    /// resetting); resetting a link that still roots a populated list would
+    /// leak that list.
+    pub(crate) fn reset(&mut self, link: usize) {
+        debug_assert_eq!(
+            self.head[link], NO_NODE,
+            "resetting link {link} would leak its flow list"
+        );
+        self.parent[link] = link as u32;
+        self.size[link] = 1;
+        self.live[link] = 0;
+        self.head[link] = NO_NODE;
+        self.tail[link] = NO_NODE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> FlowId {
+        FlowId::new(n)
+    }
+
+    /// Gather keeping everything (a non-destructive list walk).
+    fn gathered(c: &mut LinkComponents, root: usize) -> Vec<FlowId> {
+        let mut out = vec![];
+        c.gather(root, &mut out, |_| true);
+        out
+    }
+
+    #[test]
+    fn attach_unions_route_links_and_collects_flows() {
+        let mut c = LinkComponents::new(6);
+        c.attach(&[0, 1], id(10));
+        c.attach(&[2, 3], id(11));
+        assert_ne!(c.find(0), c.find(2), "disjoint routes stay separate");
+        assert_eq!(c.find(0), c.find(1));
+        // A bridging flow merges the two components and their lists.
+        c.attach(&[1, 2], id(12));
+        let root = c.find(0);
+        assert_eq!(root, c.find(3));
+        let mut flows = gathered(&mut c, root);
+        flows.sort();
+        assert_eq!(flows, vec![id(10), id(11), id(12)]);
+        // Gathering is non-destructive: a second walk sees the same flows.
+        assert_eq!(gathered(&mut c, root).len(), 3);
+        assert_eq!(c.find(0), c.find(3));
+    }
+
+    #[test]
+    fn gather_unlinks_rejected_entries_anywhere_in_the_list() {
+        let mut c = LinkComponents::new(2);
+        for n in 0..5u64 {
+            c.attach(&[0, 1], id(n));
+        }
+        let root = c.find(0);
+        // Reject head, middle and tail in one pass.
+        let mut out = vec![];
+        c.gather(root, &mut out, |f| ![0, 2, 4].contains(&f.raw()));
+        assert_eq!(out, vec![id(1), id(3)]);
+        // The rejected nodes are gone for good and their slots recycled.
+        assert_eq!(gathered(&mut c, root), vec![id(1), id(3)]);
+        c.attach(&[0, 1], id(9));
+        assert_eq!(gathered(&mut c, root), vec![id(1), id(3), id(9)]);
+        assert_eq!(c.nodes.len(), 5, "recycled nodes must be reused");
+    }
+
+    #[test]
+    fn clear_reset_and_reattach_splits_a_region_exactly() {
+        let mut c = LinkComponents::new(4);
+        c.attach(&[0, 1], id(1));
+        c.attach(&[1, 2], id(2));
+        c.attach(&[2, 3], id(3));
+        let root = c.find(0);
+        assert_eq!(gathered(&mut c, root).len(), 3);
+        // Rebuild as a flush would, pretending flow 2 (the bridge) finished.
+        c.clear_list(root);
+        for l in 0..4 {
+            c.reset(l);
+        }
+        c.attach(&[0, 1], id(1));
+        c.attach(&[2, 3], id(3));
+        assert_eq!(c.find(0), c.find(1));
+        assert_eq!(c.find(2), c.find(3));
+        assert_ne!(c.find(0), c.find(2), "the bridge is gone");
+        let left = c.find(0);
+        assert_eq!(gathered(&mut c, left), vec![id(1)]);
+        let right = c.find(2);
+        assert_eq!(gathered(&mut c, right), vec![id(3)]);
+    }
+
+    #[test]
+    fn cleared_nodes_are_recycled() {
+        let mut c = LinkComponents::new(2);
+        for round in 0..100u64 {
+            c.attach(&[0, 1], id(round));
+            let root = c.find(0);
+            assert_eq!(gathered(&mut c, root), vec![id(round)]);
+            c.clear_list(root);
+            c.reset(0);
+            c.reset(1);
+        }
+        assert_eq!(c.nodes.len(), 1, "the arena must not grow per attach");
+    }
+}

@@ -25,6 +25,14 @@
 //!   the *authoritative* per-link keys, so the popped link is the true
 //!   minimum — the filling fixes flows at exactly the share the linear scan
 //!   would have chosen, and the engines stay numerically interchangeable.
+//!   Ties between equal shares resolve to the **lowest link index** (the
+//!   linear scan applies the same rule), which makes the whole fill a pure
+//!   function of the active flow set: no matter in which order a rebalance
+//!   seeds the links, equal inputs produce bit-identical rates. The
+//!   dirty-component engine depends on that — it re-seeds a component from
+//!   its own flow list rather than from the global active order, and a
+//!   component whose flow set did not change must re-derive exactly the
+//!   rates it already has.
 //! * **Dense buckets fall back to a pairing heap.** Regular topologies
 //!   (every access link of a star has the same capacity and similar flow
 //!   counts) can land *all* their links in one bucket, which would turn the
@@ -54,33 +62,31 @@ fn bucket_index(key_bits: u64) -> usize {
     (key_bits >> 48) as usize
 }
 
-/// One pairing-heap node: an insertion-time key snapshot, the tie-breaking
-/// seeding order, and a link id. Nodes live in a shared arena and are thrown
-/// away wholesale on `clear`.
+/// One pairing-heap node: an insertion-time key snapshot and a link id.
+/// Nodes live in a shared arena and are thrown away wholesale on `clear`.
 #[derive(Debug, Clone, Copy)]
 struct HeapNode {
     key: u64,
-    order: u32,
     link: u32,
     child: u32,
     sibling: u32,
 }
 
 /// Arena-backed pairing heap keyed by the IEEE-754 bit pattern of the share
-/// (bit order equals numeric order for non-negative floats), with the
-/// seeding order as the tie-break so equal shares pop in exactly the order
-/// the linear-scan engine would have chosen them.
+/// (bit order equals numeric order for non-negative floats), with the link
+/// index as the tie-break so equal shares pop lowest-link-first — the same
+/// rule the linear-scan engine applies, and one that is independent of the
+/// order the rebalance seeded the links in.
 #[derive(Debug, Default)]
 struct PairingArena {
     nodes: Vec<HeapNode>,
 }
 
 impl PairingArena {
-    fn alloc(&mut self, key: u64, order: u32, link: u32) -> u32 {
+    fn alloc(&mut self, key: u64, link: u32) -> u32 {
         let id = self.nodes.len() as u32;
         self.nodes.push(HeapNode {
             key,
-            order,
             link,
             child: NO_NODE,
             sibling: NO_NODE,
@@ -96,8 +102,8 @@ impl PairingArena {
         if b == NO_NODE {
             return a;
         }
-        let ka = (self.nodes[a as usize].key, self.nodes[a as usize].order);
-        let kb = (self.nodes[b as usize].key, self.nodes[b as usize].order);
+        let ka = (self.nodes[a as usize].key, self.nodes[a as usize].link);
+        let kb = (self.nodes[b as usize].key, self.nodes[b as usize].link);
         let (parent, child) = if ka <= kb { (a, b) } else { (b, a) };
         self.nodes[child as usize].sibling = self.nodes[parent as usize].child;
         self.nodes[parent as usize].child = child;
@@ -162,13 +168,6 @@ pub(crate) struct FairShareQueue {
     /// Authoritative key (share bits) per link; meaningful only when the
     /// link's `bucket_of` entry is live.
     key: Vec<u64>,
-    /// Seeding order of each live link: ties between equal shares resolve to
-    /// the earliest-seeded link, matching the strict `<` of the linear-scan
-    /// engine so both selection strategies fix flows in the same order (and
-    /// therefore produce bit-identical rates).
-    order: Vec<u32>,
-    /// Next seeding-order stamp (reset by [`FairShareQueue::clear`]).
-    next_order: u32,
     /// Bucket currently holding each link's live entry, or [`NO_BUCKET`].
     bucket_of: Vec<u32>,
     buckets: Vec<Bucket>,
@@ -189,8 +188,6 @@ impl FairShareQueue {
     pub(crate) fn new() -> Self {
         FairShareQueue {
             key: Vec::new(),
-            order: Vec::new(),
-            next_order: 0,
             bucket_of: Vec::new(),
             buckets: vec![Bucket::default(); BUCKET_COUNT],
             occupied: vec![0; BUCKET_COUNT / 64],
@@ -206,8 +203,24 @@ impl FairShareQueue {
     pub(crate) fn ensure_links(&mut self, n: usize) {
         if self.key.len() < n {
             self.key.resize(n, 0);
-            self.order.resize(n, 0);
             self.bucket_of.resize(n, NO_BUCKET);
+        }
+    }
+
+    /// Seed the queue with the fair share (`capacity / unfixed`) of every
+    /// link in `links` that still carries unfixed flows. The per-link arrays
+    /// are indexed like `Platform::links`; links with no unfixed flows are
+    /// skipped. This is how a rebalance hands the queue a *subset* of the
+    /// platform — the full touched set for a global recompute, or just one
+    /// dirty component's links for a component-limited one.
+    pub(crate) fn seed(&mut self, links: &[usize], capacity: &[f64], unfixed: &[u32]) {
+        self.ensure_links(capacity.len());
+        self.clear();
+        for &l in links {
+            let n = unfixed[l];
+            if n > 0 {
+                self.set(l, capacity[l] / n as f64);
+            }
         }
     }
 
@@ -229,7 +242,6 @@ impl FairShareQueue {
         self.summary.fill(0);
         self.arena.nodes.clear();
         self.first = BUCKET_COUNT;
-        self.next_order = 0;
         if self.len != 0 {
             // A fill that ran to completion pops or removes every link; this
             // path only triggers if a caller abandoned a fill midway.
@@ -298,28 +310,24 @@ impl FairShareQueue {
             // Same bucket, new key: sparse entries read the authoritative
             // key at pop time and need nothing; heap entries are ordered by
             // their snapshot, so push a fresh one and let the old go stale.
-            let order = self.order[link];
             let bucket = &mut self.buckets[b];
             if bucket.dense != NO_NODE {
-                let node = self.arena.alloc(bits, order, link as u32);
+                let node = self.arena.alloc(bits, link as u32);
                 bucket.dense = self.arena.meld(bucket.dense, node);
             }
             return;
         }
         if prev == NO_BUCKET {
             self.len += 1;
-            self.order[link] = self.next_order;
-            self.next_order += 1;
         }
         self.key[link] = bits;
         self.bucket_of[link] = b as u32;
-        let order = self.order[link];
         let bucket = &mut self.buckets[b];
         if bucket.dense == NO_NODE && bucket.sparse.is_empty() {
             self.used.push(b as u32);
         }
         if bucket.dense != NO_NODE {
-            let node = self.arena.alloc(bits, order, link as u32);
+            let node = self.arena.alloc(bits, link as u32);
             bucket.dense = self.arena.meld(bucket.dense, node);
         } else {
             bucket.sparse.push(link as u32);
@@ -348,9 +356,7 @@ impl FairShareQueue {
         let mut root = NO_NODE;
         for &l in &entries {
             if self.bucket_of[l as usize] == b as u32 {
-                let node = self
-                    .arena
-                    .alloc(self.key[l as usize], self.order[l as usize], l);
+                let node = self.arena.alloc(self.key[l as usize], l);
                 root = self.arena.meld(root, node);
             }
         }
@@ -360,9 +366,10 @@ impl FairShareQueue {
     }
 
     /// Pop the link with the smallest current share. Exact, including ties:
-    /// equal shares resolve to the earliest-seeded link, so this is the same
-    /// link a strict-`<` linear scan over the seeding order would select —
-    /// the two selection strategies produce bit-identical fills.
+    /// equal shares resolve to the lowest link index — the same link the
+    /// linear-scan engine's `(share, link)` minimum selects — so the two
+    /// selection strategies produce bit-identical fills, and the fill is
+    /// independent of the order the links were seeded in.
     pub(crate) fn pop_min(&mut self) -> Option<(usize, f64)> {
         if self.len == 0 {
             return None;
@@ -392,7 +399,7 @@ impl FairShareQueue {
     /// entries in place. `None` means the bucket held nothing live.
     fn pop_sparse(&mut self, b: usize) -> Option<(usize, f64)> {
         let mut entries = std::mem::take(&mut self.buckets[b].sparse);
-        let mut best: Option<(usize, u64, u32)> = None; // (position, key, order)
+        let mut best: Option<(usize, u64, u32)> = None; // (position, key, link)
         let mut i = 0;
         while i < entries.len() {
             let l = entries[i] as usize;
@@ -400,9 +407,9 @@ impl FairShareQueue {
                 entries.swap_remove(i); // stale (moved, removed, or duplicate)
                 continue;
             }
-            let (k, o) = (self.key[l], self.order[l]);
-            if best.is_none_or(|(_, bk, bo)| (k, o) < (bk, bo)) {
-                best = Some((i, k, o));
+            let k = self.key[l];
+            if best.is_none_or(|(_, bk, bl)| (k, l as u32) < (bk, bl)) {
+                best = Some((i, k, l as u32));
             }
             i += 1;
         }

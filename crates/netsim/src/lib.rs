@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub(crate) mod component;
 pub mod event;
 pub(crate) mod fairshare;
 pub mod network;
@@ -98,9 +99,11 @@ pub mod topology;
 
 pub use event::{run_world, Scheduler, World};
 pub use network::{
-    CompactionPolicy, FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, RebalanceEngine,
-    SharingMode,
+    CompactionPolicy, FlowDelivery, FlushStats, NetEvent, NetStats, NetWorldEvent, Network,
+    RebalanceEngine, SharingMode,
 };
 pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
 pub use replay::{replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult};
-pub use topology::{cluster_bordeplage, daisy_xdsl, lan, PlacementPolicy, Topology, TopologyKind};
+pub use topology::{
+    cluster_bordeplage, daisy_xdsl, dslam_forest, lan, PlacementPolicy, Topology, TopologyKind,
+};

@@ -71,11 +71,26 @@
 //!   and drops the stale entries itself; [`Network::auto_compactions`]
 //!   counts the passes, and [`Network::compact_events`] remains available as
 //!   a manual escape hatch.
+//! * **Dirty-component–limited recompute** — the default engine
+//!   ([`RebalanceEngine::DirtyComponent`]) goes one step further than
+//!   batching: the max–min fixpoint factors over the connected components of
+//!   the "shares a flow" relation on links, so a flush only re-runs
+//!   progressive filling over the component(s) containing links actually
+//!   touched since the last flush. A union–find over links with per-component
+//!   flow lists (the `component` module) tracks the partition incrementally;
+//!   flows in untouched components keep their rates *and their scheduled
+//!   completion events*, cutting the per-flush cost from O(active) to
+//!   O(dirty component). Because the fill tie-breaks equal shares by link
+//!   index (independent of seeding order), a clean component re-derives
+//!   bit-identical rates, so this produces delivery timestamps identical to
+//!   [`RebalanceEngine::BucketedBatched`] — a property the differential
+//!   suite in `tests/props.rs` enforces.
 //!
 //! This diverges from the seed's *progressive filling loop over hash maps*
 //! only in mechanics, not in the fixed point it computes: the per-link
 //! bottleneck shares are identical, so simulated results are too.
 
+use crate::component::LinkComponents;
 use crate::event::Scheduler;
 use crate::fairshare::FairShareQueue;
 use crate::platform::{Platform, Route};
@@ -168,9 +183,19 @@ pub enum RebalanceEngine {
     /// Coalesce all rebalances requested at the same simulated instant into
     /// one batched pass (via the [`NetEvent::Rebalance`] sentinel) and pop
     /// bottlenecks from the monotone bucket queue. Identical simulated
-    /// results, asymptotically cheaper. The default.
-    #[default]
+    /// results, asymptotically cheaper. The PR 2 default, retained as the
+    /// differential baseline of the dirty-component engine.
     BucketedBatched,
+    /// Everything [`RebalanceEngine::BucketedBatched`] does, plus the flush
+    /// is limited to the connected component(s) of links touched by flow
+    /// arrivals and departures since the last flush: a union–find over the
+    /// link→flow incidence tracks components incrementally, and untouched
+    /// components keep their rates and scheduled completions verbatim.
+    /// Identical simulated results (bit-for-bit — see `tests/props.rs`),
+    /// asymptotically cheaper again when traffic is not globally coupled.
+    /// The default.
+    #[default]
+    DirtyComponent,
 }
 
 /// When the network compacts the scheduler's event heap on its own.
@@ -200,6 +225,25 @@ impl Default for CompactionPolicy {
             min_dead: 64,
         }
     }
+}
+
+/// Telemetry of the dirty-component engine's flushes, for diagnostics and
+/// benchmark analysis ([`Network::flush_stats`]). All zero under the other
+/// engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Dirty flushes run (rebalances that found at least one dirty link).
+    pub flushes: u64,
+    /// Flushes that took the dense fast path: dirty components covered at
+    /// least 3/4 of the attached flows (and the deferred-GC debt was low),
+    /// so no list was gathered — the flush walked the active set directly,
+    /// like the full engines.
+    pub fast_flushes: u64,
+    /// Flushes that rebuilt exact connectivity for their region.
+    pub rebuilds: u64,
+    /// Total flows recomputed across all flushes (the full engines would
+    /// have recomputed `flushes × active` instead).
+    pub flushed_flows: u64,
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -270,6 +314,8 @@ struct FlowState {
     link_pos: Vec<u32>,
     /// Scratch: epoch at which this flow's rate was fixed by the filling.
     fixed_epoch: u64,
+    /// Scratch: epoch at which this flow was gathered into a dirty flush.
+    comp_epoch: u64,
     /// Scratch: rate assigned by the in-progress recomputation.
     new_rate: f64,
 }
@@ -306,6 +352,32 @@ pub struct Network {
     link_round: Vec<u64>,
     affected_links: Vec<usize>,
     fill_round: u64,
+    /// Link connectivity for [`RebalanceEngine::DirtyComponent`]: union–find
+    /// plus per-component flow lists, maintained on activate and rebuilt
+    /// exactly (for the flushed region only) after every flush.
+    comp: LinkComponents,
+    /// Links whose flow set changed since the last flush, deduplicated via
+    /// `dirty_mark[l] == dirty_gen`.
+    dirty_links: Vec<usize>,
+    dirty_mark: Vec<u64>,
+    dirty_gen: u64,
+    /// Scratch: epoch stamp per link marking already-gathered component roots.
+    comp_stamp: Vec<u64>,
+    /// Scratch: the distinct component roots of the current flush.
+    dirty_roots: Vec<usize>,
+    /// Non-loopback active flows currently attached to `comp`.
+    attached_flows: usize,
+    /// Stale component-list entries (finished flows) not yet reclaimed by a
+    /// gather; bounds the GC debt the whole-network fast path may defer.
+    stale_entries: u64,
+    /// Scratch: the flow ids gathered from dirty components.
+    comp_raw: Vec<FlowId>,
+    /// Scratch: slot indices of the flows a dirty flush recomputes, ordered
+    /// like `active` (so reschedules happen in the same order a full
+    /// recompute would produce — equal-timestamp FIFO order is observable).
+    comp_flows: Vec<u32>,
+    /// Dirty-flush telemetry (see [`Network::flush_stats`]).
+    flush_stats: FlushStats,
     engine: RebalanceEngine,
     /// True while a [`NetEvent::Rebalance`] sentinel is pending at the
     /// current instant (reset when it fires; sentinels never cross
@@ -345,6 +417,17 @@ impl Network {
             link_round: vec![0; link_count],
             affected_links: Vec::new(),
             fill_round: 0,
+            comp: LinkComponents::new(link_count),
+            dirty_links: Vec::new(),
+            dirty_mark: vec![0; link_count],
+            dirty_gen: 1,
+            comp_stamp: vec![0; link_count],
+            dirty_roots: Vec::new(),
+            attached_flows: 0,
+            stale_entries: 0,
+            flush_stats: FlushStats::default(),
+            comp_raw: Vec::new(),
+            comp_flows: Vec::new(),
             engine,
             rebalance_pending: false,
             compaction: CompactionPolicy::default(),
@@ -374,6 +457,12 @@ impl Network {
     /// Number of automatic compaction passes run so far.
     pub fn auto_compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Telemetry of the dirty-component engine's flushes (all zero under
+    /// the other engines).
+    pub fn flush_stats(&self) -> FlushStats {
+        self.flush_stats
     }
 
     /// The underlying platform.
@@ -487,6 +576,7 @@ impl Network {
             active_pos: 0,
             link_pos: Vec::with_capacity(hops),
             fixed_epoch: 0,
+            comp_epoch: 0,
             new_rate: 0.0,
         };
         self.slots[slot_idx as usize].state = Some(state);
@@ -555,11 +645,25 @@ impl Network {
                 self.rebalance(sched);
                 self.maybe_compact(sched);
             }
-            RebalanceEngine::BucketedBatched => {
+            RebalanceEngine::BucketedBatched | RebalanceEngine::DirtyComponent => {
                 if !self.rebalance_pending {
                     self.rebalance_pending = true;
                     sched.schedule_at(sched.now(), NetEvent::Rebalance.into());
                 }
+            }
+        }
+    }
+
+    /// Record that `links`' flow sets changed since the last flush (no-op
+    /// for engines that do not limit their flushes).
+    fn mark_dirty(&mut self, links: &[usize]) {
+        if self.engine != RebalanceEngine::DirtyComponent {
+            return;
+        }
+        for &l in links {
+            if self.dirty_mark[l] != self.dirty_gen {
+                self.dirty_mark[l] = self.dirty_gen;
+                self.dirty_links.push(l);
             }
         }
     }
@@ -612,6 +716,11 @@ impl Network {
                 .link_pos
                 .push(pos);
         }
+        if self.engine == RebalanceEngine::DirtyComponent {
+            self.comp.attach(&route.links, flow);
+            self.attached_flows += 1;
+            self.mark_dirty(&route.links);
+        }
         self.request_rebalance(sched);
     }
 
@@ -652,6 +761,15 @@ impl Network {
         }
         self.detach_active(flow.slot());
         let state = self.take_flow(flow).expect("flow just observed");
+        // The departed flow's links must be re-filled at the flush this
+        // requests; its component-list entry goes stale (a later gather
+        // reclaims it) and its component's live count drops now.
+        if self.engine == RebalanceEngine::DirtyComponent && !state.route.links.is_empty() {
+            self.comp.detach_one(state.route.links[0]);
+            self.attached_flows -= 1;
+            self.stale_entries += 1;
+            self.mark_dirty(&state.route.links);
+        }
         let delivery = self.finish_flow(state);
         self.request_rebalance(sched);
         vec![delivery]
@@ -734,51 +852,77 @@ impl Network {
     }
 
     /// Recompute max–min rates and reschedule completions — but only for the
-    /// flows whose rate actually changed.
+    /// flows whose rate actually changed. Under the dirty-component engine
+    /// the recompute (and the reschedule walk) covers only the component(s)
+    /// holding dirty links; other engines cover the whole active set.
     fn rebalance<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
-        self.recompute_rates();
         let now = sched.now();
-        for i in 0..self.active.len() {
-            let slot_idx = self.active[i] as usize;
-            let f = self.slots[slot_idx]
-                .state
-                .as_mut()
-                .expect("active flows are live");
-            let old = f.rate;
-            let new = f.new_rate;
-            // Exact comparison on purpose: the fill is deterministic (the
-            // bucket queue tie-breaks by seeding order, matching the scan),
-            // so a flow whose allocation truly did not change re-derives the
-            // *bit-identical* rate. A relative epsilon here would freeze
-            // whatever intermediate rate a per-event rebalance happened to
-            // assign first, making the final rate path-dependent — which is
-            // exactly what would break the batched ≡ per-event guarantee.
-            if new == old {
-                continue;
+        if self.engine == RebalanceEngine::DirtyComponent {
+            if !self.recompute_rates_dirty() {
+                return; // nothing dirty: no rate can have changed
             }
-            // Bring the drain up to date under the old rate, then switch.
-            progress_to(f, now);
-            f.rate = new;
-            f.version += 1;
-            if f.pending_completion {
-                // The completion scheduled under the old rate is now stale.
-                f.pending_completion = false;
-                sched.mark_dead();
+            let walk = std::mem::take(&mut self.comp_flows);
+            for &slot_idx in &walk {
+                self.reschedule_if_changed(sched, slot_idx as usize, now);
             }
-            let eta = if f.remaining <= DRAIN_EPSILON {
-                SimDuration::ZERO
-            } else if new <= 0.0 {
-                continue; // starved; rescheduled when a rebalance feeds it
-            } else {
-                drain_eta(f.remaining, new)
-            };
-            let event = NetEvent::FlowCompletion {
-                flow: f.id,
-                version: f.version,
-            };
-            f.pending_completion = true;
-            sched.schedule_at(now + eta, event.into());
+            self.comp_flows = walk;
+        } else {
+            self.recompute_rates();
+            for i in 0..self.active.len() {
+                let slot_idx = self.active[i] as usize;
+                self.reschedule_if_changed(sched, slot_idx, now);
+            }
         }
+    }
+
+    /// Apply one flow's freshly computed `new_rate`: if it differs from the
+    /// current rate, bring the drain up to date, bump the version and
+    /// reschedule the completion.
+    fn reschedule_if_changed<E: NetWorldEvent>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        slot_idx: usize,
+        now: SimTime,
+    ) {
+        let f = self.slots[slot_idx]
+            .state
+            .as_mut()
+            .expect("active flows are live");
+        let old = f.rate;
+        let new = f.new_rate;
+        // Exact comparison on purpose: the fill is deterministic and
+        // independent of seeding order (bottleneck ties break by link
+        // index in both the scan and the bucket queue), so a flow whose
+        // allocation truly did not change re-derives the *bit-identical*
+        // rate. A relative epsilon here would freeze whatever intermediate
+        // rate a per-event rebalance happened to assign first, making the
+        // final rate path-dependent — which is exactly what would break
+        // the batched ≡ per-event and dirty ≡ full guarantees.
+        if new == old {
+            return;
+        }
+        // Bring the drain up to date under the old rate, then switch.
+        progress_to(f, now);
+        f.rate = new;
+        f.version += 1;
+        if f.pending_completion {
+            // The completion scheduled under the old rate is now stale.
+            f.pending_completion = false;
+            sched.mark_dead();
+        }
+        let eta = if f.remaining <= DRAIN_EPSILON {
+            SimDuration::ZERO
+        } else if new <= 0.0 {
+            return; // starved; rescheduled when a rebalance feeds it
+        } else {
+            drain_eta(f.remaining, new)
+        };
+        let event = NetEvent::FlowCompletion {
+            flow: f.id,
+            version: f.version,
+        };
+        f.pending_completion = true;
+        sched.schedule_at(now + eta, event.into());
     }
 
     /// Progressive-filling max–min fairness over the active flows, using the
@@ -816,8 +960,195 @@ impl Network {
         }
         match self.engine {
             RebalanceEngine::ScanPerEvent => self.fill_by_scan(epoch, unfixed_flows),
-            RebalanceEngine::BucketedBatched => self.fill_by_bucket_queue(epoch, unfixed_flows),
+            // The dirty engine never takes this path (its flushes go through
+            // `recompute_rates_dirty`), but the bucket fill is its fill too.
+            RebalanceEngine::BucketedBatched | RebalanceEngine::DirtyComponent => {
+                self.fill_by_bucket_queue(epoch, unfixed_flows)
+            }
         }
+    }
+
+    /// Dirty-component–limited progressive filling: gather the flows of
+    /// every component containing a dirty link, re-run the fill over just
+    /// those, and rebuild exact connectivity for the flushed region.
+    /// Returns `false` when nothing was dirty (no fill ran — no active
+    /// flow's rate can have changed, because rates outside the dirty
+    /// components are a function of state that did not change).
+    ///
+    /// The gathered set is *conservative*: union–find cannot split, so a
+    /// component may still span flows that a departed flow used to bridge.
+    /// Recomputing a superset is harmless — the fill is a pure function of
+    /// each true component's flow set, so unbridged flows re-derive
+    /// bit-identical rates and are not rescheduled. Small flushes pay a
+    /// region rebuild at the end to re-split exactly; a flush already
+    /// spanning most of the active set skips it (see phase 4).
+    fn recompute_rates_dirty(&mut self) -> bool {
+        if self.dirty_links.is_empty() {
+            return false;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // Phase 1: resolve the distinct dirty component roots and count the
+        // live flows they cover. When that covers most (≥ 3/4) of the
+        // attached flows — globally coupled traffic, the dirty engine's
+        // degenerate case — a component-limited flush saves little fill work
+        // but still pays the full list-gathering traffic, so take the dense
+        // fast path instead: skip the list machinery and recompute the whole
+        // active set exactly like the full engines do (`gathered` false).
+        // That is always safe, whatever `covered` says: recomputing
+        // everything is the maximal superset, and clean components re-derive
+        // bit-identical rates (no reschedules). The fast path defers
+        // stale-entry GC, so it is declined once the deferred debt passes
+        // half the attached population — the next slow flush gathers (and
+        // reclaims) the lists.
+        self.dirty_roots.clear();
+        let mut covered = 0usize;
+        for i in 0..self.dirty_links.len() {
+            let root = self.comp.find(self.dirty_links[i]);
+            if self.comp_stamp[root] != epoch {
+                self.comp_stamp[root] = epoch;
+                self.dirty_roots.push(root);
+                covered += self.comp.live_of_root(root) as usize;
+            }
+        }
+        let gathered = covered * 4 < self.attached_flows * 3
+            || self.stale_entries * 2 > self.attached_flows as u64;
+        self.flush_stats.flushes += 1;
+        if !gathered {
+            self.flush_stats.fast_flushes += 1;
+        }
+        self.comp_flows.clear();
+        if !gathered {
+            for i in 0..self.active.len() {
+                let slot_idx = self.active[i];
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_ref()
+                    .expect("active flows are live");
+                if !f.route.links.is_empty() {
+                    self.comp_flows.push(slot_idx);
+                }
+            }
+        } else {
+            // Phase 2: gather the dirty components' flow lists, unlinking
+            // stale entries of finished flows as we go (this is their
+            // garbage collection — the generation check rejects recycled
+            // slots) — then order the survivors like `active`, so the
+            // reschedule walk emits events in the exact order a full
+            // recompute would. For small components the order comes from
+            // sorting by `active_pos`; for components dense in the active
+            // set it is cheaper to filter the active list itself (epoch
+            // stamps mark membership). All paths yield the identical
+            // sequence — the relative `active` order.
+            self.comp_raw.clear();
+            for i in 0..self.dirty_roots.len() {
+                let root = self.dirty_roots[i];
+                let slots = &self.slots;
+                let dropped = self.comp.gather(root, &mut self.comp_raw, |id| {
+                    slots
+                        .get(id.slot() as usize)
+                        .is_some_and(|s| s.generation == id.generation() && s.state.is_some())
+                });
+                self.stale_entries -= dropped as u64;
+            }
+            for i in 0..self.comp_raw.len() {
+                let id = self.comp_raw[i];
+                let f = self.flow_mut(id).expect("gathered flows are live");
+                debug_assert!(f.active, "attached flows are active until taken");
+                f.comp_epoch = epoch;
+                self.comp_flows.push(id.slot());
+            }
+            if self.comp_flows.len() * 8 >= self.active.len() {
+                self.comp_flows.clear();
+                for i in 0..self.active.len() {
+                    let slot_idx = self.active[i];
+                    let f = self.slots[slot_idx as usize]
+                        .state
+                        .as_ref()
+                        .expect("active flows are live");
+                    if f.comp_epoch == epoch {
+                        self.comp_flows.push(slot_idx);
+                    }
+                }
+            } else {
+                let slots = &self.slots;
+                self.comp_flows.sort_unstable_by_key(|&s| {
+                    slots[s as usize]
+                        .state
+                        .as_ref()
+                        .expect("gathered flows are live")
+                        .active_pos
+                });
+            }
+        }
+        // Phase 3: seed the per-link scratch and the flows' fill state from
+        // the component subset (the full path seeds from the whole active
+        // set; the arithmetic is identical), then fill.
+        self.touched_links.clear();
+        let mut unfixed_flows = 0usize;
+        for i in 0..self.comp_flows.len() {
+            let slot_idx = self.comp_flows[i] as usize;
+            let f = self.slots[slot_idx]
+                .state
+                .as_mut()
+                .expect("gathered flows are live");
+            f.new_rate = 0.0;
+            f.fixed_epoch = 0;
+            unfixed_flows += 1;
+            let route = Arc::clone(&f.route);
+            for &l in &route.links {
+                if self.link_epoch[l] != epoch {
+                    self.link_epoch[l] = epoch;
+                    self.link_capacity[l] = self.platform.links()[l].bandwidth.bytes_per_sec();
+                    self.link_unfixed[l] = 0;
+                    self.touched_links.push(l);
+                }
+                self.link_unfixed[l] += 1;
+            }
+        }
+        self.flush_stats.flushed_flows += unfixed_flows as u64;
+        self.fill_by_bucket_queue(epoch, unfixed_flows);
+        // Phase 4: when the flushed component is small relative to the
+        // active set, rebuild exact connectivity for the region — clear the
+        // dirty roots' lists, reset every region link (seeded above, or
+        // dirty without surviving flows) to a singleton and re-attach the
+        // survivors, really splitting off departed bridges. A flush already
+        // spanning most of the active set skips this: re-splitting it could
+        // not shrink future flushes by much, and the rebuild is the flush's
+        // dominant overhead at that size. Skipping only coarsens the
+        // partition (links orphaned by departures stay conservatively
+        // attached until a later rebuild), never drops a connection — so
+        // gathering stays a superset of the true dirty component either way.
+        // (The whole-network fast path above never rebuilds: it did not
+        // gather the lists, and clearing them would drop live entries.)
+        if gathered && self.comp_flows.len() * 2 <= self.active.len() {
+            self.flush_stats.rebuilds += 1;
+            for i in 0..self.dirty_roots.len() {
+                self.comp.clear_list(self.dirty_roots[i]);
+            }
+            for i in 0..self.touched_links.len() {
+                self.comp.reset(self.touched_links[i]);
+            }
+            for i in 0..self.dirty_links.len() {
+                let l = self.dirty_links[i];
+                if self.link_epoch[l] != epoch {
+                    self.comp.reset(l);
+                }
+            }
+            for i in 0..self.comp_flows.len() {
+                let slot_idx = self.comp_flows[i] as usize;
+                let f = self.slots[slot_idx]
+                    .state
+                    .as_ref()
+                    .expect("gathered flows are live");
+                let (id, route) = (f.id, Arc::clone(&f.route));
+                self.comp.attach(&route.links, id);
+            }
+        }
+        // Phase 5: consume the dirty set.
+        self.dirty_links.clear();
+        self.dirty_gen += 1;
+        true
     }
 
     /// PR 1 bottleneck selection: a linear scan over every touched link per
@@ -826,7 +1157,9 @@ impl Network {
     fn fill_by_scan(&mut self, epoch: u64, mut unfixed_flows: usize) {
         while unfixed_flows > 0 {
             // Bottleneck link = the smallest fair share among links that
-            // still carry unfixed flows.
+            // still carry unfixed flows; ties break to the lowest link index
+            // (the bucket queue applies the same rule), which keeps the fill
+            // independent of the order the links were seeded in.
             let mut best: Option<(usize, f64)> = None;
             for &l in &self.touched_links {
                 let n = self.link_unfixed[l];
@@ -834,7 +1167,7 @@ impl Network {
                     continue;
                 }
                 let share = self.link_capacity[l] / n as f64;
-                if best.is_none_or(|(_, s)| share < s) {
+                if best.is_none_or(|(bl, s)| share < s || (share == s && l < bl)) {
                     best = Some((l, share));
                 }
             }
@@ -849,15 +1182,8 @@ impl Network {
     /// touched link's fair share, then pop minima directly; each filling
     /// round refreshes only the links its fixed flows cross.
     fn fill_by_bucket_queue(&mut self, epoch: u64, mut unfixed_flows: usize) {
-        self.queue.ensure_links(self.link_capacity.len());
-        self.queue.clear();
-        for i in 0..self.touched_links.len() {
-            let l = self.touched_links[i];
-            let n = self.link_unfixed[l];
-            if n > 0 {
-                self.queue.set(l, self.link_capacity[l] / n as f64);
-            }
-        }
+        self.queue
+            .seed(&self.touched_links, &self.link_capacity, &self.link_unfixed);
         let mut affected = std::mem::take(&mut self.affected_links);
         while unfixed_flows > 0 {
             let Some((bottleneck, share)) = self.queue.pop_min() else {
@@ -934,15 +1260,29 @@ impl Network {
     /// Run one compaction pass if the [`CompactionPolicy`] says the heap has
     /// accumulated enough dead entries. Called after every rebalance.
     fn maybe_compact<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
+        self.compact_if_due(sched);
+    }
+
+    /// Apply the [`CompactionPolicy`] decision once: compact if — and only
+    /// if — the heap holds at least `min_dead` dead entries *and* dead
+    /// entries strictly outnumber `live × dead_per_live`. Returns whether a
+    /// pass ran.
+    ///
+    /// The network calls this itself after every rebalance; it is public so
+    /// tests (and callers with unusual event loops) can exercise the policy
+    /// boundary directly against an arbitrary heap state.
+    pub fn compact_if_due<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) -> bool {
         let dead = sched.dead_pending();
         if dead < self.compaction.min_dead {
-            return;
+            return false;
         }
         let live = sched.live_pending() as u64;
         if dead > live.saturating_mul(u64::from(self.compaction.dead_per_live)) {
             self.compact_events(sched);
             self.compactions += 1;
+            return true;
         }
+        false
     }
 
     /// Drop every stale completion entry from the heap, preserving the

@@ -17,7 +17,9 @@
 //! the real protocol stack would.
 
 use crate::event::{run_world, Scheduler, World};
-use crate::network::{FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, SharingMode};
+use crate::network::{
+    FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, RebalanceEngine, SharingMode,
+};
 use crate::platform::Platform;
 use p2p_common::{DataSize, HostId, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -104,6 +106,10 @@ pub struct ReplayConfig {
     pub sharing: SharingMode,
     /// Per-message protocol costs.
     pub protocol: ProtocolCosts,
+    /// Rebalance engine for `SharingMode::MaxMinFair` (ignored under
+    /// `Bottleneck`). Every engine produces identical simulated results;
+    /// non-default choices exist for differential tests and benchmarks.
+    pub engine: RebalanceEngine,
 }
 
 impl Default for ReplayConfig {
@@ -111,6 +117,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             sharing: SharingMode::Bottleneck,
             protocol: ProtocolCosts::none(),
+            engine: RebalanceEngine::default(),
         }
     }
 }
@@ -374,7 +381,7 @@ pub fn replay(
         })
         .collect();
     let mut world = ReplayWorld {
-        net: Network::new(platform, cfg.sharing),
+        net: Network::with_engine(platform, cfg.sharing, cfg.engine),
         procs,
         protocol: cfg.protocol,
         token_info: HashMap::new(),
@@ -611,6 +618,7 @@ mod tests {
         let cfg = ReplayConfig {
             sharing: SharingMode::Bottleneck,
             protocol,
+            ..ReplayConfig::default()
         };
         let res = replay(p, &hosts, &scripts, &cfg);
         // Receiver pays 2 * 50 us of protocol processing.
@@ -686,6 +694,7 @@ mod tests {
         let cfg = ReplayConfig {
             sharing: SharingMode::MaxMinFair,
             protocol: ProtocolCosts::none(),
+            ..ReplayConfig::default()
         };
         let b = replay(p, &hosts, &scripts, &cfg);
         let rel =

@@ -29,6 +29,9 @@ pub enum TopologyKind {
     DaisyXdsl,
     /// Campus / corporate LAN (Stage-2B).
     Lan,
+    /// A forest of mutually disconnected DSLAM trees ([`dslam_forest`]) —
+    /// the multi-component stress platform for the dirty-component engine.
+    DslamForest,
 }
 
 impl TopologyKind {
@@ -38,6 +41,7 @@ impl TopologyKind {
             TopologyKind::Grid5000Cluster => "Grid5000",
             TopologyKind::DaisyXdsl => "xDSL",
             TopologyKind::Lan => "LAN",
+            TopologyKind::DslamForest => "xDSL-forest",
         }
     }
 }
@@ -60,9 +64,19 @@ pub struct Topology {
     pub hosts: Vec<HostId>,
     /// Which evaluation platform this is.
     pub kind: TopologyKind,
+    /// Ranges into [`Topology::hosts`] covering the platform's connected
+    /// components, in creation order. The paper's platforms are connected
+    /// (one range spanning every host); [`dslam_forest`] yields one range
+    /// per tree. Routes exist only *within* a component — workload
+    /// generators must pick src/dst pairs from the same range.
+    pub components: Vec<std::ops::Range<usize>>,
 }
 
 impl Topology {
+    /// The hosts of connected component `c` (see [`Topology::components`]).
+    pub fn component_hosts(&self, c: usize) -> &[HostId] {
+        &self.hosts[self.components[c].clone()]
+    }
     /// Pick `n` hosts according to `policy`. Panics if the platform has fewer
     /// than `n` hosts.
     pub fn pick_hosts(&self, n: usize, policy: PlacementPolicy) -> Vec<HostId> {
@@ -125,6 +139,7 @@ pub fn cluster_bordeplage(n: usize, host: HostSpec) -> Topology {
     }
     Topology {
         platform: b.build(),
+        components: std::iter::once(0..hosts.len()).collect(),
         hosts,
         kind: TopologyKind::Grid5000Cluster,
     }
@@ -218,6 +233,7 @@ pub fn daisy_xdsl(n_nodes: usize, host: HostSpec, seed: u64) -> Topology {
     }
     Topology {
         platform: b.build(),
+        components: std::iter::once(0..hosts.len()).collect(),
         hosts,
         kind: TopologyKind::DaisyXdsl,
     }
@@ -252,8 +268,74 @@ pub fn lan(n_nodes: usize, host: HostSpec) -> Topology {
     }
     Topology {
         platform: b.build(),
+        components: std::iter::once(0..hosts.len()).collect(),
         hosts,
         kind: TopologyKind::Lan,
+    }
+}
+
+/// A forest of `trees` mutually **disconnected** DSLAM trees with
+/// `nodes_per_tree` end nodes each: per tree, a root router, one DSLAM per
+/// 8 nodes uplinked to the root at 10 Gbps, and 5–10 Mbps last miles drawn
+/// from `seed`. No link joins two trees, so the platform's flow-sharing
+/// graph has exactly `trees` connected components — the shape on which a
+/// dirty-component–limited recompute pays off most, and the platform behind
+/// the `flow_engine_multi` benchmark scenario.
+///
+/// Routes exist only within a tree; use [`Topology::components`] /
+/// [`Topology::component_hosts`] to draw valid src/dst pairs.
+///
+/// ```
+/// use netsim::{dslam_forest, HostSpec, TopologyKind};
+///
+/// let topo = dslam_forest(4, 16, HostSpec::default(), 7);
+/// assert_eq!(topo.kind, TopologyKind::DslamForest);
+/// assert_eq!(topo.components.len(), 4);
+/// assert_eq!(topo.component_hosts(2).len(), 16);
+///
+/// // Hosts of different trees are unreachable from each other...
+/// let (a, b) = (topo.component_hosts(0)[0], topo.component_hosts(1)[0]);
+/// assert!(topo.platform.route_uncached(a, b).is_none());
+/// // ...while hosts of one tree route over its DSLAM fabric.
+/// let (c, d) = (topo.component_hosts(3)[0], topo.component_hosts(3)[15]);
+/// assert!(topo.platform.route_uncached(c, d).is_some());
+/// ```
+pub fn dslam_forest(trees: usize, nodes_per_tree: usize, host: HostSpec, seed: u64) -> Topology {
+    assert!(trees > 0 && trees <= 255, "1 to 255 trees");
+    assert!(
+        nodes_per_tree > 0 && nodes_per_tree <= 2040,
+        "1 to 2040 nodes per tree"
+    );
+    let mut rng = DetRng::new(seed).fork(0xF03E57);
+    let mut b = PlatformBuilder::new();
+    let metro = LinkSpec::new(Bandwidth::from_gbps(10.0), XDSL_METRO_LATENCY);
+    let mut hosts = Vec::with_capacity(trees * nodes_per_tree);
+    let mut components = Vec::with_capacity(trees);
+    for t in 0..trees {
+        let start = hosts.len();
+        let root = b.add_router(format!("tree{t}-root"));
+        let mut dslams = Vec::new();
+        for n in 0..nodes_per_tree {
+            let d = n / 8;
+            if d == dslams.len() {
+                let ds = b.add_router(format!("tree{t}-dslam{d}"));
+                b.add_link(format!("tree{t}-uplink{d}"), ds, root, metro);
+                dslams.push(ds);
+            }
+            let ip = IpAddr::from_octets(10, t as u8, d as u8, (n % 8 + 1) as u8);
+            let h = b.add_host(format!("forest-{t}-{n}"), ip, host);
+            let mbps = rng.gen_range(5.0..10.0);
+            let last_mile = LinkSpec::new(Bandwidth::from_mbps(mbps), XDSL_LAST_MILE_LATENCY);
+            b.add_host_link(format!("tree{t}-dsl{n}"), h, dslams[d], last_mile);
+            hosts.push(h);
+        }
+        components.push(start..hosts.len());
+    }
+    Topology {
+        platform: b.build(),
+        components,
+        hosts,
+        kind: TopologyKind::DslamForest,
     }
 }
 
@@ -373,6 +455,49 @@ mod tests {
             .map(|&h| topo.platform.host(h).ip.unwrap().octets()[0])
             .collect();
         assert!(petals.len() >= 3, "spread placement stayed in {petals:?}");
+    }
+
+    #[test]
+    fn connected_platforms_expose_one_component() {
+        for topo in [
+            cluster_bordeplage(20, HostSpec::default()),
+            daisy_xdsl(32, HostSpec::default(), 5),
+            lan(12, HostSpec::default()),
+        ] {
+            assert_eq!(topo.components, vec![0..topo.hosts.len()]);
+            assert_eq!(topo.component_hosts(0), &topo.hosts[..]);
+        }
+    }
+
+    #[test]
+    fn forest_trees_are_disjoint_components() {
+        let topo = dslam_forest(5, 24, HostSpec::default(), 11);
+        assert_eq!(topo.kind.label(), "xDSL-forest");
+        assert_eq!(topo.hosts.len(), 5 * 24);
+        assert_eq!(topo.components.len(), 5);
+        for c in 0..5 {
+            let tree = topo.component_hosts(c);
+            assert_eq!(tree.len(), 24);
+            // Intra-tree routes exist and bottleneck on a last mile.
+            let r = topo
+                .platform
+                .route_uncached(tree[0], tree[23])
+                .expect("intra-tree route");
+            assert!(r.bottleneck.bps() < 10.5e6);
+            // Inter-tree routes must not exist.
+            let other = topo.component_hosts((c + 1) % 5)[0];
+            assert!(topo.platform.route_uncached(tree[0], other).is_none());
+        }
+        // Deterministic in the seed, like the Daisy builder.
+        let again = dslam_forest(5, 24, HostSpec::default(), 11);
+        let bw = |t: &Topology| -> Vec<u64> {
+            t.platform
+                .links()
+                .iter()
+                .map(|l| l.bandwidth.bps() as u64)
+                .collect()
+        };
+        assert_eq!(bw(&topo), bw(&again));
     }
 
     #[test]

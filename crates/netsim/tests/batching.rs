@@ -8,7 +8,7 @@ use netsim::network::{
     CompactionPolicy, FlowDelivery, NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode,
 };
 use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
-use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
+use p2p_common::{Bandwidth, DataSize, FlowId, HostId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +120,22 @@ fn batched_rebalances_deliver_identically_to_unbatched() {
     assert_eq!(batched.net.stats(), unbatched.net.stats());
 }
 
+/// The dirty-component engine on a *single*-component workload (the star
+/// couples every flow through the core) degenerates to the full batched
+/// recompute — and must reproduce it to the nanosecond on every token.
+#[test]
+fn dirty_component_engine_matches_batched_on_single_component_churn() {
+    let (dirty, _) = run(RebalanceEngine::DirtyComponent, None);
+    let (batched, _) = run(RebalanceEngine::BucketedBatched, None);
+    assert_eq!(dirty.deliveries.len(), 400);
+    assert_eq!(
+        by_token(&dirty.deliveries),
+        by_token(&batched.deliveries),
+        "dirty-component flushes must be observationally invisible"
+    );
+    assert_eq!(dirty.net.stats(), batched.net.stats());
+}
+
 /// Coalescing is not a no-op: the whole arrival wave activates at one
 /// instant, so the batched engine runs far fewer rebalances — visible as
 /// far fewer superseded (dead) completion events over the run.
@@ -214,4 +230,130 @@ fn compaction_pass_drops_dead_below_the_threshold() {
     }
     assert!(exercised > 0, "the workload must cross the threshold");
     assert_eq!(world.deliveries.len(), 400, "compaction loses nothing");
+}
+
+/// Schedule `n` events the compaction predicate always keeps (the batching
+/// sentinel) — synthetic "live" heap entries for policy boundary tests.
+fn schedule_live(sched: &mut Scheduler<Ev>, n: usize) {
+    for _ in 0..n {
+        sched.schedule_at(SimTime::from_secs(1), Ev::Net(NetEvent::Rebalance));
+    }
+}
+
+/// Schedule `n` completion events for flows that never existed and mark each
+/// dead — synthetic "dead" heap entries the predicate will drop.
+fn schedule_dead(sched: &mut Scheduler<Ev>, n: usize) {
+    for i in 0..n {
+        sched.schedule_at(
+            SimTime::from_secs(2),
+            Ev::Net(NetEvent::FlowCompletion {
+                flow: FlowId::from_parts(40_000 + i as u32, 7),
+                version: 0,
+            }),
+        );
+        sched.mark_dead();
+    }
+}
+
+/// Boundary case: the ratio trigger is *strict*. With `dead_per_live = 2`,
+/// a heap holding exactly dead == live·2 must not compact; one more dead
+/// entry must.
+#[test]
+fn compaction_ratio_boundary_is_strict() {
+    let mut net = Network::new(star(4), SharingMode::MaxMinFair);
+    net.set_compaction_policy(CompactionPolicy {
+        dead_per_live: 2,
+        min_dead: 1,
+    });
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    schedule_live(&mut sched, 4);
+    schedule_dead(&mut sched, 8);
+    assert_eq!(sched.dead_pending(), 8);
+    assert_eq!(sched.live_pending(), 4);
+    assert!(
+        !net.compact_if_due(&mut sched),
+        "dead == live × ratio exactly must not compact"
+    );
+    assert_eq!(sched.pending(), 12, "no entry may have been dropped");
+    assert_eq!(net.auto_compactions(), 0);
+    schedule_dead(&mut sched, 1);
+    assert!(
+        net.compact_if_due(&mut sched),
+        "dead == live × ratio + 1 must compact"
+    );
+    assert_eq!(net.auto_compactions(), 1);
+    assert_eq!(sched.dead_pending(), 0, "every dead entry was reclaimed");
+    assert_eq!(sched.pending(), 4, "every live entry survived");
+}
+
+/// Boundary case: the `min_dead` floor gates the ratio. With a zero ratio
+/// (any dead entry outnumbers live × 0) the policy must still hold off until
+/// the heap holds `min_dead` dead entries — and fire at exactly that count.
+#[test]
+fn compaction_min_dead_floor_is_inclusive() {
+    let mut net = Network::new(star(4), SharingMode::MaxMinFair);
+    net.set_compaction_policy(CompactionPolicy {
+        dead_per_live: 0,
+        min_dead: 4,
+    });
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    schedule_dead(&mut sched, 3);
+    assert!(
+        !net.compact_if_due(&mut sched),
+        "dead == min_dead − 1 must not compact, whatever the ratio says"
+    );
+    schedule_dead(&mut sched, 1);
+    assert!(
+        net.compact_if_due(&mut sched),
+        "dead == min_dead exactly is enough (the floor is inclusive)"
+    );
+    assert_eq!(sched.pending(), 0);
+    assert_eq!(sched.dead_pending(), 0);
+}
+
+/// Compaction while a batched rebalance is *in flight* — its sentinel
+/// scheduled but not yet fired — must keep the sentinel (and the activated
+/// flows' state), or the whole instant's rate update would be lost.
+#[test]
+fn compaction_preserves_an_in_flight_batched_rebalance() {
+    let mut world = NetWorld {
+        net: Network::new(star(8), SharingMode::MaxMinFair),
+        deliveries: vec![],
+    };
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let size = DataSize::from_bytes(1_250_000);
+    world
+        .net
+        .start_flow(&mut sched, HostId::new(1), HostId::new(0), size, 1);
+    world
+        .net
+        .start_flow(&mut sched, HostId::new(2), HostId::new(0), size, 2);
+    // Deliver exactly the two activations; the first one schedules the
+    // sentinel at the same instant, so it is now the only pending event.
+    for _ in 0..2 {
+        let (_, ev) = sched.pop().unwrap();
+        world.handle(&mut sched, ev);
+    }
+    assert_eq!(sched.pending(), 1, "only the rebalance sentinel is pending");
+    // Neither a policy-driven check nor a manual pass may touch it.
+    world.net.set_compaction_policy(CompactionPolicy {
+        dead_per_live: 0,
+        min_dead: 1,
+    });
+    assert!(
+        !world.net.compact_if_due(&mut sched),
+        "nothing is dead, so the policy must decline"
+    );
+    assert_eq!(
+        world.net.compact_events(&mut sched),
+        0,
+        "a manual pass must keep the pending sentinel"
+    );
+    assert_eq!(sched.pending(), 1);
+    run_world(&mut world, &mut sched, None);
+    assert_eq!(
+        world.deliveries.len(),
+        2,
+        "the batched rebalance still fired and both flows completed"
+    );
 }

@@ -18,10 +18,19 @@
 //!   each reschedule can land one tick apart twice over a flow's lifetime —
 //!   adversarial workloads at high `PROPTEST_CASES` do reach two ticks, with
 //!   either incremental engine, and did so before the bucket queue existed.)
-//!   The two *incremental* engines (per-event scan vs batched bucket queue),
-//!   by contrast, must agree **bit for bit**: the bucket queue tie-breaks
-//!   equal shares in seeding order exactly like the scan's strict `<`, and
-//!   coalescing rebalances at one instant passes zero simulated time.
+//!   The three *incremental* engines (per-event scan, batched bucket queue,
+//!   dirty-component), by contrast, must agree **bit for bit**: bottleneck
+//!   ties break by link index in every fill (making rates a pure function
+//!   of the active flow set, independent of seeding order), coalescing
+//!   rebalances at one instant passes zero simulated time, and a
+//!   dirty-component flush recomputes a superset of the flows whose rates
+//!   can change — re-deriving bit-identical rates for the rest.
+//!
+//! The multi-component properties run on a *forest of stars* — disjoint
+//! star platforms in one [`Platform`] — because that is where the
+//! dirty-component engine actually takes a different code path from the
+//! full recompute: churn in one star must leave every other star's rates
+//! and scheduled completions untouched.
 
 use netsim::baseline::BaselineNetwork;
 use netsim::event::{run_world, Scheduler, World};
@@ -45,6 +54,31 @@ fn star(n: usize) -> Platform {
             HostSpec::default(),
         );
         b.add_host_link(format!("l{i}"), h, sw, spec);
+    }
+    b.build()
+}
+
+/// A forest of `groups` disjoint stars, `hosts_per` hosts each. Hosts are
+/// numbered group-major (`g * hosts_per + i`), and every group gets its own
+/// access latency so activations land at *different* instants per group —
+/// interleaving rebalances of unrelated components, the adversarial case
+/// for the dirty-component engine.
+fn star_forest(groups: usize, hosts_per: usize) -> Platform {
+    let mut b = PlatformBuilder::new();
+    for g in 0..groups {
+        let sw = b.add_router(format!("sw{g}"));
+        let spec = LinkSpec::new(
+            Bandwidth::from_mbps(100.0),
+            SimDuration::from_micros(100 * (g as u64 + 1)),
+        );
+        for i in 0..hosts_per {
+            let h = b.add_host(
+                format!("g{g}h{i}"),
+                format!("10.{g}.0.{}", i + 1).parse().unwrap(),
+                HostSpec::default(),
+            );
+            b.add_host_link(format!("g{g}l{i}"), h, sw, spec);
+        }
     }
     b.build()
 }
@@ -110,6 +144,29 @@ fn workload(n_hosts: usize, raw: &[(u32, u32, u64)]) -> Vec<(HostId, HostId, Dat
         .collect()
 }
 
+/// Map raw quadruples onto intra-group flows of a star forest. Every flow
+/// stays inside its group (the platform is disconnected by construction, so
+/// cross-group routes do not exist), giving several independent components
+/// with churn in each.
+fn forest_workload(
+    groups: usize,
+    hosts_per: usize,
+    raw: &[(u32, u32, u32, u64)],
+) -> Vec<(HostId, HostId, DataSize, u64)> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(g, a, b, size))| {
+            let base = (g % groups as u32) * hosts_per as u32;
+            (
+                HostId::new(base + a % hosts_per as u32),
+                HostId::new(base + b % hosts_per as u32),
+                DataSize::from_bytes(1 + size % 5_000_000),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
 /// Per-token delivery timestamps (nanoseconds) of a finished run.
 fn by_token(deliveries: &[(SimTime, FlowDelivery)]) -> BTreeMap<u64, u64> {
     deliveries
@@ -164,9 +221,10 @@ proptest! {
         prop_assert_eq!(world.deliveries.len(), raw.len());
     }
 
-    /// Both incremental engines — the per-event scan and the bucket-queue
-    /// batching engine — reproduce the seed engine's simulated results
-    /// exactly on randomised workloads (per-token timestamps, counts, bytes).
+    /// Every incremental engine — the per-event scan, the bucket-queue
+    /// batching engine and the dirty-component engine — reproduces the seed
+    /// engine's simulated results exactly on randomised workloads
+    /// (per-token timestamps, counts, bytes).
     #[test]
     fn incremental_engines_match_seed_engine(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -186,7 +244,11 @@ proptest! {
         let old_times = by_token(&old_world.deliveries);
         prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver");
 
-        for engine in [RebalanceEngine::BucketedBatched, RebalanceEngine::ScanPerEvent] {
+        for engine in [
+            RebalanceEngine::DirtyComponent,
+            RebalanceEngine::BucketedBatched,
+            RebalanceEngine::ScanPerEvent,
+        ] {
             let mut new_world = NewWorld {
                 net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
                 deliveries: vec![],
@@ -232,10 +294,12 @@ proptest! {
         }
     }
 
-    /// The batching engine and the per-event scan engine agree *bit for bit*:
+    /// The incremental engines agree *bit for bit* with one another:
     /// coalescing rebalances at one simulated instant passes zero simulated
-    /// time, so per-token delivery timestamps must be identical — not merely
-    /// within the one-tick slack granted against the seed engine.
+    /// time, and limiting a flush to the dirty component recomputes exactly
+    /// the rates a full recompute would — so per-token delivery timestamps
+    /// must be identical across all three, not merely within the slack
+    /// granted against the seed engine.
     #[test]
     fn batched_and_per_event_rebalances_deliver_identically(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -243,7 +307,11 @@ proptest! {
     ) {
         let flows = workload(n_hosts, &raw);
         let mut results: Vec<BTreeMap<u64, u64>> = vec![];
-        for engine in [RebalanceEngine::BucketedBatched, RebalanceEngine::ScanPerEvent] {
+        for engine in [
+            RebalanceEngine::DirtyComponent,
+            RebalanceEngine::BucketedBatched,
+            RebalanceEngine::ScanPerEvent,
+        ] {
             let mut world = NewWorld {
                 net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
                 deliveries: vec![],
@@ -255,7 +323,82 @@ proptest! {
             run_world(&mut world, &mut sched, None);
             results.push(by_token(&world.deliveries));
         }
-        prop_assert_eq!(&results[0], &results[1], "engines diverged");
+        prop_assert_eq!(&results[0], &results[1], "dirty vs batched diverged");
+        prop_assert_eq!(&results[1], &results[2], "batched vs scan diverged");
+    }
+
+    /// The tentpole three-way differential, on its home turf: proptest-built
+    /// multi-component topologies (a forest of disjoint stars, per-group
+    /// latencies staggering the churn) with random intra-group flows. The
+    /// dirty-component engine must agree **bit for bit** with the full
+    /// batched recompute, and both must match the retained seed engine
+    /// within the two-tick slack documented in the module header.
+    #[test]
+    fn three_way_engines_agree_on_multi_component_churn(
+        raw in prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+            1..60,
+        ),
+        groups in 2usize..5,
+        hosts_per in 2usize..6,
+    ) {
+        let flows = forest_workload(groups, hosts_per, &raw);
+
+        let mut old_world = OldWorld {
+            net: BaselineNetwork::new(star_forest(groups, hosts_per), SharingMode::MaxMinFair),
+            deliveries: vec![],
+        };
+        let mut old_sched: Scheduler<Ev> = Scheduler::new();
+        for &(src, dst, size, token) in &flows {
+            old_world.net.start_flow(&mut old_sched, src, dst, size, token);
+        }
+        run_world(&mut old_world, &mut old_sched, None);
+        let old_times = by_token(&old_world.deliveries);
+        prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver");
+
+        let mut results: Vec<BTreeMap<u64, u64>> = vec![];
+        for engine in [
+            RebalanceEngine::DirtyComponent,
+            RebalanceEngine::BucketedBatched,
+        ] {
+            let mut world = NewWorld {
+                net: Network::with_engine(
+                    star_forest(groups, hosts_per),
+                    SharingMode::MaxMinFair,
+                    engine,
+                ),
+                deliveries: vec![],
+            };
+            let mut sched: Scheduler<Ev> = Scheduler::new();
+            for &(src, dst, size, token) in &flows {
+                world.net.start_flow(&mut sched, src, dst, size, token);
+            }
+            run_world(&mut world, &mut sched, None);
+            prop_assert_eq!(
+                world.net.stats().flows_completed,
+                old_world.net.stats().flows_completed
+            );
+            prop_assert_eq!(
+                &world.net.stats().link_bytes,
+                &old_world.net.stats().link_bytes
+            );
+            results.push(by_token(&world.deliveries));
+        }
+        prop_assert_eq!(
+            &results[0],
+            &results[1],
+            "dirty-component vs full recompute diverged"
+        );
+        for (token, &old_ns) in &old_times {
+            let Some(&new_ns) = results[0].get(token) else {
+                panic!("token {token} missing from the dirty-component engine");
+            };
+            prop_assert!(
+                new_ns.abs_diff(old_ns) <= 2,
+                "token {} delivered at {} vs baseline {} (>2ns apart)",
+                token, new_ns, old_ns
+            );
+        }
     }
 
     /// Bottleneck mode is trivially identical between the two engines (same

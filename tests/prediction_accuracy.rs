@@ -1,5 +1,6 @@
 //! Prediction-accuracy integration tests (the Fig. 10 claim) plus trace-file
-//! round-trips through the on-disk format.
+//! round-trips through the on-disk format, and the engine-interchangeability
+//! guarantee the prediction pipeline rests on.
 
 use dperf::{predict_traces, OptLevel, TraceSet};
 use netsim::SharingMode;
@@ -107,4 +108,68 @@ fn sharing_model_choice_only_matters_under_contention() {
     let rel = (analytic.total.as_secs_f64() - fair.total.as_secs_f64()).abs()
         / analytic.total.as_secs_f64();
     assert!(rel < 0.05, "models diverge by {rel} without contention");
+}
+
+/// The prediction pipeline replays traces through `netsim::replay`, which
+/// since PR 3 defaults to the dirty-component rebalance engine. A predicted
+/// time must not depend on that engineering choice: every engine, under
+/// every sharing mode, must produce the identical replay result on a
+/// synchronous halo-exchange workload crossing shared links.
+#[test]
+fn replay_result_is_identical_across_rebalance_engines() {
+    use netsim::{
+        daisy_xdsl, replay, HostSpec, ProcessScript, RebalanceEngine, ReplayConfig, ReplayOp,
+    };
+    use p2p_common::SimDuration;
+
+    let topo = daisy_xdsl(16, HostSpec::default(), 9);
+    let hosts: Vec<_> = topo.hosts[..8].to_vec();
+    // Two rounds of compute + ring halo exchange over the shared DSLAM
+    // fabric: enough concurrent transfers that max–min sharing (and thus
+    // the rebalance engine) actually decides the timing.
+    let scripts: Vec<ProcessScript> = (0..8)
+        .map(|rank| {
+            let mut ops = vec![];
+            for round in 0..2u64 {
+                ops.push(ReplayOp::Compute {
+                    duration: SimDuration::from_millis(3 + rank as u64 + round),
+                });
+                ops.push(ReplayOp::Send {
+                    to: (rank + 1) % 8,
+                    bytes: 400_000,
+                    tag: round as u32,
+                });
+                ops.push(ReplayOp::Recv {
+                    from: (rank + 7) % 8,
+                    tag: round as u32,
+                });
+            }
+            ProcessScript { rank, ops }
+        })
+        .collect();
+
+    for sharing in [SharingMode::MaxMinFair, SharingMode::Bottleneck] {
+        let mut results = vec![];
+        for engine in [
+            RebalanceEngine::DirtyComponent,
+            RebalanceEngine::BucketedBatched,
+            RebalanceEngine::ScanPerEvent,
+        ] {
+            let cfg = ReplayConfig {
+                sharing,
+                engine,
+                ..ReplayConfig::default()
+            };
+            results.push(replay(topo.platform.clone(), &hosts, &scripts, &cfg));
+        }
+        assert!(results[0].makespan > SimDuration::ZERO);
+        for r in &results[1..] {
+            assert_eq!(results[0].makespan, r.makespan, "makespan diverged");
+            assert_eq!(
+                results[0].finish_times, r.finish_times,
+                "per-rank finish times diverged ({sharing:?})"
+            );
+            assert_eq!(results[0].net_stats, r.net_stats);
+        }
+    }
 }

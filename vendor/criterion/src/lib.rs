@@ -7,6 +7,12 @@
 //! min and max are printed per benchmark. Setting `CRITERION_SHIM_JSON` to a
 //! path appends one JSON line per benchmark (id, samples, mean/min/max in
 //! nanoseconds) — the hook the repo's recorded baselines use.
+//!
+//! Passing `--test` to the bench binary (`cargo bench -- --test`, the real
+//! criterion's smoke-test flag) or setting `CRITERION_TEST_MODE=1` runs
+//! every benchmark exactly once with no warm-up and no JSON dump — a cheap
+//! CI smoke mode that catches bench bit-rot without paying measurement
+//! time.
 
 use std::fmt;
 use std::hint;
@@ -54,14 +60,17 @@ impl From<String> for BenchmarkId {
 /// Passed to the benchmark closure; `iter` runs and times the payload.
 pub struct Bencher {
     samples: usize,
+    warmup: bool,
     recorded: Vec<Duration>,
 }
 
 impl Bencher {
     /// Run `payload` once per sample, timing each run.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut payload: F) {
-        // One untimed warm-up run (fills caches, triggers lazy init).
-        black_box(payload());
+        if self.warmup {
+            // One untimed warm-up run (fills caches, triggers lazy init).
+            black_box(payload());
+        }
         self.recorded.clear();
         self.recorded.reserve(self.samples);
         for _ in 0..self.samples {
@@ -81,7 +90,7 @@ struct Record {
     max_ns: u128,
 }
 
-fn report(id: &str, recorded: &[Duration]) -> Record {
+fn report(id: &str, recorded: &[Duration], dump_json: bool) -> Record {
     let total: Duration = recorded.iter().sum();
     let mean = total / recorded.len().max(1) as u32;
     let min = recorded.iter().min().copied().unwrap_or_default();
@@ -97,6 +106,9 @@ fn report(id: &str, recorded: &[Duration]) -> Record {
         "bench {id:<60} mean {mean:>12?} min {min:>12?} max {max:>12?} ({n} samples)",
         n = recorded.len()
     );
+    if !dump_json {
+        return rec;
+    }
     if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)
@@ -116,11 +128,16 @@ fn report(id: &str, recorded: &[Duration]) -> Record {
 /// The top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test")
+                || std::env::var("CRITERION_TEST_MODE").as_deref() == Ok("1"),
+        }
     }
 }
 
@@ -133,21 +150,24 @@ impl Criterion {
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, test_mode) = (self.sample_size, self.test_mode);
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
-            sample_size: self.sample_size,
+            sample_size,
+            test_mode,
         }
     }
 
     /// Run one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            warmup: !self.test_mode,
             recorded: Vec::new(),
         };
         f(&mut b);
-        report(id, &b.recorded);
+        report(id, &b.recorded, !self.test_mode);
         self
     }
 }
@@ -157,6 +177,7 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl<'a> BenchmarkGroup<'a> {
@@ -179,11 +200,16 @@ impl<'a> BenchmarkGroup<'a> {
     ) -> &mut Self {
         let id = id.into();
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            warmup: !self.test_mode,
             recorded: Vec::new(),
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), &b.recorded);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b.recorded,
+            !self.test_mode,
+        );
         self
     }
 
@@ -199,11 +225,16 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let id = id.into();
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            warmup: !self.test_mode,
             recorded: Vec::new(),
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), &b.recorded);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b.recorded,
+            !self.test_mode,
+        );
         self
     }
 

@@ -7,6 +7,19 @@
 //! case number, and the deterministic RNG regenerates it on the next run.
 //!
 //! Case count defaults to 64, overridable with `PROPTEST_CASES`.
+//!
+//! # Failure persistence (regression corpus)
+//!
+//! Like the real proptest, a failing case is persisted so it reruns forever
+//! after: since a case is fully determined by the `(test name, case index)`
+//! pair, the corpus is a plain text file of case indices at
+//! `<crate>/tests/regressions/<file-stem>__<test-name>.txt` (one index per
+//! line, `#` comments allowed). Every run of the property **replays the
+//! whole corpus first**, then runs the fresh cases — so a checked-in corpus
+//! is asserted green on every `cargo test`, in every profile. On a fresh
+//! failure the shim appends the case index to the corpus (creating the file
+//! under a comment header) before re-raising the panic; set
+//! `PROPTEST_PERSIST=0` to disable the write (replay always happens).
 
 /// Deterministic generator handed to strategies.
 #[derive(Debug, Clone)]
@@ -53,6 +66,102 @@ pub fn cases() -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(64)
+}
+
+/// Where the regression corpus of one property lives:
+/// `<manifest>/tests/regressions/<file-stem>__<test-name>.txt`.
+fn corpus_path(manifest_dir: &str, file: &str, test_name: &str) -> std::path::PathBuf {
+    let stem = std::path::Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    std::path::Path::new(manifest_dir)
+        .join("tests")
+        .join("regressions")
+        .join(format!("{stem}__{test_name}.txt"))
+}
+
+/// Parse a corpus file into case indices. A missing file is an empty corpus;
+/// a malformed line is a hard error (a silently skipped regression would
+/// defeat the corpus's purpose).
+fn read_corpus(path: &std::path::Path) -> Vec<u32> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.parse().unwrap_or_else(|_| {
+                panic!(
+                    "malformed regression corpus line {l:?} in {} (expected a case index)",
+                    path.display()
+                )
+            })
+        })
+        .collect()
+}
+
+/// Append a freshly failing case to the corpus (unless `PROPTEST_PERSIST=0`).
+fn persist_failure(path: &std::path::Path, test_name: &str, case: u32) {
+    if std::env::var("PROPTEST_PERSIST").as_deref() == Ok("0") {
+        return;
+    }
+    use std::io::Write as _;
+    let existed = path.exists();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        eprintln!(
+            "[proptest-shim] could not persist failing case {case} to {}",
+            path.display()
+        );
+        return;
+    };
+    if !existed {
+        let _ = writeln!(
+            f,
+            "# proptest-shim regression corpus for `{test_name}`.\n\
+             # One case index per line; every test run replays these before fresh cases.\n\
+             # See vendor/proptest/src/lib.rs (failure persistence)."
+        );
+    }
+    let _ = writeln!(f, "{case}");
+    eprintln!(
+        "[proptest-shim] persisted failing case {case} of `{test_name}` to {}",
+        path.display()
+    );
+}
+
+/// Drive one property: replay its persisted regression corpus, then run the
+/// fresh cases, persisting any new failure. Called by [`proptest!`].
+pub fn run_property<F: Fn(&mut TestRng)>(name: &str, manifest_dir: &str, file: &str, f: F) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let corpus = corpus_path(manifest_dir, file, name);
+    for case in read_corpus(&corpus) {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!(
+                "[proptest-shim] persisted regression case {case} of `{name}` failed again \
+                 (corpus: {})",
+                corpus.display()
+            );
+            resume_unwind(payload);
+        }
+    }
+    for case in 0..cases() {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!("[proptest-shim] case {case} of `{name}` failed");
+            persist_failure(&corpus, name, case);
+            resume_unwind(payload);
+        }
+    }
 }
 
 pub mod strategy {
@@ -325,18 +434,25 @@ pub mod prelude {
 }
 
 /// Declare property tests: `proptest! { #[test] fn name(x in strategy) { .. } }`.
+///
+/// Each property first replays its persisted regression corpus (see the
+/// crate docs), then runs [`cases`] fresh cases; a failing fresh case is
+/// appended to the corpus before the panic propagates.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$attr])*
             fn $name() {
-                let cases = $crate::cases();
-                for __case in 0..cases {
-                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
-                    $body
-                }
+                $crate::run_property(
+                    stringify!($name),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    |__rng: &mut $crate::TestRng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                        $body
+                    },
+                );
             }
         )+
     };
