@@ -22,9 +22,12 @@
 //!   same data structures, but bottlenecks pop from the monotone bucket
 //!   queue and all rebalances of one simulated instant are coalesced into a
 //!   single batched pass.
-//! * `dirty` — the current default ([`RebalanceEngine::DirtyComponent`]):
+//! * `dirty` — the PR 3 engine ([`RebalanceEngine::DirtyComponent`]):
 //!   batching plus a flush limited to the connected component(s) of links
-//!   actually touched since the last flush.
+//!   actually touched since the last flush. The current default,
+//!   [`RebalanceEngine::ParallelShard`], rides on it and additionally
+//!   shards multi-component flushes across worker threads (the
+//!   `flow_engine_parallel` group below).
 //!
 //! The heavy-churn scenario (`*_dslam_churn/10000`) is the PR 2 acceptance
 //! workload: 10 000 concurrent flows over a 256-host DSLAM platform, where
@@ -38,15 +41,32 @@
 //! most flows are long-lived background traffic spread over 15 disjoint
 //! trees, churn is concentrated in the remaining tree, and every completion
 //! anywhere forces the full engines to walk the whole active set while
-//! `dirty` walks one tree's component. Recorded reference numbers live in
-//! `BENCH_flow_engine.json` at the repository root (regenerate with
-//! `CRITERION_SHIM_JSON=... cargo bench --bench perf_flow_engine`).
+//! `dirty` walks one tree's component.
+//!
+//! The parallel-shard scenario (`flow_engine_parallel`, 10 000 flows over a
+//! 16-tree [`dslam_forest_mirrored`]) is the [`RebalanceEngine::ParallelShard`]
+//! acceptance workload: identical trees carry identical flow patterns, so
+//! arrivals and departures land in lock-step across all 16 trees and every
+//! batched flush spans 16 dirty components at once — the shardable shape.
+//! The same dirty-engine run is measured as the single-threaded reference,
+//! and the parallel engine is swept over worker budgets (1, 2, 4, 8). On a
+//! multi-core machine the fill parallelises to ~min(threads, trees)× minus
+//! the serial gather/merge; on a single-core machine the sweep measures the
+//! fork–join overhead instead (the numbers to compare are `parallel_*_t1`,
+//! which must match `dirty`, and the overhead of `t2`+ under time-slicing).
+//! The single-component worst case rides in the churn group as
+//! `parallel8_dslam_churn`: the metro ring couples everything, sharding
+//! never engages, and the number to watch is parity with `dirty`.
+//!
+//! Recorded reference numbers live in `BENCH_flow_engine.json` at the
+//! repository root (regenerate with `CRITERION_SHIM_JSON=... cargo bench
+//! --bench perf_flow_engine`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::baseline::BaselineNetwork;
 use netsim::{
-    daisy_xdsl, dslam_forest, HostSpec, LinkSpec, NetEvent, NetWorldEvent, Network, Platform,
-    PlatformBuilder, RebalanceEngine, Scheduler, SharingMode, Topology,
+    daisy_xdsl, dslam_forest, dslam_forest_mirrored, HostSpec, LinkSpec, NetEvent, NetWorldEvent,
+    Network, Platform, PlatformBuilder, RebalanceEngine, Scheduler, SharingMode, Topology,
 };
 use p2p_common::{Bandwidth, DataSize, HostId, SimDuration};
 
@@ -113,6 +133,28 @@ fn run_incremental(
     flows: &[(HostId, HostId, DataSize)],
 ) -> u64 {
     let mut net = Network::with_engine(platform, SharingMode::MaxMinFair, engine);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &(src, dst, size)) in flows.iter().enumerate() {
+        net.start_flow(&mut sched, src, dst, size, i as u64);
+    }
+    let mut delivered = 0u64;
+    while let Some((_, Ev::Net(ne))) = sched.pop() {
+        delivered += net.on_event(&mut sched, ne).len() as u64;
+    }
+    assert_eq!(delivered, flows.len() as u64);
+    delivered
+}
+
+/// Run the workload through the parallel-shard engine with an explicit
+/// worker budget (the work threshold stays at the engine default); returns
+/// delivered count.
+fn run_parallel(platform: Platform, threads: usize, flows: &[(HostId, HostId, DataSize)]) -> u64 {
+    let mut net = Network::with_engine(
+        platform,
+        SharingMode::MaxMinFair,
+        RebalanceEngine::ParallelShard,
+    );
+    net.set_shard_threads(threads);
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for (i, &(src, dst, size)) in flows.iter().enumerate() {
         net.start_flow(&mut sched, src, dst, size, i as u64);
@@ -202,6 +244,14 @@ fn bench_flow_engine(c: &mut Criterion) {
             |b, flows| b.iter(|| run_incremental(topo.platform.clone(), engine, flows)),
         );
     }
+    // The parallel engine's single-component worst case: the metro ring
+    // couples everything, so sharding never engages and the eight-worker
+    // budget must ride the dirty-engine path at parity (the ≤1.05× bar).
+    churn.bench_with_input(
+        BenchmarkId::new("parallel8_dslam_churn", n_flows),
+        &churn_flows,
+        |b, flows| b.iter(|| run_parallel(topo.platform.clone(), 8, flows)),
+    );
     churn.finish();
 
     // Multi-component heavy churn: 10k flows over a 16-tree DSLAM forest —
@@ -223,6 +273,67 @@ fn bench_flow_engine(c: &mut Criterion) {
         );
     }
     multi.finish();
+
+    // Parallel shards: 10k flows mirrored across a 16-tree replica forest —
+    // identical trees, identical per-tree flow pattern, so every arrival
+    // and departure happens in all 16 trees at the same instant and every
+    // flush spans 16 dirty components. The dirty engine is the
+    // single-threaded reference; the parallel engine sweeps its worker
+    // budget.
+    let mut par = c.benchmark_group("flow_engine_parallel");
+    par.sample_size(5);
+    let mirror = dslam_forest_mirrored(16, 64, HostSpec::default(), 42);
+    let par_flows = mirrored_workload(&mirror, n_flows);
+    assert_eq!(par_flows.len(), n_flows);
+    par.bench_with_input(
+        BenchmarkId::new("dirty_mirror_churn", n_flows),
+        &par_flows,
+        |b, flows| {
+            b.iter(|| {
+                run_incremental(
+                    mirror.platform.clone(),
+                    RebalanceEngine::DirtyComponent,
+                    flows,
+                )
+            })
+        },
+    );
+    for threads in [1usize, 2, 4, 8] {
+        par.bench_with_input(
+            BenchmarkId::new(format!("parallel_mirror_churn_t{threads}"), n_flows),
+            &par_flows,
+            |b, flows| b.iter(|| run_parallel(mirror.platform.clone(), threads, flows)),
+        );
+    }
+    par.finish();
+}
+
+/// The mirrored-churn workload: the same index-derived intra-tree flow
+/// pattern replicated into every tree of the replica forest, sizes
+/// staggered so completions cascade. Every simulated instant that sees an
+/// event in one tree sees the same event in all of them.
+fn mirrored_workload(forest: &Topology, total: usize) -> Vec<(HostId, HostId, DataSize)> {
+    let trees = forest.components.len();
+    let per_tree = total / trees;
+    let mut flows = Vec::with_capacity(trees * per_tree);
+    for t in 0..trees {
+        let tree = forest.component_hosts(t);
+        for i in 0..per_tree {
+            let src = (i * 7 + 1) % tree.len();
+            let dst = (i * 13 + tree.len() / 2) % tree.len();
+            let dst = if dst == src {
+                (dst + 1) % tree.len()
+            } else {
+                dst
+            };
+            flows.push((
+                tree[src],
+                tree[dst],
+                DataSize::from_bytes(200_000 + (i as u64 * 37_411) % 800_000),
+            ));
+        }
+    }
+    flows
 }
 
 /// The incremental engines under comparison, newest first.

@@ -37,6 +37,20 @@
 //! finished flow's stale entry is dropped — and its arena node recycled —
 //! the first time its component is flushed, which the dirty marks guarantee
 //! happens at the same simulated instant the flow finished.
+//!
+//! # Disjointness, and why the parallel engine may shard by root
+//!
+//! The partition this structure maintains is what makes
+//! `RebalanceEngine::ParallelShard` sound: every link belongs to exactly
+//! one root, every attached flow's entire route was unioned into one
+//! component at activation, and under coarsening a root only ever *absorbs*
+//! whole components — it never splits one across roots. A flush that bins
+//! the gathered flow lists **whole root by whole root** onto worker threads
+//! therefore hands each worker a closed system: no link, no flow and no
+//! incidence list is reachable from two shards, so per-shard fills read and
+//! write disjoint state and re-derive exactly the rates a combined fill
+//! would. (Binning anything finer than a root would break this — which is
+//! why the shard scheduler partitions `dirty_roots`, never flow ranges.)
 
 use p2p_common::FlowId;
 
@@ -66,6 +80,13 @@ pub(crate) struct LinkComponents {
     /// not count, so a flush can compare a component's live population
     /// against the network's attached total without walking the list.
     live: Vec<u32>,
+    /// Nodes physically present in each component's list (meaningful at
+    /// roots): live entries plus the stale entries of finished flows not
+    /// yet reclaimed by a gather. `listed - live` is the component's
+    /// deferred-GC debt, which the dense-flush fast path consults —
+    /// per-root, so debt parked in idle components cannot wedge the
+    /// heuristic for everyone else.
+    listed: Vec<u32>,
     /// Flow-list node arena plus its free list.
     nodes: Vec<FlowNode>,
     free: Vec<u32>,
@@ -80,6 +101,7 @@ impl LinkComponents {
             head: vec![NO_NODE; links],
             tail: vec![NO_NODE; links],
             live: vec![0; links],
+            listed: vec![0; links],
             nodes: Vec::new(),
             free: Vec::new(),
         }
@@ -110,6 +132,8 @@ impl LinkComponents {
         self.size[ra] += self.size[rb];
         self.live[ra] += self.live[rb];
         self.live[rb] = 0;
+        self.listed[ra] += self.listed[rb];
+        self.listed[rb] = 0;
         if self.head[rb] != NO_NODE {
             if self.tail[ra] == NO_NODE {
                 self.head[ra] = self.head[rb];
@@ -154,6 +178,7 @@ impl LinkComponents {
         }
         self.tail[root] = node;
         self.live[root] += 1;
+        self.listed[root] += 1;
     }
 
     /// Record that one attached flow of `link`'s component finished (its
@@ -169,6 +194,13 @@ impl LinkComponents {
     /// many flows a set of dirty components covers.
     pub(crate) fn live_of_root(&self, root: usize) -> u32 {
         self.live[root]
+    }
+
+    /// Stale list entries (finished flows not yet garbage-collected) of the
+    /// component rooted at `root` — the debt a gather of this root would
+    /// reclaim.
+    pub(crate) fn stale_of_root(&self, root: usize) -> u32 {
+        self.listed[root].saturating_sub(self.live[root])
     }
 
     /// Walk the flow list of the component rooted at `root`, pushing every
@@ -204,12 +236,21 @@ impl LinkComponents {
             }
             n = node.next;
         }
+        self.listed[root] -= dropped as u32;
         dropped
     }
 
     /// Recycle every node of the component list rooted at `root`, leaving it
-    /// empty. The first step of a region rebuild (the gathered flows are
-    /// re-attached afterwards).
+    /// empty with zeroed live/listed counts. The first step of a region
+    /// rebuild (the gathered flows are re-attached afterwards, restoring
+    /// the counts of whatever root they then land under).
+    ///
+    /// Zeroing `live` here matters even though most of the region's links
+    /// are also `reset` right after: the root link itself may be neither
+    /// touched by a surviving flow nor dirty, in which case it is never
+    /// reset — leaving a phantom live count behind would inflate the
+    /// coverage of any future component that absorbs this root and pin its
+    /// `stale_of_root` debt at zero.
     pub(crate) fn clear_list(&mut self, root: usize) {
         let mut n = self.head[root];
         while n != NO_NODE {
@@ -218,6 +259,8 @@ impl LinkComponents {
         }
         self.head[root] = NO_NODE;
         self.tail[root] = NO_NODE;
+        self.live[root] = 0;
+        self.listed[root] = 0;
     }
 
     /// Return `link` to a singleton component with an empty flow list.
@@ -234,6 +277,7 @@ impl LinkComponents {
         self.parent[link] = link as u32;
         self.size[link] = 1;
         self.live[link] = 0;
+        self.listed[link] = 0;
         self.head[link] = NO_NODE;
         self.tail[link] = NO_NODE;
     }
@@ -313,6 +357,68 @@ mod tests {
         assert_eq!(gathered(&mut c, left), vec![id(1)]);
         let right = c.find(2);
         assert_eq!(gathered(&mut c, right), vec![id(3)]);
+    }
+
+    #[test]
+    fn stale_debt_is_tracked_per_root_and_reclaimed_by_gather() {
+        let mut c = LinkComponents::new(4);
+        // Two disjoint components; three flows each.
+        for n in 0..3u64 {
+            c.attach(&[0, 1], id(n));
+            c.attach(&[2, 3], id(10 + n));
+        }
+        let (left, right) = (c.find(0), c.find(2));
+        assert_eq!(c.stale_of_root(left), 0);
+        // Two left flows finish: left's debt grows, right's stays zero.
+        c.detach_one(0);
+        c.detach_one(1);
+        assert_eq!(c.stale_of_root(left), 2);
+        assert_eq!(c.live_of_root(left), 1);
+        assert_eq!(c.stale_of_root(right), 0, "idle components carry no debt");
+        // Gathering the left root reclaims exactly its stale entries.
+        let mut out = vec![];
+        let dropped = c.gather(left, &mut out, |f| f.raw() == 2);
+        assert_eq!(dropped, 2);
+        assert_eq!(out, vec![id(2)]);
+        assert_eq!(c.stale_of_root(left), 0);
+        // A union merges both live and debt counts.
+        c.detach_one(2);
+        c.attach(&[1, 2], id(99));
+        let merged = c.find(0);
+        assert_eq!(
+            c.live_of_root(merged),
+            1 + 2 + 1,
+            "left + right + the bridge"
+        );
+        assert_eq!(
+            c.stale_of_root(merged),
+            1,
+            "right's debt survives the union"
+        );
+    }
+
+    #[test]
+    fn clear_list_zeroes_counts_even_when_the_root_link_is_never_reset() {
+        let mut c = LinkComponents::new(3);
+        c.attach(&[0, 1], id(1));
+        c.attach(&[1, 2], id(2));
+        let root = c.find(0);
+        c.detach_one(0); // flow 1 finished; its list entry is now stale
+        assert_eq!(c.live_of_root(root), 1);
+        assert_eq!(c.stale_of_root(root), 1);
+        // Rebuild as a flush whose surviving flows only touch links 1 and 2
+        // would: the root link itself is neither touched nor dirty, so
+        // `reset` never visits it — `clear_list` alone must leave no
+        // phantom counts behind for a future component to absorb.
+        c.clear_list(root);
+        assert_eq!(c.live_of_root(root), 0, "no phantom live count");
+        assert_eq!(c.stale_of_root(root), 0);
+        c.reset(1);
+        c.reset(2);
+        c.attach(&[1, 2], id(2));
+        let rebuilt = c.find(2);
+        assert_eq!(c.live_of_root(rebuilt), 1);
+        assert_eq!(c.stale_of_root(rebuilt), 0);
     }
 
     #[test]

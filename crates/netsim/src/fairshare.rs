@@ -44,7 +44,13 @@
 //!
 //! The queue is owned by `Network` and reused across rebalances: `clear` is
 //! O(buckets actually used), and no allocation happens after the first
-//! rebalance at a given scale.
+//! rebalance at a given scale. The parallel shard engine gives every worker
+//! its *own* queue (components share no links, so per-shard queues see
+//! disjoint key sets and pop exactly the subsequence of minima a combined
+//! fill would have popped for those links); the bucket array itself is
+//! allocated lazily on first insert, so the per-worker copies — and the
+//! queue of a `Bottleneck`-mode network, which never fills — cost nothing
+//! until used.
 
 /// Sentinel for "this link holds no live entry".
 const NO_BUCKET: u32 = u32::MAX;
@@ -184,18 +190,38 @@ pub(crate) struct FairShareQueue {
     first: usize,
 }
 
+impl Default for FairShareQueue {
+    fn default() -> Self {
+        FairShareQueue::new()
+    }
+}
+
 impl FairShareQueue {
+    /// An empty queue. The bucket array and its occupancy bitmaps (~1 MB)
+    /// are allocated lazily on the first [`FairShareQueue::set`]: a
+    /// `Network` owns one queue per shard worker on top of its own — and
+    /// one even in `Bottleneck` mode, where no fill ever runs — so queues
+    /// that never see an entry must cost nothing.
     pub(crate) fn new() -> Self {
         FairShareQueue {
             key: Vec::new(),
             bucket_of: Vec::new(),
-            buckets: vec![Bucket::default(); BUCKET_COUNT],
-            occupied: vec![0; BUCKET_COUNT / 64],
-            summary: vec![0; BUCKET_COUNT / 64 / 64],
+            buckets: Vec::new(),
+            occupied: Vec::new(),
+            summary: Vec::new(),
             used: Vec::new(),
             arena: PairingArena::default(),
             len: 0,
             first: BUCKET_COUNT,
+        }
+    }
+
+    /// Allocate the bucket array and bitmaps on first use.
+    fn ensure_buckets(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![Bucket::default(); BUCKET_COUNT];
+            self.occupied = vec![0; BUCKET_COUNT / 64];
+            self.summary = vec![0; BUCKET_COUNT / 64 / 64];
         }
     }
 
@@ -299,6 +325,7 @@ impl FairShareQueue {
             share >= 0.0 && share.is_finite(),
             "share {share} out of domain"
         );
+        self.ensure_buckets();
         let bits = share.to_bits();
         let b = bucket_index(bits);
         let prev = self.bucket_of[link];

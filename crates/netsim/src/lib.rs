@@ -105,5 +105,6 @@ pub use network::{
 pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
 pub use replay::{replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult};
 pub use topology::{
-    cluster_bordeplage, daisy_xdsl, dslam_forest, lan, PlacementPolicy, Topology, TopologyKind,
+    cluster_bordeplage, daisy_xdsl, dslam_forest, dslam_forest_mirrored, lan, PlacementPolicy,
+    Topology, TopologyKind,
 };

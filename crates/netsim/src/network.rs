@@ -71,8 +71,8 @@
 //!   and drops the stale entries itself; [`Network::auto_compactions`]
 //!   counts the passes, and [`Network::compact_events`] remains available as
 //!   a manual escape hatch.
-//! * **Dirty-component–limited recompute** — the default engine
-//!   ([`RebalanceEngine::DirtyComponent`]) goes one step further than
+//! * **Dirty-component–limited recompute** —
+//!   [`RebalanceEngine::DirtyComponent`] goes one step further than
 //!   batching: the max–min fixpoint factors over the connected components of
 //!   the "shares a flow" relation on links, so a flush only re-runs
 //!   progressive filling over the component(s) containing links actually
@@ -85,6 +85,18 @@
 //!   bit-identical rates, so this produces delivery timestamps identical to
 //!   [`RebalanceEngine::BucketedBatched`] — a property the differential
 //!   suite in `tests/props.rs` enforces.
+//! * **Parallel sharded flushes** — the default engine
+//!   ([`RebalanceEngine::ParallelShard`]) adds one more step: a flush
+//!   spanning several dirty components bins whole components onto scoped
+//!   worker threads, each filling against private scratch (its own
+//!   bottleneck queue and a thread-local rate buffer — no shared mutable
+//!   network state), followed by one deterministic merge and a reschedule
+//!   walk in global active order. Component independence plus the pure
+//!   per-component fill make shard results bit-identical to
+//!   [`RebalanceEngine::DirtyComponent`] at every thread count — enforced
+//!   four ways by `tests/props.rs` and pinned across worker budgets by
+//!   `tests/parallel.rs`. Flushes below a work threshold (or with a single
+//!   dirty component) fall back to the single-threaded flush verbatim.
 //!
 //! This diverges from the seed's *progressive filling loop over hash maps*
 //! only in mechanics, not in the fixed point it computes: the per-link
@@ -193,9 +205,25 @@ pub enum RebalanceEngine {
     /// components keep their rates and scheduled completions verbatim.
     /// Identical simulated results (bit-for-bit — see `tests/props.rs`),
     /// asymptotically cheaper again when traffic is not globally coupled.
-    /// The default.
-    #[default]
+    /// The PR 3 default, retained as the single-threaded differential
+    /// baseline of the parallel shard engine.
     DirtyComponent,
+    /// Everything [`RebalanceEngine::DirtyComponent`] does, plus flushes
+    /// spanning several dirty components shard those components across
+    /// worker threads: each shard re-runs progressive filling for its
+    /// components with its own bottleneck queue, writing rates into a
+    /// thread-local buffer (no shared mutable network state), and one
+    /// deterministic merge pass applies the deltas and reschedules
+    /// completions in global active order. Because the fill is a pure
+    /// function of each component's flow set (link-index tie-breaking) and
+    /// components share no links or flows, shard results are bit-identical
+    /// to [`RebalanceEngine::DirtyComponent`] at **every** thread count —
+    /// a property `tests/props.rs` enforces four ways. Flushes below the
+    /// work threshold ([`Network::set_parallel_threshold`]) or with a
+    /// single dirty component fall back to the single-threaded flush
+    /// verbatim. The default.
+    #[default]
+    ParallelShard,
 }
 
 /// When the network compacts the scheduler's event heap on its own.
@@ -227,9 +255,10 @@ impl Default for CompactionPolicy {
     }
 }
 
-/// Telemetry of the dirty-component engine's flushes, for diagnostics and
-/// benchmark analysis ([`Network::flush_stats`]). All zero under the other
-/// engines.
+/// Telemetry of the component-tracking engines' flushes
+/// ([`RebalanceEngine::DirtyComponent`] and
+/// [`RebalanceEngine::ParallelShard`]), for diagnostics and benchmark
+/// analysis ([`Network::flush_stats`]). All zero under the other engines.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlushStats {
     /// Dirty flushes run (rebalances that found at least one dirty link).
@@ -244,6 +273,12 @@ pub struct FlushStats {
     /// Total flows recomputed across all flushes (the full engines would
     /// have recomputed `flushes × active` instead).
     pub flushed_flows: u64,
+    /// Flushes whose fill ran sharded across worker threads (only under
+    /// [`RebalanceEngine::ParallelShard`], and only when the flush spanned
+    /// several dirty components and cleared the work threshold).
+    pub parallel_flushes: u64,
+    /// Total shards dispatched to workers across all parallel flushes.
+    pub shards_dispatched: u64,
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -287,6 +322,12 @@ const DRAIN_EPSILON: f64 = 1e-3;
 /// not real allocations; flows "allocated" less are treated as starved.
 const MIN_RATE: f64 = 1e-6;
 
+/// Default work threshold of [`RebalanceEngine::ParallelShard`]: flushes
+/// gathering fewer live flows than this run the single-threaded fill (the
+/// fork–join overhead would beat the fill itself). Override with
+/// [`Network::set_parallel_threshold`].
+const PARALLEL_MIN_FLOWS: usize = 192;
+
 #[derive(Debug, Clone)]
 struct FlowState {
     id: FlowId,
@@ -324,6 +365,132 @@ struct FlowState {
 struct Slot {
     generation: u32,
     state: Option<FlowState>,
+}
+
+/// Per-worker scratch of the parallel shard engine: a private copy of every
+/// epoch-stamped table the progressive fill writes, so a shard touches no
+/// shared mutable network state. Tables are link-/slot-indexed like their
+/// `Network` counterparts (components never share links or flows, so two
+/// shards never index the same entry of *their own* tables for the same
+/// underlying object — each scratch is simply independent) and reused
+/// across flushes; nothing allocates after the first flush at a given
+/// scale.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Monotone fill epoch of this scratch (independent of the network's).
+    epoch: u64,
+    link_capacity: Vec<f64>,
+    link_unfixed: Vec<u32>,
+    link_epoch: Vec<u64>,
+    /// Links seeded by the current fill (deduplicated via `link_epoch`).
+    touched_links: Vec<usize>,
+    /// This shard's private bottleneck-selection queue.
+    queue: FairShareQueue,
+    link_round: Vec<u64>,
+    affected: Vec<usize>,
+    fill_round: u64,
+    /// Epoch at which a slot's rate was fixed by this shard's fill.
+    flow_fixed: Vec<u64>,
+    /// The thread-local rate delta buffer: the rate this shard's fill
+    /// assigned per slot (valid where `flow_fixed` carries the epoch).
+    flow_rate: Vec<f64>,
+}
+
+/// One shard of a parallel flush: the slot indices of the flows of the
+/// components binned onto this worker, plus the worker's scratch.
+#[derive(Debug, Default)]
+struct ShardTask {
+    flows: Vec<u32>,
+    /// Live-flow load used by the size-balanced binning.
+    load: usize,
+    scratch: ShardScratch,
+}
+
+impl ShardTask {
+    /// Re-run progressive filling over this shard's flows, reading shared
+    /// network state immutably and writing results only into the scratch.
+    ///
+    /// This mirrors `Network::recompute_rates_dirty` phase 3 plus
+    /// `fill_by_bucket_queue` / `fix_bottleneck_flows` exactly — same
+    /// seeding arithmetic, same dust rule, same link-index tie-breaking —
+    /// so a shard re-derives bit-identical rates to the single-threaded
+    /// fill (the fill is a pure function of each component's flow set, and
+    /// this shard holds whole components).
+    fn run(&mut self, slots: &[Slot], link_flows: &[Vec<u32>], links: &[crate::platform::Link]) {
+        let s = &mut self.scratch;
+        if s.link_capacity.len() < links.len() {
+            s.link_capacity.resize(links.len(), 0.0);
+            s.link_unfixed.resize(links.len(), 0);
+            s.link_epoch.resize(links.len(), 0);
+            s.link_round.resize(links.len(), 0);
+        }
+        if s.flow_fixed.len() < slots.len() {
+            s.flow_fixed.resize(slots.len(), 0);
+            s.flow_rate.resize(slots.len(), 0.0);
+        }
+        s.epoch += 1;
+        let epoch = s.epoch;
+        s.touched_links.clear();
+        let mut unfixed_flows = 0usize;
+        for &slot_idx in &self.flows {
+            let si = slot_idx as usize;
+            let f = slots[si].state.as_ref().expect("gathered flows are live");
+            s.flow_fixed[si] = 0;
+            s.flow_rate[si] = 0.0;
+            unfixed_flows += 1;
+            for &l in &f.route.links {
+                if s.link_epoch[l] != epoch {
+                    s.link_epoch[l] = epoch;
+                    s.link_capacity[l] = links[l].bandwidth.bytes_per_sec();
+                    s.link_unfixed[l] = 0;
+                    s.touched_links.push(l);
+                }
+                s.link_unfixed[l] += 1;
+            }
+        }
+        s.queue
+            .seed(&s.touched_links, &s.link_capacity, &s.link_unfixed);
+        while unfixed_flows > 0 {
+            let Some((bottleneck, share)) = s.queue.pop_min() else {
+                break;
+            };
+            s.fill_round += 1;
+            let round = s.fill_round;
+            s.affected.clear();
+            let mut fixed = 0usize;
+            for &slot_idx in &link_flows[bottleneck] {
+                let si = slot_idx as usize;
+                if s.flow_fixed[si] == epoch {
+                    continue;
+                }
+                s.flow_fixed[si] = epoch;
+                s.flow_rate[si] = if share < MIN_RATE { 0.0 } else { share };
+                fixed += 1;
+                let f = slots[si].state.as_ref().expect("incident flows are live");
+                for &l in &f.route.links {
+                    s.link_capacity[l] = (s.link_capacity[l] - share).max(0.0);
+                    s.link_unfixed[l] -= 1;
+                    if s.link_round[l] != round {
+                        s.link_round[l] = round;
+                        s.affected.push(l);
+                    }
+                }
+            }
+            unfixed_flows -= fixed;
+            for &l in &s.affected {
+                if l == bottleneck {
+                    continue;
+                }
+                let n = s.link_unfixed[l];
+                if n == 0 {
+                    s.queue.remove(l);
+                } else {
+                    s.queue.set(l, s.link_capacity[l] / n as f64);
+                }
+            }
+        }
+        s.queue.clear();
+    }
 }
 
 /// The flow-level network simulator state.
@@ -367,11 +534,23 @@ pub struct Network {
     dirty_roots: Vec<usize>,
     /// Non-loopback active flows currently attached to `comp`.
     attached_flows: usize,
-    /// Stale component-list entries (finished flows) not yet reclaimed by a
-    /// gather; bounds the GC debt the whole-network fast path may defer.
-    stale_entries: u64,
     /// Scratch: the flow ids gathered from dirty components.
     comp_raw: Vec<FlowId>,
+    /// Scratch: per dirty root, the gathered range of `comp_raw` (what the
+    /// shard binning partitions — components must stay whole per shard).
+    root_ranges: Vec<(u32, u32)>,
+    /// Scratch: component order of the size-balanced binning.
+    shard_order: Vec<u32>,
+    /// Worker shards of [`RebalanceEngine::ParallelShard`] (reused across
+    /// flushes; grown to the dispatch width on demand).
+    shard_tasks: Vec<ShardTask>,
+    /// Worker threads a parallel flush may use (resolved from
+    /// `rayon::current_num_threads()` at construction, overridable via
+    /// [`Network::set_shard_threads`]).
+    shard_threads: usize,
+    /// Minimum gathered live flows before a flush shards
+    /// ([`Network::set_parallel_threshold`]).
+    parallel_min_flows: usize,
     /// Scratch: slot indices of the flows a dirty flush recomputes, ordered
     /// like `active` (so reschedules happen in the same order a full
     /// recompute would produce — equal-timestamp FIFO order is observable).
@@ -424,9 +603,13 @@ impl Network {
             comp_stamp: vec![0; link_count],
             dirty_roots: Vec::new(),
             attached_flows: 0,
-            stale_entries: 0,
             flush_stats: FlushStats::default(),
             comp_raw: Vec::new(),
+            root_ranges: Vec::new(),
+            shard_order: Vec::new(),
+            shard_tasks: Vec::new(),
+            shard_threads: rayon::current_num_threads(),
+            parallel_min_flows: PARALLEL_MIN_FLOWS,
             comp_flows: Vec::new(),
             engine,
             rebalance_pending: false,
@@ -442,6 +625,39 @@ impl Network {
     /// The rebalance engine in use.
     pub fn engine(&self) -> RebalanceEngine {
         self.engine
+    }
+
+    /// Whether the engine maintains the link-component index (the dirty and
+    /// parallel-shard engines; their flush bookkeeping is shared).
+    fn tracks_components(&self) -> bool {
+        matches!(
+            self.engine,
+            RebalanceEngine::DirtyComponent | RebalanceEngine::ParallelShard
+        )
+    }
+
+    /// Worker threads a [`RebalanceEngine::ParallelShard`] flush may use.
+    pub fn shard_threads(&self) -> usize {
+        self.shard_threads
+    }
+
+    /// Override the worker-thread budget of parallel flushes (default: the
+    /// rayon worker count, which honours `RAYON_NUM_THREADS`). Values above
+    /// the machine's core count are legal — shard results are bit-identical
+    /// at every thread count, so determinism tests sweep this freely; `0`
+    /// and `1` both mean "never shard".
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        self.shard_threads = threads.max(1);
+    }
+
+    /// Override the parallel work threshold: a flush only shards when it
+    /// gathers at least this many live flows across at least two dirty
+    /// components (default 192 — below that the fork–join overhead beats
+    /// the fill). Set to 0 to shard every multi-component flush, which the
+    /// differential tests do to exercise the parallel path on small
+    /// workloads.
+    pub fn set_parallel_threshold(&mut self, min_flows: usize) {
+        self.parallel_min_flows = min_flows;
     }
 
     /// The event-heap compaction policy in force.
@@ -645,7 +861,9 @@ impl Network {
                 self.rebalance(sched);
                 self.maybe_compact(sched);
             }
-            RebalanceEngine::BucketedBatched | RebalanceEngine::DirtyComponent => {
+            RebalanceEngine::BucketedBatched
+            | RebalanceEngine::DirtyComponent
+            | RebalanceEngine::ParallelShard => {
                 if !self.rebalance_pending {
                     self.rebalance_pending = true;
                     sched.schedule_at(sched.now(), NetEvent::Rebalance.into());
@@ -657,7 +875,7 @@ impl Network {
     /// Record that `links`' flow sets changed since the last flush (no-op
     /// for engines that do not limit their flushes).
     fn mark_dirty(&mut self, links: &[usize]) {
-        if self.engine != RebalanceEngine::DirtyComponent {
+        if !self.tracks_components() {
             return;
         }
         for &l in links {
@@ -716,7 +934,7 @@ impl Network {
                 .link_pos
                 .push(pos);
         }
-        if self.engine == RebalanceEngine::DirtyComponent {
+        if self.tracks_components() {
             self.comp.attach(&route.links, flow);
             self.attached_flows += 1;
             self.mark_dirty(&route.links);
@@ -764,10 +982,9 @@ impl Network {
         // The departed flow's links must be re-filled at the flush this
         // requests; its component-list entry goes stale (a later gather
         // reclaims it) and its component's live count drops now.
-        if self.engine == RebalanceEngine::DirtyComponent && !state.route.links.is_empty() {
+        if self.tracks_components() && !state.route.links.is_empty() {
             self.comp.detach_one(state.route.links[0]);
             self.attached_flows -= 1;
-            self.stale_entries += 1;
             self.mark_dirty(&state.route.links);
         }
         let delivery = self.finish_flow(state);
@@ -857,7 +1074,7 @@ impl Network {
     /// holding dirty links; other engines cover the whole active set.
     fn rebalance<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
         let now = sched.now();
-        if self.engine == RebalanceEngine::DirtyComponent {
+        if self.tracks_components() {
             if !self.recompute_rates_dirty() {
                 return; // nothing dirty: no rate can have changed
             }
@@ -960,11 +1177,12 @@ impl Network {
         }
         match self.engine {
             RebalanceEngine::ScanPerEvent => self.fill_by_scan(epoch, unfixed_flows),
-            // The dirty engine never takes this path (its flushes go through
-            // `recompute_rates_dirty`), but the bucket fill is its fill too.
-            RebalanceEngine::BucketedBatched | RebalanceEngine::DirtyComponent => {
-                self.fill_by_bucket_queue(epoch, unfixed_flows)
-            }
+            // The component-tracking engines never take this path (their
+            // flushes go through `recompute_rates_dirty`), but the bucket
+            // fill is their fill too.
+            RebalanceEngine::BucketedBatched
+            | RebalanceEngine::DirtyComponent
+            | RebalanceEngine::ParallelShard => self.fill_by_bucket_queue(epoch, unfixed_flows),
         }
     }
 
@@ -998,21 +1216,37 @@ impl Network {
         // That is always safe, whatever `covered` says: recomputing
         // everything is the maximal superset, and clean components re-derive
         // bit-identical rates (no reschedules). The fast path defers
-        // stale-entry GC, so it is declined once the deferred debt passes
-        // half the attached population — the next slow flush gathers (and
-        // reclaims) the lists.
+        // stale-entry GC, so it is declined once the dirty region's own
+        // deferred debt passes half the region's live population — the next
+        // slow flush gathers (and reclaims) those lists. The debt is
+        // tracked per component root, so stale entries parked in components
+        // that never go dirty again cannot force every future flush onto
+        // the gather path.
         self.dirty_roots.clear();
         let mut covered = 0usize;
+        let mut stale_covered = 0usize;
         for i in 0..self.dirty_links.len() {
             let root = self.comp.find(self.dirty_links[i]);
             if self.comp_stamp[root] != epoch {
                 self.comp_stamp[root] = epoch;
                 self.dirty_roots.push(root);
                 covered += self.comp.live_of_root(root) as usize;
+                stale_covered += self.comp.stale_of_root(root) as usize;
             }
         }
-        let gathered = covered * 4 < self.attached_flows * 3
-            || self.stale_entries * 2 > self.attached_flows as u64;
+        // The parallel engine wants the per-component lists whenever the
+        // flush spans several components and clears the work threshold —
+        // *even* when the dense fast path would apply: a fork–join over the
+        // components beats the serial whole-active-set walk precisely on
+        // those big flushes, and gathering is what produces the shardable
+        // partition. (Rates are identical either way; only which path
+        // computes them changes.)
+        let parallel_wanted = self.engine == RebalanceEngine::ParallelShard
+            && self.shard_threads >= 2
+            && self.dirty_roots.len() >= 2
+            && covered >= self.parallel_min_flows.max(1);
+        let gathered =
+            parallel_wanted || covered * 4 < self.attached_flows * 3 || stale_covered * 2 > covered;
         self.flush_stats.flushes += 1;
         if !gathered {
             self.flush_stats.fast_flushes += 1;
@@ -1041,15 +1275,19 @@ impl Network {
             // stamps mark membership). All paths yield the identical
             // sequence — the relative `active` order.
             self.comp_raw.clear();
+            self.root_ranges.clear();
             for i in 0..self.dirty_roots.len() {
                 let root = self.dirty_roots[i];
                 let slots = &self.slots;
-                let dropped = self.comp.gather(root, &mut self.comp_raw, |id| {
+                let start = self.comp_raw.len() as u32;
+                // Dropped (stale) entries decrement the root's `listed`
+                // count inside `gather`, clearing its deferred-GC debt.
+                self.comp.gather(root, &mut self.comp_raw, |id| {
                     slots
                         .get(id.slot() as usize)
                         .is_some_and(|s| s.generation == id.generation() && s.state.is_some())
                 });
-                self.stale_entries -= dropped as u64;
+                self.root_ranges.push((start, self.comp_raw.len() as u32));
             }
             for i in 0..self.comp_raw.len() {
                 let id = self.comp_raw[i];
@@ -1081,33 +1319,41 @@ impl Network {
                 });
             }
         }
-        // Phase 3: seed the per-link scratch and the flows' fill state from
-        // the component subset (the full path seeds from the whole active
-        // set; the arithmetic is identical), then fill.
-        self.touched_links.clear();
-        let mut unfixed_flows = 0usize;
-        for i in 0..self.comp_flows.len() {
-            let slot_idx = self.comp_flows[i] as usize;
-            let f = self.slots[slot_idx]
-                .state
-                .as_mut()
-                .expect("gathered flows are live");
-            f.new_rate = 0.0;
-            f.fixed_epoch = 0;
-            unfixed_flows += 1;
-            let route = Arc::clone(&f.route);
-            for &l in &route.links {
-                if self.link_epoch[l] != epoch {
-                    self.link_epoch[l] = epoch;
-                    self.link_capacity[l] = self.platform.links()[l].bandwidth.bytes_per_sec();
-                    self.link_unfixed[l] = 0;
-                    self.touched_links.push(l);
+        // Phase 3: recompute the gathered flows' rates. A parallel-shard
+        // flush bins whole components onto worker threads and fills each
+        // bin against private scratch; otherwise (or when the shard
+        // heuristic declines) seed the shared per-link scratch from the
+        // component subset (the full path seeds from the whole active set;
+        // the arithmetic is identical) and fill single-threaded. Either
+        // path leaves identical `new_rate`s and an identical
+        // `touched_links`/`link_epoch` view for phase 4.
+        let sharded = parallel_wanted && self.fill_parallel(epoch);
+        if !sharded {
+            self.touched_links.clear();
+            let mut unfixed_flows = 0usize;
+            for i in 0..self.comp_flows.len() {
+                let slot_idx = self.comp_flows[i] as usize;
+                let f = self.slots[slot_idx]
+                    .state
+                    .as_mut()
+                    .expect("gathered flows are live");
+                f.new_rate = 0.0;
+                f.fixed_epoch = 0;
+                unfixed_flows += 1;
+                let route = Arc::clone(&f.route);
+                for &l in &route.links {
+                    if self.link_epoch[l] != epoch {
+                        self.link_epoch[l] = epoch;
+                        self.link_capacity[l] = self.platform.links()[l].bandwidth.bytes_per_sec();
+                        self.link_unfixed[l] = 0;
+                        self.touched_links.push(l);
+                    }
+                    self.link_unfixed[l] += 1;
                 }
-                self.link_unfixed[l] += 1;
             }
+            self.flush_stats.flushed_flows += unfixed_flows as u64;
+            self.fill_by_bucket_queue(epoch, unfixed_flows);
         }
-        self.flush_stats.flushed_flows += unfixed_flows as u64;
-        self.fill_by_bucket_queue(epoch, unfixed_flows);
         // Phase 4: when the flushed component is small relative to the
         // active set, rebuild exact connectivity for the region — clear the
         // dirty roots' lists, reset every region link (seeded above, or
@@ -1151,6 +1397,102 @@ impl Network {
         true
     }
 
+    /// Sharded phase 3 of a parallel flush: partition the gathered dirty
+    /// components into size-balanced bins (greedy longest-processing-time
+    /// over per-component gathered counts), fill every bin on a scoped
+    /// worker thread against private scratch, then merge the thread-local
+    /// rate buffers back into the flow table. Returns `false` (leaving the
+    /// shared fill state untouched) when fewer than two non-empty
+    /// components survive gathering or the gathered total is below the work
+    /// threshold — the caller then runs the single-threaded fill.
+    ///
+    /// Determinism: the bins only decide *which thread* computes a
+    /// component's rates — the fill is a pure function of each component's
+    /// flow set, components share no links or flows, and the merge (plus
+    /// the caller's reschedule walk over `comp_flows`) follows global
+    /// active order, so results are bit-identical to the single-threaded
+    /// flush at every thread count.
+    fn fill_parallel(&mut self, epoch: u64) -> bool {
+        if self.comp_flows.len() < self.parallel_min_flows.max(1) {
+            return false;
+        }
+        self.shard_order.clear();
+        for (i, &(a, b)) in self.root_ranges.iter().enumerate() {
+            if b > a {
+                self.shard_order.push(i as u32);
+            }
+        }
+        if self.shard_order.len() < 2 {
+            return false;
+        }
+        // Largest component first; ties break by gather order, keeping the
+        // binning deterministic (not that results depend on it).
+        let ranges = &self.root_ranges;
+        self.shard_order.sort_unstable_by_key(|&i| {
+            let (a, b) = ranges[i as usize];
+            (std::cmp::Reverse(b - a), i)
+        });
+        let bins = self.shard_threads.min(self.shard_order.len());
+        while self.shard_tasks.len() < bins {
+            self.shard_tasks.push(ShardTask::default());
+        }
+        for task in &mut self.shard_tasks[..bins] {
+            task.flows.clear();
+            task.load = 0;
+        }
+        for &oi in &self.shard_order {
+            let (a, b) = self.root_ranges[oi as usize];
+            let mut best = 0usize;
+            for j in 1..bins {
+                if self.shard_tasks[j].load < self.shard_tasks[best].load {
+                    best = j;
+                }
+            }
+            let task = &mut self.shard_tasks[best];
+            task.load += (b - a) as usize;
+            for k in a..b {
+                task.flows.push(self.comp_raw[k as usize].slot());
+            }
+        }
+        // Fork–join: every worker reads the flow table, incidence lists and
+        // platform immutably and writes only its own scratch.
+        let mut tasks = std::mem::take(&mut self.shard_tasks);
+        {
+            let slots = &self.slots;
+            let link_flows = &self.link_flows;
+            let links = self.platform.links();
+            rayon::scope_for_each_mut(&mut tasks[..bins], bins, |task| {
+                task.run(slots, link_flows, links)
+            });
+        }
+        // Merge: apply every shard's delta buffer to the flow table and
+        // collect the seeded links (stamping the shared `link_epoch`, which
+        // phase 4's region rebuild keys on). Each slot and each link lives
+        // in exactly one shard, so the merge order cannot change the
+        // outcome; the *observable* order — reschedules — comes from the
+        // caller's walk of `comp_flows`, sorted by active order exactly
+        // like a single-threaded flush.
+        self.touched_links.clear();
+        for task in &tasks[..bins] {
+            for &slot_idx in &task.flows {
+                self.slots[slot_idx as usize]
+                    .state
+                    .as_mut()
+                    .expect("gathered flows are live")
+                    .new_rate = task.scratch.flow_rate[slot_idx as usize];
+            }
+            for &l in &task.scratch.touched_links {
+                self.link_epoch[l] = epoch;
+                self.touched_links.push(l);
+            }
+        }
+        self.shard_tasks = tasks;
+        self.flush_stats.flushed_flows += self.comp_flows.len() as u64;
+        self.flush_stats.parallel_flushes += 1;
+        self.flush_stats.shards_dispatched += bins as u64;
+        true
+    }
+
     /// PR 1 bottleneck selection: a linear scan over every touched link per
     /// filling iteration. Retained as the differential/benchmark baseline of
     /// the bucket-queue engine.
@@ -1181,6 +1523,8 @@ impl Network {
     /// Bucket-queue bottleneck selection: seed the monotone queue with every
     /// touched link's fair share, then pop minima directly; each filling
     /// round refreshes only the links its fixed flows cross.
+    ///
+    /// KEEP IN SYNC with [`ShardTask::run`] (see `fix_bottleneck_flows`).
     fn fill_by_bucket_queue(&mut self, epoch: u64, mut unfixed_flows: usize) {
         self.queue
             .seed(&self.touched_links, &self.link_capacity, &self.link_unfixed);
@@ -1215,6 +1559,13 @@ impl Network {
     /// of flows fixed. When `affected` is given, every link whose capacity
     /// or count changed is collected into it exactly once (round-stamped) so
     /// the bucket-queue engine can refresh just those keys.
+    ///
+    /// KEEP IN SYNC with [`ShardTask::run`], which inlines this arithmetic
+    /// against shard-local scratch: any change to the dust rule, the
+    /// capacity subtraction or the affected-link collection must be
+    /// mirrored there, or the parallel engine's bit-identity to the
+    /// single-threaded fill breaks (the four-way differential property in
+    /// `tests/props.rs` is the tripwire).
     fn fix_bottleneck_flows(
         &mut self,
         epoch: u64,

@@ -110,6 +110,15 @@ pub struct ReplayConfig {
     /// `Bottleneck`). Every engine produces identical simulated results;
     /// non-default choices exist for differential tests and benchmarks.
     pub engine: RebalanceEngine,
+    /// Worker-thread budget for [`RebalanceEngine::ParallelShard`] flushes
+    /// (`None` = the rayon worker count, which honours `RAYON_NUM_THREADS`).
+    /// Thread count never changes simulated results — this exists so
+    /// differential tests and benchmarks can pin it.
+    pub shard_threads: Option<usize>,
+    /// Work threshold for [`RebalanceEngine::ParallelShard`] flushes
+    /// (`None` = the engine default; see
+    /// [`Network::set_parallel_threshold`]).
+    pub parallel_threshold: Option<usize>,
 }
 
 impl Default for ReplayConfig {
@@ -118,6 +127,8 @@ impl Default for ReplayConfig {
             sharing: SharingMode::Bottleneck,
             protocol: ProtocolCosts::none(),
             engine: RebalanceEngine::default(),
+            shard_threads: None,
+            parallel_threshold: None,
         }
     }
 }
@@ -380,8 +391,15 @@ pub fn replay(
             wait_since: SimTime::ZERO,
         })
         .collect();
+    let mut net = Network::with_engine(platform, cfg.sharing, cfg.engine);
+    if let Some(threads) = cfg.shard_threads {
+        net.set_shard_threads(threads);
+    }
+    if let Some(min_flows) = cfg.parallel_threshold {
+        net.set_parallel_threshold(min_flows);
+    }
     let mut world = ReplayWorld {
-        net: Network::with_engine(platform, cfg.sharing, cfg.engine),
+        net,
         procs,
         protocol: cfg.protocol,
         token_info: HashMap::new(),

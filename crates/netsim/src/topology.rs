@@ -301,6 +301,38 @@ pub fn lan(n_nodes: usize, host: HostSpec) -> Topology {
 /// assert!(topo.platform.route_uncached(c, d).is_some());
 /// ```
 pub fn dslam_forest(trees: usize, nodes_per_tree: usize, host: HostSpec, seed: u64) -> Topology {
+    build_dslam_forest(trees, nodes_per_tree, host, seed, false)
+}
+
+/// [`dslam_forest`] with **identical** trees: the last-mile bandwidth
+/// sequence restarts from `seed` for every tree, so tree `t` is a replica
+/// of tree `0` (same link speeds hop for hop, same latencies as always).
+///
+/// Replicated trees make replicated *workloads* complete in lock-step:
+/// mirroring the same flow pattern into every tree puts an arrival or
+/// departure in all trees at the same simulated instants, so each batched
+/// flush spans every tree's component at once — the shardable shape the
+/// `flow_engine_parallel` benchmark and the parallel-engine tests drive.
+/// (The plain [`dslam_forest`] draws one continuous bandwidth stream across
+/// trees, so its completions spread out and its flushes are mostly
+/// single-component — the shape the *dirty-component* engine is measured
+/// on.)
+pub fn dslam_forest_mirrored(
+    trees: usize,
+    nodes_per_tree: usize,
+    host: HostSpec,
+    seed: u64,
+) -> Topology {
+    build_dslam_forest(trees, nodes_per_tree, host, seed, true)
+}
+
+fn build_dslam_forest(
+    trees: usize,
+    nodes_per_tree: usize,
+    host: HostSpec,
+    seed: u64,
+    mirrored: bool,
+) -> Topology {
     assert!(trees > 0 && trees <= 255, "1 to 255 trees");
     assert!(
         nodes_per_tree > 0 && nodes_per_tree <= 2040,
@@ -312,6 +344,10 @@ pub fn dslam_forest(trees: usize, nodes_per_tree: usize, host: HostSpec, seed: u
     let mut hosts = Vec::with_capacity(trees * nodes_per_tree);
     let mut components = Vec::with_capacity(trees);
     for t in 0..trees {
+        if mirrored {
+            // Restart the bandwidth stream so this tree replicates tree 0.
+            rng = DetRng::new(seed).fork(0xF03E57);
+        }
         let start = hosts.len();
         let root = b.add_router(format!("tree{t}-root"));
         let mut dslams = Vec::new();

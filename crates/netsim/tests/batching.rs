@@ -136,6 +136,43 @@ fn dirty_component_engine_matches_batched_on_single_component_churn() {
     assert_eq!(dirty.net.stats(), batched.net.stats());
 }
 
+/// The parallel-shard engine on the same star churn workload — whose
+/// index-derived src→dst pairs decompose into many small link components,
+/// so flushes under an eight-worker budget and a zero threshold really do
+/// shard — must reproduce the dirty-component flush to the nanosecond on
+/// every token.
+#[test]
+fn parallel_shard_engine_matches_dirty_on_star_churn() {
+    let hosts = 32;
+    let mut world = NetWorld {
+        net: Network::with_engine(
+            star(hosts),
+            SharingMode::MaxMinFair,
+            RebalanceEngine::ParallelShard,
+        ),
+        deliveries: vec![],
+    };
+    world.net.set_shard_threads(8);
+    world.net.set_parallel_threshold(0);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for &(src, dst, size, token) in &churn_workload(hosts, 400) {
+        world.net.start_flow(&mut sched, src, dst, size, token);
+    }
+    run_world(&mut world, &mut sched, None);
+    assert!(
+        world.net.flush_stats().parallel_flushes > 0,
+        "the pairwise-decomposed churn must have sharded at least once"
+    );
+    let (dirty, _) = run(RebalanceEngine::DirtyComponent, None);
+    assert_eq!(world.deliveries.len(), 400);
+    assert_eq!(
+        by_token(&world.deliveries),
+        by_token(&dirty.deliveries),
+        "parallel sharding must be observationally invisible"
+    );
+    assert_eq!(world.net.stats(), dirty.net.stats());
+}
+
 /// Coalescing is not a no-op: the whole arrival wave activates at one
 /// instant, so the batched engine runs far fewer rebalances — visible as
 /// far fewer superseded (dead) completion events over the run.

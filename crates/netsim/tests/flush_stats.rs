@@ -1,0 +1,229 @@
+//! Assertions over [`Network::flush_stats`] — the dirty/parallel engines'
+//! flush telemetry. The counters have been exposed since PR 3 but were
+//! never pinned; these tests nail down when each one ticks:
+//!
+//! * `flushes` — every rebalance that found a dirty link;
+//! * `fast_flushes` — the dense fast path (dirty components covering ≥ 3/4
+//!   of the attached flows, low GC debt): taken on globally-coupled
+//!   traffic, skipped on component-local churn;
+//! * `rebuilds` — region rebuilds after small gathered flushes;
+//! * `flushed_flows` — the work metric the dirty engine exists to shrink;
+//! * `parallel_flushes` / `shards_dispatched` — sharded fills, only under
+//!   [`RebalanceEngine::ParallelShard`] with ≥ 2 dirty components.
+
+use netsim::event::{run_world, Scheduler, World};
+use netsim::network::{
+    FlowDelivery, NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode,
+};
+use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Net(NetEvent),
+}
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev::Net(e)
+    }
+}
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        let Ev::Net(e) = self;
+        Some(*e)
+    }
+}
+
+struct NetWorld {
+    net: Network,
+    deliveries: Vec<(SimTime, FlowDelivery)>,
+}
+impl World for NetWorld {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        let Ev::Net(ne) = ev;
+        let now = sched.now();
+        for d in self.net.on_event(sched, ne) {
+            self.deliveries.push((now, d));
+        }
+    }
+}
+
+/// A forest of `groups` disjoint stars; per-group latency staggers flushes
+/// when `staggered`, identical latencies synchronise them otherwise.
+fn forest(groups: usize, hosts_per: usize, staggered: bool) -> Platform {
+    let mut b = PlatformBuilder::new();
+    for g in 0..groups {
+        let sw = b.add_router(format!("sw{g}"));
+        let lat = if staggered { 100 * (g as u64 + 1) } else { 100 };
+        let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(lat));
+        for i in 0..hosts_per {
+            let h = b.add_host(
+                format!("g{g}h{i}"),
+                format!("10.{g}.0.{}", i + 1).parse().unwrap(),
+                HostSpec::default(),
+            );
+            b.add_host_link(format!("g{g}l{i}"), h, sw, spec);
+        }
+    }
+    b.build()
+}
+
+/// `per_group` flows inside every group, all funnelling into the group's
+/// host 0 (one component per group, globally coupled *within* the group).
+fn funnel_flows(
+    groups: usize,
+    hosts_per: usize,
+    per_group: usize,
+) -> Vec<(HostId, HostId, DataSize, u64)> {
+    let mut flows = Vec::new();
+    for g in 0..groups {
+        let base = (g * hosts_per) as u32;
+        for i in 0..per_group {
+            flows.push((
+                HostId::new(base + (i % (hosts_per - 1) + 1) as u32),
+                HostId::new(base),
+                DataSize::from_bytes(40_000 + (i as u64 * 13_007) % 300_000),
+                (g * per_group + i) as u64,
+            ));
+        }
+    }
+    flows
+}
+
+fn run(
+    platform: Platform,
+    engine: RebalanceEngine,
+    flows: &[(HostId, HostId, DataSize, u64)],
+    configure: impl FnOnce(&mut Network),
+) -> NetWorld {
+    let mut world = NetWorld {
+        net: Network::with_engine(platform, SharingMode::MaxMinFair, engine),
+        deliveries: vec![],
+    };
+    configure(&mut world.net);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for &(src, dst, size, token) in flows {
+        world.net.start_flow(&mut sched, src, dst, size, token);
+    }
+    run_world(&mut world, &mut sched, None);
+    assert_eq!(world.deliveries.len(), flows.len());
+    world
+}
+
+/// Globally-coupled traffic (one funnel star) takes the dense fast path:
+/// the single dirty component always covers every attached flow, so flushes
+/// skip the list gathering — and a fast flush never rebuilds the region.
+#[test]
+fn dense_fast_path_is_taken_on_globally_coupled_traffic() {
+    let flows = funnel_flows(1, 8, 60);
+    let w = run(
+        forest(1, 8, false),
+        RebalanceEngine::DirtyComponent,
+        &flows,
+        |_| {},
+    );
+    let s = w.net.flush_stats();
+    assert!(s.flushes > 0, "rebalances with dirty links must count");
+    assert!(s.fast_flushes > 0, "one funnel component must fast-path");
+    assert!(s.fast_flushes <= s.flushes);
+    assert!(
+        s.flushed_flows > 0,
+        "fast flushes still recompute (and count) the active set"
+    );
+    assert_eq!(
+        s.parallel_flushes, 0,
+        "the dirty engine never dispatches shards"
+    );
+    assert_eq!(s.shards_dispatched, 0);
+}
+
+/// Component-local churn on a staggered forest skips the fast path (each
+/// flush's component covers a fraction of the attached flows), gathers, and
+/// pays region rebuilds — and recomputes far fewer flows than `flushes ×
+/// active` would.
+#[test]
+fn gathered_flushes_rebuild_and_stay_component_local() {
+    let groups = 6;
+    let per_group = 40;
+    let flows = funnel_flows(groups, 8, per_group);
+    let w = run(
+        forest(groups, 8, true),
+        RebalanceEngine::DirtyComponent,
+        &flows,
+        |_| {},
+    );
+    let s = w.net.flush_stats();
+    assert!(s.flushes > 0);
+    assert!(
+        s.fast_flushes < s.flushes,
+        "staggered per-group churn must take the gathered path: {s:?}"
+    );
+    assert!(
+        s.rebuilds > 0,
+        "small gathered flushes rebuild their region"
+    );
+    assert!(
+        s.rebuilds <= s.flushes - s.fast_flushes,
+        "only gathered flushes may rebuild"
+    );
+    // Work bound: a full engine recomputes every active flow per flush. The
+    // dirty engine's whole point is staying below that; on this workload
+    // each flush touches about one group of the six.
+    assert!(
+        s.flushed_flows < s.flushes * (groups * per_group) as u64 / 2,
+        "flushes must stay component-local: {s:?}"
+    );
+    assert_eq!(s.parallel_flushes, 0);
+}
+
+/// The shard counters tick exactly when a parallel engine's flush spans
+/// several components and clears the threshold — mirrored (equal-latency)
+/// groups synchronise completions to make that happen deterministically.
+#[test]
+fn parallel_counters_tick_only_when_shards_dispatch() {
+    let groups = 6;
+    let flows = funnel_flows(groups, 8, 40);
+    let platform = forest(groups, 8, false);
+    let sharded = run(
+        platform.clone(),
+        RebalanceEngine::ParallelShard,
+        &flows,
+        |net| {
+            net.set_shard_threads(4);
+            net.set_parallel_threshold(0);
+        },
+    );
+    let s = sharded.net.flush_stats();
+    assert!(s.parallel_flushes > 0, "mirrored groups must shard: {s:?}");
+    assert!(s.shards_dispatched >= 2 * s.parallel_flushes);
+    assert!(s.shards_dispatched <= 4 * s.parallel_flushes);
+    assert!(s.parallel_flushes <= s.flushes);
+    // Same workload, same engine, but a one-thread budget: no shard ever
+    // dispatches, and the remaining telemetry still works.
+    let serial = run(platform, RebalanceEngine::ParallelShard, &flows, |net| {
+        net.set_shard_threads(1);
+        net.set_parallel_threshold(0);
+    });
+    let s1 = serial.net.flush_stats();
+    assert_eq!(s1.parallel_flushes, 0);
+    assert_eq!(s1.shards_dispatched, 0);
+    assert!(s1.flushes > 0);
+}
+
+/// Engines that do not track components never touch the telemetry.
+#[test]
+fn flush_stats_stay_zero_under_non_component_engines() {
+    let flows = funnel_flows(2, 8, 30);
+    for engine in [
+        RebalanceEngine::BucketedBatched,
+        RebalanceEngine::ScanPerEvent,
+    ] {
+        let w = run(forest(2, 8, false), engine, &flows, |_| {});
+        assert_eq!(
+            w.net.flush_stats(),
+            Default::default(),
+            "{engine:?} must leave the flush telemetry untouched"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Determinism-under-threads pins for [`RebalanceEngine::ParallelShard`].
+//!
+//! The property suite (`props.rs`) proves four-way engine equivalence at
+//! whatever worker count `RAYON_NUM_THREADS` dictates — the CI matrix sweeps
+//! that across processes. This file pins the orthogonal guarantee *within*
+//! one process: on a deterministic multi-component workload whose flushes
+//! really shard, the parallel engine's deliveries and statistics are
+//! bit-identical at **every** thread count (including oversubscribed counts
+//! far beyond the machine's cores), and the fallback paths — single dirty
+//! component, work threshold not met — degenerate to the single-threaded
+//! dirty-component flush exactly.
+//!
+//! The workload is mirrored across the forest's groups on purpose: every
+//! group has the same access latency and the same flow pattern, so arrivals
+//! and completions in different groups land at the *same* simulated
+//! instants and each batched flush spans many dirty components — the
+//! shardable case. (The property suite's `star_forest` staggers latencies
+//! per group to interleave flushes instead; the two suites meet in the
+//! middle.)
+
+use netsim::event::{run_world, Scheduler, World};
+use netsim::network::{
+    FlowDelivery, NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode,
+};
+use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Net(NetEvent),
+}
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev::Net(e)
+    }
+}
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        let Ev::Net(e) = self;
+        Some(*e)
+    }
+}
+
+struct NetWorld {
+    net: Network,
+    deliveries: Vec<(SimTime, FlowDelivery)>,
+}
+impl World for NetWorld {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        let Ev::Net(ne) = ev;
+        let now = sched.now();
+        for d in self.net.on_event(sched, ne) {
+            self.deliveries.push((now, d));
+        }
+    }
+}
+
+/// A forest of `groups` disjoint stars with **identical** access latency in
+/// every group, so mirrored flows activate and complete at the same
+/// instants across groups and every flush spans several dirty components.
+fn mirrored_forest(groups: usize, hosts_per: usize) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+    for g in 0..groups {
+        let sw = b.add_router(format!("sw{g}"));
+        for i in 0..hosts_per {
+            let h = b.add_host(
+                format!("g{g}h{i}"),
+                format!("10.{g}.0.{}", i + 1).parse().unwrap(),
+                HostSpec::default(),
+            );
+            b.add_host_link(format!("g{g}l{i}"), h, sw, spec);
+        }
+    }
+    b.build()
+}
+
+/// The same churn pattern replicated in every group (intra-group flows
+/// only; the forest is disconnected, so cross-group routes do not exist).
+fn mirrored_workload(
+    groups: usize,
+    hosts_per: usize,
+    per_group: usize,
+) -> Vec<(HostId, HostId, DataSize, u64)> {
+    let mut flows = Vec::with_capacity(groups * per_group);
+    for g in 0..groups {
+        let base = (g * hosts_per) as u32;
+        for i in 0..per_group {
+            let src = (i * 5 + 1) % hosts_per;
+            let dst = (i * 11 + hosts_per / 2) % hosts_per;
+            let dst = if dst == src {
+                (dst + 1) % hosts_per
+            } else {
+                dst
+            };
+            flows.push((
+                HostId::new(base + src as u32),
+                HostId::new(base + dst as u32),
+                DataSize::from_bytes(50_000 + (i as u64 * 17_977) % 450_000),
+                (g * per_group + i) as u64,
+            ));
+        }
+    }
+    flows
+}
+
+const GROUPS: usize = 6;
+const HOSTS_PER: usize = 8;
+const PER_GROUP: usize = 40;
+
+/// Run the mirrored workload under `engine` with the given shard knobs.
+fn run(engine: RebalanceEngine, threads: usize, threshold: usize) -> NetWorld {
+    let mut world = NetWorld {
+        net: Network::with_engine(
+            mirrored_forest(GROUPS, HOSTS_PER),
+            SharingMode::MaxMinFair,
+            engine,
+        ),
+        deliveries: vec![],
+    };
+    world.net.set_shard_threads(threads);
+    world.net.set_parallel_threshold(threshold);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for &(src, dst, size, token) in &mirrored_workload(GROUPS, HOSTS_PER, PER_GROUP) {
+        world.net.start_flow(&mut sched, src, dst, size, token);
+    }
+    run_world(&mut world, &mut sched, None);
+    assert_eq!(world.deliveries.len(), GROUPS * PER_GROUP);
+    world
+}
+
+fn by_token(deliveries: &[(SimTime, FlowDelivery)]) -> BTreeMap<u64, u64> {
+    deliveries
+        .iter()
+        .map(|&(t, d)| (d.token, t.duration_since(SimTime::ZERO).as_nanos()))
+        .collect()
+}
+
+/// The core pin: deliveries and statistics are bit-identical to the
+/// single-threaded dirty-component engine at every worker count — one
+/// worker (inline fallback), a few, the CI matrix's eight, and a wildly
+/// oversubscribed sixty-four — and whenever two or more workers are
+/// granted, the flushes really do shard.
+#[test]
+fn parallel_shard_is_thread_count_invariant() {
+    let reference = run(RebalanceEngine::DirtyComponent, 1, 0);
+    let reference_times = by_token(&reference.deliveries);
+    for threads in [1usize, 2, 3, 8, 64] {
+        let parallel = run(RebalanceEngine::ParallelShard, threads, 0);
+        assert_eq!(
+            by_token(&parallel.deliveries),
+            reference_times,
+            "deliveries diverged at {threads} worker threads"
+        );
+        assert_eq!(
+            parallel.net.stats(),
+            reference.net.stats(),
+            "statistics diverged at {threads} worker threads"
+        );
+        let stats = parallel.net.flush_stats();
+        if threads >= 2 {
+            assert!(
+                stats.parallel_flushes > 0,
+                "the mirrored multi-component workload must shard at {threads} threads"
+            );
+            assert!(
+                stats.shards_dispatched >= 2 * stats.parallel_flushes,
+                "every parallel flush dispatches at least two shards"
+            );
+            assert!(
+                stats.shards_dispatched <= stats.parallel_flushes * threads as u64,
+                "no flush may dispatch more shards than worker threads"
+            );
+        } else {
+            assert_eq!(
+                stats.parallel_flushes, 0,
+                "a single worker must never pay the fork–join machinery"
+            );
+        }
+    }
+}
+
+/// With the work threshold left at a value the workload never reaches, the
+/// parallel engine is the dirty-component engine: same deliveries, and not
+/// a single shard dispatched.
+#[test]
+fn parallel_shard_falls_back_below_the_work_threshold() {
+    let parallel = run(RebalanceEngine::ParallelShard, 8, usize::MAX);
+    let dirty = run(RebalanceEngine::DirtyComponent, 1, usize::MAX);
+    assert_eq!(by_token(&parallel.deliveries), by_token(&dirty.deliveries));
+    assert_eq!(parallel.net.flush_stats().parallel_flushes, 0);
+    assert_eq!(parallel.net.flush_stats().shards_dispatched, 0);
+    // The dirty-only telemetry still ticks: flushes ran, just unsharded.
+    assert!(parallel.net.flush_stats().flushes > 0);
+}
+
+/// A single-component workload (one shared star) can never shard — there is
+/// nothing independent to bin — and must match the dirty engine exactly.
+#[test]
+fn parallel_shard_falls_back_on_a_single_component() {
+    fn run_star(engine: RebalanceEngine) -> NetWorld {
+        let mut b = PlatformBuilder::new();
+        let sw = b.add_router("sw");
+        let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+        for i in 0..HOSTS_PER {
+            let h = b.add_host(
+                format!("h{i}"),
+                format!("10.0.0.{}", i + 1).parse().unwrap(),
+                HostSpec::default(),
+            );
+            b.add_host_link(format!("l{i}"), h, sw, spec);
+        }
+        let mut world = NetWorld {
+            net: Network::with_engine(b.build(), SharingMode::MaxMinFair, engine),
+            deliveries: vec![],
+        };
+        world.net.set_shard_threads(8);
+        world.net.set_parallel_threshold(0);
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        // Every flow funnels into h0, so h0's ingress link couples all of
+        // them into one component (a spread-out star pattern would decompose
+        // into disjoint src→dst pairings instead).
+        for i in 0..2 * PER_GROUP {
+            world.net.start_flow(
+                &mut sched,
+                HostId::new((i % (HOSTS_PER - 1) + 1) as u32),
+                HostId::new(0),
+                DataSize::from_bytes(50_000 + (i as u64 * 17_977) % 450_000),
+                i as u64,
+            );
+        }
+        run_world(&mut world, &mut sched, None);
+        assert_eq!(world.deliveries.len(), 2 * PER_GROUP);
+        world
+    }
+    let parallel = run_star(RebalanceEngine::ParallelShard);
+    let dirty = run_star(RebalanceEngine::DirtyComponent);
+    assert_eq!(by_token(&parallel.deliveries), by_token(&dirty.deliveries));
+    assert_eq!(parallel.net.flush_stats().parallel_flushes, 0);
+}

@@ -18,13 +18,21 @@
 //!   each reschedule can land one tick apart twice over a flow's lifetime —
 //!   adversarial workloads at high `PROPTEST_CASES` do reach two ticks, with
 //!   either incremental engine, and did so before the bucket queue existed.)
-//!   The three *incremental* engines (per-event scan, batched bucket queue,
-//!   dirty-component), by contrast, must agree **bit for bit**: bottleneck
-//!   ties break by link index in every fill (making rates a pure function
-//!   of the active flow set, independent of seeding order), coalescing
-//!   rebalances at one instant passes zero simulated time, and a
+//!   The four *incremental* engines (per-event scan, batched bucket queue,
+//!   dirty-component, parallel-shard), by contrast, must agree **bit for
+//!   bit**: bottleneck ties break by link index in every fill (making rates
+//!   a pure function of the active flow set, independent of seeding order),
+//!   coalescing rebalances at one instant passes zero simulated time, a
 //!   dirty-component flush recomputes a superset of the flows whose rates
-//!   can change — re-deriving bit-identical rates for the rest.
+//!   can change — re-deriving bit-identical rates for the rest — and a
+//!   sharded flush computes each whole component on some worker thread,
+//!   merging in global active order, so thread count can never show.
+//!
+//! The parallel engine runs here with its work threshold at zero, so every
+//! multi-component flush actually shards; its worker count is the rayon
+//! default, which honours `RAYON_NUM_THREADS` — the CI matrix sweeps that
+//! over 1, 2 and 8, turning this whole suite into the determinism-under-
+//! threads proof.
 //!
 //! The multi-component properties run on a *forest of stars* — disjoint
 //! star platforms in one [`Platform`] — because that is where the
@@ -167,6 +175,16 @@ fn forest_workload(
         .collect()
 }
 
+/// Construct a network with `engine`, configured so the parallel-shard
+/// engine actually shards on these small workloads (work threshold zero;
+/// the worker count stays at the rayon default so `RAYON_NUM_THREADS`
+/// drives it — a no-op knob for every other engine).
+fn network_for(platform: Platform, engine: RebalanceEngine) -> Network {
+    let mut net = Network::with_engine(platform, SharingMode::MaxMinFair, engine);
+    net.set_parallel_threshold(0);
+    net
+}
+
 /// Per-token delivery timestamps (nanoseconds) of a finished run.
 fn by_token(deliveries: &[(SimTime, FlowDelivery)]) -> BTreeMap<u64, u64> {
     deliveries
@@ -222,9 +240,9 @@ proptest! {
     }
 
     /// Every incremental engine — the per-event scan, the bucket-queue
-    /// batching engine and the dirty-component engine — reproduces the seed
-    /// engine's simulated results exactly on randomised workloads
-    /// (per-token timestamps, counts, bytes).
+    /// batching engine, the dirty-component engine and the parallel-shard
+    /// engine — reproduces the seed engine's simulated results exactly on
+    /// randomised workloads (per-token timestamps, counts, bytes).
     #[test]
     fn incremental_engines_match_seed_engine(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -245,12 +263,13 @@ proptest! {
         prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver");
 
         for engine in [
+            RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
             RebalanceEngine::ScanPerEvent,
         ] {
             let mut new_world = NewWorld {
-                net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
+                net: network_for(star(n_hosts), engine),
                 deliveries: vec![],
             };
             let mut new_sched: Scheduler<Ev> = Scheduler::new();
@@ -296,10 +315,11 @@ proptest! {
 
     /// The incremental engines agree *bit for bit* with one another:
     /// coalescing rebalances at one simulated instant passes zero simulated
-    /// time, and limiting a flush to the dirty component recomputes exactly
-    /// the rates a full recompute would — so per-token delivery timestamps
-    /// must be identical across all three, not merely within the slack
-    /// granted against the seed engine.
+    /// time, limiting a flush to the dirty component recomputes exactly
+    /// the rates a full recompute would, and sharding a flush across
+    /// threads only changes which worker computes each component — so
+    /// per-token delivery timestamps must be identical across all four,
+    /// not merely within the slack granted against the seed engine.
     #[test]
     fn batched_and_per_event_rebalances_deliver_identically(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -308,12 +328,13 @@ proptest! {
         let flows = workload(n_hosts, &raw);
         let mut results: Vec<BTreeMap<u64, u64>> = vec![];
         for engine in [
+            RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
             RebalanceEngine::ScanPerEvent,
         ] {
             let mut world = NewWorld {
-                net: Network::with_engine(star(n_hosts), SharingMode::MaxMinFair, engine),
+                net: network_for(star(n_hosts), engine),
                 deliveries: vec![],
             };
             let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -323,16 +344,21 @@ proptest! {
             run_world(&mut world, &mut sched, None);
             results.push(by_token(&world.deliveries));
         }
-        prop_assert_eq!(&results[0], &results[1], "dirty vs batched diverged");
-        prop_assert_eq!(&results[1], &results[2], "batched vs scan diverged");
+        prop_assert_eq!(&results[0], &results[1], "parallel vs dirty diverged");
+        prop_assert_eq!(&results[1], &results[2], "dirty vs batched diverged");
+        prop_assert_eq!(&results[2], &results[3], "batched vs scan diverged");
     }
 
-    /// The tentpole three-way differential, on its home turf: proptest-built
+    /// The tentpole differential, on its home turf: proptest-built
     /// multi-component topologies (a forest of disjoint stars, per-group
     /// latencies staggering the churn) with random intra-group flows. The
-    /// dirty-component engine must agree **bit for bit** with the full
-    /// batched recompute, and both must match the retained seed engine
-    /// within the two-tick slack documented in the module header.
+    /// parallel-shard engine (threshold zero — every multi-component flush
+    /// really shards; worker count from `RAYON_NUM_THREADS` via the CI
+    /// matrix) and the dirty-component engine must agree **bit for bit**
+    /// with the full batched recompute, and all must match the retained
+    /// seed engine within the two-tick slack documented in the module
+    /// header. (Historically three-way; the name is pinned because the
+    /// regression corpus and the deterministic per-test RNG key on it.)
     #[test]
     fn three_way_engines_agree_on_multi_component_churn(
         raw in prop::collection::vec(
@@ -358,15 +384,12 @@ proptest! {
 
         let mut results: Vec<BTreeMap<u64, u64>> = vec![];
         for engine in [
+            RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
         ] {
             let mut world = NewWorld {
-                net: Network::with_engine(
-                    star_forest(groups, hosts_per),
-                    SharingMode::MaxMinFair,
-                    engine,
-                ),
+                net: network_for(star_forest(groups, hosts_per), engine),
                 deliveries: vec![],
             };
             let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -387,6 +410,11 @@ proptest! {
         prop_assert_eq!(
             &results[0],
             &results[1],
+            "parallel-shard vs dirty-component diverged"
+        );
+        prop_assert_eq!(
+            &results[1],
+            &results[2],
             "dirty-component vs full recompute diverged"
         );
         for (token, &old_ns) in &old_times {

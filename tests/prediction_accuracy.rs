@@ -111,10 +111,11 @@ fn sharing_model_choice_only_matters_under_contention() {
 }
 
 /// The prediction pipeline replays traces through `netsim::replay`, which
-/// since PR 3 defaults to the dirty-component rebalance engine. A predicted
+/// since PR 4 defaults to the parallel-shard rebalance engine. A predicted
 /// time must not depend on that engineering choice: every engine, under
-/// every sharing mode, must produce the identical replay result on a
-/// synchronous halo-exchange workload crossing shared links.
+/// every sharing mode (and whatever the worker-thread budget), must produce
+/// the identical replay result on a synchronous halo-exchange workload
+/// crossing shared links.
 #[test]
 fn replay_result_is_identical_across_rebalance_engines() {
     use netsim::{
@@ -151,6 +152,7 @@ fn replay_result_is_identical_across_rebalance_engines() {
     for sharing in [SharingMode::MaxMinFair, SharingMode::Bottleneck] {
         let mut results = vec![];
         for engine in [
+            RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
             RebalanceEngine::ScanPerEvent,
@@ -158,6 +160,11 @@ fn replay_result_is_identical_across_rebalance_engines() {
             let cfg = ReplayConfig {
                 sharing,
                 engine,
+                // Pin the shard knobs so the parallel engine shards whenever
+                // this small workload's flushes span several components —
+                // thread count never changes simulated results.
+                shard_threads: Some(4),
+                parallel_threshold: Some(0),
                 ..ReplayConfig::default()
             };
             results.push(replay(topo.platform.clone(), &hosts, &scripts, &cfg));

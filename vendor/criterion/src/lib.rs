@@ -10,9 +10,13 @@
 //!
 //! Passing `--test` to the bench binary (`cargo bench -- --test`, the real
 //! criterion's smoke-test flag) or setting `CRITERION_TEST_MODE=1` runs
-//! every benchmark exactly once with no warm-up and no JSON dump — a cheap
-//! CI smoke mode that catches bench bit-rot without paying measurement
-//! time.
+//! every benchmark exactly once with no warm-up and no
+//! `CRITERION_SHIM_JSON` dump — a cheap CI smoke mode that catches bench
+//! bit-rot without paying measurement time. In that mode, setting
+//! `CRITERION_SHIM_TEST_JSON` to a path appends one *minimal* JSON line per
+//! benchmark (`{"id":…,"ns":…}` — the single untimed-warm-up-free run's
+//! wall clock) so CI can gate on catastrophic slowdowns against the
+//! recorded baselines without paying full measurement time.
 
 use std::fmt;
 use std::hint;
@@ -90,7 +94,28 @@ struct Record {
     max_ns: u128,
 }
 
-fn report(id: &str, recorded: &[Duration], dump_json: bool) -> Record {
+/// JSON output targets, resolved from the environment **once** at harness
+/// construction. Nothing reads the environment afterwards (and the tests
+/// inject paths directly instead of mutating it — `setenv` racing `getenv`
+/// across test threads is undefined behaviour on glibc).
+#[derive(Debug, Clone, Default)]
+struct JsonSinks {
+    /// `CRITERION_SHIM_JSON` — full per-benchmark records, measure mode.
+    measured: Option<std::path::PathBuf>,
+    /// `CRITERION_SHIM_TEST_JSON` — minimal id+ns lines, `--test` mode.
+    test: Option<std::path::PathBuf>,
+}
+
+impl JsonSinks {
+    fn from_env() -> Self {
+        JsonSinks {
+            measured: std::env::var_os("CRITERION_SHIM_JSON").map(Into::into),
+            test: std::env::var_os("CRITERION_SHIM_TEST_JSON").map(Into::into),
+        }
+    }
+}
+
+fn report(id: &str, recorded: &[Duration], test_mode: bool, sinks: &JsonSinks) -> Record {
     let total: Duration = recorded.iter().sum();
     let mean = total / recorded.len().max(1) as u32;
     let min = recorded.iter().min().copied().unwrap_or_default();
@@ -106,10 +131,22 @@ fn report(id: &str, recorded: &[Duration], dump_json: bool) -> Record {
         "bench {id:<60} mean {mean:>12?} min {min:>12?} max {max:>12?} ({n} samples)",
         n = recorded.len()
     );
-    if !dump_json {
+    if test_mode {
+        // Test mode: optionally record the single run's wall clock in a
+        // minimal per-scenario line, the input of CI's bench-regression
+        // gate (one cold run is noisy, hence the gate's wide tolerance).
+        if let Some(path) = &sinks.test {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{{\"id\":\"{}\",\"ns\":{}}}", rec.id, rec.mean_ns);
+            }
+        }
         return rec;
     }
-    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+    if let Some(path) = &sinks.measured {
         if let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -129,6 +166,7 @@ fn report(id: &str, recorded: &[Duration], dump_json: bool) -> Record {
 pub struct Criterion {
     sample_size: usize,
     test_mode: bool,
+    sinks: JsonSinks,
 }
 
 impl Default for Criterion {
@@ -137,6 +175,7 @@ impl Default for Criterion {
             sample_size: 10,
             test_mode: std::env::args().any(|a| a == "--test")
                 || std::env::var("CRITERION_TEST_MODE").as_deref() == Ok("1"),
+            sinks: JsonSinks::from_env(),
         }
     }
 }
@@ -151,11 +190,13 @@ impl Criterion {
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let (sample_size, test_mode) = (self.sample_size, self.test_mode);
+        let sinks = self.sinks.clone();
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             sample_size,
             test_mode,
+            sinks,
         }
     }
 
@@ -167,7 +208,7 @@ impl Criterion {
             recorded: Vec::new(),
         };
         f(&mut b);
-        report(id, &b.recorded, !self.test_mode);
+        report(id, &b.recorded, self.test_mode, &self.sinks);
         self
     }
 }
@@ -178,6 +219,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     test_mode: bool,
+    sinks: JsonSinks,
 }
 
 impl<'a> BenchmarkGroup<'a> {
@@ -208,7 +250,8 @@ impl<'a> BenchmarkGroup<'a> {
         report(
             &format!("{}/{}", self.name, id.id),
             &b.recorded,
-            !self.test_mode,
+            self.test_mode,
+            &self.sinks,
         );
         self
     }
@@ -233,7 +276,8 @@ impl<'a> BenchmarkGroup<'a> {
         report(
             &format!("{}/{}", self.name, id.id),
             &b.recorded,
-            !self.test_mode,
+            self.test_mode,
+            &self.sinks,
         );
         self
     }
@@ -282,5 +326,33 @@ mod tests {
         let mut c = Criterion::default();
         payload(&mut c);
         c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn test_mode_emits_minimal_json_lines() {
+        let path =
+            std::env::temp_dir().join(format!("crit_shim_test_{}.jsonl", std::process::id()));
+        // Build the harness with the sink injected directly — equivalent to
+        // launching with CRITERION_SHIM_TEST_JSON set, but without mutating
+        // the process environment under concurrently-running tests.
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+            sinks: JsonSinks {
+                measured: None,
+                test: Some(path.clone()),
+            },
+        };
+        c.bench_function("minimal_json_probe", |b| b.iter(|| black_box(2 + 2)));
+        let text = std::fs::read_to_string(&path).expect("test-mode JSON written");
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"id\":\"minimal_json_probe\""))
+            .expect("one line per benchmark");
+        assert!(
+            line.contains("\"ns\":"),
+            "minimal schema is id + ns: {line}"
+        );
     }
 }

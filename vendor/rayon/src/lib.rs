@@ -2,12 +2,21 @@
 //!
 //! Implements the slice/`Vec` parallel-iterator subset this workspace uses:
 //! `par_iter()` / `into_par_iter()`, chained `map`s, and `collect()` into a
-//! `Vec` with **deterministic, order-preserving output**. Work is split into
-//! one contiguous chunk per available core and executed on
-//! `std::thread::scope` threads — no work stealing, which is adequate for
-//! the coarse-grained simulation sweeps this workspace parallelises.
+//! `Vec` with **deterministic, order-preserving output** — plus
+//! [`scope_for_each_mut`], a scoped fork–join over a mutable slice for
+//! callers that manage their own work partitioning (the netsim shard
+//! executor). Work is split into one contiguous chunk per worker and
+//! executed on `std::thread::scope` threads — no work stealing, which is
+//! adequate for the coarse-grained simulation sweeps this workspace
+//! parallelises.
+//!
+//! Like the real rayon, the default worker count honours the
+//! `RAYON_NUM_THREADS` environment variable (a positive integer overrides
+//! the detected core count); the value is resolved **once** per process and
+//! cached, exactly as a real global thread pool would pin it at creation.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 pub mod prelude {
     //! The traits a caller needs in scope.
@@ -16,12 +25,30 @@ pub mod prelude {
     };
 }
 
+/// The process-wide default worker count: `RAYON_NUM_THREADS` when set to a
+/// positive integer, the detected core count otherwise. Resolved once and
+/// cached (the real rayon pins its global pool size the same way), so
+/// repeated parallel calls neither re-read the environment nor re-query
+/// `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// Number of worker threads to use for `n` items.
 fn thread_count(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(n).max(1)
+    current_num_threads().min(n).max(1)
 }
 
 /// Order-preserving parallel map of `items` through `f`.
@@ -194,6 +221,61 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Scoped fork–join over a mutable slice: split `items` into at most
+/// `max_threads` contiguous chunks and run `f` on every element, each chunk
+/// on its own scoped worker thread (the first chunk runs on the calling
+/// thread, so a two-way split spawns a single worker).
+///
+/// This is the entry point for callers that partition work themselves into
+/// per-task buffers borrowed from surrounding state — e.g. netsim's shard
+/// executor, which hands each worker a `&mut` shard task whose closure also
+/// reads shared `&` network state. `std::thread::scope` makes those borrows
+/// legal without `'static` bounds or `Arc`.
+///
+/// `max_threads` is taken at face value (clamped to the item count, minimum
+/// 1), **not** capped at [`current_num_threads`]: determinism tests
+/// deliberately run the same partition at 1, 2 and 8 workers on any
+/// machine. `max_threads <= 1` degenerates to a plain sequential loop with
+/// no thread machinery at all.
+pub fn scope_for_each_mut<T, F>(items: &mut [T], max_threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let threads = max_threads.min(n).max(1);
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = items;
+        let mut first: Option<&mut [T]> = None;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            if first.is_none() {
+                first = Some(head);
+            } else {
+                let f = &f;
+                s.spawn(move || {
+                    for item in head {
+                        f(item);
+                    }
+                });
+            }
+        }
+        // The first chunk runs on the calling thread while the workers go.
+        for item in first.expect("non-empty slice has a first chunk") {
+            f(item);
+        }
+    });
+}
+
 /// Run two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -236,5 +318,47 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive_and_stable() {
+        let a = super::current_num_threads();
+        let b = super::current_num_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b, "the worker count is resolved once and cached");
+    }
+
+    #[test]
+    fn scope_for_each_mut_visits_every_element_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..37).collect();
+            super::scope_for_each_mut(&mut items, threads, |x| *x += 1000);
+            assert_eq!(
+                items,
+                (0..37).map(|x| x + 1000).collect::<Vec<_>>(),
+                "every element mutated exactly once at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_for_each_mut_allows_borrowed_environment() {
+        // The closure reads shared borrowed state while mutating per-task
+        // buffers — the exact shape of the netsim shard executor.
+        let shared: Vec<u64> = (0..10).collect();
+        let mut tasks: Vec<(usize, u64)> = (0..10).map(|i| (i, 0)).collect();
+        super::scope_for_each_mut(&mut tasks, 4, |(i, out)| *out = shared[*i] * 2);
+        for (i, out) in tasks {
+            assert_eq!(out, shared[i] * 2);
+        }
+    }
+
+    #[test]
+    fn scope_for_each_mut_handles_empty_and_oversized_thread_counts() {
+        let mut empty: Vec<u32> = vec![];
+        super::scope_for_each_mut(&mut empty, 8, |_| unreachable!());
+        let mut one = vec![7u32];
+        super::scope_for_each_mut(&mut one, 0, |x| *x += 1);
+        assert_eq!(one, vec![8]);
     }
 }
