@@ -1,0 +1,61 @@
+//! Robustness scenario benchmark — correlated churn on the DSLAM forest.
+//!
+//! Times complete runs of the fault-model harness (overlay + heartbeats as
+//! real flows + scripted mass failure + relay re-routing) at three scales,
+//! and prints a summary table of what each run observed: detection latency,
+//! session outcomes and heartbeat traffic. The scenarios are recorded in
+//! `BENCH_robustness.json` and gated by `bench_gate` in CI, so a >3×
+//! slowdown of the fault path fails the build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_common::SimTime;
+use p2pdc_bench::robustness::{run_robustness, RobustnessConfig};
+
+/// (label, trees, nodes per tree) — kill tree 1 of each.
+const SCALES: &[(&str, usize, usize)] = &[("small", 3, 8), ("paper", 4, 16), ("wide", 8, 16)];
+
+fn config(trees: usize, nodes_per_tree: usize) -> RobustnessConfig {
+    RobustnessConfig {
+        trees,
+        nodes_per_tree,
+        horizon: SimTime::from_secs(120),
+        ..RobustnessConfig::default()
+    }
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    println!("\n# Robustness — correlated churn, heartbeat detection, re-routing");
+    println!(
+        "{:>8}  {:>7}  {:>11}  {:>9}  {:>8}  {:>8}  {:>10}",
+        "scale", "victims", "detect_lat", "rerouted", "failed", "wedged", "hb_flows"
+    );
+    for &(label, trees, nodes) in SCALES {
+        let report = run_robustness(&config(trees, nodes));
+        assert!(report.invariant_violations.is_empty());
+        assert_eq!(report.wedged_sessions, 0);
+        println!(
+            "{:>8}  {:>7}  {:>11}  {:>9}  {:>8}  {:>8}  {:>10}",
+            label,
+            report.mass_victims + report.crash_victims,
+            format!("{}", report.mass_detection_latency),
+            report.rerouted_sessions,
+            report.failed_sessions,
+            report.wedged_sessions,
+            report.heartbeat_flows
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("robustness");
+    group.sample_size(10);
+    for &(label, trees, nodes) in SCALES {
+        let cfg = config(trees, nodes);
+        group.bench_with_input(BenchmarkId::new("churn", label), &cfg, |b, cfg| {
+            b.iter(|| run_robustness(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod robustness;
+
 use obstacle::ObstacleApp;
 
 /// The peer counts used by the paper (2..32 by powers of two).

@@ -1,15 +1,25 @@
-//! Churn injection.
+//! Fault model: churn injection, crash-stop faults and correlated failures.
 //!
 //! The paper's motivation for the decentralized topology manager is
-//! robustness: trackers and peers come and go. This module generates
-//! reproducible churn schedules (exponential inter-arrival and session times)
-//! and applies them to an [`Overlay`] so the tests
-//! and the robustness bench can verify that the line stays consistent and
-//! that computations can still collect peers while the overlay is being
-//! shaken.
+//! robustness: trackers and peers come and go. This module provides two
+//! complementary fault sources, both reproducible from a seed:
+//!
+//! * [`ChurnInjector`] — background Poisson churn (exponential inter-arrival
+//!   times) of individual joins and *graceful* departures, applied directly
+//!   to an [`Overlay`] so tests can verify that the line stays consistent and
+//!   that computations can still collect peers while the overlay is shaken.
+//! * [`FaultPlan`] — a scripted schedule of **crash-stop** faults: individual
+//!   peer/tracker crashes and *correlated* mass failures (a flash crowd
+//!   leaving, a DSLAM power loss) that kill every peer of one platform
+//!   component ([`Topology::components`]) at the same instant. Crash-stopped
+//!   nodes go silent instead of leaving cleanly; the rest of the overlay only
+//!   learns of the failure when a heartbeat timeout fires (see
+//!   [`HeartbeatManager`](crate::overlay::HeartbeatManager)), so detection
+//!   latency is simulated, not assumed.
 
 use crate::overlay::Overlay;
-use p2p_common::{DetRng, IpAddr, PeerId, PeerResources, SimDuration, TrackerId};
+use netsim::Topology;
+use p2p_common::{DetRng, HostId, IpAddr, PeerId, PeerResources, SimDuration, SimTime, TrackerId};
 
 /// One churn event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +61,16 @@ impl ChurnInjector {
 
     /// Draw the next event against the current overlay population. Returns
     /// the event and the time gap before it happens.
+    ///
+    /// Victims are drawn by index against the *live* population — crash-stopped
+    /// nodes awaiting heartbeat detection are never picked, so a concurrent
+    /// [`FaultPlan`] can not make the injector emit a departure for an
+    /// already-dead id. The pick is alloc-free: one `gen_range` draw over the
+    /// live count, then an ordered walk to that index. `DetRng::choose`
+    /// draws the same single `gen_range(0..len)` internally, so with no
+    /// crashed nodes (the only case the old code ever saw) the RNG stream and
+    /// the chosen victims are bit-identical to the previous `Vec`-collecting
+    /// implementation.
     pub fn next_event(&mut self, overlay: &Overlay) -> (ChurnEvent, SimDuration) {
         let gap = SimDuration::from_secs_f64(
             self.rng
@@ -59,15 +79,17 @@ impl ChurnInjector {
         let tracker_event = self.rng.gen_bool(self.tracker_fraction);
         let departure = self.rng.gen_bool(self.departure_fraction);
         let event = if tracker_event {
-            if departure && overlay.tracker_count() > 1 {
-                let victims: Vec<TrackerId> = overlay.trackers().map(|t| t.id).collect();
-                ChurnEvent::TrackerCrash(*self.rng.choose(&victims).expect("non-empty"))
+            if departure && overlay.live_tracker_count() > 1 {
+                let i = self.rng.gen_range(0..overlay.live_tracker_count());
+                let victim = overlay.live_trackers().nth(i).expect("index < count");
+                ChurnEvent::TrackerCrash(victim.id)
             } else {
                 ChurnEvent::TrackerJoin(self.random_ip())
             }
-        } else if departure && overlay.peer_count() > 0 {
-            let victims: Vec<PeerId> = overlay.peers().map(|p| p.id).collect();
-            ChurnEvent::PeerLeave(*self.rng.choose(&victims).expect("non-empty"))
+        } else if departure && overlay.live_peer_count() > 0 {
+            let i = self.rng.gen_range(0..overlay.live_peer_count());
+            let victim = overlay.live_peers().nth(i).expect("index < count");
+            ChurnEvent::PeerLeave(victim.id)
         } else {
             ChurnEvent::PeerJoin(self.random_ip())
         };
@@ -110,6 +132,164 @@ impl ChurnInjector {
             applied.push(event);
         }
         applied
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted crash-stop faults
+// ---------------------------------------------------------------------------
+
+/// One crash-stop fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// An individual peer crash-stops (goes silent without leaving).
+    PeerCrash(PeerId),
+    /// An individual tracker crash-stops; the line is *not* repaired until a
+    /// neighbour detects the missed heartbeats.
+    TrackerCrash(TrackerId),
+    /// Correlated mass failure: every live peer bound to a host of platform
+    /// component `component` crash-stops at the same instant — the
+    /// flash-crowd / DSLAM-power-loss case of [`Topology::components`].
+    MassFailure {
+        /// Index into the plan's captured component list.
+        component: usize,
+    },
+}
+
+/// A fault with its scheduled injection time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Simulated time at which the fault strikes.
+    pub at: SimTime,
+    /// The fault itself.
+    pub event: FaultEvent,
+}
+
+/// What actually happened when a fault was applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Peers that crash-stopped (one for `PeerCrash`, a whole component's
+    /// worth for `MassFailure`, empty if the victims were already dead).
+    pub crashed_peers: Vec<PeerId>,
+    /// Trackers that crash-stopped.
+    pub crashed_trackers: Vec<TrackerId>,
+}
+
+/// A reproducible schedule of crash-stop faults, sorted by injection time
+/// (stable for equal timestamps: insertion order).
+///
+/// The plan captures the platform's component→hosts mapping up front, so a
+/// [`FaultEvent::MassFailure`] resolves to a concrete host set without the
+/// overlay ever needing the topology.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    components: Vec<Vec<HostId>>,
+    faults: Vec<TimedFault>,
+    next: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan with no platform attached. `MassFailure` events require
+    /// [`FaultPlan::for_topology`].
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan that captured `topo`'s connected components, enabling
+    /// [`FaultEvent::MassFailure`] scheduling against them.
+    pub fn for_topology(topo: &Topology) -> FaultPlan {
+        FaultPlan {
+            components: (0..topo.components.len())
+                .map(|c| topo.component_hosts(c).to_vec())
+                .collect(),
+            faults: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Number of connected components captured from the topology.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The hosts of captured component `c`.
+    pub fn component_hosts(&self, c: usize) -> &[HostId] {
+        &self.components[c]
+    }
+
+    /// Schedule a fault, keeping the schedule sorted by time (faults at equal
+    /// times keep their insertion order).
+    pub fn schedule(&mut self, at: SimTime, event: FaultEvent) {
+        if let FaultEvent::MassFailure { component } = event {
+            assert!(
+                component < self.components.len(),
+                "component {component} out of range (plan has {}; did you use \
+                 FaultPlan::for_topology?)",
+                self.components.len()
+            );
+        }
+        let pos = self.faults.partition_point(|f| f.at <= at);
+        assert!(
+            pos >= self.next,
+            "cannot schedule a fault before ones already delivered"
+        );
+        self.faults.insert(pos, TimedFault { at, event });
+    }
+
+    /// Builder-style [`FaultPlan::schedule`].
+    pub fn with_fault(mut self, at: SimTime, event: FaultEvent) -> FaultPlan {
+        self.schedule(at, event);
+        self
+    }
+
+    /// Total number of scheduled faults (delivered and pending).
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan has no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Injection time of the next undelivered fault.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.faults.get(self.next).map(|f| f.at)
+    }
+
+    /// Deliver every fault due at or before `now` to the overlay, in schedule
+    /// order, and report the combined impact.
+    pub fn deliver_due(&mut self, overlay: &mut Overlay, now: SimTime) -> FaultImpact {
+        let mut impact = FaultImpact::default();
+        while let Some(fault) = self.faults.get(self.next) {
+            if fault.at > now {
+                break;
+            }
+            let event = fault.event.clone();
+            self.next += 1;
+            self.apply(overlay, &event, &mut impact);
+        }
+        impact
+    }
+
+    fn apply(&self, overlay: &mut Overlay, event: &FaultEvent, impact: &mut FaultImpact) {
+        match event {
+            FaultEvent::PeerCrash(id) => {
+                if overlay.peer_crash(*id) {
+                    impact.crashed_peers.push(*id);
+                }
+            }
+            FaultEvent::TrackerCrash(id) => {
+                if overlay.tracker_crash_stop(*id) {
+                    impact.crashed_trackers.push(*id);
+                }
+            }
+            FaultEvent::MassFailure { component } => {
+                impact
+                    .crashed_peers
+                    .extend(overlay.crash_peers_on(&self.components[*component]));
+            }
+        }
     }
 }
 
@@ -191,6 +371,106 @@ mod tests {
         assert!(
             overlay.tracker_count() >= 1,
             "the overlay must keep a core tracker"
+        );
+    }
+
+    #[test]
+    fn injector_never_picks_a_crashed_victim() {
+        let mut overlay = seeded_overlay();
+        // Crash-stop half the peers: still in the maps, but dead.
+        let victims: Vec<PeerId> = overlay.peers().map(|p| p.id).take(12).collect();
+        for id in &victims {
+            overlay.peer_crash(*id);
+        }
+        let mut churn = ChurnInjector::new(5);
+        churn.departure_fraction = 1.0; // force departures
+        churn.tracker_fraction = 0.0;
+        for _ in 0..100 {
+            let (event, _) = churn.next_event(&overlay);
+            match event {
+                ChurnEvent::PeerLeave(id) => {
+                    assert!(!victims.contains(&id), "injector picked already-dead {id}");
+                }
+                ChurnEvent::PeerJoin(_) => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_delivers_in_time_order_and_reports_impact() {
+        let mut overlay = seeded_overlay();
+        let p1 = overlay.peers().next().unwrap().id;
+        let p2 = overlay.peers().nth(1).unwrap().id;
+        let t1 = overlay.trackers().nth(1).unwrap().id;
+        let mut plan = FaultPlan::new()
+            .with_fault(SimTime::from_secs(20), FaultEvent::PeerCrash(p2))
+            .with_fault(SimTime::from_secs(10), FaultEvent::PeerCrash(p1))
+            .with_fault(SimTime::from_secs(30), FaultEvent::TrackerCrash(t1));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.next_at(), Some(SimTime::from_secs(10)));
+
+        let impact = plan.deliver_due(&mut overlay, SimTime::from_secs(25));
+        assert_eq!(impact.crashed_peers, vec![p1, p2]);
+        assert!(impact.crashed_trackers.is_empty());
+        assert_eq!(plan.next_at(), Some(SimTime::from_secs(30)));
+
+        // Delivering the same window again is a no-op.
+        assert_eq!(
+            plan.deliver_due(&mut overlay, SimTime::from_secs(25)),
+            FaultImpact::default()
+        );
+
+        let impact = plan.deliver_due(&mut overlay, SimTime::from_secs(30));
+        assert_eq!(impact.crashed_trackers, vec![t1]);
+        assert!(overlay.is_tracker_crashed(t1));
+        assert_eq!(plan.next_at(), None);
+    }
+
+    #[test]
+    fn mass_failure_kills_exactly_one_component() {
+        use netsim::{dslam_forest, HostSpec};
+        let topo = dslam_forest(3, 8, HostSpec::default(), 42);
+        let mut overlay = Overlay::bootstrap(
+            OverlayConfig::default(),
+            &[IpAddr::from_octets(10, 0, 0, 1)],
+        );
+        // One peer per host, remembering which component each landed in.
+        let mut by_component: Vec<Vec<PeerId>> = vec![Vec::new(); topo.components.len()];
+        for (c, range) in topo.components.iter().enumerate() {
+            for &host in &topo.hosts[range.clone()] {
+                let ip = IpAddr::from_octets(10, c as u8, 3, (host.raw() % 200) as u8 + 1);
+                let (id, _) = overlay.peer_join(ip, Some(host), PeerResources::xeon_em64t());
+                by_component[c].push(id);
+            }
+        }
+        let mut plan = FaultPlan::for_topology(&topo);
+        assert_eq!(plan.component_count(), 3);
+        plan.schedule(
+            SimTime::from_secs(5),
+            FaultEvent::MassFailure { component: 1 },
+        );
+
+        let impact = plan.deliver_due(&mut overlay, SimTime::from_secs(5));
+        let mut crashed = impact.crashed_peers.clone();
+        crashed.sort();
+        let mut expected = by_component[1].clone();
+        expected.sort();
+        assert_eq!(crashed, expected, "exactly component 1 dies");
+        for (c, peers) in by_component.iter().enumerate() {
+            for id in peers {
+                assert_eq!(overlay.is_peer_crashed(*id), c == 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mass_failure_without_topology_panics_at_schedule_time() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::from_secs(1),
+            FaultEvent::MassFailure { component: 0 },
         );
     }
 }

@@ -38,8 +38,11 @@ pub mod task;
 pub use allocation::{build_allocation, AllocationCost, AllocationGraph, Group, CMAX};
 pub use app::IterativeApp;
 pub use executor::{run_reference, ExecutionConfig, RunReport};
-pub use faults::{ChurnEvent, ChurnInjector};
+pub use faults::{ChurnEvent, ChurnInjector, FaultEvent, FaultImpact, FaultPlan, TimedFault};
 pub use line::{NeighborSet, TrackerEntry};
-pub use overlay::{Overlay, OverlayConfig, OverlayCost, PeerState, TrackerState};
+pub use overlay::{
+    Detections, HeartbeatConfig, HeartbeatFlow, HeartbeatManager, Overlay, OverlayConfig,
+    OverlayCost, PeerState, TrackerState,
+};
 pub use proximity::{choose_coordinator, group_by_proximity};
 pub use task::{TaskSpec, TaskStatus};

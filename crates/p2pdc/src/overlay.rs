@@ -132,6 +132,12 @@ pub struct Overlay {
     server: ServerState,
     trackers: BTreeMap<TrackerId, TrackerState>,
     peers: BTreeMap<PeerId, PeerState>,
+    /// Crash-stopped peers: halted, but still present in the overlay's maps
+    /// because nobody has *detected* the failure yet (see
+    /// [`HeartbeatManager`]).
+    crashed_peers: BTreeSet<PeerId>,
+    /// Crash-stopped trackers awaiting detection by their line neighbours.
+    crashed_trackers: BTreeSet<TrackerId>,
     now: SimTime,
     next_id: u64,
     /// Total protocol messages exchanged since bootstrap.
@@ -155,6 +161,8 @@ impl Overlay {
             },
             trackers: BTreeMap::new(),
             peers: BTreeMap::new(),
+            crashed_peers: BTreeSet::new(),
+            crashed_trackers: BTreeSet::new(),
             now: SimTime::ZERO,
             next_id: 1,
             total_messages: 0,
@@ -240,6 +248,102 @@ impl Overlay {
     /// Iterate over all peers, in id order.
     pub fn peers(&self) -> impl Iterator<Item = &PeerState> {
         self.peers.values()
+    }
+
+    // ---- Crash-stop faults -------------------------------------------------
+    //
+    // A crash-stopped entity halts silently: it stops sending heartbeats and
+    // updates, but every *other* node's state still references it until the
+    // failure is detected (by a heartbeat timeout, see [`HeartbeatManager`]).
+    // The window between crash and detection is exactly the robustness gap
+    // the paper's topology manager has to survive, so the overlay models the
+    // two moments separately.
+
+    /// A peer crash-stops (powers off, flash-crowd departure). Returns
+    /// `false` if the peer is unknown or already crashed.
+    pub fn peer_crash(&mut self, id: PeerId) -> bool {
+        self.peers.contains_key(&id) && self.crashed_peers.insert(id)
+    }
+
+    /// A tracker crash-stops. Unlike [`Overlay::tracker_crash`] nothing is
+    /// repaired yet — the line still references the dead tracker until a
+    /// neighbour detects the missed heartbeats and triggers the repair.
+    /// Returns `false` if the tracker is unknown or already crashed.
+    pub fn tracker_crash_stop(&mut self, id: TrackerId) -> bool {
+        self.trackers.contains_key(&id) && self.crashed_trackers.insert(id)
+    }
+
+    /// Whether a peer has crash-stopped (dead but possibly undetected).
+    pub fn is_peer_crashed(&self, id: PeerId) -> bool {
+        self.crashed_peers.contains(&id)
+    }
+
+    /// Whether a tracker has crash-stopped (dead but possibly undetected).
+    pub fn is_tracker_crashed(&self, id: TrackerId) -> bool {
+        self.crashed_trackers.contains(&id)
+    }
+
+    /// Number of live (non-crashed) peers.
+    pub fn live_peer_count(&self) -> usize {
+        self.peers.len() - self.crashed_peers.len()
+    }
+
+    /// Number of live (non-crashed) trackers.
+    pub fn live_tracker_count(&self) -> usize {
+        self.trackers.len() - self.crashed_trackers.len()
+    }
+
+    /// Iterate over the live (non-crashed) peers, in id order.
+    pub fn live_peers(&self) -> impl Iterator<Item = &PeerState> {
+        self.peers
+            .values()
+            .filter(|p| !self.crashed_peers.contains(&p.id))
+    }
+
+    /// Iterate over the live (non-crashed) trackers, in id order.
+    pub fn live_trackers(&self) -> impl Iterator<Item = &TrackerState> {
+        self.trackers
+            .values()
+            .filter(|t| !self.crashed_trackers.contains(&t.id))
+    }
+
+    /// Crash-stop every live peer bound to one of `hosts` — the correlated
+    /// mass-failure primitive (a DSLAM power loss kills every peer of one
+    /// platform component at the same instant). Returns the crashed peers.
+    pub fn crash_peers_on(&mut self, hosts: &[HostId]) -> Vec<PeerId> {
+        let victims: Vec<PeerId> = self
+            .peers
+            .values()
+            .filter(|p| {
+                !self.crashed_peers.contains(&p.id)
+                    && p.host.map(|h| hosts.contains(&h)).unwrap_or(false)
+            })
+            .map(|p| p.id)
+            .collect();
+        for &id in &victims {
+            self.crashed_peers.insert(id);
+        }
+        victims
+    }
+
+    /// A crashed peer's failure has been detected (heartbeat timeout at its
+    /// tracker): drop it from its zone and from the peer map. One message —
+    /// the tracker prunes its zone entry; nothing is broadcast.
+    pub fn peer_detected_dead(&mut self, id: PeerId) -> OverlayCost {
+        let Some(peer) = self.peers.remove(&id) else {
+            return OverlayCost::default();
+        };
+        self.crashed_peers.remove(&id);
+        if let Some(tid) = peer.tracker {
+            if let Some(t) = self.trackers.get_mut(&tid) {
+                t.zone.remove(&id);
+            }
+        }
+        self.total_messages += 1;
+        OverlayCost {
+            messages: 1,
+            critical_hops: 1,
+        }
     }
 
     /// Proximity ordering used by the overlay: longest common IP prefix first
@@ -360,6 +464,7 @@ impl Overlay {
         let Some(dead) = self.trackers.remove(&id) else {
             return OverlayCost::default();
         };
+        self.crashed_trackers.remove(&id);
         let mut cost = OverlayCost {
             messages: 0,
             critical_hops: 1, // detection by a broken connection
@@ -418,6 +523,13 @@ impl Overlay {
         let orphans: Vec<ZonePeer> = dead.zone.into_values().collect();
         cost.critical_hops += u32::from(!orphans.is_empty());
         for zp in orphans {
+            // A crash-stopped orphan cannot rejoin (it is dead too — typical
+            // of a correlated DSLAM failure that takes the tracker and its
+            // whole zone down together): drop it instead of re-homing it.
+            if self.crashed_peers.remove(&zp.id) {
+                self.peers.remove(&zp.id);
+                continue;
+            }
             if let Some(peer) = self.peers.get(&zp.id).cloned() {
                 let rejoin = self.attach_peer_to_closest(
                     peer.id,
@@ -534,6 +646,7 @@ impl Overlay {
     /// [`Overlay::expire_silent_peers`]).
     pub fn peer_disconnect(&mut self, id: PeerId) {
         self.peers.remove(&id);
+        self.crashed_peers.remove(&id);
     }
 
     /// Trackers drop zone peers whose last update is older than the failure
@@ -731,6 +844,226 @@ impl Overlay {
             }
         }
         problems
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+/// Heartbeat timing knobs. The defaults follow the ToM-protocol discovery
+/// story: a beat every 5 s, and a node declared dead after three consecutive
+/// missed beats (a 15 s detection window).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatConfig {
+    /// Period between two heartbeats from the same node.
+    pub beat_period: SimDuration,
+    /// Consecutive missed beats before a node is declared dead.
+    pub miss_threshold: u32,
+    /// Size of one heartbeat datagram when simulated as a real network flow.
+    pub beat_bytes: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            beat_period: SimDuration::from_secs(5),
+            miss_threshold: 3,
+            beat_bytes: 64,
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Silence longer than this declares the sender dead.
+    pub fn timeout(&self) -> SimDuration {
+        self.beat_period
+            .saturating_mul(u64::from(self.miss_threshold))
+    }
+}
+
+/// One peer→tracker heartbeat the caller should inject as a real netsim
+/// flow. The manager knows overlay identities, not the platform, so it hands
+/// back the peer's host and the tracker's IP and lets the harness resolve the
+/// destination host on its platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatFlow {
+    /// Sending peer.
+    pub peer: PeerId,
+    /// Tracker the beat is addressed to.
+    pub tracker: TrackerId,
+    /// Host the peer runs on (flow source).
+    pub src: HostId,
+    /// IP of the destination tracker (resolve to a host platform-side).
+    pub tracker_ip: IpAddr,
+    /// Flow size in bytes.
+    pub bytes: u64,
+}
+
+/// Failures surfaced by one [`HeartbeatManager::detect`] sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Detections {
+    /// Peers declared dead this sweep (already pruned from the overlay).
+    pub peers: Vec<PeerId>,
+    /// Trackers declared dead this sweep (line already repaired).
+    pub trackers: Vec<TrackerId>,
+    /// Protocol cost of the prunes and line repairs.
+    pub cost: OverlayCost,
+}
+
+/// Failure detection by heartbeat timeout.
+///
+/// The manager tracks, per node, when a heartbeat was last *received*. The
+/// harness drives the loop: every beat period it asks for the due
+/// peer→tracker beats ([`HeartbeatManager::due_peer_beats`]), injects each
+/// one as a real netsim flow, and on flow delivery calls
+/// [`HeartbeatManager::record_peer_beat`] — so the detection latency the
+/// model observes includes genuine network transfer time, not an assumed
+/// constant. Tracker↔tracker line beats ride the management plane (trackers
+/// may sit in different platform components with no route between them, as
+/// in `dslam_forest`), so they are recorded logically via
+/// [`HeartbeatManager::note_tracker_beats`].
+///
+/// A silent node is declared dead once [`HeartbeatConfig::timeout`] elapses
+/// since its last recorded beat — but only if somebody live is left to
+/// notice: a peer needs its tracker alive, a tracker needs another live
+/// tracker on the line.
+#[derive(Debug, Clone)]
+pub struct HeartbeatManager {
+    config: HeartbeatConfig,
+    peer_seen: BTreeMap<PeerId, SimTime>,
+    tracker_seen: BTreeMap<TrackerId, SimTime>,
+    /// Peer→tracker heartbeat flows handed out so far.
+    pub beats_sent: u64,
+    /// Nodes declared dead so far (peers + trackers).
+    pub failures_detected: u64,
+}
+
+impl HeartbeatManager {
+    /// Create a manager with the given timing knobs.
+    pub fn new(config: HeartbeatConfig) -> HeartbeatManager {
+        HeartbeatManager {
+            config,
+            peer_seen: BTreeMap::new(),
+            tracker_seen: BTreeMap::new(),
+            beats_sent: 0,
+            failures_detected: 0,
+        }
+    }
+
+    /// The timing knobs this manager runs with.
+    pub fn config(&self) -> &HeartbeatConfig {
+        &self.config
+    }
+
+    /// Enroll every overlay node the manager has not seen yet, treating `now`
+    /// as its first beat. Call after joins so fresh nodes get a full timeout
+    /// window before they can be declared dead.
+    pub fn observe(&mut self, overlay: &Overlay, now: SimTime) {
+        for p in overlay.peers() {
+            self.peer_seen.entry(p.id).or_insert(now);
+        }
+        for t in overlay.trackers() {
+            self.tracker_seen.entry(t.id).or_insert(now);
+        }
+    }
+
+    /// The peer→tracker beats due this period: one per *live* peer that is
+    /// bound to a host and attached to a tracker. Crashed peers stay silent —
+    /// that silence is exactly what the timeout detects.
+    pub fn due_peer_beats(&mut self, overlay: &Overlay) -> Vec<HeartbeatFlow> {
+        let beats: Vec<HeartbeatFlow> = overlay
+            .live_peers()
+            .filter_map(|p| {
+                let src = p.host?;
+                let tid = p.tracker?;
+                let tracker = overlay.tracker(tid)?;
+                Some(HeartbeatFlow {
+                    peer: p.id,
+                    tracker: tid,
+                    src,
+                    tracker_ip: tracker.ip,
+                    bytes: self.config.beat_bytes,
+                })
+            })
+            .collect();
+        self.beats_sent += beats.len() as u64;
+        beats
+    }
+
+    /// A peer heartbeat flow was delivered at `now`: refresh its last-seen
+    /// time. Beats from peers that crashed mid-flight still count — the
+    /// tracker heard from them before the crash.
+    pub fn record_peer_beat(&mut self, peer: PeerId, now: SimTime) {
+        self.peer_seen.insert(peer, now);
+    }
+
+    /// Record the management-plane tracker↔tracker line beats: every live
+    /// tracker is heard from at `now`; crashed trackers stay silent.
+    pub fn note_tracker_beats(&mut self, overlay: &Overlay, now: SimTime) {
+        for t in overlay.live_trackers() {
+            self.tracker_seen.insert(t.id, now);
+        }
+    }
+
+    /// Declare dead every node silent for longer than the timeout, prune it
+    /// from the overlay, and run the repair protocols. Deterministic: sweeps
+    /// in id order.
+    pub fn detect(&mut self, overlay: &mut Overlay, now: SimTime) -> Detections {
+        let timeout = self.config.timeout();
+        let since = |seen: SimTime| {
+            now.duration_since(SimTime::ZERO)
+                .saturating_sub(seen.duration_since(SimTime::ZERO))
+        };
+        let mut out = Detections::default();
+
+        // Forget nodes that already left through other paths (graceful
+        // departure, expiry) so the maps track the overlay population.
+        self.peer_seen.retain(|id, _| overlay.peer(*id).is_some());
+        self.tracker_seen
+            .retain(|id, _| overlay.tracker(*id).is_some());
+
+        // A tracker is detectable only if another live tracker remains on the
+        // line to miss its beats.
+        let overdue_trackers: Vec<TrackerId> = self
+            .tracker_seen
+            .iter()
+            .filter(|(_, &seen)| since(seen) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue_trackers {
+            let others_alive = overlay.live_trackers().any(|t| t.id != id);
+            if !others_alive {
+                continue;
+            }
+            self.tracker_seen.remove(&id);
+            out.cost = out.cost.then(overlay.tracker_crash(id));
+            out.trackers.push(id);
+        }
+
+        // A peer is detectable only by a live tracker holding it in its zone.
+        let overdue_peers: Vec<PeerId> = self
+            .peer_seen
+            .iter()
+            .filter(|(_, &seen)| since(seen) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue_peers {
+            let detectable = overlay
+                .peer(id)
+                .and_then(|p| p.tracker)
+                .map(|tid| overlay.tracker(tid).is_some() && !overlay.is_tracker_crashed(tid))
+                .unwrap_or(false);
+            if !detectable {
+                continue;
+            }
+            self.peer_seen.remove(&id);
+            out.cost = out.cost.then(overlay.peer_detected_dead(id));
+            out.peers.push(id);
+        }
+
+        self.failures_detected += (out.peers.len() + out.trackers.len()) as u64;
+        out
     }
 }
 
@@ -939,5 +1272,175 @@ mod tests {
         );
         assert!(collected.is_empty());
         assert_eq!(cost, OverlayCost::default());
+    }
+
+    #[test]
+    fn crash_stop_keeps_the_peer_in_the_maps_until_detected() {
+        let mut overlay = small_overlay();
+        let (id, _) = overlay.peer_join(ip(10, 0, 0, 40), None, PeerResources::xeon_em64t());
+        assert!(overlay.peer_crash(id));
+        assert!(!overlay.peer_crash(id), "double crash is a no-op");
+        assert!(overlay.is_peer_crashed(id));
+        // Dead but undetected: still counted and still in its tracker's zone.
+        assert_eq!(overlay.peer_count(), 1);
+        assert_eq!(overlay.live_peer_count(), 0);
+        assert!(overlay.peer(id).is_some());
+        let cost = overlay.peer_detected_dead(id);
+        assert_eq!(cost.messages, 1);
+        assert_eq!(overlay.peer_count(), 0);
+        assert!(!overlay.is_peer_crashed(id));
+        assert!(overlay.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn crash_peers_on_kills_exactly_the_hosts_component() {
+        let mut overlay = small_overlay();
+        let doomed: Vec<HostId> = (0..3).map(HostId::new).collect();
+        let mut expected = Vec::new();
+        for i in 0..6u8 {
+            let host = HostId::new(u32::from(i));
+            let (id, _) = overlay.peer_join(
+                ip(10, 0, i % 3, 50 + i),
+                Some(host),
+                PeerResources::xeon_em64t(),
+            );
+            if i < 3 {
+                expected.push(id);
+            }
+        }
+        let mut killed = overlay.crash_peers_on(&doomed);
+        killed.sort();
+        expected.sort();
+        assert_eq!(killed, expected);
+        assert_eq!(overlay.live_peer_count(), 3);
+        // Idempotent: the same hosts have no live peers left.
+        assert!(overlay.crash_peers_on(&doomed).is_empty());
+    }
+
+    #[test]
+    fn tracker_crash_drops_crashed_orphans_instead_of_rehoming_them() {
+        let mut overlay = small_overlay();
+        let mid = overlay
+            .trackers()
+            .find(|t| t.ip == ip(10, 0, 1, 10))
+            .unwrap()
+            .id;
+        let (dead_peer, _) = overlay.peer_join(ip(10, 0, 1, 60), None, PeerResources::xeon_em64t());
+        let (live_peer, _) = overlay.peer_join(ip(10, 0, 1, 61), None, PeerResources::xeon_em64t());
+        assert_eq!(overlay.peer(dead_peer).unwrap().tracker, Some(mid));
+        overlay.peer_crash(dead_peer);
+        overlay.tracker_crash(mid);
+        assert!(overlay.peer(dead_peer).is_none(), "crashed orphan dropped");
+        let rehomed = overlay.peer(live_peer).unwrap();
+        assert!(rehomed.tracker.is_some(), "live orphan re-homed");
+        assert_ne!(rehomed.tracker, Some(mid));
+        assert!(overlay.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn heartbeat_timeout_detects_a_crashed_peer_within_the_window() {
+        let mut overlay = small_overlay();
+        let hb_cfg = HeartbeatConfig::default();
+        let mut hb = HeartbeatManager::new(hb_cfg);
+        let (id, _) = overlay.peer_join(
+            ip(10, 0, 0, 70),
+            Some(HostId::new(0)),
+            PeerResources::xeon_em64t(),
+        );
+        hb.observe(&overlay, overlay.now());
+        overlay.peer_crash(id);
+
+        let beat = hb_cfg.beat_period;
+        for _ in 0..hb_cfg.miss_threshold {
+            overlay.advance_time(beat);
+            hb.note_tracker_beats(&overlay, overlay.now());
+            assert!(
+                hb.due_peer_beats(&overlay).is_empty(),
+                "crashed peers must stay silent"
+            );
+            let now = overlay.now();
+            let d = hb.detect(&mut overlay, now);
+            assert!(d.peers.is_empty(), "not overdue before the full window");
+        }
+        // One more beat period pushes the silence past beat × miss_threshold.
+        overlay.advance_time(beat);
+        let now = overlay.now();
+        let d = hb.detect(&mut overlay, now);
+        assert_eq!(d.peers, vec![id]);
+        assert_eq!(overlay.peer_count(), 0);
+        assert_eq!(hb.failures_detected, 1);
+    }
+
+    #[test]
+    fn heartbeat_beats_keep_a_live_peer_alive_indefinitely() {
+        let mut overlay = small_overlay();
+        let hb_cfg = HeartbeatConfig::default();
+        let mut hb = HeartbeatManager::new(hb_cfg);
+        let (id, _) = overlay.peer_join(
+            ip(10, 0, 0, 71),
+            Some(HostId::new(0)),
+            PeerResources::xeon_em64t(),
+        );
+        hb.observe(&overlay, overlay.now());
+        for _ in 0..10 {
+            overlay.advance_time(hb_cfg.beat_period);
+            let beats = hb.due_peer_beats(&overlay);
+            assert_eq!(beats.len(), 1);
+            assert_eq!(beats[0].peer, id);
+            hb.record_peer_beat(id, overlay.now());
+            hb.note_tracker_beats(&overlay, overlay.now());
+            let now = overlay.now();
+            assert!(hb.detect(&mut overlay, now).peers.is_empty());
+        }
+        assert_eq!(overlay.live_peer_count(), 1);
+        assert_eq!(hb.beats_sent, 10);
+    }
+
+    #[test]
+    fn heartbeat_timeout_detects_a_crashed_tracker_and_repairs_the_line() {
+        let mut overlay = small_overlay();
+        let hb_cfg = HeartbeatConfig::default();
+        let mut hb = HeartbeatManager::new(hb_cfg);
+        let mid = overlay
+            .trackers()
+            .find(|t| t.ip == ip(10, 0, 1, 10))
+            .unwrap()
+            .id;
+        hb.observe(&overlay, overlay.now());
+        overlay.tracker_crash_stop(mid);
+        assert_eq!(overlay.live_tracker_count(), 2);
+        // Crashed but undetected: the line still references the dead tracker.
+        assert_eq!(overlay.tracker_count(), 3);
+
+        for _ in 0..hb_cfg.miss_threshold {
+            overlay.advance_time(hb_cfg.beat_period);
+            hb.note_tracker_beats(&overlay, overlay.now());
+            let now = overlay.now();
+            let d = hb.detect(&mut overlay, now);
+            assert!(d.trackers.is_empty(), "not overdue before the full window");
+        }
+        overlay.advance_time(hb_cfg.beat_period);
+        hb.note_tracker_beats(&overlay, overlay.now());
+        let now = overlay.now();
+        let d = hb.detect(&mut overlay, now);
+        assert_eq!(d.trackers, vec![mid]);
+        assert!(d.cost.messages > 0, "line repair exchanges messages");
+        assert_eq!(overlay.tracker_count(), 2);
+        assert!(overlay.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn lone_crashed_tracker_is_never_detected() {
+        let mut overlay = Overlay::bootstrap(OverlayConfig::default(), &[ip(10, 0, 0, 10)]);
+        let hb_cfg = HeartbeatConfig::default();
+        let mut hb = HeartbeatManager::new(hb_cfg);
+        let only = overlay.trackers().next().unwrap().id;
+        hb.observe(&overlay, overlay.now());
+        overlay.tracker_crash_stop(only);
+        overlay.advance_time(hb_cfg.timeout().saturating_mul(10));
+        let now = overlay.now();
+        let d = hb.detect(&mut overlay, now);
+        assert!(d.trackers.is_empty(), "nobody is left to notice");
+        assert_eq!(overlay.tracker_count(), 1);
     }
 }

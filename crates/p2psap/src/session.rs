@@ -11,6 +11,13 @@
 //! scheme mid-computation (e.g. synchronous → asynchronous once the residual
 //! is small) the socket renegotiates every session, paying one handshake per
 //! affected channel.
+//!
+//! Robustness is the other half of self-adaptation: when the remote peer
+//! crash-stops mid-session, [`Session::reroute`] tries to keep the data
+//! flowing through a surviving *relay* peer ([`SessionPath::Relayed`]), with
+//! a bounded exponential-backoff retry budget ([`RetryPolicy`]). Once the
+//! budget is spent the session fails deterministically
+//! ([`SessionPath::Failed`]) — it never wedges.
 
 use crate::adaptation::AdaptationController;
 use crate::channel::ChannelConfig;
@@ -19,6 +26,86 @@ use crate::scheme::IterativeScheme;
 use netsim::{Platform, ProtocolCosts};
 use p2p_common::{HostId, SimDuration};
 use std::collections::HashMap;
+
+/// Bounded retry/backoff budget for re-routing a broken session.
+///
+/// Attempt `k` (zero-based) waits `base_backoff × multiplier^k` before
+/// probing for a relay; after `budget` attempts the session fails
+/// deterministically. The defaults (4 attempts, 500 ms base, ×2) give up
+/// after 500 ms + 1 s + 2 s + 4 s = 7.5 s of simulated effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum reroute attempts before the session is declared failed.
+    pub budget: u32,
+    /// Backoff before the first attempt.
+    pub base_backoff: SimDuration,
+    /// Exponential growth factor between consecutive attempts.
+    pub multiplier: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 4,
+            base_backoff: SimDuration::from_millis(500),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff paid before zero-based attempt `attempt`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let mut factor = 1u64;
+        for _ in 0..attempt {
+            factor = factor.saturating_mul(self.multiplier);
+        }
+        self.base_backoff.saturating_mul(factor)
+    }
+
+    /// Total simulated time a session can spend retrying before it fails.
+    pub fn max_total_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for k in 0..self.budget {
+            total += self.backoff(k);
+        }
+        total
+    }
+}
+
+/// The current data path of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPath {
+    /// Traffic flows directly to the remote peer.
+    Direct,
+    /// The direct path died; traffic is relayed through a surviving peer.
+    Relayed {
+        /// The relay host.
+        via: HostId,
+    },
+    /// The retry budget is spent: the transfer was abandoned. Terminal.
+    Failed,
+}
+
+/// Result of one [`Session::reroute`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerouteOutcome {
+    /// A surviving relay was found; the session carries on through it.
+    Rerouted {
+        /// The relay host now carrying the traffic.
+        via: HostId,
+        /// Backoff paid before this attempt succeeded.
+        backoff: SimDuration,
+    },
+    /// No viable relay this attempt; budget remains — try again after the
+    /// backoff.
+    Retrying {
+        /// Backoff to pay before the next attempt.
+        backoff: SimDuration,
+    },
+    /// The retry budget is exhausted; the session is failed (terminal).
+    Failed,
+}
 
 /// One configured channel between a local and a remote peer.
 #[derive(Debug, Clone)]
@@ -33,7 +120,10 @@ pub struct Session {
     pub scheme: IterativeScheme,
     /// The selected channel configuration.
     pub config: ChannelConfig,
+    /// Current data path (direct, relayed, or failed).
+    pub path: SessionPath,
     reconfigurations: u32,
+    reroute_attempts: u32,
     messages_sent: u64,
     bytes_sent: u64,
 }
@@ -56,22 +146,111 @@ impl Session {
             context,
             scheme,
             config,
+            path: SessionPath::Direct,
             reconfigurations: 0,
+            reroute_attempts: 0,
             messages_sent: 0,
             bytes_sent: 0,
         }
     }
 
     /// Time to establish (or re-establish) the channel: one route round-trip
-    /// per handshake exchange.
+    /// per handshake exchange. A relayed session handshakes with its relay; a
+    /// failed session has nothing left to establish.
     pub fn handshake_delay(&self, platform: &mut Platform) -> SimDuration {
-        if self.local == self.remote {
+        let far_end = match self.path {
+            SessionPath::Direct => self.remote,
+            SessionPath::Relayed { via } => via,
+            SessionPath::Failed => return SimDuration::ZERO,
+        };
+        if self.local == far_end {
             return SimDuration::ZERO;
         }
-        let route = platform.route(self.local, self.remote);
+        let route = platform.route(self.local, far_end);
         route
             .latency
             .saturating_mul(2 * self.config.handshake_rtts() as u64)
+    }
+
+    /// One attempt to re-route a session whose current path died (the remote
+    /// peer — or the relay — crash-stopped mid-transfer).
+    ///
+    /// The attempt pays `policy.backoff(attempts_so_far)`, then scans
+    /// `candidates` in the given order for the first host with a live route
+    /// from the local endpoint (candidates equal to either endpoint are
+    /// skipped). On success the channel is re-classified and re-configured
+    /// for the relay leg; once `policy.budget` attempts are spent the session
+    /// transitions to [`SessionPath::Failed`] and stays there. Fully
+    /// deterministic: outcome depends only on the candidate order and the
+    /// platform, never on iteration order of any hash map.
+    pub fn reroute(
+        &mut self,
+        platform: &mut Platform,
+        controller: &mut AdaptationController,
+        policy: &RetryPolicy,
+        candidates: &[HostId],
+    ) -> RerouteOutcome {
+        if self.path == SessionPath::Failed {
+            return RerouteOutcome::Failed;
+        }
+        if self.reroute_attempts >= policy.budget {
+            self.path = SessionPath::Failed;
+            return RerouteOutcome::Failed;
+        }
+        let backoff = policy.backoff(self.reroute_attempts);
+        self.reroute_attempts += 1;
+        let relay = candidates.iter().copied().find(|&c| {
+            c != self.local && c != self.remote && platform.route_uncached(self.local, c).is_some()
+        });
+        match relay {
+            Some(via) => {
+                self.path = SessionPath::Relayed { via };
+                // The relay leg may cross a different network context than
+                // the dead direct path; adapt the channel to it.
+                let context = NetworkContext::classify(platform, self.local, via);
+                self.context = context;
+                let new_config = controller.select(self.scheme, context);
+                if new_config != self.config {
+                    self.config = new_config;
+                    self.reconfigurations += 1;
+                }
+                RerouteOutcome::Rerouted { via, backoff }
+            }
+            None if self.reroute_attempts >= policy.budget => {
+                self.path = SessionPath::Failed;
+                RerouteOutcome::Failed
+            }
+            None => RerouteOutcome::Retrying { backoff },
+        }
+    }
+
+    /// Re-route until the session is either relayed or failed, accumulating
+    /// the backoff a time-stepped caller would have paid. Terminates after at
+    /// most `policy.budget` attempts — a broken session can never wedge.
+    pub fn reroute_until_resolved(
+        &mut self,
+        platform: &mut Platform,
+        controller: &mut AdaptationController,
+        policy: &RetryPolicy,
+        candidates: &[HostId],
+    ) -> (RerouteOutcome, SimDuration) {
+        let mut waited = SimDuration::ZERO;
+        loop {
+            match self.reroute(platform, controller, policy, candidates) {
+                RerouteOutcome::Retrying { backoff } => waited += backoff,
+                done => {
+                    if let RerouteOutcome::Rerouted { backoff, .. } = done {
+                        waited += backoff;
+                    }
+                    return (done, waited);
+                }
+            }
+        }
+    }
+
+    /// Number of reroute attempts consumed from the retry budget.
+    pub fn reroute_attempts(&self) -> u32 {
+        self.reroute_attempts
     }
 
     /// Switch the session to a new scheme. Returns `true` (and bumps the
@@ -125,6 +304,12 @@ pub struct SessionStats {
     pub bytes_sent: u64,
     /// Total channel reconfigurations.
     pub reconfigurations: u64,
+    /// Sessions currently running through a relay.
+    pub relayed: usize,
+    /// Sessions that exhausted their retry budget and failed.
+    pub failed: usize,
+    /// Total reroute attempts consumed across all sessions.
+    pub reroute_attempts: u64,
 }
 
 /// A peer's bundle of sessions.
@@ -133,6 +318,7 @@ pub struct Socket {
     local: HostId,
     scheme: IterativeScheme,
     controller: AdaptationController,
+    retry_policy: RetryPolicy,
     sessions: HashMap<HostId, Session>,
 }
 
@@ -143,8 +329,20 @@ impl Socket {
             local,
             scheme,
             controller: AdaptationController::new(),
+            retry_policy: RetryPolicy::default(),
             sessions: HashMap::new(),
         }
+    }
+
+    /// Override the reroute retry policy (builder style).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// The socket's reroute retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
     }
 
     /// Local endpoint.
@@ -185,6 +383,21 @@ impl Socket {
         changed
     }
 
+    /// The remote peer at `remote` crash-stopped: re-route the session to it
+    /// (if one is open) until it is relayed or failed, burning retry budget
+    /// and simulated backoff time. Returns the outcome and the total backoff
+    /// paid, or `None` if no session towards `remote` was open.
+    pub fn handle_remote_failure(
+        &mut self,
+        platform: &mut Platform,
+        remote: HostId,
+        survivors: &[HostId],
+    ) -> Option<(RerouteOutcome, SimDuration)> {
+        let policy = self.retry_policy;
+        let session = self.sessions.get_mut(&remote)?;
+        Some(session.reroute_until_resolved(platform, &mut self.controller, &policy, survivors))
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> SessionStats {
         let mut st = SessionStats {
@@ -196,6 +409,12 @@ impl Socket {
             st.messages_sent += m;
             st.bytes_sent += b;
             st.reconfigurations += s.reconfigurations() as u64;
+            st.reroute_attempts += u64::from(s.reroute_attempts());
+            match s.path {
+                SessionPath::Relayed { .. } => st.relayed += 1,
+                SessionPath::Failed => st.failed += 1,
+                SessionPath::Direct => {}
+            }
         }
         st
     }
@@ -279,6 +498,88 @@ mod tests {
         assert_eq!(sock.stats().reconfigurations, 2);
         // Switching to the same scheme again changes nothing.
         assert_eq!(sock.set_scheme(IterativeScheme::Asynchronous), 0);
+    }
+
+    #[test]
+    fn reroute_picks_the_first_reachable_relay_deterministically() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut ctl = AdaptationController::new();
+        let mut s = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let policy = RetryPolicy::default();
+        // Candidates include both endpoints (must be skipped) and two valid
+        // relays; the first valid one in order must win, every time.
+        let candidates = [topo.hosts[0], topo.hosts[1], topo.hosts[5], topo.hosts[3]];
+        let out = s.reroute(&mut topo.platform, &mut ctl, &policy, &candidates);
+        assert_eq!(
+            out,
+            RerouteOutcome::Rerouted {
+                via: topo.hosts[5],
+                backoff: policy.backoff(0)
+            }
+        );
+        assert_eq!(s.path, SessionPath::Relayed { via: topo.hosts[5] });
+        assert_eq!(s.reroute_attempts(), 1);
+    }
+
+    #[test]
+    fn reroute_fails_deterministically_after_the_budget() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut ctl = AdaptationController::new();
+        let mut s = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let policy = RetryPolicy {
+            budget: 3,
+            base_backoff: SimDuration::from_millis(100),
+            multiplier: 2,
+        };
+        // No survivors at all: every attempt retries, then the budget runs out.
+        let (out, waited) = s.reroute_until_resolved(&mut topo.platform, &mut ctl, &policy, &[]);
+        assert_eq!(out, RerouteOutcome::Failed);
+        assert_eq!(s.path, SessionPath::Failed);
+        assert_eq!(s.reroute_attempts(), 3);
+        // 100ms + 200ms for the two Retrying attempts; the third attempt
+        // fails terminally without waiting.
+        assert_eq!(waited, SimDuration::from_millis(300));
+        assert!(waited <= policy.max_total_backoff());
+        // Failed is terminal: further attempts change nothing.
+        assert_eq!(
+            s.reroute(&mut topo.platform, &mut ctl, &policy, &[topo.hosts[2]]),
+            RerouteOutcome::Failed
+        );
+        assert_eq!(s.handshake_delay(&mut topo.platform), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn socket_reroutes_its_broken_session_and_reports_stats() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut sock = Socket::new(topo.hosts[0], IterativeScheme::Synchronous);
+        sock.session(&mut topo.platform, topo.hosts[1]);
+        sock.session(&mut topo.platform, topo.hosts[2]);
+        let survivors = [topo.hosts[4]];
+        let (out, _) = sock
+            .handle_remote_failure(&mut topo.platform, topo.hosts[1], &survivors)
+            .expect("session exists");
+        assert!(matches!(out, RerouteOutcome::Rerouted { .. }));
+        // No session towards an unknown remote: nothing to re-route.
+        assert!(sock
+            .handle_remote_failure(&mut topo.platform, topo.hosts[7], &survivors)
+            .is_none());
+        let st = sock.stats();
+        assert_eq!(st.sessions, 2);
+        assert_eq!(st.relayed, 1);
+        assert_eq!(st.failed, 0);
+        assert_eq!(st.reroute_attempts, 1);
     }
 
     #[test]

@@ -110,6 +110,77 @@ fn sharing_model_choice_only_matters_under_contention() {
     assert!(rel < 0.05, "models diverge by {rel} without contention");
 }
 
+/// The fault-model counterpart of the Fig. 10 claim: after heavy correlated
+/// churn (one whole DSLAM tree killed, plus individual peer crashes in the
+/// surviving trees), dPerf predictions on the *surviving* hosts must still
+/// track the reference execution within the paper's envelope. Churn must not
+/// silently degrade the predictor — the survivors form an ordinary (smaller)
+/// platform.
+#[test]
+fn prediction_tracks_the_reference_on_churn_survivors() {
+    use netsim::{dslam_forest, HostSpec};
+    use p2pdc::ExecutionConfig;
+    use p2pdc_bench::robustness::{run_robustness, RobustnessConfig};
+
+    let churn = RobustnessConfig {
+        trees: 3,
+        nodes_per_tree: 8,
+        ..RobustnessConfig::default()
+    };
+    let report = run_robustness(&churn);
+    assert!(
+        report.invariant_violations.is_empty(),
+        "{:?}",
+        report.invariant_violations
+    );
+
+    // Pick four live hosts from a surviving tree (deterministic: survivor
+    // lists are in host order).
+    let survivors = report
+        .survivor_hosts
+        .iter()
+        .enumerate()
+        .find(|(c, hosts)| *c != churn.kill_component && hosts.len() >= 4)
+        .map(|(_, hosts)| hosts.clone())
+        .expect("a surviving tree keeps at least four peers");
+    let hosts = survivors[..4].to_vec();
+
+    // The forest build is deterministic, so the prediction pipeline can
+    // reconstruct the exact platform the churn scenario ran on.
+    let topology = dslam_forest(
+        churn.trees,
+        churn.nodes_per_tree,
+        HostSpec::default(),
+        churn.seed,
+    );
+
+    let scenario = Scenario::new(PlatformKind::Xdsl, 4)
+        .with_app(tiny())
+        .with_opt(OptLevel::O0);
+    let traces = scenario.traces();
+    let prediction = predict_traces(
+        &traces,
+        &topology,
+        &hosts,
+        IterativeScheme::Synchronous,
+        SharingMode::Bottleneck,
+    );
+    let cfg = ExecutionConfig {
+        opt_factor: OptLevel::O0.time_factor(),
+        ..ExecutionConfig::default()
+    };
+    let reference = p2pdc::run_reference(&tiny(), &topology, &hosts, &cfg);
+
+    let r = reference.execution_time.as_secs_f64();
+    let p = prediction.total.as_secs_f64();
+    let err = (r - p).abs() / r;
+    assert!(
+        err < 0.25,
+        "post-churn survivors: prediction {p:.3}s vs reference {r:.3}s (error {:.1}%)",
+        err * 100.0
+    );
+}
+
 /// The prediction pipeline replays traces through `netsim::replay`, which
 /// since PR 4 defaults to the parallel-shard rebalance engine. A predicted
 /// time must not depend on that engineering choice: every engine, under
