@@ -83,7 +83,7 @@ impl Default for RobustnessConfig {
             crash_start: SimTime::from_secs(60),
             horizon: SimTime::from_secs(180),
             sharing: SharingMode::MaxMinFair,
-            engine: RebalanceEngine::ParallelShard,
+            engine: RebalanceEngine::WarmStart,
             shard_threads: None,
             parallel_threshold: None,
         }
@@ -266,6 +266,14 @@ impl World for RobustWorld {
                 let impact = self.plan.deliver_due(&mut self.overlay, now);
                 if now == self.cfg.kill_at {
                     self.mass_victims = impact.crashed_peers.clone();
+                    // A correlated kill rewrites a whole component's traffic
+                    // at once: drop the warm engine's fill records rather
+                    // than warm-start across it. Purely conservative — the
+                    // records are keyed and churn-bounded, so the engines
+                    // agree bit for bit either way (proven by
+                    // `tests/warm_faults.rs`) — but a cold fill is the
+                    // faster path for a change this shape anyway.
+                    self.net.invalidate_fill_records();
                 } else {
                     self.crash_victims += impact.crashed_peers.len();
                 }

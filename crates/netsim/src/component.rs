@@ -90,6 +90,18 @@ pub(crate) struct LinkComponents {
     /// Flow-list node arena plus its free list.
     nodes: Vec<FlowNode>,
     free: Vec<u32>,
+    /// Component epoch per link (meaningful at roots): bumped whenever the
+    /// component rooted here changes shape by means an incremental consumer
+    /// cannot account for flow-by-flow — a union actually merging two
+    /// components, or a region rebuild (`clear_list`/`reset`). The warm-start
+    /// engine keys its per-component `FillRecord`s on this value and discards
+    /// a record whose key no longer matches its root
+    /// ([`LinkComponents::key_of_root`]). Keys are drawn from a monotone
+    /// counter and never reused, so a record can never accidentally match a
+    /// rebuilt component.
+    key: Vec<u64>,
+    /// Next key value to hand out.
+    next_key: u64,
 }
 
 impl LinkComponents {
@@ -104,7 +116,22 @@ impl LinkComponents {
             listed: vec![0; links],
             nodes: Vec::new(),
             free: Vec::new(),
+            key: vec![0; links],
+            next_key: 1,
         }
+    }
+
+    /// Component epoch of the component rooted at `root` (see the `key`
+    /// field). Stable across attaches/detaches that stay within one
+    /// component; changes on merges and region rebuilds.
+    pub(crate) fn key_of_root(&self, root: usize) -> u64 {
+        self.key[root]
+    }
+
+    /// Assign `link` a fresh, never-before-used key.
+    fn bump_key(&mut self, link: usize) {
+        self.key[link] = self.next_key;
+        self.next_key += 1;
     }
 
     /// Root of `link`'s component (path-halving).
@@ -128,6 +155,12 @@ impl LinkComponents {
         if self.size[ra] < self.size[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }
+        // A real merge changes both components' shapes: neither side's
+        // recorded fill can describe the union, so both keys die (the loser's
+        // too — it may become a root again after a future `reset`, and must
+        // not resurrect an old record).
+        self.bump_key(ra);
+        self.bump_key(rb);
         self.parent[rb] = ra as u32;
         self.size[ra] += self.size[rb];
         self.live[ra] += self.live[rb];
@@ -261,6 +294,7 @@ impl LinkComponents {
         self.tail[root] = NO_NODE;
         self.live[root] = 0;
         self.listed[root] = 0;
+        self.bump_key(root);
     }
 
     /// Return `link` to a singleton component with an empty flow list.
@@ -280,6 +314,7 @@ impl LinkComponents {
         self.listed[link] = 0;
         self.head[link] = NO_NODE;
         self.tail[link] = NO_NODE;
+        self.bump_key(link);
     }
 }
 
@@ -419,6 +454,37 @@ mod tests {
         let rebuilt = c.find(2);
         assert_eq!(c.live_of_root(rebuilt), 1);
         assert_eq!(c.stale_of_root(rebuilt), 0);
+    }
+
+    #[test]
+    fn component_keys_survive_intra_component_churn_and_die_on_merges() {
+        let mut c = LinkComponents::new(4);
+        c.attach(&[0, 1], id(1));
+        let root = c.find(0);
+        let k0 = c.key_of_root(root);
+        // Attaching and detaching flows *within* the component leaves the
+        // key alone — that is exactly the churn a warm start accounts for.
+        c.attach(&[0, 1], id(2));
+        c.detach_one(0);
+        let root_after = c.find(0);
+        assert_eq!(c.key_of_root(root_after), k0);
+        // A merge with another (even empty) component kills both keys.
+        c.attach(&[2, 3], id(3));
+        let other = c.find(2);
+        let k_other = c.key_of_root(other);
+        c.attach(&[1, 2], id(4));
+        let merged = c.find(0);
+        assert_ne!(c.key_of_root(merged), k0);
+        assert_ne!(c.key_of_root(merged), k_other);
+        // A region rebuild hands out fresh keys too.
+        let k1 = c.key_of_root(merged);
+        c.clear_list(merged);
+        assert_ne!(c.key_of_root(merged), k1);
+        for l in 0..4 {
+            let before = c.key_of_root(l);
+            c.reset(l);
+            assert_ne!(c.key_of_root(l), before, "reset must invalidate");
+        }
     }
 
     #[test]

@@ -85,8 +85,8 @@
 //!   bit-identical rates, so this produces delivery timestamps identical to
 //!   [`RebalanceEngine::BucketedBatched`] — a property the differential
 //!   suite in `tests/props.rs` enforces.
-//! * **Parallel sharded flushes** — the default engine
-//!   ([`RebalanceEngine::ParallelShard`]) adds one more step: a flush
+//! * **Parallel sharded flushes** — [`RebalanceEngine::ParallelShard`]
+//!   adds one more step: a flush
 //!   spanning several dirty components bins whole components onto scoped
 //!   worker threads, each filling against private scratch (its own
 //!   bottleneck queue and a thread-local rate buffer — no shared mutable
@@ -94,9 +94,28 @@
 //!   walk in global active order. Component independence plus the pure
 //!   per-component fill make shard results bit-identical to
 //!   [`RebalanceEngine::DirtyComponent`] at every thread count — enforced
-//!   four ways by `tests/props.rs` and pinned across worker budgets by
+//!   five ways by `tests/props.rs` and pinned across worker budgets by
 //!   `tests/parallel.rs`. Flushes below a work threshold (or with a single
 //!   dirty component) fall back to the single-threaded flush verbatim.
+//! * **Warm-start filling** — the default engine
+//!   ([`RebalanceEngine::WarmStart`]) attacks the one case component
+//!   factoring cannot help: churn *inside* a single component. After each
+//!   component fill it persists the bottleneck sequence — which link
+//!   saturated in which round, at what share, freezing which flows — in a
+//!   per-component `FillRecord` keyed by the union–find component epoch.
+//!   The next flush of that component binary-searches the recorded sequence
+//!   for the first saturation level the changed flows' path links can
+//!   affect, keeps every flow frozen strictly below that level untouched
+//!   (rates *and* scheduled completions — those flows are not even walked),
+//!   and resumes progressive filling from that level with the prefix's
+//!   residual capacities restored bit-exactly from the record. Records are
+//!   invalidated by component merges and region rebuilds (the component
+//!   epoch moves), by dense-flush fast-path takeovers, and explicitly via
+//!   [`Network::invalidate_fill_records`] (topology change, scripted mass
+//!   failure). Multi-component warm flushes shard across worker threads
+//!   like [`RebalanceEngine::ParallelShard`] — each shard warm-starts its
+//!   own component. Results stay bit-identical to every other engine: the
+//!   five-way differential suite in `tests/props.rs` enforces it.
 //!
 //! This diverges from the seed's *progressive filling loop over hash maps*
 //! only in mechanics, not in the fixed point it computes: the per-link
@@ -218,12 +237,31 @@ pub enum RebalanceEngine {
     /// function of each component's flow set (link-index tie-breaking) and
     /// components share no links or flows, shard results are bit-identical
     /// to [`RebalanceEngine::DirtyComponent`] at **every** thread count —
-    /// a property `tests/props.rs` enforces four ways. Flushes below the
+    /// a property `tests/props.rs` enforces five ways. Flushes below the
     /// work threshold ([`Network::set_parallel_threshold`]) or with a
     /// single dirty component fall back to the single-threaded flush
-    /// verbatim. The default.
-    #[default]
+    /// verbatim. The PR 4 default, retained as the cold-fill differential
+    /// baseline of the warm-start engine.
     ParallelShard,
+    /// Everything [`RebalanceEngine::ParallelShard`] does, plus every
+    /// component fill persists its bottleneck sequence (saturation order,
+    /// share levels, frozen-flow sets, per-link residual-capacity history)
+    /// in a per-component `FillRecord` keyed by the union–find component
+    /// epoch. A later flush of the same component resumes progressive
+    /// filling from the first recorded saturation level the changed flows'
+    /// path links can affect instead of from share level zero: flows frozen
+    /// strictly below that level keep their rates and scheduled completions
+    /// without being touched (or walked) at all, and the fill replays only
+    /// the suffix, seeded with the prefix's residual capacities restored
+    /// bit-exactly from the record. Because the fill is a pure function of
+    /// the flow set (link-index tie-breaking), the warm result is
+    /// bit-identical to a cold fill — a property the five-way differential
+    /// suite in `tests/props.rs` enforces. Records die on component merges
+    /// and rebuilds (epoch mismatch), dense-flush takeovers, and
+    /// [`Network::invalidate_fill_records`]; an invalidated component
+    /// simply cold-fills once, re-recording as it goes. The default.
+    #[default]
+    WarmStart,
 }
 
 /// When the network compacts the scheduler's event heap on its own.
@@ -274,11 +312,32 @@ pub struct FlushStats {
     /// have recomputed `flushes × active` instead).
     pub flushed_flows: u64,
     /// Flushes whose fill ran sharded across worker threads (only under
-    /// [`RebalanceEngine::ParallelShard`], and only when the flush spanned
-    /// several dirty components and cleared the work threshold).
+    /// [`RebalanceEngine::ParallelShard`] and [`RebalanceEngine::WarmStart`],
+    /// and only when the flush spanned several dirty components and cleared
+    /// the work threshold).
     pub parallel_flushes: u64,
     /// Total shards dispatched to workers across all parallel flushes.
     pub shards_dispatched: u64,
+    /// Component fills that resumed from a recorded saturation prefix
+    /// instead of share level zero (only under
+    /// [`RebalanceEngine::WarmStart`]). Cold fills — no record, or a record
+    /// invalidated since — are not counted, even though they record.
+    pub warm_starts: u64,
+    /// Flows kept frozen from recorded prefixes across all warm starts:
+    /// their rates and scheduled completions were preserved without the
+    /// flush walking them at all (the full engines would have re-derived
+    /// and compared every one).
+    pub warm_prefix_flows: u64,
+    /// Sum of the resume levels (recorded saturation rounds skipped) across
+    /// all warm starts; `warm_resume_rounds / warm_starts` is the mean
+    /// recorded-prefix depth a warm start preserved.
+    pub warm_resume_rounds: u64,
+    /// Fill records dropped because a dense-flush fast path took over their
+    /// component (the dense path recomputes without per-component
+    /// attribution, so the records it bypasses can no longer describe the
+    /// last fill) or because [`Network::invalidate_fill_records`] was
+    /// called.
+    pub warm_invalidations: u64,
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -493,6 +552,318 @@ impl ShardTask {
     }
 }
 
+/// Sentinel for "this link never popped as a bottleneck" in
+/// [`FillRecord::pop_round`].
+const NO_ROUND: u32 = u32::MAX;
+
+/// One saturation round of a recorded component fill: `link` popped as the
+/// bottleneck at fair share `share`, freezing the flows
+/// `frozen[prev.frozen_end..frozen_end]` of the owning record.
+#[derive(Debug, Clone, Copy)]
+struct FillRound {
+    link: u32,
+    share: f64,
+    frozen_end: u32,
+}
+
+/// The persisted bottleneck sequence of one component's last progressive
+/// fill, keyed by the union–find component epoch
+/// (`LinkComponents::key_of_root`). This is what makes a warm start
+/// possible: because the fill is a pure function of the flow set with
+/// link-index tie-breaking, the recorded prefix of saturation rounds that a
+/// change cannot affect is *bit-identical* to the corresponding prefix of a
+/// cold fill of the changed flow set — so the next flush replays only the
+/// suffix, seeded from the recorded residual capacities.
+///
+/// Invariant: after every flush of the component, the record is exactly
+/// what a cold recorded fill of the component's current live flow set
+/// would have produced (up to within-round `frozen` order, which nothing
+/// consumes) — warm flushes maintain this by truncating the replaced
+/// suffix and appending the replayed one, which is why records compose
+/// across arbitrarily long churn sequences.
+#[derive(Debug, Default)]
+struct FillRecord {
+    /// Component epoch this record was made under; a mismatch against the
+    /// current `key_of_root` (component merged, or region rebuilt) kills
+    /// the record.
+    key: u64,
+    /// The saturation rounds in pop order; shares are non-decreasing
+    /// (progressive filling's pop sequence is monotone), which is what the
+    /// resume-level binary search relies on.
+    rounds: Vec<FillRound>,
+    /// Every flow fixed by the recorded fill, concatenated round by round
+    /// (`FillRound::frozen_end` delimits). A prefix cut of this list is the
+    /// set of flows a warm start leaves untouched.
+    frozen: Vec<FlowId>,
+    /// Every link the recorded fill seeded (global link ids); the parallel
+    /// vectors below are indexed by position in this list ("record slots").
+    links: Vec<u32>,
+    /// Per record slot: live flows crossing the link as of the record's
+    /// fill — the seed of the resume-level σ rule (a *higher* current count
+    /// means net arrivals put the link's fresh fair share below recorded
+    /// levels, bounding where the recorded sequence can first change).
+    seed_unfixed: Vec<u32>,
+    /// Per record slot: the round at which the link popped as bottleneck
+    /// ([`NO_ROUND`] if it never did). A dirty link's pop round bounds the
+    /// resume level from above: the round that froze a departed flow — and
+    /// every later one — must be replayed.
+    pop_round: Vec<u32>,
+    /// Per record slot: residual-capacity history `(k, capacity after the
+    /// first k rounds)`, first entry `(0, full capacity)`. Restoring "the
+    /// state just before round k*" is a tail-truncation plus last-entry
+    /// read — stored values, not re-derived arithmetic, so the restore is
+    /// bit-exact (re-adding suffix shares would not be: float addition
+    /// does not undo the recorded subtractions).
+    hist: Vec<Vec<(u32, f64)>>,
+}
+
+impl FillRecord {
+    /// First recorded round that a fresh queue entry `(share, link)` could
+    /// preempt. Rounds strictly lex-below `(share, link)` pop before the
+    /// entry can (per-link fair shares only ever grow as the fill
+    /// progresses, so the entry's key never drops below `share`); the
+    /// first round lex-above it is where the recorded sequence can first
+    /// change. Recorded shares are non-decreasing, so binary-search the
+    /// share, then resolve the equal-share run by the fill's link-index
+    /// tie-break.
+    fn first_preemptable_round(&self, share: f64, link: usize) -> usize {
+        let mut i = self.rounds.partition_point(|r| r.share < share);
+        while i < self.rounds.len() && self.rounds[i].share == share {
+            if self.rounds[i].link as usize > link {
+                return i;
+            }
+            i += 1;
+        }
+        i
+    }
+}
+
+/// One component fill of a warm-start flush: a dirty root, its record (cold
+/// fills start from a fresh one), the resume level, and the participant
+/// flows (recorded suffix survivors plus arrivals since the record — for a
+/// cold fill, the whole gathered component). Like [`ShardTask`], results
+/// land in private scratch so tasks can run on worker threads; unlike it,
+/// each task is exactly one component, because the record describes one.
+#[derive(Debug, Default)]
+struct WarmTask {
+    /// The component's root link.
+    root: u32,
+    /// The component's record, moved in for the duration of the flush
+    /// (appended to by the fill) and moved back at merge.
+    rec: Option<Box<FillRecord>>,
+    /// Resume level: recorded rounds `0..k_star` are kept verbatim, rounds
+    /// `k_star..` are truncated and replayed. Zero for cold fills.
+    k_star: u32,
+    /// Participant slot indices (suffix survivors + arrivals, any order —
+    /// the fill is order-independent).
+    flows: Vec<u32>,
+    /// Whether this flush resumed from a prior record. A warm task's
+    /// participant list must be completed from the arrival log (the record
+    /// cannot know about flows that arrived after it was made); a cold
+    /// task's gathered list already holds every attached live flow.
+    warm: bool,
+    /// Private fill scratch (same tables as a parallel shard's).
+    scratch: ShardScratch,
+    /// Participation stamp per slot: link incidence lists also hold
+    /// prefix-frozen flows, which the replay must never re-fix.
+    part: Vec<u64>,
+    /// Link → record-slot map (epoch-stamped, rebuilt per flush).
+    slot_map: Vec<u32>,
+    slot_epoch: Vec<u64>,
+    map_gen: u64,
+}
+
+impl WarmTask {
+    /// Load the link→record-slot map from the record currently in the task
+    /// (serial pre-pass; the resume-level computation and the replay both
+    /// key on it).
+    fn load_map(&mut self, link_count: usize) {
+        self.map_gen += 1;
+        if self.slot_epoch.len() < link_count {
+            self.slot_epoch.resize(link_count, 0);
+            self.slot_map.resize(link_count, 0);
+        }
+        let rec = self.rec.take().expect("task holds its record");
+        for (s, &l) in rec.links.iter().enumerate() {
+            self.slot_epoch[l as usize] = self.map_gen;
+            self.slot_map[l as usize] = s as u32;
+        }
+        self.rec = Some(rec);
+    }
+
+    /// Record slot of `link`, if the record has seen it.
+    fn slot_of(&self, link: usize) -> Option<usize> {
+        (self.slot_epoch[link] == self.map_gen).then(|| self.slot_map[link] as usize)
+    }
+
+    /// Resume progressive filling from `k_star`: truncate the record's
+    /// replaced suffix, seed the participants with the prefix's residual
+    /// capacities restored from the record, and replay the fill while
+    /// re-recording it. With `k_star == 0` and a fresh record this *is* a
+    /// cold recorded fill.
+    ///
+    /// KEEP IN SYNC with [`ShardTask::run`] / `fix_bottleneck_flows`: same
+    /// seeding arithmetic, same dust rule, same link-index tie-breaking —
+    /// plus the participation guard and the record bookkeeping. Any drift
+    /// breaks the five-way bit-identity in `tests/props.rs`.
+    fn run(&mut self, slots: &[Slot], link_flows: &[Vec<u32>], links: &[crate::platform::Link]) {
+        let mut rec = self.rec.take().expect("task holds its record");
+        let k = self.k_star as usize;
+        let cut = if k == 0 {
+            0
+        } else {
+            rec.rounds[k - 1].frozen_end as usize
+        };
+        // Truncate everything the replay supersedes: rounds ≥ k*, the flows
+        // they froze, the capacity-history tails they wrote, and the pop
+        // marks of links that popped in the replaced suffix. Also refresh
+        // every record link's seed count to the current incidence size —
+        // after this flush the record must describe a fill of the *current*
+        // flow set (counts cannot change mid-flush; departures already left
+        // the incidence lists and arrivals already joined them).
+        rec.rounds.truncate(k);
+        rec.frozen.truncate(cut);
+        for s in 0..rec.links.len() {
+            let l = rec.links[s] as usize;
+            let h = &mut rec.hist[s];
+            while h.last().is_some_and(|&(r, _)| r as usize > k) {
+                h.pop();
+            }
+            if rec.pop_round[s] != NO_ROUND && rec.pop_round[s] as usize >= k {
+                rec.pop_round[s] = NO_ROUND;
+            }
+            rec.seed_unfixed[s] = link_flows[l].len() as u32;
+        }
+        // Seed the participants. A link's restored capacity is the last
+        // surviving history entry (= its residual after the kept prefix,
+        // bit-exact); links the record has never seen carried no flow when
+        // it was made — no prefix round touched them — so they enter at
+        // full capacity and are registered on the spot.
+        let map_gen = self.map_gen;
+        let (s, part, slot_map, slot_epoch) = (
+            &mut self.scratch,
+            &mut self.part,
+            &mut self.slot_map,
+            &mut self.slot_epoch,
+        );
+        if s.link_capacity.len() < links.len() {
+            s.link_capacity.resize(links.len(), 0.0);
+            s.link_unfixed.resize(links.len(), 0);
+            s.link_epoch.resize(links.len(), 0);
+            s.link_round.resize(links.len(), 0);
+        }
+        if s.flow_fixed.len() < slots.len() {
+            s.flow_fixed.resize(slots.len(), 0);
+            s.flow_rate.resize(slots.len(), 0.0);
+        }
+        if part.len() < slots.len() {
+            part.resize(slots.len(), 0);
+        }
+        s.epoch += 1;
+        let epoch = s.epoch;
+        s.touched_links.clear();
+        let mut unfixed_flows = 0usize;
+        for &slot_idx in &self.flows {
+            let si = slot_idx as usize;
+            let f = slots[si].state.as_ref().expect("participants are live");
+            part[si] = epoch;
+            s.flow_fixed[si] = 0;
+            s.flow_rate[si] = 0.0;
+            unfixed_flows += 1;
+            for &l in &f.route.links {
+                if s.link_epoch[l] != epoch {
+                    s.link_epoch[l] = epoch;
+                    s.link_capacity[l] = if slot_epoch[l] == map_gen {
+                        let rs = slot_map[l] as usize;
+                        rec.hist[rs].last().expect("hist keeps its seed entry").1
+                    } else {
+                        let full = links[l].bandwidth.bytes_per_sec();
+                        let rs = rec.links.len() as u32;
+                        rec.links.push(l as u32);
+                        rec.seed_unfixed.push(link_flows[l].len() as u32);
+                        rec.pop_round.push(NO_ROUND);
+                        rec.hist.push(vec![(0, full)]);
+                        slot_epoch[l] = map_gen;
+                        slot_map[l] = rs;
+                        full
+                    };
+                    s.link_unfixed[l] = 0;
+                    s.touched_links.push(l);
+                }
+                s.link_unfixed[l] += 1;
+            }
+        }
+        s.queue
+            .seed(&s.touched_links, &s.link_capacity, &s.link_unfixed);
+        while unfixed_flows > 0 {
+            let Some((bottleneck, share)) = s.queue.pop_min() else {
+                break;
+            };
+            let round_idx = rec.rounds.len() as u32;
+            s.fill_round += 1;
+            let round = s.fill_round;
+            s.affected.clear();
+            let mut fixed = 0usize;
+            for &slot_idx in &link_flows[bottleneck] {
+                let si = slot_idx as usize;
+                if part[si] != epoch || s.flow_fixed[si] == epoch {
+                    continue;
+                }
+                s.flow_fixed[si] = epoch;
+                s.flow_rate[si] = if share < MIN_RATE { 0.0 } else { share };
+                fixed += 1;
+                let f = slots[si].state.as_ref().expect("participants are live");
+                rec.frozen.push(f.id);
+                for &l in &f.route.links {
+                    s.link_capacity[l] = (s.link_capacity[l] - share).max(0.0);
+                    s.link_unfixed[l] -= 1;
+                    if s.link_round[l] != round {
+                        s.link_round[l] = round;
+                        s.affected.push(l);
+                    }
+                }
+            }
+            debug_assert!(fixed > 0, "a popped bottleneck fixes at least one flow");
+            unfixed_flows -= fixed;
+            rec.rounds.push(FillRound {
+                link: bottleneck as u32,
+                share,
+                frozen_end: rec.frozen.len() as u32,
+            });
+            debug_assert_eq!(
+                slot_epoch[bottleneck], map_gen,
+                "popped links were seeded, hence registered"
+            );
+            let bs = slot_map[bottleneck] as usize;
+            debug_assert_eq!(
+                rec.pop_round[bs], NO_ROUND,
+                "links that popped in the kept prefix carry no replay flows"
+            );
+            rec.pop_round[bs] = round_idx;
+            for i in 0..s.affected.len() {
+                let l = s.affected[i];
+                debug_assert_eq!(
+                    slot_epoch[l], map_gen,
+                    "affected links were seeded, hence registered"
+                );
+                let rs = slot_map[l] as usize;
+                rec.hist[rs].push((round_idx + 1, s.link_capacity[l]));
+                if l == bottleneck {
+                    continue;
+                }
+                let n = s.link_unfixed[l];
+                if n == 0 {
+                    s.queue.remove(l);
+                } else {
+                    s.queue.set(l, s.link_capacity[l] / n as f64);
+                }
+            }
+        }
+        s.queue.clear();
+        self.rec = Some(rec);
+    }
+}
+
 /// The flow-level network simulator state.
 #[derive(Debug)]
 pub struct Network {
@@ -555,6 +926,22 @@ pub struct Network {
     /// like `active` (so reschedules happen in the same order a full
     /// recompute would produce — equal-timestamp FIFO order is observable).
     comp_flows: Vec<u32>,
+    /// Per-root fill records of [`RebalanceEngine::WarmStart`], indexed by
+    /// root link (`None` for non-roots, never-filled components, and
+    /// invalidated records).
+    warm_records: Vec<Option<Box<FillRecord>>>,
+    /// Flows activated since the last flush (warm engine only): a warm
+    /// start never gathers its component's flow list, so arrivals reach
+    /// the fill through this log instead. Cleared every flush — every
+    /// arrival dirties its links, so its component is always flushed by
+    /// the very flush that consumes the log.
+    warm_arrivals: Vec<FlowId>,
+    /// Per-component fill tasks of the warm engine (reused across flushes;
+    /// grown to the dirty-root count on demand).
+    warm_tasks: Vec<WarmTask>,
+    /// Scratch: `(task index, link)` pairs grouping this flush's dirty
+    /// links by dirty root, for the resume-level computation.
+    warm_dirty: Vec<(u32, u32)>,
     /// Dirty-flush telemetry (see [`Network::flush_stats`]).
     flush_stats: FlushStats,
     engine: RebalanceEngine,
@@ -611,6 +998,14 @@ impl Network {
             shard_threads: rayon::current_num_threads(),
             parallel_min_flows: PARALLEL_MIN_FLOWS,
             comp_flows: Vec::new(),
+            warm_records: {
+                let mut v = Vec::new();
+                v.resize_with(link_count, || None);
+                v
+            },
+            warm_arrivals: Vec::new(),
+            warm_tasks: Vec::new(),
+            warm_dirty: Vec::new(),
             engine,
             rebalance_pending: false,
             compaction: CompactionPolicy::default(),
@@ -632,7 +1027,9 @@ impl Network {
     fn tracks_components(&self) -> bool {
         matches!(
             self.engine,
-            RebalanceEngine::DirtyComponent | RebalanceEngine::ParallelShard
+            RebalanceEngine::DirtyComponent
+                | RebalanceEngine::ParallelShard
+                | RebalanceEngine::WarmStart
         )
     }
 
@@ -679,6 +1076,42 @@ impl Network {
     /// the other engines).
     pub fn flush_stats(&self) -> FlushStats {
         self.flush_stats
+    }
+
+    /// Drop every component's persisted fill record, forcing the warm-start
+    /// engine's next flush of each component to run cold. Rates are
+    /// unaffected — a cold fill re-derives the identical allocation — so
+    /// this is purely a safety valve for drivers that rewrite simulation
+    /// state out of band (scripted topology changes, mass-failure
+    /// injection). The engine's own correctness never depends on being
+    /// told: records are keyed by the union–find component epoch and die
+    /// with it, and every in-band arrival/departure bounds the resume
+    /// level itself. Dropped records count toward
+    /// [`FlushStats::warm_invalidations`]. No-op under the other engines.
+    pub fn invalidate_fill_records(&mut self) {
+        for r in &mut self.warm_records {
+            if r.take().is_some() {
+                self.flush_stats.warm_invalidations += 1;
+            }
+        }
+    }
+
+    /// The warm-start engine's recorded bottleneck sequence for the
+    /// component containing `link`, as `(link, fair share)` pairs in pop
+    /// order — `None` when no current record exists (never filled, key
+    /// expired by a merge, invalidated, or a different engine entirely).
+    /// Introspection for telemetry and the resume-level boundary tests; the
+    /// engine itself never reads records through this.
+    pub fn fill_record_rounds(&mut self, link: usize) -> Option<Vec<(usize, f64)>> {
+        let root = self.comp.find(link);
+        let key = self.comp.key_of_root(root);
+        let rec = self.warm_records[root].as_ref()?;
+        (rec.key == key).then(|| {
+            rec.rounds
+                .iter()
+                .map(|r| (r.link as usize, r.share))
+                .collect()
+        })
     }
 
     /// The underlying platform.
@@ -863,7 +1296,8 @@ impl Network {
             }
             RebalanceEngine::BucketedBatched
             | RebalanceEngine::DirtyComponent
-            | RebalanceEngine::ParallelShard => {
+            | RebalanceEngine::ParallelShard
+            | RebalanceEngine::WarmStart => {
                 if !self.rebalance_pending {
                     self.rebalance_pending = true;
                     sched.schedule_at(sched.now(), NetEvent::Rebalance.into());
@@ -938,6 +1372,9 @@ impl Network {
             self.comp.attach(&route.links, flow);
             self.attached_flows += 1;
             self.mark_dirty(&route.links);
+            if self.engine == RebalanceEngine::WarmStart {
+                self.warm_arrivals.push(flow);
+            }
         }
         self.request_rebalance(sched);
     }
@@ -1182,7 +1619,8 @@ impl Network {
             // fill is their fill too.
             RebalanceEngine::BucketedBatched
             | RebalanceEngine::DirtyComponent
-            | RebalanceEngine::ParallelShard => self.fill_by_bucket_queue(epoch, unfixed_flows),
+            | RebalanceEngine::ParallelShard
+            | RebalanceEngine::WarmStart => self.fill_by_bucket_queue(epoch, unfixed_flows),
         }
     }
 
@@ -1233,6 +1671,17 @@ impl Network {
                 covered += self.comp.live_of_root(root) as usize;
                 stale_covered += self.comp.stale_of_root(root) as usize;
             }
+        }
+        // The warm engine's flush is per-component by construction (one
+        // record per component); it branches off here with the dirty roots
+        // resolved and handles its own dense fallback, sharding and dirty-set
+        // consumption.
+        if self.engine == RebalanceEngine::WarmStart {
+            self.flush_warm(epoch, covered, stale_covered);
+            self.dirty_links.clear();
+            self.dirty_gen += 1;
+            self.warm_arrivals.clear();
+            return true;
         }
         // The parallel engine wants the per-component lists whenever the
         // flush spans several components and clears the work threshold —
@@ -1395,6 +1844,339 @@ impl Network {
         self.dirty_links.clear();
         self.dirty_gen += 1;
         true
+    }
+
+    /// The warm-start engine's flush: one [`WarmTask`] per dirty component,
+    /// each resuming progressive filling from its persisted `FillRecord`
+    /// when the record's component key still matches (the component has not
+    /// merged since), or running a cold *recorded* fill of the gathered
+    /// component otherwise. A dense multi-component flush falls back to the
+    /// whole-active-set fast path, which cannot re-record and therefore
+    /// invalidates the covered records.
+    ///
+    /// The resume level k* is the minimum over the component's dirty links
+    /// of two bounds (see ARCHITECTURE.md for the proofs):
+    ///
+    /// * the link's recorded pop round — a departure on the link can only
+    ///   change rounds from the one that froze it onward, and that round is
+    ///   at most the pop round of every route link (the freeze round *is*
+    ///   the first such pop);
+    /// * when the link's current flow count exceeds its recorded seed
+    ///   count (net arrivals), the first recorded round lex-≥ the link's
+    ///   fresh fair share `(full capacity / new count, link)` — rounds
+    ///   strictly below that key pop before the re-seeded link possibly
+    ///   can, because per-link fair shares only grow as the fill fixes
+    ///   flows. (For net departures this bound is wrong — the stale, larger
+    ///   σ proves nothing — but the pop-round bound already covers them.)
+    ///
+    /// Every round below k* has its bottleneck outside the dirty set, so
+    /// the recorded prefix is bit-identical to the prefix a cold fill of
+    /// the current flow set would produce: its flows keep their rates and
+    /// scheduled completions *without even being walked* — they are absent
+    /// from `comp_flows`, which is the engine's entire speedup.
+    fn flush_warm(&mut self, epoch: u64, covered: usize, stale_covered: usize) {
+        self.flush_stats.flushes += 1;
+        // Mirrors the parallel engine's shard appetite and the dirty
+        // engine's dense-takeover heuristic — except that a single-component
+        // flush never takes the fast path: it must gather anyway to have a
+        // record to warm-start from next time, and burning the record on
+        // the very workload the engine exists for (all churn in one
+        // component) would pin it cold forever.
+        let parallel_wanted = self.shard_threads >= 2
+            && self.dirty_roots.len() >= 2
+            && covered >= self.parallel_min_flows.max(1);
+        let dense = self.dirty_roots.len() >= 2
+            && !parallel_wanted
+            && covered * 4 >= self.attached_flows * 3
+            && stale_covered * 2 <= covered;
+        if dense {
+            // Dense takeover: recompute the whole active set on the shared
+            // scratch. The takeover has no per-component view, so it cannot
+            // append to the records — keeping them would let a later warm
+            // start resume from a sequence describing a flow set that no
+            // longer exists. (Clean components' records stay: their flow
+            // sets did not change, so they still equal a cold fill.)
+            for i in 0..self.dirty_roots.len() {
+                let root = self.dirty_roots[i];
+                if self.warm_records[root].take().is_some() {
+                    self.flush_stats.warm_invalidations += 1;
+                }
+            }
+            self.flush_stats.fast_flushes += 1;
+            self.comp_flows.clear();
+            for i in 0..self.active.len() {
+                let slot_idx = self.active[i];
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_ref()
+                    .expect("active flows are live");
+                if !f.route.links.is_empty() {
+                    self.comp_flows.push(slot_idx);
+                }
+            }
+            self.touched_links.clear();
+            let mut unfixed_flows = 0usize;
+            for i in 0..self.comp_flows.len() {
+                let slot_idx = self.comp_flows[i] as usize;
+                let f = self.slots[slot_idx]
+                    .state
+                    .as_mut()
+                    .expect("gathered flows are live");
+                f.new_rate = 0.0;
+                f.fixed_epoch = 0;
+                unfixed_flows += 1;
+                let route = Arc::clone(&f.route);
+                for &l in &route.links {
+                    if self.link_epoch[l] != epoch {
+                        self.link_epoch[l] = epoch;
+                        self.link_capacity[l] = self.platform.links()[l].bandwidth.bytes_per_sec();
+                        self.link_unfixed[l] = 0;
+                        self.touched_links.push(l);
+                    }
+                    self.link_unfixed[l] += 1;
+                }
+            }
+            self.flush_stats.flushed_flows += unfixed_flows as u64;
+            self.fill_by_bucket_queue(epoch, unfixed_flows);
+            return;
+        }
+        let n_tasks = self.dirty_roots.len();
+        while self.warm_tasks.len() < n_tasks {
+            self.warm_tasks.push(WarmTask::default());
+        }
+        // Group the dirty links by owning task, resolving each once (the
+        // root scan is linear in the dirty-root count, which a flush this
+        // path handles keeps small).
+        self.warm_dirty.clear();
+        for i in 0..self.dirty_links.len() {
+            let l = self.dirty_links[i];
+            let root = self.comp.find(l);
+            let t = self
+                .dirty_roots
+                .iter()
+                .position(|&r| r == root)
+                .expect("dirty roots cover every dirty link");
+            self.warm_dirty.push((t as u32, l as u32));
+        }
+        let link_count = self.link_flows.len();
+        let mut total = 0usize;
+        for t in 0..n_tasks {
+            let root = self.dirty_roots[t];
+            let mut task = std::mem::take(&mut self.warm_tasks[t]);
+            task.root = root as u32;
+            task.flows.clear();
+            let key = self.comp.key_of_root(root);
+            let rec_valid = self.warm_records[root]
+                .as_ref()
+                .is_some_and(|r| r.key == key);
+            if !rec_valid {
+                // No record, or the component merged since it was made (the
+                // union bumped both keys). Keys come from one monotone
+                // counter and are never reused, so a stale record parked on
+                // a since-demoted root can never alias a future key — drop
+                // silently and run a cold recorded fill over the gathered
+                // component. (Gathering also reclaims the root's deferred
+                // stale-entry debt, exactly like a dirty-engine flush.)
+                self.warm_records[root] = None;
+                task.warm = false;
+                let start = self.comp_raw.len();
+                {
+                    let slots = &self.slots;
+                    self.comp.gather(root, &mut self.comp_raw, |id| {
+                        slots
+                            .get(id.slot() as usize)
+                            .is_some_and(|s| s.generation == id.generation() && s.state.is_some())
+                    });
+                }
+                for i in start..self.comp_raw.len() {
+                    task.flows.push(self.comp_raw[i].slot());
+                }
+                self.comp_raw.truncate(start);
+                task.rec = Some(Box::new(FillRecord {
+                    key,
+                    ..FillRecord::default()
+                }));
+                // The fresh record has no slots; loading it still bumps the
+                // map generation (stale entries from an earlier flush must
+                // not alias) and sizes the map arrays.
+                task.load_map(link_count);
+                task.k_star = 0;
+            } else {
+                task.warm = true;
+                // A warm start never gathers, so the component's deferred
+                // stale-entry debt would otherwise grow without bound; once
+                // it passes the live population, pay one discard-gather
+                // (unlinks the stale nodes — touches neither keys nor live
+                // flows) to reclaim it.
+                if self.comp.stale_of_root(root) > self.comp.live_of_root(root).max(64) {
+                    let start = self.comp_raw.len();
+                    let slots = &self.slots;
+                    self.comp.gather(root, &mut self.comp_raw, |id| {
+                        slots
+                            .get(id.slot() as usize)
+                            .is_some_and(|s| s.generation == id.generation() && s.state.is_some())
+                    });
+                    self.comp_raw.truncate(start);
+                }
+                task.rec = self.warm_records[root].take();
+                task.load_map(link_count);
+                let rec = task.rec.as_ref().expect("warm tasks hold records");
+                let mut k = rec.rounds.len();
+                for wi in 0..self.warm_dirty.len() {
+                    let (ti, l) = self.warm_dirty[wi];
+                    if ti as usize != t {
+                        continue;
+                    }
+                    let l = l as usize;
+                    let n_new = self.link_flows[l].len() as u32;
+                    if let Some(rs) = task.slot_of(l) {
+                        if rec.pop_round[rs] != NO_ROUND {
+                            k = k.min(rec.pop_round[rs] as usize);
+                        }
+                        if n_new > rec.seed_unfixed[rs] {
+                            let sigma =
+                                self.platform.links()[l].bandwidth.bytes_per_sec() / n_new as f64;
+                            k = k.min(rec.first_preemptable_round(sigma, l));
+                        }
+                    } else if n_new > 0 {
+                        // A link the record never saw carried no flows when
+                        // it was made; flows on it now are net arrivals.
+                        let sigma =
+                            self.platform.links()[l].bandwidth.bytes_per_sec() / n_new as f64;
+                        k = k.min(rec.first_preemptable_round(sigma, l));
+                    }
+                }
+                task.k_star = k as u32;
+                let cut = if k == 0 {
+                    0
+                } else {
+                    rec.rounds[k - 1].frozen_end as usize
+                };
+                #[cfg(debug_assertions)]
+                for &id in &rec.frozen[..cut] {
+                    debug_assert!(
+                        self.slots.get(id.slot() as usize).is_some_and(|s| {
+                            s.generation == id.generation() && s.state.is_some()
+                        }),
+                        "a departed flow froze at a round ≥ k*, so prefix flows are alive"
+                    );
+                }
+                // Participants: the survivors of the replaced suffix (the
+                // departed ones are exactly why it is being replayed)…
+                for i in cut..rec.frozen.len() {
+                    let id = rec.frozen[i];
+                    if self
+                        .slots
+                        .get(id.slot() as usize)
+                        .is_some_and(|s| s.generation == id.generation() && s.state.is_some())
+                    {
+                        task.flows.push(id.slot());
+                    }
+                }
+                self.flush_stats.warm_starts += 1;
+                self.flush_stats.warm_prefix_flows += cut as u64;
+                self.flush_stats.warm_resume_rounds += k as u64;
+            }
+            total += task.flows.len();
+            self.warm_tasks[t] = task;
+        }
+        // …plus every flow that arrived since the records were made (the
+        // arrival log; cleared by the caller once the flush is consumed).
+        // An arrival's links are dirty, so its component is always among
+        // the tasks; cold tasks gathered it already.
+        for i in 0..self.warm_arrivals.len() {
+            let id = self.warm_arrivals[i];
+            let Some(slot) = self.slots.get(id.slot() as usize) else {
+                continue;
+            };
+            if slot.generation != id.generation() {
+                continue; // arrived and fully drained before the flush
+            }
+            let Some(f) = slot.state.as_ref() else {
+                continue;
+            };
+            debug_assert!(!f.route.links.is_empty(), "loopback flows are not logged");
+            let first = f.route.links[0];
+            let root = self.comp.find(first);
+            let t = self
+                .dirty_roots
+                .iter()
+                .position(|&r| r == root)
+                .expect("an arrival's component is dirty");
+            let task = &mut self.warm_tasks[t];
+            if task.warm {
+                task.flows.push(id.slot());
+                total += 1;
+            }
+        }
+        // Fork–join over the tasks when the flush is big enough — same
+        // appetite as the parallel engine, no size binning needed: each
+        // task already is one component, and bit-identity holds at every
+        // thread count because each fill is a pure function of its
+        // component's flow set and record.
+        let parallel =
+            self.shard_threads >= 2 && n_tasks >= 2 && total >= self.parallel_min_flows.max(1);
+        let mut tasks = std::mem::take(&mut self.warm_tasks);
+        {
+            let slots = &self.slots;
+            let link_flows = &self.link_flows;
+            let links = self.platform.links();
+            if parallel {
+                rayon::scope_for_each_mut(&mut tasks[..n_tasks], self.shard_threads, |task| {
+                    task.run(slots, link_flows, links)
+                });
+            } else {
+                for task in &mut tasks[..n_tasks] {
+                    task.run(slots, link_flows, links);
+                }
+            }
+        }
+        self.warm_tasks = tasks;
+        if parallel {
+            self.flush_stats.parallel_flushes += 1;
+            self.flush_stats.shards_dispatched += n_tasks as u64;
+        }
+        // Merge: store the refreshed records, apply the participant rates
+        // and order the reschedule walk like `active` — the kept prefixes'
+        // flows appear nowhere in it.
+        self.comp_flows.clear();
+        for t in 0..n_tasks {
+            let task = &mut self.warm_tasks[t];
+            let rec = task.rec.take().expect("the fill returns the record");
+            self.warm_records[task.root as usize] = Some(rec);
+            for &slot_idx in &task.flows {
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_mut()
+                    .expect("participants are live");
+                f.new_rate = task.scratch.flow_rate[slot_idx as usize];
+                f.comp_epoch = epoch;
+                self.comp_flows.push(slot_idx);
+            }
+        }
+        self.flush_stats.flushed_flows += total as u64;
+        if self.comp_flows.len() * 8 >= self.active.len() {
+            self.comp_flows.clear();
+            for i in 0..self.active.len() {
+                let slot_idx = self.active[i];
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_ref()
+                    .expect("active flows are live");
+                if f.comp_epoch == epoch {
+                    self.comp_flows.push(slot_idx);
+                }
+            }
+        } else {
+            let slots = &self.slots;
+            self.comp_flows.sort_unstable_by_key(|&s| {
+                slots[s as usize]
+                    .state
+                    .as_ref()
+                    .expect("participants are live")
+                    .active_pos
+            });
+        }
     }
 
     /// Sharded phase 3 of a parallel flush: partition the gathered dirty
@@ -1564,7 +2346,7 @@ impl Network {
     /// against shard-local scratch: any change to the dust rule, the
     /// capacity subtraction or the affected-link collection must be
     /// mirrored there, or the parallel engine's bit-identity to the
-    /// single-threaded fill breaks (the four-way differential property in
+    /// single-threaded fill breaks (the five-way differential property in
     /// `tests/props.rs` is the tripwire).
     fn fix_bottleneck_flows(
         &mut self,

@@ -109,15 +109,18 @@ pub struct ReplayConfig {
     /// Rebalance engine for `SharingMode::MaxMinFair` (ignored under
     /// `Bottleneck`). Every engine produces identical simulated results;
     /// non-default choices exist for differential tests and benchmarks.
+    /// The default, [`RebalanceEngine::WarmStart`], resumes each
+    /// component's fill from its persisted bottleneck record.
     pub engine: RebalanceEngine,
-    /// Worker-thread budget for [`RebalanceEngine::ParallelShard`] flushes
-    /// (`None` = the rayon worker count, which honours `RAYON_NUM_THREADS`).
-    /// Thread count never changes simulated results — this exists so
-    /// differential tests and benchmarks can pin it.
+    /// Worker-thread budget for [`RebalanceEngine::ParallelShard`] and
+    /// [`RebalanceEngine::WarmStart`] flushes (`None` = the rayon worker
+    /// count, which honours `RAYON_NUM_THREADS`). Thread count never
+    /// changes simulated results — this exists so differential tests and
+    /// benchmarks can pin it.
     pub shard_threads: Option<usize>,
-    /// Work threshold for [`RebalanceEngine::ParallelShard`] flushes
-    /// (`None` = the engine default; see
-    /// [`Network::set_parallel_threshold`]).
+    /// Work threshold for [`RebalanceEngine::ParallelShard`] and
+    /// [`RebalanceEngine::WarmStart`] flushes (`None` = the engine
+    /// default; see [`Network::set_parallel_threshold`]).
     pub parallel_threshold: Option<usize>,
 }
 

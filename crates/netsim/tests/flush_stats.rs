@@ -8,8 +8,12 @@
 //!   traffic, skipped on component-local churn;
 //! * `rebuilds` — region rebuilds after small gathered flushes;
 //! * `flushed_flows` — the work metric the dirty engine exists to shrink;
-//! * `parallel_flushes` / `shards_dispatched` — sharded fills, only under
-//!   [`RebalanceEngine::ParallelShard`] with ≥ 2 dirty components.
+//! * `parallel_flushes` / `shards_dispatched` — sharded fills, under
+//!   [`RebalanceEngine::ParallelShard`] or [`RebalanceEngine::WarmStart`]
+//!   with ≥ 2 dirty components;
+//! * `warm_starts` / `warm_prefix_flows` / `warm_resume_rounds` /
+//!   `warm_invalidations` — warm-start resumes and record drops, only
+//!   under [`RebalanceEngine::WarmStart`].
 
 use netsim::event::{run_world, Scheduler, World};
 use netsim::network::{
@@ -209,6 +213,72 @@ fn parallel_counters_tick_only_when_shards_dispatch() {
     assert_eq!(s1.parallel_flushes, 0);
     assert_eq!(s1.shards_dispatched, 0);
     assert!(s1.flushes > 0);
+}
+
+/// The warm counters tick on single-component churn (each completion's
+/// flush resumes from the record) and never alongside the dense fast path
+/// or region rebuilds — the warm engine takes neither on one component.
+#[test]
+fn warm_counters_tick_on_single_component_churn() {
+    let flows = funnel_flows(1, 8, 60);
+    let w = run(
+        forest(1, 8, false),
+        RebalanceEngine::WarmStart,
+        &flows,
+        |_| {},
+    );
+    let s = w.net.flush_stats();
+    assert!(s.flushes > 0);
+    assert!(
+        s.warm_starts > 0,
+        "churn must resume from the record: {s:?}"
+    );
+    assert!(
+        s.warm_starts < s.flushes,
+        "the first recording fill is cold"
+    );
+    assert_eq!(
+        s.fast_flushes, 0,
+        "one component never takes the dense path"
+    );
+    assert_eq!(s.rebuilds, 0, "the warm engine never rebuilds regions");
+    assert_eq!(
+        s.warm_invalidations, 0,
+        "no merge, takeover or explicit drop"
+    );
+    // The funnel sink saturates at round 0 and freezes every flow there, so
+    // resumes happen but keep nothing — the boundary tests in
+    // `tests/warm.rs` cover non-trivial prefixes.
+    assert!(s.warm_resume_rounds <= s.warm_starts * 2);
+}
+
+/// Warm tasks ride the same fork–join dispatch as the parallel engine:
+/// synchronised multi-component churn shards, and warm-starts at the same
+/// time. The dirty twin of the run keeps every warm counter at zero.
+#[test]
+fn warm_flushes_shard_and_cold_engines_never_warm_start() {
+    let groups = 6;
+    let flows = funnel_flows(groups, 8, 40);
+    let platform = forest(groups, 8, false);
+    let warm = run(
+        platform.clone(),
+        RebalanceEngine::WarmStart,
+        &flows,
+        |net| {
+            net.set_shard_threads(4);
+            net.set_parallel_threshold(0);
+        },
+    );
+    let s = warm.net.flush_stats();
+    assert!(s.warm_starts > 0, "recorded groups must warm-start: {s:?}");
+    assert!(s.parallel_flushes > 0, "mirrored groups must shard: {s:?}");
+    assert!(s.shards_dispatched >= 2 * s.parallel_flushes);
+    let dirty = run(platform, RebalanceEngine::DirtyComponent, &flows, |_| {});
+    let sd = dirty.net.flush_stats();
+    assert_eq!(sd.warm_starts, 0);
+    assert_eq!(sd.warm_prefix_flows, 0);
+    assert_eq!(sd.warm_resume_rounds, 0);
+    assert_eq!(sd.warm_invalidations, 0);
 }
 
 /// Engines that do not track components never touch the telemetry.

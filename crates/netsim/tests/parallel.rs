@@ -1,6 +1,6 @@
 //! Determinism-under-threads pins for [`RebalanceEngine::ParallelShard`].
 //!
-//! The property suite (`props.rs`) proves four-way engine equivalence at
+//! The property suite (`props.rs`) proves five-way engine equivalence at
 //! whatever worker count `RAYON_NUM_THREADS` dictates — the CI matrix sweeps
 //! that across processes. This file pins the orthogonal guarantee *within*
 //! one process: on a deterministic multi-component workload whose flushes

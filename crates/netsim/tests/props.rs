@@ -18,15 +18,20 @@
 //!   each reschedule can land one tick apart twice over a flow's lifetime —
 //!   adversarial workloads at high `PROPTEST_CASES` do reach two ticks, with
 //!   either incremental engine, and did so before the bucket queue existed.)
-//!   The four *incremental* engines (per-event scan, batched bucket queue,
-//!   dirty-component, parallel-shard), by contrast, must agree **bit for
-//!   bit**: bottleneck ties break by link index in every fill (making rates
-//!   a pure function of the active flow set, independent of seeding order),
-//!   coalescing rebalances at one instant passes zero simulated time, a
-//!   dirty-component flush recomputes a superset of the flows whose rates
-//!   can change — re-deriving bit-identical rates for the rest — and a
-//!   sharded flush computes each whole component on some worker thread,
-//!   merging in global active order, so thread count can never show.
+//!   The five *incremental* engines (per-event scan, batched bucket queue,
+//!   dirty-component, parallel-shard, warm-start), by contrast, must agree
+//!   **bit for bit**: bottleneck ties break by link index in every fill
+//!   (making rates a pure function of the active flow set, independent of
+//!   seeding order), coalescing rebalances at one instant passes zero
+//!   simulated time, a dirty-component flush recomputes a superset of the
+//!   flows whose rates can change — re-deriving bit-identical rates for the
+//!   rest — a sharded flush computes each whole component on some worker
+//!   thread, merging in global active order, so thread count can never
+//!   show, and a warm-start flush replays only the suffix of the recorded
+//!   bottleneck sequence a change can reach, the kept prefix being
+//!   bit-identical to what a cold fill would recompute (see the
+//!   "Warm-start filling" section of ARCHITECTURE.md; `tests/warm.rs`
+//!   holds the warm-specific generators).
 //!
 //! The parallel engine runs here with its work threshold at zero, so every
 //! multi-component flush actually shards; its worker count is the rayon
@@ -240,9 +245,10 @@ proptest! {
     }
 
     /// Every incremental engine — the per-event scan, the bucket-queue
-    /// batching engine, the dirty-component engine and the parallel-shard
-    /// engine — reproduces the seed engine's simulated results exactly on
-    /// randomised workloads (per-token timestamps, counts, bytes).
+    /// batching engine, the dirty-component engine, the parallel-shard
+    /// engine and the warm-start engine — reproduces the seed engine's
+    /// simulated results exactly on randomised workloads (per-token
+    /// timestamps, counts, bytes).
     #[test]
     fn incremental_engines_match_seed_engine(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -263,6 +269,7 @@ proptest! {
         prop_assert_eq!(old_times.len(), flows.len(), "the baseline must deliver");
 
         for engine in [
+            RebalanceEngine::WarmStart,
             RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
@@ -318,8 +325,10 @@ proptest! {
     /// time, limiting a flush to the dirty component recomputes exactly
     /// the rates a full recompute would, and sharding a flush across
     /// threads only changes which worker computes each component — so
-    /// per-token delivery timestamps must be identical across all four,
-    /// not merely within the slack granted against the seed engine.
+    /// per-token delivery timestamps must be identical across all five
+    /// (a warm start resumes from a recorded prefix that is bit-identical
+    /// to the cold fill's), not merely within the slack granted against
+    /// the seed engine.
     #[test]
     fn batched_and_per_event_rebalances_deliver_identically(
         raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 1..40),
@@ -328,6 +337,7 @@ proptest! {
         let flows = workload(n_hosts, &raw);
         let mut results: Vec<BTreeMap<u64, u64>> = vec![];
         for engine in [
+            RebalanceEngine::WarmStart,
             RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
@@ -344,9 +354,10 @@ proptest! {
             run_world(&mut world, &mut sched, None);
             results.push(by_token(&world.deliveries));
         }
-        prop_assert_eq!(&results[0], &results[1], "parallel vs dirty diverged");
-        prop_assert_eq!(&results[1], &results[2], "dirty vs batched diverged");
-        prop_assert_eq!(&results[2], &results[3], "batched vs scan diverged");
+        prop_assert_eq!(&results[0], &results[1], "warm vs parallel diverged");
+        prop_assert_eq!(&results[1], &results[2], "parallel vs dirty diverged");
+        prop_assert_eq!(&results[2], &results[3], "dirty vs batched diverged");
+        prop_assert_eq!(&results[3], &results[4], "batched vs scan diverged");
     }
 
     /// The tentpole differential, on its home turf: proptest-built
@@ -357,8 +368,10 @@ proptest! {
     /// matrix) and the dirty-component engine must agree **bit for bit**
     /// with the full batched recompute, and all must match the retained
     /// seed engine within the two-tick slack documented in the module
-    /// header. (Historically three-way; the name is pinned because the
-    /// regression corpus and the deterministic per-test RNG key on it.)
+    /// header. Now five-way: the warm-start engine leads the array, so
+    /// every case also proves record reuse across multi-component churn.
+    /// (Historically three-way; the name is pinned because the regression
+    /// corpus and the deterministic per-test RNG key hang on it.)
     #[test]
     fn three_way_engines_agree_on_multi_component_churn(
         raw in prop::collection::vec(
@@ -384,6 +397,7 @@ proptest! {
 
         let mut results: Vec<BTreeMap<u64, u64>> = vec![];
         for engine in [
+            RebalanceEngine::WarmStart,
             RebalanceEngine::ParallelShard,
             RebalanceEngine::DirtyComponent,
             RebalanceEngine::BucketedBatched,
@@ -410,11 +424,16 @@ proptest! {
         prop_assert_eq!(
             &results[0],
             &results[1],
-            "parallel-shard vs dirty-component diverged"
+            "warm-start vs parallel-shard diverged"
         );
         prop_assert_eq!(
             &results[1],
             &results[2],
+            "parallel-shard vs dirty-component diverged"
+        );
+        prop_assert_eq!(
+            &results[2],
+            &results[3],
             "dirty-component vs full recompute diverged"
         );
         for (token, &old_ns) in &old_times {

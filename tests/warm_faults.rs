@@ -1,0 +1,60 @@
+//! Record-invalidation interleavings with scripted mass failures.
+//!
+//! The warm-start engine persists per-component fill records across
+//! flushes; a `FaultPlan` mass failure is the nastiest interleaving those
+//! records face: a whole DSLAM tree's peers die at one instant (the harness
+//! also calls `Network::invalidate_fill_records` at that instant — the
+//! conservative product path), their in-flight heartbeat flows drain and
+//! depart in a burst, the survivors' sessions re-route and re-inject
+//! traffic, and individual crashes keep churning the surviving trees for
+//! minutes of simulated time afterwards. This test drives the full
+//! robustness scenario (heartbeats as real netsim flows, correlated kill,
+//! staggered crashes) under the warm-start engine and under its two cold
+//! baselines, and requires the *entire* reports — detection latencies,
+//! reroute outcomes, flow statistics, final overlay shape — to be
+//! identical. Any stale warm start would skew a heartbeat rate, shift a
+//! delivery, and cascade into a visibly different report.
+//!
+//! The scenario seed can be pinned from the environment
+//! (`ROBUSTNESS_SEED`), matching the CI `robustness` matrix.
+
+use netsim::network::RebalanceEngine;
+use p2pdc_bench::robustness::{run_robustness, RobustnessConfig};
+
+fn seed_from_env() -> u64 {
+    std::env::var("ROBUSTNESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+#[test]
+fn mass_failure_churn_is_identical_across_warm_and_cold_engines() {
+    let mut seeds = vec![seed_from_env(), 17];
+    seeds.dedup();
+    for seed in seeds {
+        let cfg = |engine| RobustnessConfig {
+            seed,
+            engine,
+            ..RobustnessConfig::default()
+        };
+        let warm = run_robustness(&cfg(RebalanceEngine::WarmStart));
+        let parallel = run_robustness(&cfg(RebalanceEngine::ParallelShard));
+        let dirty = run_robustness(&cfg(RebalanceEngine::DirtyComponent));
+        assert_eq!(
+            warm, parallel,
+            "warm-start vs parallel-shard diverged under mass failure (seed {seed})"
+        );
+        assert_eq!(
+            parallel, dirty,
+            "parallel-shard vs dirty-component diverged under mass failure (seed {seed})"
+        );
+        // The scenario must actually have exercised what it claims to: a
+        // correlated kill and post-kill churn.
+        assert!(warm.mass_victims > 0, "the mass failure must strike");
+        assert!(
+            warm.finished_at > RobustnessConfig::default().kill_at,
+            "churn must continue past the kill"
+        );
+    }
+}
