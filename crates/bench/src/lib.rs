@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod robustness;
+pub mod telemetry;
 
 use obstacle::ObstacleApp;
 

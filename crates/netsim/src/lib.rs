@@ -99,12 +99,12 @@ pub mod topology;
 
 pub use event::{run_world, Scheduler, World};
 pub use network::{
-    CompactionPolicy, FlowDelivery, FlushStats, NetEvent, NetStats, NetWorldEvent, Network,
-    RebalanceEngine, SharingMode,
+    CompactionPolicy, FlowDelivery, FlushStats, MemoryFootprint, NetEvent, NetStats, NetWorldEvent,
+    Network, RebalanceEngine, SharingMode,
 };
 pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
 pub use replay::{replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult};
 pub use topology::{
-    cluster_bordeplage, daisy_xdsl, dslam_forest, dslam_forest_mirrored, lan, PlacementPolicy,
-    Topology, TopologyKind,
+    cluster_bordeplage, daisy_xdsl, dslam_forest, dslam_forest_mirrored, isp_hierarchy, lan,
+    IspHierarchyParams, PlacementPolicy, Topology, TopologyKind,
 };

@@ -370,6 +370,37 @@ pub struct NetStats {
     pub link_bytes: Vec<u64>,
 }
 
+/// Heap-byte telemetry of the flow engine's per-flow structures
+/// ([`Network::memory_footprint`]): the inputs to the bytes/flow figure the
+/// million-flow benchmark records and `bench_gate` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Slab bytes: slot array, free list, per-flow `link_pos` slices.
+    pub slab_bytes: usize,
+    /// Incidence bytes: the per-link flow lists plus the active-flow index.
+    pub incidence_bytes: usize,
+    /// Live flows at measurement time (the divisor for bytes/flow).
+    pub live_flows: usize,
+}
+
+impl MemoryFootprint {
+    /// Total tracked bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.slab_bytes + self.incidence_bytes
+    }
+
+    /// Tracked bytes per live flow. `extra_bytes` folds in structures owned
+    /// elsewhere — typically the event queue's
+    /// [`Scheduler::footprint_bytes`](crate::Scheduler::footprint_bytes).
+    pub fn bytes_per_flow(&self, extra_bytes: usize) -> f64 {
+        if self.live_flows == 0 {
+            0.0
+        } else {
+            (self.total_bytes() + extra_bytes) as f64 / self.live_flows as f64
+        }
+    }
+}
+
 /// Effectively infinite rate used for loopback (empty-route) flows.
 const LOOPBACK_RATE: f64 = f64::MAX / 4.0;
 
@@ -410,8 +441,11 @@ struct FlowState {
     /// Position of this flow in `Network::active` (valid while active).
     active_pos: u32,
     /// For each hop `i` of `route.links`, this flow's position inside
-    /// `Network::link_flows[route.links[i]]` (valid while active).
-    link_pos: Vec<u32>,
+    /// `Network::link_flows[route.links[i]]` (valid while active). A boxed
+    /// slice, not a `Vec`: the hop count is fixed at creation, so the
+    /// exact-fit allocation drops the capacity word and any growth slack
+    /// from the per-flow footprint.
+    link_pos: Box<[u32]>,
     /// Scratch: epoch at which this flow's rate was fixed by the filling.
     fixed_epoch: u64,
     /// Scratch: epoch at which this flow was gathered into a dirty flush.
@@ -1223,7 +1257,7 @@ impl Network {
             version: 0,
             pending_completion: false,
             active_pos: 0,
-            link_pos: Vec::with_capacity(hops),
+            link_pos: vec![0u32; hops].into_boxed_slice(),
             fixed_epoch: 0,
             comp_epoch: 0,
             new_rate: 0.0,
@@ -1340,7 +1374,6 @@ impl Network {
                 f.pending_completion = true;
                 Some(f.version)
             } else {
-                f.link_pos.clear();
                 None
             }
         };
@@ -1356,7 +1389,7 @@ impl Network {
                 .expect("flow just observed")
                 .route,
         );
-        for &l in &route.links {
+        for (hop, &l) in route.links.iter().enumerate() {
             let list = &mut self.link_flows[l];
             // Record the back-pointer before pushing.
             let pos = list.len() as u32;
@@ -1365,8 +1398,7 @@ impl Network {
                 .state
                 .as_mut()
                 .expect("flow just observed")
-                .link_pos
-                .push(pos);
+                .link_pos[hop] = pos;
         }
         if self.tracks_components() {
             self.comp.attach(&route.links, flow);
@@ -2440,6 +2472,34 @@ impl Network {
         })
     }
 
+    /// Approximate heap bytes held by the per-flow state: the slab itself,
+    /// every flow's `link_pos` back-pointer slice, and the persistent link
+    /// incidence lists. Allocator overhead is not counted; the number is a
+    /// comparable telemetry figure, not an RSS prediction.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let slab_bytes = self.slots.capacity() * size_of::<Slot>()
+            + self.free_slots.capacity() * size_of::<u32>()
+            + self
+                .slots
+                .iter()
+                .filter_map(|s| s.state.as_ref())
+                .map(|f| f.link_pos.len() * size_of::<u32>())
+                .sum::<usize>();
+        let incidence_bytes = self.link_flows.capacity() * size_of::<Vec<u32>>()
+            + self
+                .link_flows
+                .iter()
+                .map(|l| l.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + self.active.capacity() * size_of::<u32>();
+        MemoryFootprint {
+            slab_bytes,
+            incidence_bytes,
+            live_flows: self.live_flows,
+        }
+    }
+
     /// Current rate (bytes/s) of a flow, for tests and diagnostics.
     pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
         self.flow(flow).map(|f| f.rate)
@@ -2915,5 +2975,40 @@ mod tests {
         assert_eq!(sched.dead_pending(), 0, "the run ends with a clean heap");
         assert!(sched.compacted_entries() >= w.net.auto_compactions());
         assert_eq!(sched.compactions(), w.net.auto_compactions());
+    }
+
+    #[test]
+    fn memory_footprint_tracks_the_flow_population() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched = Scheduler::new();
+        let empty = w.net.memory_footprint();
+        assert_eq!(empty.live_flows, 0);
+        assert_eq!(empty.bytes_per_flow(0), 0.0);
+        let size = DataSize::from_bytes(1_000_000);
+        for i in 0..4u64 {
+            w.net.start_flow(
+                &mut sched,
+                HostId::new((i % 4) as u32),
+                HostId::new(((i + 1) % 4) as u32),
+                size,
+                i,
+            );
+        }
+        let fp = w.net.memory_footprint();
+        assert_eq!(fp.live_flows, 4);
+        // Four live flows occupy slab slots (and, once active, incidence
+        // entries), so the per-flow figure must be meaningful and the total
+        // must include both components after the flows activate.
+        run_world(&mut w, &mut sched, Some(SimTime::from_millis(1)));
+        let active = w.net.memory_footprint();
+        assert!(active.slab_bytes > 0);
+        assert!(active.incidence_bytes > 0);
+        assert!(active.bytes_per_flow(0) >= active.total_bytes() as f64 / 4.0 - 1.0);
+        assert!(
+            active.bytes_per_flow(sched.footprint_bytes()) > active.bytes_per_flow(0),
+            "the scheduler extra must fold into the divisor's numerator"
+        );
+        run_world(&mut w, &mut sched, None);
+        assert_eq!(w.net.memory_footprint().live_flows, 0);
     }
 }

@@ -32,6 +32,10 @@ pub enum TopologyKind {
     /// A forest of mutually disconnected DSLAM trees ([`dslam_forest`]) —
     /// the multi-component stress platform for the dirty-component engine.
     DslamForest,
+    /// An internet-hierarchy platform ([`isp_hierarchy`]): backbone ring →
+    /// metro routers → DSLAMs → xDSL leaves, parameterised by fan-outs up to
+    /// tens of thousands of hosts — the million-flow scale platform.
+    IspHierarchy,
 }
 
 impl TopologyKind {
@@ -42,6 +46,7 @@ impl TopologyKind {
             TopologyKind::DaisyXdsl => "xDSL",
             TopologyKind::Lan => "LAN",
             TopologyKind::DslamForest => "xDSL-forest",
+            TopologyKind::IspHierarchy => "ISP-hierarchy",
         }
     }
 }
@@ -91,17 +96,27 @@ impl Topology {
                 if n == 0 {
                     return vec![];
                 }
+                // Stride across the host table, skipping duplicates with an
+                // order-preserving seen-set (`Vec::dedup` only removes
+                // *adjacent* duplicates, so the old code could return repeated
+                // hosts whenever the stride wrapped), then backfill from the
+                // front. Both passes share the seen-set, so the result is
+                // always `n` distinct hosts in O(hosts) time.
                 let stride = (self.hosts.len() / n).max(1);
-                let mut picked: Vec<HostId> = (0..n)
-                    .map(|i| self.hosts[(i * stride) % self.hosts.len()])
-                    .collect();
-                picked.dedup();
-                // Guard against collisions when stride wraps.
+                let mut seen = vec![false; self.hosts.len()];
+                let mut picked = Vec::with_capacity(n);
+                for i in 0..n {
+                    let idx = (i * stride) % self.hosts.len();
+                    if !seen[idx] {
+                        seen[idx] = true;
+                        picked.push(self.hosts[idx]);
+                    }
+                }
                 let mut next = 0usize;
                 while picked.len() < n {
-                    let cand = self.hosts[next];
-                    if !picked.contains(&cand) {
-                        picked.push(cand);
+                    if !seen[next] {
+                        seen[next] = true;
+                        picked.push(self.hosts[next]);
                     }
                     next += 1;
                 }
@@ -375,6 +390,152 @@ fn build_dslam_forest(
     }
 }
 
+/// Latency of one backbone hop in the ISP hierarchy (long-haul metro core
+/// distances; not from the paper, recorded as a constant for sweeps).
+pub const ISP_BACKBONE_LATENCY: SimDuration = SimDuration::from_millis(5);
+
+/// Fan-outs of the [`isp_hierarchy`] platform. The host count is the product
+/// `backbones * metros_per_backbone * dslams_per_metro * hosts_per_dslam`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IspHierarchyParams {
+    /// Backbone routers, joined in a 100 Gbps ring.
+    pub backbones: usize,
+    /// Metro routers uplinked to each backbone router at 40 Gbps.
+    pub metros_per_backbone: usize,
+    /// DSLAMs uplinked to each metro router at 10 Gbps.
+    pub dslams_per_metro: usize,
+    /// End hosts per DSLAM, on 5–10 Mbps last miles.
+    pub hosts_per_dslam: usize,
+}
+
+impl IspHierarchyParams {
+    /// Total number of end hosts the fan-outs produce.
+    pub fn host_count(&self) -> usize {
+        self.backbones * self.metros_per_backbone * self.dslams_per_metro * self.hosts_per_dslam
+    }
+}
+
+impl Default for IspHierarchyParams {
+    /// 4 backbones × 8 metros × 16 DSLAMs × 40 hosts = 20 480 hosts — the
+    /// "tens of thousands" shape of the million-flow benchmark.
+    fn default() -> Self {
+        IspHierarchyParams {
+            backbones: 4,
+            metros_per_backbone: 8,
+            dslams_per_metro: 16,
+            hosts_per_dslam: 40,
+        }
+    }
+}
+
+/// The internet-hierarchy platform for million-flow scale: a connected
+/// backbone → metro → DSLAM → leaf tree-of-trees parameterised by
+/// [`IspHierarchyParams`] fan-outs.
+///
+/// Structure, top down:
+/// * `backbones` core routers on a 100 Gbps ring ([`ISP_BACKBONE_LATENCY`]
+///   per hop; a single link for two backbones, nothing for one);
+/// * `metros_per_backbone` metro routers per core at 40 Gbps /
+///   [`XDSL_METRO_LATENCY`];
+/// * `dslams_per_metro` DSLAMs per metro at 10 Gbps / [`XDSL_METRO_LATENCY`];
+/// * `hosts_per_dslam` leaves per DSLAM on 5–10 Mbps last miles drawn from
+///   `seed` ([`XDSL_LAST_MILE_LATENCY`]), like every xDSL platform here.
+///
+/// The platform is connected, so — per the forest contract on
+/// [`Topology::components`] — it exposes a single component range spanning
+/// every host, and a route exists between any host pair. Hosts are created
+/// DSLAM by DSLAM, so `Packed` placement shares infrastructure and `Spread`
+/// placement crosses the backbone.
+///
+/// ```
+/// use netsim::{isp_hierarchy, HostSpec, IspHierarchyParams, TopologyKind};
+///
+/// let params = IspHierarchyParams {
+///     backbones: 2,
+///     metros_per_backbone: 2,
+///     dslams_per_metro: 2,
+///     hosts_per_dslam: 4,
+/// };
+/// let mut topo = isp_hierarchy(params, HostSpec::default(), 42);
+/// assert_eq!(topo.kind, TopologyKind::IspHierarchy);
+/// assert_eq!(topo.hosts.len(), params.host_count());
+/// assert_eq!(topo.components, vec![0..32]);
+///
+/// // Cross-backbone routes exist and bottleneck on an xDSL last mile.
+/// let route = topo.platform.route(topo.hosts[0], topo.hosts[31]);
+/// assert!(route.bottleneck.bps() < 10.0e6);
+/// ```
+pub fn isp_hierarchy(params: IspHierarchyParams, host: HostSpec, seed: u64) -> Topology {
+    assert!(
+        (1..=200).contains(&params.backbones),
+        "1 to 200 backbone routers"
+    );
+    assert!(
+        (1..=255).contains(&params.metros_per_backbone),
+        "1 to 255 metros per backbone"
+    );
+    assert!(
+        (1..=255).contains(&params.dslams_per_metro),
+        "1 to 255 DSLAMs per metro"
+    );
+    assert!(
+        (1..=254).contains(&params.hosts_per_dslam),
+        "1 to 254 hosts per DSLAM"
+    );
+    let mut rng = DetRng::new(seed).fork(0x15B);
+    let mut b = PlatformBuilder::new();
+    let ring = LinkSpec::new(Bandwidth::from_gbps(100.0), ISP_BACKBONE_LATENCY);
+    let metro_up = LinkSpec::new(Bandwidth::from_gbps(40.0), XDSL_METRO_LATENCY);
+    let dslam_up = LinkSpec::new(Bandwidth::from_gbps(10.0), XDSL_METRO_LATENCY);
+
+    let cores: Vec<_> = (0..params.backbones)
+        .map(|c| b.add_router(format!("core{c}")))
+        .collect();
+    match params.backbones {
+        1 => {}
+        2 => {
+            b.add_link("core-trunk", cores[0], cores[1], ring);
+        }
+        n => {
+            for c in 0..n {
+                b.add_link(format!("core-ring{c}"), cores[c], cores[(c + 1) % n], ring);
+            }
+        }
+    }
+    let mut hosts = Vec::with_capacity(params.host_count());
+    for (c, &core) in cores.iter().enumerate() {
+        for m in 0..params.metros_per_backbone {
+            let metro = b.add_router(format!("metro{c}-{m}"));
+            b.add_link(format!("metro-up{c}-{m}"), metro, core, metro_up);
+            for d in 0..params.dslams_per_metro {
+                let dslam = b.add_router(format!("dslam{c}-{m}-{d}"));
+                b.add_link(format!("dslam-up{c}-{m}-{d}"), dslam, metro, dslam_up);
+                for s in 0..params.hosts_per_dslam {
+                    let metro_flat = c * params.metros_per_backbone + m;
+                    let ip = IpAddr::from_octets(
+                        (metro_flat / 256) as u8,
+                        (metro_flat % 256) as u8,
+                        d as u8,
+                        (s + 1) as u8,
+                    );
+                    let h = b.add_host(format!("isp-{c}-{m}-{d}-{s}"), ip, host);
+                    let mbps = rng.gen_range(5.0..10.0);
+                    let last_mile =
+                        LinkSpec::new(Bandwidth::from_mbps(mbps), XDSL_LAST_MILE_LATENCY);
+                    b.add_host_link(format!("isp-dsl{c}-{m}-{d}-{s}"), h, dslam, last_mile);
+                    hosts.push(h);
+                }
+            }
+        }
+    }
+    Topology {
+        platform: b.build(),
+        components: std::iter::once(0..hosts.len()).collect(),
+        hosts,
+        kind: TopologyKind::IspHierarchy,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +695,74 @@ mod tests {
                 .collect()
         };
         assert_eq!(bw(&topo), bw(&again));
+    }
+
+    #[test]
+    fn isp_hierarchy_counts_and_structure_follow_fan_outs() {
+        let params = IspHierarchyParams {
+            backbones: 3,
+            metros_per_backbone: 2,
+            dslams_per_metro: 2,
+            hosts_per_dslam: 5,
+        };
+        let mut topo = isp_hierarchy(params, HostSpec::default(), 9);
+        assert_eq!(topo.kind.label(), "ISP-hierarchy");
+        assert_eq!(topo.hosts.len(), params.host_count());
+        // 3 cores + 6 metros + 12 dslams + 60 hosts.
+        assert_eq!(topo.platform.nodes().len(), 3 + 6 + 12 + 60);
+        assert_eq!(topo.components, vec![0..60]);
+        // Same-DSLAM route: two last miles through the DSLAM only.
+        let near = topo.platform.route(topo.hosts[0], topo.hosts[1]);
+        assert_eq!(near.links.len(), 2);
+        assert!(near.bottleneck.bps() < 10.0e6);
+        // Cross-backbone route climbs the full hierarchy: last mile, DSLAM
+        // uplink, metro uplink, ring, and down again.
+        let far = topo
+            .platform
+            .route(topo.hosts[0], *topo.hosts.last().unwrap());
+        assert!(far.links.len() >= 7);
+        assert!(far.latency >= SimDuration::from_millis(2 * 10 + 5));
+        assert!(far.bottleneck.bps() < 10.0e6, "last mile still bottlenecks");
+    }
+
+    #[test]
+    fn isp_hierarchy_is_deterministic_in_its_seed() {
+        let params = IspHierarchyParams {
+            backbones: 2,
+            metros_per_backbone: 2,
+            dslams_per_metro: 3,
+            hosts_per_dslam: 4,
+        };
+        let bw = |t: &Topology| -> Vec<u64> {
+            t.platform
+                .links()
+                .iter()
+                .map(|l| l.bandwidth.bps() as u64)
+                .collect()
+        };
+        let a = isp_hierarchy(params, HostSpec::default(), 7);
+        let b = isp_hierarchy(params, HostSpec::default(), 7);
+        let c = isp_hierarchy(params, HostSpec::default(), 8);
+        assert_eq!(bw(&a), bw(&b));
+        assert_ne!(bw(&a), bw(&c));
+    }
+
+    #[test]
+    fn spread_placement_returns_distinct_hosts_even_when_the_stride_wraps() {
+        // 7 hosts, n = 5 -> stride 1; the old adjacent-only dedup was safe
+        // here, but n close to the host count with wrapping strides used to
+        // produce repeats. Sweep every n for several platform sizes.
+        for size in [1usize, 2, 3, 5, 7, 16, 33] {
+            let topo = lan(size, HostSpec::default());
+            for n in 0..=size {
+                let picked = topo.pick_hosts(n, PlacementPolicy::Spread);
+                assert_eq!(picked.len(), n, "size {size}, n {n}");
+                let mut sorted = picked.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), n, "duplicates for size {size}, n {n}");
+            }
+        }
     }
 
     #[test]

@@ -39,4 +39,6 @@ pub use adaptation::AdaptationController;
 pub use channel::{ChannelConfig, MicroProtocol, TransportKind};
 pub use context::NetworkContext;
 pub use scheme::IterativeScheme;
-pub use session::{RerouteOutcome, RetryPolicy, Session, SessionPath, SessionStats, Socket};
+pub use session::{
+    RerouteOutcome, RetryPolicy, SendLeg, Session, SessionPath, SessionStats, Socket,
+};

@@ -73,6 +73,23 @@ impl RetryPolicy {
     }
 }
 
+/// One wire hop a recorded send traverses: `bytes` cross the network from
+/// `src` to `dst`.
+///
+/// [`Session::record_send`] returns one leg for a direct session and two for
+/// a relayed one (local → relay, relay → remote). A caller that drives a real
+/// [`netsim`] platform starts one flow per leg, so the detour's bytes cross
+/// the simulated wire exactly as they are accounted in [`SessionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendLeg {
+    /// Host the leg leaves from.
+    pub src: HostId,
+    /// Host the leg arrives at.
+    pub dst: HostId,
+    /// Wire bytes carried on this leg (payload + channel header).
+    pub bytes: u64,
+}
+
 /// The current data path of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionPath {
@@ -271,10 +288,45 @@ impl Session {
         }
     }
 
-    /// Account for one application message of `payload_bytes`.
-    pub fn record_send(&mut self, payload_bytes: u64) {
-        self.messages_sent += 1;
-        self.bytes_sent += payload_bytes + self.config.header_bytes();
+    /// Account for one application message of `payload_bytes` and describe
+    /// the wire legs it traverses.
+    ///
+    /// A direct session pays one leg (local → remote). A **relayed** session
+    /// pays the detour: the same wire bytes on the local → relay leg *and*
+    /// again on the relay → remote leg, so relayed traffic always costs at
+    /// least as much as the direct path would for the same payload. A failed
+    /// session carries nothing — no legs, no accounting.
+    ///
+    /// Callers that drive a real [`netsim`] platform start one flow per
+    /// returned [`SendLeg`]; the per-session counters reported by
+    /// [`Session::traffic`] are the sum over those same legs.
+    pub fn record_send(&mut self, payload_bytes: u64) -> Vec<SendLeg> {
+        let wire = payload_bytes + self.config.header_bytes();
+        let legs = match self.path {
+            SessionPath::Direct => vec![SendLeg {
+                src: self.local,
+                dst: self.remote,
+                bytes: wire,
+            }],
+            SessionPath::Relayed { via } => vec![
+                SendLeg {
+                    src: self.local,
+                    dst: via,
+                    bytes: wire,
+                },
+                SendLeg {
+                    src: via,
+                    dst: self.remote,
+                    bytes: wire,
+                },
+            ],
+            SessionPath::Failed => Vec::new(),
+        };
+        if !legs.is_empty() {
+            self.messages_sent += 1;
+            self.bytes_sent += wire * legs.len() as u64;
+        }
+        legs
     }
 
     /// Per-message costs of the current configuration.
@@ -580,6 +632,140 @@ mod tests {
         assert_eq!(st.relayed, 1);
         assert_eq!(st.failed, 0);
         assert_eq!(st.reroute_attempts, 1);
+    }
+
+    #[test]
+    fn relayed_sessions_charge_the_detour_not_just_the_direct_path() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut ctl = AdaptationController::new();
+        let payload = 1_000u64;
+
+        // Direct baseline.
+        let mut direct = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let direct_legs = direct.record_send(payload);
+        assert_eq!(direct_legs.len(), 1);
+        let (_, direct_bytes) = direct.traffic();
+
+        // Same endpoints, same payload, but through a relay.
+        let mut relayed = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let policy = RetryPolicy::default();
+        let out = relayed.reroute(&mut topo.platform, &mut ctl, &policy, &[topo.hosts[5]]);
+        assert!(matches!(out, RerouteOutcome::Rerouted { .. }));
+        let legs = relayed.record_send(payload);
+        assert_eq!(legs.len(), 2, "a relayed send pays both hops");
+        assert_eq!((legs[0].src, legs[0].dst), (topo.hosts[0], topo.hosts[5]));
+        assert_eq!((legs[1].src, legs[1].dst), (topo.hosts[5], topo.hosts[1]));
+        assert_eq!(legs[0].bytes, legs[1].bytes);
+
+        let (_, relayed_bytes) = relayed.traffic();
+        assert!(
+            relayed_bytes >= direct_bytes,
+            "relayed wire bytes ({relayed_bytes}) must be at least the direct \
+             cost ({direct_bytes}) for the same payload"
+        );
+        // Both hops carry payload + header; the relay leg's header may differ
+        // from the original channel's because the channel was re-configured
+        // for the relay context, but it is charged for *two* crossings.
+        assert_eq!(relayed_bytes, 2 * (payload + relayed.config.header_bytes()));
+    }
+
+    #[test]
+    fn failed_sessions_carry_nothing() {
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut ctl = AdaptationController::new();
+        let mut s = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let policy = RetryPolicy {
+            budget: 1,
+            ..RetryPolicy::default()
+        };
+        let (out, _) = s.reroute_until_resolved(&mut topo.platform, &mut ctl, &policy, &[]);
+        assert_eq!(out, RerouteOutcome::Failed);
+        assert!(s.record_send(1_000).is_empty());
+        assert_eq!(s.traffic(), (0, 0));
+    }
+
+    #[test]
+    fn relayed_sends_drive_one_netsim_flow_per_leg() {
+        use netsim::{run_world, NetEvent, NetWorldEvent, Network, Scheduler, SharingMode, World};
+        use p2p_common::DataSize;
+
+        let mut topo = daisy_xdsl(8, HostSpec::default(), 3);
+        let mut ctl = AdaptationController::new();
+        let mut s = Session::open(
+            &mut topo.platform,
+            &mut ctl,
+            topo.hosts[0],
+            topo.hosts[1],
+            IterativeScheme::Synchronous,
+        );
+        let policy = RetryPolicy::default();
+        s.reroute(&mut topo.platform, &mut ctl, &policy, &[topo.hosts[5]]);
+        let legs = s.record_send(10_000);
+        assert_eq!(legs.len(), 2);
+
+        #[derive(Debug, Clone, Copy)]
+        struct Ev(NetEvent);
+        impl From<NetEvent> for Ev {
+            fn from(e: NetEvent) -> Self {
+                Ev(e)
+            }
+        }
+        impl NetWorldEvent for Ev {
+            fn as_net_event(&self) -> Option<NetEvent> {
+                Some(self.0)
+            }
+        }
+        struct Sim {
+            net: Network,
+            delivered: Vec<(HostId, HostId, u64)>,
+        }
+        impl World for Sim {
+            type Event = Ev;
+            fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+                for d in self.net.on_event(sched, ev.0) {
+                    self.delivered.push((d.src, d.dst, d.size.bytes()));
+                }
+            }
+        }
+
+        let mut sim = Sim {
+            net: Network::new(topo.platform, SharingMode::MaxMinFair),
+            delivered: Vec::new(),
+        };
+        let mut sched = Scheduler::new();
+        for (i, leg) in legs.iter().enumerate() {
+            sim.net.start_flow(
+                &mut sched,
+                leg.src,
+                leg.dst,
+                DataSize::from_bytes(leg.bytes),
+                i as u64,
+            );
+        }
+        run_world(&mut sim, &mut sched, None);
+        // Both hops of the detour crossed the simulated wire, and the bytes
+        // delivered match the bytes the session accounted.
+        assert_eq!(sim.delivered.len(), 2);
+        let wire: u64 = sim.delivered.iter().map(|&(_, _, b)| b).sum();
+        assert_eq!(wire, s.traffic().1);
     }
 
     #[test]

@@ -187,6 +187,38 @@ impl Criterion {
         self
     }
 
+    /// Append one auxiliary telemetry line for a benchmark scenario.
+    ///
+    /// Metrics ride the same JSON sinks as the timing records but with their
+    /// own minimal schema — `{"id":…,"metric":…,"value":…}` — so downstream
+    /// tooling (the repo's `bench_gate`) can gate on memory or throughput
+    /// telemetry separately from wall clock. In `--test` mode the line goes
+    /// to `CRITERION_SHIM_TEST_JSON`, otherwise to `CRITERION_SHIM_JSON`;
+    /// with no sink configured only the human-readable line is printed.
+    ///
+    /// This is a shim extension (the real criterion has no such hook); the
+    /// benches call it after `finish()` with the same `group/function/param`
+    /// id the timing record used.
+    pub fn record_metric(&self, id: &str, metric: &str, value: f64) {
+        println!("metric {id:<60} {metric} = {value}");
+        let path = if self.test_mode {
+            self.sinks.test.as_ref()
+        } else {
+            self.sinks.measured.as_ref()
+        };
+        let Some(path) = path else { return };
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{id}\",\"metric\":\"{metric}\",\"value\":{value}}}"
+            );
+        }
+    }
+
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let (sample_size, test_mode) = (self.sample_size, self.test_mode);
@@ -354,5 +386,28 @@ mod tests {
             line.contains("\"ns\":"),
             "minimal schema is id + ns: {line}"
         );
+    }
+
+    #[test]
+    fn metric_lines_use_their_own_schema() {
+        let path =
+            std::env::temp_dir().join(format!("crit_shim_metric_{}.jsonl", std::process::id()));
+        let c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+            sinks: JsonSinks {
+                measured: None,
+                test: Some(path.clone()),
+            },
+        };
+        c.record_metric("group/scenario/1", "peak_rss_bytes", 12345.0);
+        let text = std::fs::read_to_string(&path).expect("metric line written");
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"metric\":\"peak_rss_bytes\""))
+            .expect("one line per metric");
+        assert!(line.contains("\"id\":\"group/scenario/1\""), "{line}");
+        assert!(line.contains("\"value\":12345"), "{line}");
     }
 }
