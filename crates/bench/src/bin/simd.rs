@@ -1,0 +1,282 @@
+//! `simd` — the simulation daemon: a flow-completion prediction service.
+//!
+//! A thin JSONL front end over [`netsim::StreamSession`], shaped like a
+//! `flowd` component: it loads a checkpoint (or builds a fresh topology),
+//! consumes arrival events from stdin one JSON object per line, and emits
+//! predicted completion times on stdout as they fall out of the simulation.
+//! Point a unix socket at it with `socat` (or pipe a tailed trace file) and
+//! it becomes a long-running predictor that can be stopped and restarted —
+//! via its own `checkpoint` command — without perturbing a single timestamp.
+//!
+//! ```text
+//! usage: simd [--checkpoint FILE | --topology cluster|lan|daisy --hosts N]
+//!             [--sharing maxmin|bottleneck] [--engine NAME] [--seed N]
+//!
+//! stdin commands (one JSON object per line):
+//!   {"cmd":"arrive","src":0,"dst":5,"bytes":125000,"token":7[,"at_ns":N]}
+//!       inject a flow arrival (at_ns defaults to the current clock)
+//!   {"cmd":"advance","to_ns":N}   run the clock forward, emitting deliveries
+//!   {"cmd":"quiesce"}             drain every queued event
+//!   {"cmd":"checkpoint","path":"sim.ckpt"}   pause the session to disk
+//!   {"cmd":"stats"}               report clock / queue / in-flight counters
+//!   {"cmd":"quit"}                exit (EOF works too)
+//!
+//! stdout responses (one JSON object per line):
+//!   {"event":"delivery","token":7,"src":0,"dst":5,"bytes":125064,
+//!    "completed_at_ns":N}         a predicted completion time
+//!   {"ok":true,...}               command acknowledgements
+//!   {"error":"..."}               malformed or rejected commands
+//! ```
+//!
+//! Times are exchanged in integer nanoseconds — the simulator's native tick —
+//! so the protocol round-trips timestamps exactly.
+
+use netsim::{
+    cluster_bordeplage, daisy_xdsl, lan, HostSpec, RebalanceEngine, SharingMode, StreamSession,
+};
+use p2p_common::{DataSize, HostId, SimTime};
+use serde::Value;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    checkpoint: Option<PathBuf>,
+    topology: String,
+    hosts: usize,
+    sharing: SharingMode,
+    engine: RebalanceEngine,
+    seed: u64,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("simd: {msg}");
+    eprintln!(
+        "usage: simd [--checkpoint FILE | --topology cluster|lan|daisy --hosts N] \
+         [--sharing maxmin|bottleneck] [--engine NAME] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        checkpoint: None,
+        topology: "cluster".to_owned(),
+        hosts: 16,
+        sharing: SharingMode::MaxMinFair,
+        engine: RebalanceEngine::default(),
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--topology" => opts.topology = value("--topology")?,
+            "--hosts" => {
+                opts.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|_| "--hosts needs an integer".to_owned())?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_owned())?
+            }
+            "--sharing" => {
+                opts.sharing = match value("--sharing")?.as_str() {
+                    "maxmin" => SharingMode::MaxMinFair,
+                    "bottleneck" => SharingMode::Bottleneck,
+                    other => return Err(format!("unknown sharing mode {other:?}")),
+                }
+            }
+            "--engine" => {
+                opts.engine = match value("--engine")?.as_str() {
+                    "scan" => RebalanceEngine::ScanPerEvent,
+                    "bucketed" => RebalanceEngine::BucketedBatched,
+                    "dirty" => RebalanceEngine::DirtyComponent,
+                    "parallel" => RebalanceEngine::ParallelShard,
+                    "warm" => RebalanceEngine::WarmStart,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_session(opts: &Options) -> Result<StreamSession, String> {
+    if let Some(path) = &opts.checkpoint {
+        return StreamSession::load(path).map_err(|e| e.to_string());
+    }
+    let host = HostSpec::default();
+    let topo = match opts.topology.as_str() {
+        "cluster" => cluster_bordeplage(opts.hosts, host),
+        "lan" => lan(opts.hosts, host),
+        "daisy" => daisy_xdsl(opts.hosts, host, opts.seed),
+        other => return Err(format!("unknown topology {other:?}")),
+    };
+    Ok(StreamSession::with_engine(
+        topo.platform,
+        opts.sharing,
+        opts.engine,
+    ))
+}
+
+/// Look up a field in a parsed command object.
+fn get<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn get_u64(fields: &[(String, Value)], name: &str) -> Result<u64, String> {
+    get(fields, name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("`{name}` must be a non-negative integer"))
+}
+
+fn emit(out: &mut impl Write, line: &str) {
+    // A broken pipe means the consumer went away; exit quietly like cat.
+    if writeln!(out, "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn emit_deliveries(out: &mut impl Write, batch: &[netsim::DeliveryRecord]) {
+    for d in batch {
+        emit(
+            out,
+            &format!(
+                "{{\"event\":\"delivery\",\"token\":{},\"src\":{},\"dst\":{},\"bytes\":{},\
+                 \"completed_at_ns\":{}}}",
+                d.token,
+                d.src.raw(),
+                d.dst.raw(),
+                d.size.bytes(),
+                d.completed_at.as_nanos()
+            ),
+        );
+    }
+}
+
+/// Execute one command line; `Ok(false)` means quit.
+fn step(session: &mut StreamSession, line: &str, out: &mut impl Write) -> Result<bool, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let fields = v.as_object().ok_or("command must be a JSON object")?;
+    let cmd = get(fields, "cmd")
+        .and_then(Value::as_str)
+        .ok_or("missing `cmd`")?;
+    match cmd {
+        "arrive" => {
+            let src = HostId::new(get_u64(fields, "src")? as u32);
+            let dst = HostId::new(get_u64(fields, "dst")? as u32);
+            let bytes = get_u64(fields, "bytes")?;
+            let token = get_u64(fields, "token")?;
+            let at = match get(fields, "at_ns") {
+                Some(v) => SimTime::from_nanos(v.as_u64().ok_or("`at_ns` must be an integer")?),
+                None => session.now(),
+            };
+            session
+                .inject(at, src, dst, DataSize::from_bytes(bytes), token)
+                .map_err(|e| e.to_string())?;
+            emit(
+                out,
+                &format!("{{\"ok\":true,\"queued\":{}}}", session.pending()),
+            );
+        }
+        "advance" => {
+            let to = SimTime::from_nanos(get_u64(fields, "to_ns")?);
+            let batch = session.advance_to(to);
+            emit_deliveries(out, &batch);
+            emit(
+                out,
+                &format!(
+                    "{{\"ok\":true,\"now_ns\":{},\"delivered\":{}}}",
+                    session.now().as_nanos(),
+                    batch.len()
+                ),
+            );
+        }
+        "quiesce" => {
+            let batch = session.quiesce();
+            emit_deliveries(out, &batch);
+            emit(
+                out,
+                &format!(
+                    "{{\"ok\":true,\"now_ns\":{},\"delivered\":{}}}",
+                    session.now().as_nanos(),
+                    batch.len()
+                ),
+            );
+        }
+        "checkpoint" => {
+            let path = get(fields, "path")
+                .and_then(Value::as_str)
+                .ok_or("missing `path`")?;
+            session
+                .save(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            emit(out, &format!("{{\"ok\":true,\"path\":{path:?}}}"));
+        }
+        "stats" => {
+            emit(
+                out,
+                &format!(
+                    "{{\"ok\":true,\"now_ns\":{},\"pending\":{},\"in_flight\":{},\
+                     \"delivered\":{}}}",
+                    session.now().as_nanos(),
+                    session.pending(),
+                    session.flows_in_flight(),
+                    session.deliveries().len()
+                ),
+            );
+        }
+        "quit" => {
+            emit(out, "{\"ok\":true,\"bye\":true}");
+            return Ok(false);
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let mut session = match build_session(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simd: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    emit(
+        &mut out,
+        &format!(
+            "{{\"ok\":true,\"ready\":true,\"now_ns\":{},\"hosts\":{},\"pending\":{}}}",
+            session.now().as_nanos(),
+            session.network().platform().host_count(),
+            session.pending()
+        ),
+    );
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match step(&mut session, line.trim(), &mut out) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => emit(&mut out, &format!("{{\"error\":{:?}}}", e.to_string())),
+        }
+    }
+    ExitCode::SUCCESS
+}

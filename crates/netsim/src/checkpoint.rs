@@ -1,0 +1,197 @@
+//! Versioned checkpoint envelope: pause a running simulation to disk and
+//! restore it bit-identically.
+//!
+//! A checkpoint captures the complete [`Network`] state (flow slab, link
+//! incidence, union–find components, warm-start fill records — see the
+//! `Serialize` impl on [`Network`]) plus the [`Scheduler`]'s clock, counters
+//! and pending events, wrapped in a self-describing envelope:
+//!
+//! ```json
+//! {
+//!   "format": "netsim-checkpoint",
+//!   "version": 1,
+//!   "network": { ... },
+//!   "scheduler": { ... },
+//!   "world": ...
+//! }
+//! ```
+//!
+//! The `world` slot is an opaque [`Value`] for whatever state the embedding
+//! world carries beyond the network — replaying process scripts, fault
+//! plans, RNG streams. The envelope does not interpret it; it only
+//! round-trips it, so one file checkpoints the whole simulation.
+//!
+//! **Restore-determinism contract.** A simulation restored from a checkpoint
+//! taken at an event boundary produces the same deliveries at the same
+//! timestamps as the uninterrupted run — the restore-identity suites
+//! (`tests/checkpoint.rs`, the workspace `checkpoint_restore` test) enforce
+//! this across all five [`crate::RebalanceEngine`]s. The on-disk layout and
+//! the invariants behind that guarantee are specified field by field in
+//! `docs/CHECKPOINT.md`.
+//!
+//! Compatibility is strict: [`decode`] rejects any envelope whose `format`
+//! or `version` does not match this build ([`FORMAT`], [`VERSION`]) rather
+//! than guessing at field migrations — a checkpoint is a precise bit-level
+//! contract, not a config file.
+
+use crate::event::Scheduler;
+use crate::network::Network;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::path::Path;
+
+/// The envelope's `format` discriminator.
+pub const FORMAT: &str = "netsim-checkpoint";
+
+/// The envelope layout version this build reads and writes. Bumped on any
+/// change to the encoded state layout; see `docs/CHECKPOINT.md` for the
+/// versioning and invalidation rules.
+pub const VERSION: u64 = 1;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes were not a checkpoint this build understands: malformed
+    /// JSON, a foreign `format`, a mismatched `version`, or state fields
+    /// that fail validation (the message says which).
+    Format(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DeError> for CheckpointError {
+    fn from(e: DeError) -> Self {
+        CheckpointError::Format(e.to_string())
+    }
+}
+
+/// A decoded checkpoint: the simulation state plus the embedding world's
+/// opaque extra state, if the writer stored any.
+pub struct Restored<E> {
+    /// The network, exactly as checkpointed (routes re-derived).
+    pub network: Network,
+    /// The event queue: clock, counters and every pending event.
+    pub scheduler: Scheduler<E>,
+    /// The writer's `world` slot ([`Value::Null`] when none was stored).
+    pub world: Value,
+}
+
+/// Encode a network + scheduler pair into a versioned envelope, with an
+/// opaque `world` slot for the embedding layer's own state (pass
+/// [`Value::Null`] if there is none).
+pub fn encode<E: Serialize>(net: &Network, sched: &Scheduler<E>, world: Value) -> Value {
+    Value::Object(vec![
+        ("format".to_owned(), FORMAT.to_owned().to_value()),
+        ("version".to_owned(), VERSION.to_value()),
+        ("network".to_owned(), net.to_value()),
+        ("scheduler".to_owned(), sched.to_value()),
+        ("world".to_owned(), world),
+    ])
+}
+
+/// Decode an envelope produced by [`encode`], verifying `format` and
+/// `version` before touching any state field.
+pub fn decode<E: Deserialize>(v: &Value) -> Result<Restored<E>, CheckpointError> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| CheckpointError::Format("envelope is not an object".to_owned()))?;
+    let format: String = serde::field(fields, "format", "checkpoint")?;
+    if format != FORMAT {
+        return Err(CheckpointError::Format(format!(
+            "format is {format:?}, expected {FORMAT:?}"
+        )));
+    }
+    let version: u64 = serde::field(fields, "version", "checkpoint")?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "version {version} is not supported by this build (expected {VERSION})"
+        )));
+    }
+    let network: Network = serde::field(fields, "network", "checkpoint")?;
+    let scheduler: Scheduler<E> = serde::field(fields, "scheduler", "checkpoint")?;
+    let world = fields
+        .iter()
+        .find(|(k, _)| k == "world")
+        .map(|(_, v)| v.clone())
+        .unwrap_or(Value::Null);
+    Ok(Restored {
+        network,
+        scheduler,
+        world,
+    })
+}
+
+/// Serialize an envelope to a JSON string (one line, stable field order —
+/// two checkpoints of identical state compare byte-equal).
+pub fn to_json<E: Serialize>(
+    net: &Network,
+    sched: &Scheduler<E>,
+    world: Value,
+) -> Result<String, CheckpointError> {
+    serde_json::to_string(&encode(net, sched, world))
+        .map_err(|e| CheckpointError::Format(e.to_string()))
+}
+
+/// Parse and decode a JSON checkpoint produced by [`to_json`].
+pub fn from_json<E: Deserialize>(s: &str) -> Result<Restored<E>, CheckpointError> {
+    let v: Value = serde_json::from_str(s).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    decode(&v)
+}
+
+/// Write a checkpoint file.
+///
+/// ```
+/// use netsim::{checkpoint, cluster_bordeplage, HostSpec, NetEvent, Network, Scheduler,
+///              SharingMode};
+/// use p2p_common::DataSize;
+/// use serde::Value;
+///
+/// let topo = cluster_bordeplage(4, HostSpec::default());
+/// let mut net = Network::new(topo.platform.clone(), SharingMode::MaxMinFair);
+/// let mut sched: Scheduler<NetEvent> = Scheduler::new();
+/// net.start_flow(&mut sched, topo.hosts[0], topo.hosts[1], DataSize::from_bytes(125_000), 7);
+///
+/// let dir = std::env::temp_dir().join("netsim-checkpoint-doctest");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("sim.ckpt");
+/// checkpoint::save(&path, &net, &sched, Value::Null).unwrap();
+///
+/// let restored = checkpoint::load::<NetEvent>(&path).unwrap();
+/// assert_eq!(restored.scheduler.now(), sched.now());
+/// assert_eq!(restored.scheduler.pending(), sched.pending());
+/// assert_eq!(restored.network.flows_in_flight(), 1);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub fn save<E: Serialize>(
+    path: &Path,
+    net: &Network,
+    sched: &Scheduler<E>,
+    world: Value,
+) -> Result<(), CheckpointError> {
+    let json = to_json(net, sched, world)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Read a checkpoint file written by [`save`].
+pub fn load<E: Deserialize>(path: &Path) -> Result<Restored<E>, CheckpointError> {
+    let s = std::fs::read_to_string(path)?;
+    from_json(&s)
+}

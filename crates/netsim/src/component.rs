@@ -53,19 +53,28 @@
 //! why the shard scheduler partitions `dirty_roots`, never flow ranges.)
 
 use p2p_common::FlowId;
+use serde::{Deserialize, Serialize};
 
 /// Sentinel for "no node" in the flow-list arena.
 const NO_NODE: u32 = u32::MAX;
 
 /// One intrusive flow-list node (arena-allocated, free-listed).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct FlowNode {
     flow: FlowId,
     next: u32,
 }
 
 /// Union–find over directed links with per-component flow lists.
-#[derive(Debug)]
+///
+/// The whole structure is checkpointed verbatim (parents, sizes, intrusive
+/// lists, keys, the `next_key` counter): the partition is *history-dependent*
+/// — which link happens to root a component depends on the union order — and
+/// the warm-start engine keys its `FillRecord`s on roots and `key` epochs, so
+/// reconstructing connectivity from the flow table instead would produce a
+/// logically equal but differently-rooted partition and silently orphan
+/// every warm record.
+#[derive(Debug, Serialize, Deserialize)]
 pub(crate) struct LinkComponents {
     /// Union–find parent per link (self-parent at roots).
     parent: Vec<u32>,
@@ -124,6 +133,23 @@ impl LinkComponents {
     /// Component epoch of the component rooted at `root` (see the `key`
     /// field). Stable across attaches/detaches that stay within one
     /// component; changes on merges and region rebuilds.
+    /// Approximate heap bytes held by the union–find arrays and the
+    /// intrusive node pool — the component side of the network's
+    /// `memory_footprint` telemetry. Counts capacities, not lengths,
+    /// matching the slab accounting.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.parent.capacity() * size_of::<u32>()
+            + self.size.capacity() * size_of::<u32>()
+            + self.head.capacity() * size_of::<u32>()
+            + self.tail.capacity() * size_of::<u32>()
+            + self.live.capacity() * size_of::<u32>()
+            + self.listed.capacity() * size_of::<u32>()
+            + self.nodes.capacity() * size_of::<FlowNode>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.key.capacity() * size_of::<u64>()
+    }
+
     pub(crate) fn key_of_root(&self, root: usize) -> u64 {
         self.key[root]
     }

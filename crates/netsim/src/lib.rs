@@ -26,6 +26,12 @@
 //! * [`baseline`] — the pre-refactor from-scratch max–min engine, kept as a
 //!   differential-testing and benchmarking baseline for the incremental
 //!   engine in [`network`].
+//! * [`checkpoint`](mod@checkpoint) — versioned checkpoint envelope: pause a
+//!   running simulation to disk and restore it bit-identically (format spec
+//!   in `docs/CHECKPOINT.md`).
+//! * [`stream`](mod@stream) — streaming sessions: feed arrivals to a live
+//!   network one at a time instead of scripting them up front, with
+//!   checkpoint/resume; the front end behind the `simd` prediction service.
 //!
 //! # Example: two flows over a shared access link
 //!
@@ -89,12 +95,14 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub(crate) mod component;
 pub mod event;
 pub(crate) mod fairshare;
 pub mod network;
 pub mod platform;
 pub mod replay;
+pub mod stream;
 pub mod topology;
 
 pub use event::{run_world, Scheduler, World};
@@ -103,7 +111,10 @@ pub use network::{
     Network, RebalanceEngine, SharingMode,
 };
 pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
-pub use replay::{replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult};
+pub use replay::{
+    replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult, ReplaySession,
+};
+pub use stream::{DeliveryRecord, StreamError, StreamEvent, StreamSession};
 pub use topology::{
     cluster_bordeplage, daisy_xdsl, dslam_forest, dslam_forest_mirrored, isp_hierarchy, lan,
     IspHierarchyParams, PlacementPolicy, Topology, TopologyKind,

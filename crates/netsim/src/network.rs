@@ -126,10 +126,11 @@ use crate::event::Scheduler;
 use crate::fairshare::FairShareQueue;
 use crate::platform::{Platform, Route};
 use p2p_common::{DataSize, FlowId, HostId, SimDuration, SimTime};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// How concurrent flows share link capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SharingMode {
     /// Independent flows, bottleneck-bandwidth analytic model.
     Bottleneck,
@@ -139,7 +140,7 @@ pub enum SharingMode {
 
 /// Events the network schedules for itself. Embed this in the world's event
 /// type by implementing [`NetWorldEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NetEvent {
     /// The flow's latency has elapsed; it now competes for bandwidth.
     FlowActivate {
@@ -204,7 +205,7 @@ pub trait NetWorldEvent: From<NetEvent> {
 }
 
 /// How the network reacts to flow arrivals and departures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum RebalanceEngine {
     /// Recompute the max–min fixpoint immediately on every arrival and
     /// departure, selecting each bottleneck with a linear scan over the
@@ -276,7 +277,7 @@ pub enum RebalanceEngine {
 ///
 /// The pass preserves the firing order of live events, so it is safe at any
 /// point of a simulation. [`Network::auto_compactions`] counts the passes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompactionPolicy {
     /// Dead entries tolerated per live entry before compacting (default 4).
     pub dead_per_live: u32,
@@ -297,7 +298,7 @@ impl Default for CompactionPolicy {
 /// ([`RebalanceEngine::DirtyComponent`] and
 /// [`RebalanceEngine::ParallelShard`]), for diagnostics and benchmark
 /// analysis ([`Network::flush_stats`]). All zero under the other engines.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlushStats {
     /// Dirty flushes run (rebalances that found at least one dirty link).
     pub flushes: u64,
@@ -356,7 +357,7 @@ pub struct FlowDelivery {
 }
 
 /// Aggregate transfer statistics.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Flows started.
     pub flows_started: u64,
@@ -379,6 +380,14 @@ pub struct MemoryFootprint {
     pub slab_bytes: usize,
     /// Incidence bytes: the per-link flow lists plus the active-flow index.
     pub incidence_bytes: usize,
+    /// Component bytes: the union–find link partition, its intrusive flow
+    /// node pool, and the dirty-tracking arrays. Checkpointed state, so it
+    /// is counted — a restored simulation carries it all back.
+    pub component_bytes: usize,
+    /// Warm-start bytes: the per-link persisted [`RebalanceEngine::WarmStart`]
+    /// fill records (rounds, frozen lists, residual-capacity histories) plus
+    /// the arrival log. Zero under the other engines.
+    pub warm_bytes: usize,
     /// Live flows at measurement time (the divisor for bytes/flow).
     pub live_flows: usize,
 }
@@ -386,7 +395,7 @@ pub struct MemoryFootprint {
 impl MemoryFootprint {
     /// Total tracked bytes.
     pub fn total_bytes(&self) -> usize {
-        self.slab_bytes + self.incidence_bytes
+        self.slab_bytes + self.incidence_bytes + self.component_bytes + self.warm_bytes
     }
 
     /// Tracked bytes per live flow. `extra_bytes` folds in structures owned
@@ -593,7 +602,7 @@ const NO_ROUND: u32 = u32::MAX;
 /// One saturation round of a recorded component fill: `link` popped as the
 /// bottleneck at fair share `share`, freezing the flows
 /// `frozen[prev.frozen_end..frozen_end]` of the owning record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct FillRound {
     link: u32,
     share: f64,
@@ -615,7 +624,7 @@ struct FillRound {
 /// consumes) — warm flushes maintain this by truncating the replaced
 /// suffix and appending the replayed one, which is why records compose
 /// across arbitrarily long churn sequences.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct FillRecord {
     /// Component epoch this record was made under; a mismatch against the
     /// current `key_of_root` (component merged, or region rebuilt) kills
@@ -652,6 +661,24 @@ struct FillRecord {
 }
 
 impl FillRecord {
+    /// Heap bytes held by this record (the boxed struct plus its vectors),
+    /// for [`Network::memory_footprint`] telemetry.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<FillRecord>()
+            + self.rounds.capacity() * size_of::<FillRound>()
+            + self.frozen.capacity() * size_of::<FlowId>()
+            + self.links.capacity() * size_of::<u32>()
+            + self.seed_unfixed.capacity() * size_of::<u32>()
+            + self.pop_round.capacity() * size_of::<u32>()
+            + self.hist.capacity() * size_of::<Vec<(u32, f64)>>()
+            + self
+                .hist
+                .iter()
+                .map(|h| h.capacity() * size_of::<(u32, f64)>())
+                .sum::<usize>()
+    }
+
     /// First recorded round that a fresh queue entry `(share, link)` could
     /// preempt. Rounds strictly lex-below `(share, link)` pop before the
     /// entry can (per-link fair shares only ever grow as the fill
@@ -2472,10 +2499,12 @@ impl Network {
         })
     }
 
-    /// Approximate heap bytes held by the per-flow state: the slab itself,
-    /// every flow's `link_pos` back-pointer slice, and the persistent link
-    /// incidence lists. Allocator overhead is not counted; the number is a
-    /// comparable telemetry figure, not an RSS prediction.
+    /// Approximate heap bytes held by the engine's persistent state: the
+    /// flow slab and every flow's `link_pos` back-pointer slice, the link
+    /// incidence lists, the union–find component partition and its dirty
+    /// tracking, and the warm-start fill records — i.e. everything a
+    /// checkpoint captures. Allocator overhead is not counted; the number
+    /// is a comparable telemetry figure, not an RSS prediction.
     pub fn memory_footprint(&self) -> MemoryFootprint {
         use std::mem::size_of;
         let slab_bytes = self.slots.capacity() * size_of::<Slot>()
@@ -2493,9 +2522,27 @@ impl Network {
                 .map(|l| l.capacity() * size_of::<u32>())
                 .sum::<usize>()
             + self.active.capacity() * size_of::<u32>();
+        let component_bytes = self.comp.heap_bytes()
+            + self.dirty_links.capacity() * size_of::<usize>()
+            + self.dirty_mark.capacity() * size_of::<u64>()
+            + self.comp_stamp.capacity() * size_of::<u64>()
+            + self.dirty_roots.capacity() * size_of::<usize>()
+            + self.comp_raw.capacity() * size_of::<FlowId>()
+            + self.root_ranges.capacity() * size_of::<(u32, u32)>()
+            + self.comp_flows.capacity() * size_of::<u32>();
+        let warm_bytes = self.warm_records.capacity() * size_of::<Option<Box<FillRecord>>>()
+            + self
+                .warm_records
+                .iter()
+                .flatten()
+                .map(|r| r.heap_bytes())
+                .sum::<usize>()
+            + self.warm_arrivals.capacity() * size_of::<FlowId>();
         MemoryFootprint {
             slab_bytes,
             incidence_bytes,
+            component_bytes,
+            warm_bytes,
             live_flows: self.live_flows,
         }
     }
@@ -2518,6 +2565,254 @@ impl Network {
                 (f.id, Arc::clone(&f.route), f.rate)
             })
             .collect()
+    }
+}
+
+/// Encode one live flow. The route is *not* stored: it is re-derived on
+/// restore from `(src, dst)` by the platform's deterministic Dijkstra, which
+/// yields the identical link sequence (and therefore identical sharing
+/// behaviour). The fill scratch fields (`fixed_epoch`, `comp_epoch`,
+/// `new_rate`) are dead between events — checkpoints happen at event
+/// boundaries — and restart at zero.
+fn flow_to_value(f: &FlowState) -> Value {
+    Value::Object(vec![
+        ("id".to_owned(), f.id.to_value()),
+        ("src".to_owned(), f.src.to_value()),
+        ("dst".to_owned(), f.dst.to_value()),
+        ("token".to_owned(), f.token.to_value()),
+        ("size".to_owned(), f.size.to_value()),
+        ("remaining".to_owned(), f.remaining.to_value()),
+        ("rate".to_owned(), f.rate.to_value()),
+        ("last_progress".to_owned(), f.last_progress.to_value()),
+        ("active".to_owned(), f.active.to_value()),
+        ("version".to_owned(), f.version.to_value()),
+        (
+            "pending_completion".to_owned(),
+            f.pending_completion.to_value(),
+        ),
+        ("active_pos".to_owned(), f.active_pos.to_value()),
+        ("link_pos".to_owned(), f.link_pos.as_ref().to_value()),
+    ])
+}
+
+/// Decode one live flow, re-deriving its route from the restored platform.
+fn flow_from_value(v: &Value, platform: &Platform) -> Result<FlowState, DeError> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| DeError::expected("object", "FlowState", v))?;
+    let src: HostId = serde::field(fields, "src", "FlowState")?;
+    let dst: HostId = serde::field(fields, "dst", "FlowState")?;
+    for h in [src, dst] {
+        if h.index() >= platform.host_count() {
+            return Err(DeError::msg(format!(
+                "FlowState: no route between hosts {src:?} and {dst:?} in the restored \
+                 platform ({h} is not a host)"
+            )));
+        }
+    }
+    let route = platform.route_uncached(src, dst).ok_or_else(|| {
+        DeError::msg(format!(
+            "FlowState: no route between hosts {src:?} and {dst:?} in the restored platform"
+        ))
+    })?;
+    let link_pos: Vec<u32> = serde::field(fields, "link_pos", "FlowState")?;
+    if link_pos.len() != route.links.len() {
+        return Err(DeError::msg(format!(
+            "FlowState: link_pos has {} hops but the re-derived route has {}",
+            link_pos.len(),
+            route.links.len()
+        )));
+    }
+    Ok(FlowState {
+        id: serde::field(fields, "id", "FlowState")?,
+        src,
+        dst,
+        token: serde::field(fields, "token", "FlowState")?,
+        size: serde::field(fields, "size", "FlowState")?,
+        route: Arc::new(route),
+        remaining: serde::field(fields, "remaining", "FlowState")?,
+        rate: serde::field(fields, "rate", "FlowState")?,
+        last_progress: serde::field(fields, "last_progress", "FlowState")?,
+        active: serde::field(fields, "active", "FlowState")?,
+        version: serde::field(fields, "version", "FlowState")?,
+        pending_completion: serde::field(fields, "pending_completion", "FlowState")?,
+        active_pos: serde::field(fields, "active_pos", "FlowState")?,
+        link_pos: link_pos.into_boxed_slice(),
+        fixed_epoch: 0,
+        comp_epoch: 0,
+        new_rate: 0.0,
+    })
+}
+
+/// Serialization captures every piece of state the simulation's *future*
+/// depends on — the slab flow table (routes re-derived, not stored), the
+/// link→flow incidence lists, the union–find component index verbatim (the
+/// partition is history-dependent and the warm records key on its roots),
+/// the pending dirty-link set, the per-component warm-start `FillRecord`s,
+/// the arrival log, telemetry counters, and configuration — and none of the
+/// epoch-stamped fill scratch, which is dead between events and restarts
+/// zeroed exactly as a fresh `Network` would.
+///
+/// Warm records are captured rather than dropped deliberately: a restore is
+/// a *pause*, not a perturbation. Timestamps would come out identical either
+/// way (a cold fill re-derives the same rates), but dropping the records
+/// would change `FlushStats` telemetry and post-restore flush costs relative
+/// to the uninterrupted run — observable drift the restore-identity suite
+/// would have to carve exceptions for.
+impl Serialize for Network {
+    fn to_value(&self) -> Value {
+        let slots: Vec<Value> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                Value::Object(vec![
+                    ("generation".to_owned(), slot.generation.to_value()),
+                    (
+                        "flow".to_owned(),
+                        match &slot.state {
+                            Some(f) => flow_to_value(f),
+                            None => Value::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("platform".to_owned(), self.platform.to_value()),
+            ("mode".to_owned(), self.mode.to_value()),
+            ("engine".to_owned(), self.engine.to_value()),
+            ("slots".to_owned(), Value::Array(slots)),
+            ("free_slots".to_owned(), self.free_slots.to_value()),
+            ("active".to_owned(), self.active.to_value()),
+            ("link_flows".to_owned(), self.link_flows.to_value()),
+            ("comp".to_owned(), self.comp.to_value()),
+            (
+                "attached_flows".to_owned(),
+                (self.attached_flows as u64).to_value(),
+            ),
+            ("dirty_links".to_owned(), self.dirty_links.to_value()),
+            (
+                "rebalance_pending".to_owned(),
+                self.rebalance_pending.to_value(),
+            ),
+            ("warm_records".to_owned(), self.warm_records.to_value()),
+            ("warm_arrivals".to_owned(), self.warm_arrivals.to_value()),
+            ("flush_stats".to_owned(), self.flush_stats.to_value()),
+            ("compaction".to_owned(), self.compaction.to_value()),
+            ("compactions".to_owned(), self.compactions.to_value()),
+            (
+                "shard_threads".to_owned(),
+                (self.shard_threads as u64).to_value(),
+            ),
+            (
+                "parallel_min_flows".to_owned(),
+                (self.parallel_min_flows as u64).to_value(),
+            ),
+            ("stats".to_owned(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Network {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Network", v))?;
+        let platform: Platform = serde::field(fields, "platform", "Network")?;
+        let mode: SharingMode = serde::field(fields, "mode", "Network")?;
+        let engine: RebalanceEngine = serde::field(fields, "engine", "Network")?;
+        let mut net = Network::with_engine(platform, mode, engine);
+        let link_count = net.platform.links().len();
+
+        let slots_v = fields
+            .iter()
+            .find(|(k, _)| k == "slots")
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::msg("missing field `slots` while deserializing Network"))?;
+        let slot_entries = slots_v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "Network.slots", slots_v))?;
+        let mut slots = Vec::with_capacity(slot_entries.len());
+        let mut live_flows = 0usize;
+        for (idx, entry) in slot_entries.iter().enumerate() {
+            let slot_fields = entry
+                .as_object()
+                .ok_or_else(|| DeError::expected("object", "Network.slots", entry))?;
+            let generation: u32 = serde::field(slot_fields, "generation", "Network.slots")?;
+            let flow_v = slot_fields
+                .iter()
+                .find(|(k, _)| k == "flow")
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg("Network.slots: missing `flow` field"))?;
+            let state = match flow_v {
+                Value::Null => None,
+                other => {
+                    let f = flow_from_value(other, &net.platform)?;
+                    if f.id != FlowId::from_parts(idx as u32, generation) {
+                        return Err(DeError::msg(format!(
+                            "Network.slots: flow id {:?} does not match slot {idx} generation {generation}",
+                            f.id
+                        )));
+                    }
+                    live_flows += 1;
+                    Some(f)
+                }
+            };
+            slots.push(Slot { generation, state });
+        }
+        net.slots = slots;
+        net.live_flows = live_flows;
+        net.free_slots = serde::field(fields, "free_slots", "Network")?;
+        net.active = serde::field(fields, "active", "Network")?;
+        let link_flows: Vec<Vec<u32>> = serde::field(fields, "link_flows", "Network")?;
+        if link_flows.len() != link_count {
+            return Err(DeError::msg(format!(
+                "Network: {} incidence lists for {} platform links",
+                link_flows.len(),
+                link_count
+            )));
+        }
+        net.link_flows = link_flows;
+        net.comp = serde::field(fields, "comp", "Network")?;
+        net.attached_flows = serde::field::<u64>(fields, "attached_flows", "Network")? as usize;
+        let dirty_links: Vec<usize> = serde::field(fields, "dirty_links", "Network")?;
+        for &l in &dirty_links {
+            if l >= link_count {
+                return Err(DeError::msg(format!(
+                    "Network: dirty link {l} outside the platform's {link_count} links"
+                )));
+            }
+            net.dirty_mark[l] = net.dirty_gen;
+        }
+        net.dirty_links = dirty_links;
+        net.rebalance_pending = serde::field(fields, "rebalance_pending", "Network")?;
+        let warm_records: Vec<Option<Box<FillRecord>>> =
+            serde::field(fields, "warm_records", "Network")?;
+        if warm_records.len() != link_count {
+            return Err(DeError::msg(format!(
+                "Network: {} warm-record slots for {} platform links",
+                warm_records.len(),
+                link_count
+            )));
+        }
+        net.warm_records = warm_records;
+        net.warm_arrivals = serde::field(fields, "warm_arrivals", "Network")?;
+        net.flush_stats = serde::field(fields, "flush_stats", "Network")?;
+        net.compaction = serde::field(fields, "compaction", "Network")?;
+        net.compactions = serde::field(fields, "compactions", "Network")?;
+        net.shard_threads = serde::field::<u64>(fields, "shard_threads", "Network")? as usize;
+        net.parallel_min_flows =
+            serde::field::<u64>(fields, "parallel_min_flows", "Network")? as usize;
+        let stats: NetStats = serde::field(fields, "stats", "Network")?;
+        if stats.link_bytes.len() != link_count {
+            return Err(DeError::msg(format!(
+                "Network: {} link-byte counters for {} platform links",
+                stats.link_bytes.len(),
+                link_count
+            )));
+        }
+        net.stats = stats;
+        Ok(net)
     }
 }
 
@@ -2571,7 +2866,7 @@ mod tests {
         deliveries: Vec<(SimTime, FlowDelivery)>,
     }
 
-    #[derive(Debug, Clone, Copy)]
+    #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
     enum Ev {
         Net(NetEvent),
     }
@@ -2978,6 +3273,91 @@ mod tests {
     }
 
     #[test]
+    fn serde_round_trip_mid_run_continues_bit_identically() {
+        // Pause a congested run mid-flight via Network + Scheduler serde,
+        // rebuild both from the encoded values, and drain the original and
+        // the restored copy side by side: every remaining delivery must land
+        // at the identical nanosecond, under every rebalance engine.
+        for engine in [
+            RebalanceEngine::ScanPerEvent,
+            RebalanceEngine::BucketedBatched,
+            RebalanceEngine::DirtyComponent,
+            RebalanceEngine::ParallelShard,
+            RebalanceEngine::WarmStart,
+        ] {
+            let mut w = dumbbell_with(SharingMode::MaxMinFair, engine);
+            let mut sched: Scheduler<Ev> = Scheduler::new();
+            for i in 0..10u64 {
+                w.net.start_flow(
+                    &mut sched,
+                    HostId::new((i % 4) as u32),
+                    HostId::new(((i + 2) % 4) as u32),
+                    DataSize::from_bytes(400_000 + 150_000 * i),
+                    i,
+                );
+            }
+            run_world(&mut w, &mut sched, Some(SimTime::from_millis(40)));
+            assert!(w.net.flows_in_flight() > 0, "cut must land mid-run");
+
+            let net_v = w.net.to_value();
+            let sched_v = sched.to_value();
+            // Canonical encoding: re-encoding the restored state is identical.
+            let restored_net = Network::from_value(&net_v).unwrap();
+            assert_eq!(
+                serde_json::to_string(&net_v).unwrap(),
+                serde_json::to_string(&restored_net.to_value()).unwrap(),
+                "{engine:?}"
+            );
+            let mut w2 = NetWorld {
+                net: restored_net,
+                deliveries: w.deliveries.clone(),
+            };
+            let mut sched2: Scheduler<Ev> = Scheduler::from_value(&sched_v).unwrap();
+
+            run_world(&mut w, &mut sched, None);
+            run_world(&mut w2, &mut sched2, None);
+            assert_eq!(w.deliveries, w2.deliveries, "{engine:?}");
+            assert_eq!(w.net.stats(), w2.net.stats(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn serde_rejects_mismatched_flow_state() {
+        let mut w = dumbbell(SharingMode::MaxMinFair);
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        w.net.start_flow(
+            &mut sched,
+            HostId::new(0),
+            HostId::new(1),
+            DataSize::from_bytes(1_000_000),
+            1,
+        );
+        let v = w.net.to_value();
+        // Point the first live flow at a host outside the platform: the
+        // restore must fail to re-derive its route, not panic.
+        fn corrupt(v: &Value) -> Value {
+            match v {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .iter()
+                        .map(|(k, inner)| {
+                            if k == "dst" {
+                                (k.clone(), Value::UInt(9_999))
+                            } else {
+                                (k.clone(), corrupt(inner))
+                            }
+                        })
+                        .collect(),
+                ),
+                Value::Array(items) => Value::Array(items.iter().map(corrupt).collect()),
+                other => other.clone(),
+            }
+        }
+        let err = Network::from_value(&corrupt(&v)).unwrap_err();
+        assert!(err.to_string().contains("route"), "got: {err}");
+    }
+
+    #[test]
     fn memory_footprint_tracks_the_flow_population() {
         let mut w = dumbbell(SharingMode::MaxMinFair);
         let mut sched = Scheduler::new();
@@ -3003,6 +3383,14 @@ mod tests {
         let active = w.net.memory_footprint();
         assert!(active.slab_bytes > 0);
         assert!(active.incidence_bytes > 0);
+        // Checkpointed structures count too: the union–find partition always,
+        // the warm-start records once the default engine has flushed.
+        assert!(active.component_bytes > 0);
+        assert!(active.warm_bytes > 0);
+        assert_eq!(
+            active.total_bytes(),
+            active.slab_bytes + active.incidence_bytes + active.component_bytes + active.warm_bytes
+        );
         assert!(active.bytes_per_flow(0) >= active.total_bytes() as f64 / 4.0 - 1.0);
         assert!(
             active.bytes_per_flow(sched.footprint_bytes()) > active.bytes_per_flow(0),

@@ -11,7 +11,7 @@
 //! (minimising latency, then hop count) and cached.
 
 use p2p_common::{Bandwidth, DataSize, HostId, IpAddr, NodeId, SimDuration};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -257,6 +257,58 @@ impl Platform {
     }
 }
 
+/// Serialization captures only the graph (nodes, links, host table). The
+/// adjacency index, the name table and the route cache are derived data:
+/// they are rebuilt on restore, and `route_cache` restarts empty — routes
+/// are recomputed on demand by the same deterministic Dijkstra (latency,
+/// then hop count), so a restored simulation sees identical paths.
+impl Serialize for Platform {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("nodes".to_owned(), self.nodes.to_value()),
+            ("links".to_owned(), self.links.to_value()),
+            ("hosts".to_owned(), self.hosts.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Platform {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Platform", v))?;
+        let nodes: Vec<Node> = serde::field(fields, "nodes", "Platform")?;
+        let links: Vec<Link> = serde::field(fields, "links", "Platform")?;
+        let hosts: Vec<NodeId> = serde::field(fields, "hosts", "Platform")?;
+        for link in &links {
+            if link.from.index() >= nodes.len() || link.to.index() >= nodes.len() {
+                return Err(DeError::msg(format!(
+                    "Platform: link `{}` references a node outside the graph",
+                    link.name
+                )));
+            }
+        }
+        if hosts.iter().any(|h| h.index() >= nodes.len()) {
+            return Err(DeError::msg(
+                "Platform: host table references a node outside the graph",
+            ));
+        }
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for (i, link) in links.iter().enumerate() {
+            adj[link.from.index()].push((i, link.to));
+        }
+        let node_of_name = nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
+        Ok(Platform {
+            nodes,
+            links,
+            adj,
+            hosts,
+            node_of_name,
+            route_cache: HashMap::new(),
+        })
+    }
+}
+
 /// Incrementally builds a [`Platform`].
 #[derive(Debug, Default)]
 pub struct PlatformBuilder {
@@ -451,6 +503,53 @@ mod tests {
             r,
             LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::ZERO),
         );
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_derived_state() {
+        let mut p = small_platform();
+        let _ = p.route(HostId::new(0), HostId::new(1)); // warm the cache
+        let mut q = Platform::from_value(&p.to_value()).unwrap();
+        assert_eq!(q.nodes().len(), p.nodes().len());
+        assert_eq!(q.links().len(), p.links().len());
+        assert_eq!(
+            q.host_by_name("h1"),
+            Some(HostId::new(1)),
+            "name table rebuilt"
+        );
+        let a = p.route(HostId::new(0), HostId::new(1));
+        let b = q.route(HostId::new(0), HostId::new(1));
+        assert_eq!(a.links, b.links, "restored Dijkstra picks the same path");
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.bottleneck, b.bottleneck);
+    }
+
+    #[test]
+    fn serde_rejects_links_outside_the_graph() {
+        let p = small_platform();
+        let v = p.to_value();
+        let tampered = match &v {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        if k == "nodes" {
+                            // Drop the last node: links now dangle.
+                            match val {
+                                Value::Array(items) => {
+                                    (k.clone(), Value::Array(items[..items.len() - 1].to_vec()))
+                                }
+                                _ => unreachable!(),
+                            }
+                        } else {
+                            (k.clone(), val.clone())
+                        }
+                    })
+                    .collect(),
+            ),
+            _ => unreachable!(),
+        };
+        assert!(Platform::from_value(&tampered).is_err());
     }
 
     #[test]

@@ -15,17 +15,27 @@
 //! and send/receive processing time; charging the receive cost on the
 //! receiving host serialises message handling at a coordinator exactly like
 //! the real protocol stack would.
+//!
+//! Two entry points share the same kernel: [`replay`] runs a fixed script set
+//! to completion (the batch shape dPerf's predictor uses), while
+//! [`ReplaySession`] keeps the replay alive between calls — operations can be
+//! streamed in with [`ReplaySession::push_ops`], virtual time advanced
+//! incrementally, and the whole session checkpointed to disk and resumed
+//! bit-identically through the [`checkpoint`](mod@crate::checkpoint) envelope.
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::event::{run_world, Scheduler, World};
 use crate::network::{
     FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, RebalanceEngine, SharingMode,
 };
 use crate::platform::Platform;
 use p2p_common::{DataSize, HostId, SimDuration, SimTime};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 
 /// One operation of a process script.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReplayOp {
     /// Busy the CPU for the given duration (measured or modelled block time).
     Compute {
@@ -63,7 +73,7 @@ pub enum ReplayOp {
 }
 
 /// The full operation list of one rank.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProcessScript {
     /// The rank this script belongs to (must equal its index in the script list).
     pub rank: usize,
@@ -72,7 +82,7 @@ pub struct ProcessScript {
 }
 
 /// Per-message protocol overheads (models P2PSAP's channel stack).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolCosts {
     /// Header/control bytes added to every message on the wire.
     pub header_bytes: u64,
@@ -100,7 +110,7 @@ impl Default for ProtocolCosts {
 }
 
 /// Configuration of a replay run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReplayConfig {
     /// Bandwidth-sharing model for bulk transfers.
     pub sharing: SharingMode,
@@ -153,7 +163,7 @@ pub struct ReplayResult {
     pub net_stats: NetStats,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum ProcState {
     /// Ready to execute the next operation.
     Ready,
@@ -178,7 +188,79 @@ struct Proc {
     wait_since: SimTime,
 }
 
-#[derive(Debug, Clone, Copy)]
+// Hand-written serde: the mailbox is keyed by `(usize, u32)` tuples, which
+// the shim's map encoding cannot express as JSON object keys. Each non-empty
+// queue becomes a `[from, tag, count]` triple (the payloads are unit values,
+// so a queue is fully described by its length), sorted so the encoding is
+// canonical regardless of hash iteration order.
+impl Serialize for Proc {
+    fn to_value(&self) -> Value {
+        let mut mail: Vec<(usize, u32, u64)> = self
+            .mailbox
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(from, tag), q)| (from, tag, q.len() as u64))
+            .collect();
+        mail.sort_unstable();
+        Value::Object(vec![
+            ("host".to_owned(), self.host.to_value()),
+            ("ops".to_owned(), self.ops.to_value()),
+            ("pc".to_owned(), self.pc.to_value()),
+            ("state".to_owned(), self.state.to_value()),
+            (
+                "mailbox".to_owned(),
+                Value::Array(
+                    mail.into_iter()
+                        .map(|(f, t, n)| {
+                            Value::Array(vec![f.to_value(), t.to_value(), n.to_value()])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("finish".to_owned(), self.finish.to_value()),
+            ("compute_total".to_owned(), self.compute_total.to_value()),
+            ("wait_total".to_owned(), self.wait_total.to_value()),
+            ("wait_since".to_owned(), self.wait_since.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Proc {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Proc", v))?;
+        let ops: Vec<ReplayOp> = serde::field(fields, "ops", "Proc")?;
+        let pc: usize = serde::field(fields, "pc", "Proc")?;
+        if pc > ops.len() {
+            return Err(DeError::msg(format!(
+                "program counter {pc} is past the end of a {}-op script",
+                ops.len()
+            )));
+        }
+        let triples: Vec<(usize, u32, u64)> = serde::field(fields, "mailbox", "Proc")?;
+        let mut mailbox: HashMap<(usize, u32), VecDeque<()>> = HashMap::new();
+        for (from, tag, count) in triples {
+            mailbox.insert(
+                (from, tag),
+                std::iter::repeat(()).take(count as usize).collect(),
+            );
+        }
+        Ok(Proc {
+            host: serde::field(fields, "host", "Proc")?,
+            ops,
+            pc,
+            state: serde::field(fields, "state", "Proc")?,
+            mailbox,
+            finish: serde::field(fields, "finish", "Proc")?,
+            compute_total: serde::field(fields, "compute_total", "Proc")?,
+            wait_total: serde::field(fields, "wait_total", "Proc")?,
+            wait_since: serde::field(fields, "wait_since", "Proc")?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 enum Ev {
     Net(NetEvent),
     Resume { rank: usize },
@@ -361,6 +443,253 @@ fn expand_ops(ops: &[ReplayOp]) -> Vec<ReplayOp> {
     out
 }
 
+/// An interruptible, checkpointable replay.
+///
+/// [`replay`] runs a script set to completion in one call; a session keeps
+/// the same kernel alive between calls so the embedding service can
+///
+/// * advance virtual time in increments ([`ReplaySession::run_until`]),
+/// * append operations to a rank's script while the replay is live
+///   ([`ReplaySession::push_ops`] — the streaming front end),
+/// * pause the whole thing to disk ([`ReplaySession::save`]) and resume it
+///   later ([`ReplaySession::load`]) with bit-identical timing.
+///
+/// ```
+/// use netsim::replay::{ProcessScript, ReplayConfig, ReplayOp, ReplaySession};
+/// use netsim::{cluster_bordeplage, HostSpec};
+///
+/// let topo = cluster_bordeplage(2, HostSpec::default());
+/// let scripts = vec![
+///     ProcessScript { rank: 0, ops: vec![ReplayOp::Send { to: 1, bytes: 12_500, tag: 0 }] },
+///     ProcessScript { rank: 1, ops: vec![ReplayOp::Recv { from: 0, tag: 0 }] },
+/// ];
+/// let mut session = ReplaySession::new(
+///     topo.platform, &topo.hosts[..2], &scripts, &ReplayConfig::default());
+/// session.run_until(None);
+///
+/// // Checkpoint at the end, restore, and stream more work into rank 0.
+/// let snapshot = session.checkpoint();
+/// let mut resumed = ReplaySession::restore(&snapshot).unwrap();
+/// resumed.push_ops(0, &[ReplayOp::Compute {
+///     duration: p2p_common::SimDuration::from_millis(5) }]);
+/// resumed.run_until(None);
+/// assert!(resumed.result().makespan > session.result().makespan);
+/// ```
+pub struct ReplaySession {
+    world: ReplayWorld,
+    sched: Scheduler<Ev>,
+}
+
+impl ReplaySession {
+    /// Set up a replay of `scripts` on `platform`, mapping rank `i` to
+    /// `rank_hosts[i]`, without running it. Every rank is primed with a
+    /// wake-up at `t = 0`.
+    ///
+    /// Panics if the number of scripts and host mappings differ, or if a
+    /// script's `rank` field does not match its position.
+    pub fn new(
+        platform: Platform,
+        rank_hosts: &[HostId],
+        scripts: &[ProcessScript],
+        cfg: &ReplayConfig,
+    ) -> Self {
+        assert_eq!(
+            rank_hosts.len(),
+            scripts.len(),
+            "need exactly one host per process script"
+        );
+        for (i, s) in scripts.iter().enumerate() {
+            assert_eq!(s.rank, i, "script {i} declares rank {}", s.rank);
+        }
+        let procs: Vec<Proc> = scripts
+            .iter()
+            .zip(rank_hosts)
+            .map(|(s, &h)| Proc {
+                host: h,
+                ops: expand_ops(&s.ops),
+                pc: 0,
+                state: ProcState::Ready,
+                mailbox: HashMap::new(),
+                finish: None,
+                compute_total: SimDuration::ZERO,
+                wait_total: SimDuration::ZERO,
+                wait_since: SimTime::ZERO,
+            })
+            .collect();
+        let mut net = Network::with_engine(platform, cfg.sharing, cfg.engine);
+        if let Some(threads) = cfg.shard_threads {
+            net.set_shard_threads(threads);
+        }
+        if let Some(min_flows) = cfg.parallel_threshold {
+            net.set_parallel_threshold(min_flows);
+        }
+        let world = ReplayWorld {
+            net,
+            procs,
+            protocol: cfg.protocol,
+            token_info: HashMap::new(),
+            next_token: 0,
+            messages_sent: 0,
+        };
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        // Kick every rank off at t = 0.
+        for rank in 0..world.procs.len() {
+            sched.schedule_at(SimTime::ZERO, Ev::Resume { rank });
+        }
+        ReplaySession { world, sched }
+    }
+
+    /// Run until the event queue is empty, or (with `Some(limit)`) until the
+    /// next event would fire past `limit`. Returns the timestamp of the last
+    /// event processed.
+    pub fn run_until(&mut self, limit: Option<SimTime>) -> SimTime {
+        run_world(&mut self.world, &mut self.sched, limit)
+    }
+
+    /// The session's virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Events still queued. Zero means every rank is `Done` or deadlocked
+    /// waiting for a message no one will send.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+
+    /// Number of ranks in the replay.
+    pub fn ranks(&self) -> usize {
+        self.world.procs.len()
+    }
+
+    /// True once every rank has run off the end of its script.
+    pub fn finished(&self) -> bool {
+        self.world.procs.iter().all(|p| p.finish.is_some())
+    }
+
+    /// Append operations to rank `rank`'s script while the replay is live —
+    /// the streaming entry point. `SendRecv` is expanded exactly as in
+    /// [`ReplaySession::new`]. A rank that had already finished is revived:
+    /// its finish time is cleared and it resumes at the current virtual time.
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn push_ops(&mut self, rank: usize, ops: &[ReplayOp]) {
+        assert!(rank < self.world.procs.len(), "unknown rank {rank}");
+        let expanded = expand_ops(ops);
+        let p = &mut self.world.procs[rank];
+        p.ops.extend(expanded);
+        if p.state == ProcState::Done {
+            p.state = ProcState::Ready;
+            p.finish = None;
+            self.sched
+                .schedule_at(self.sched.now(), Ev::Resume { rank });
+        }
+    }
+
+    /// Summarise the replay. Panics (with the blocked rank's position) if a
+    /// rank has not finished — call after [`ReplaySession::run_until`] has
+    /// drained the queue.
+    pub fn result(&self) -> ReplayResult {
+        for (i, p) in self.world.procs.iter().enumerate() {
+            assert!(
+                p.finish.is_some(),
+                "rank {i} never finished (blocked at pc {} of {}): unmatched receive?",
+                p.pc,
+                p.ops.len()
+            );
+        }
+        let finish_times: Vec<SimTime> =
+            self.world.procs.iter().map(|p| p.finish.unwrap()).collect();
+        let makespan = finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .duration_since(SimTime::ZERO);
+        ReplayResult {
+            makespan,
+            finish_times,
+            compute_time: self.world.procs.iter().map(|p| p.compute_total).collect(),
+            wait_time: self.world.procs.iter().map(|p| p.wait_total).collect(),
+            messages_sent: self.world.messages_sent,
+            net_stats: self.world.net.stats().clone(),
+        }
+    }
+
+    /// Encode the full session into a checkpoint envelope [`Value`]. The
+    /// process table, in-flight message tokens and protocol costs ride in
+    /// the envelope's `world` slot alongside the network and scheduler.
+    pub fn checkpoint(&self) -> Value {
+        let world = Value::Object(vec![
+            ("procs".to_owned(), self.world.procs.to_value()),
+            ("protocol".to_owned(), self.world.protocol.to_value()),
+            ("token_info".to_owned(), self.world.token_info.to_value()),
+            ("next_token".to_owned(), self.world.next_token.to_value()),
+            (
+                "messages_sent".to_owned(),
+                self.world.messages_sent.to_value(),
+            ),
+        ]);
+        checkpoint::encode(&self.world.net, &self.sched, world)
+    }
+
+    /// Rebuild a session from an envelope produced by
+    /// [`ReplaySession::checkpoint`].
+    pub fn restore(v: &Value) -> Result<Self, CheckpointError> {
+        let restored = checkpoint::decode::<Ev>(v)?;
+        let fields = restored.world.as_object().ok_or_else(|| {
+            CheckpointError::Format("replay session world slot is not an object".to_owned())
+        })?;
+        let procs: Vec<Proc> = serde::field(fields, "procs", "ReplaySession")?;
+        let hosts = restored.network.platform().host_count();
+        for (i, p) in procs.iter().enumerate() {
+            if p.host.index() >= hosts {
+                return Err(CheckpointError::Format(format!(
+                    "rank {i} maps to {} but the platform has {hosts} hosts",
+                    p.host
+                )));
+            }
+        }
+        let token_info: HashMap<u64, (usize, usize, u32)> =
+            serde::field(fields, "token_info", "ReplaySession")?;
+        for (token, &(src, dst, _)) in &token_info {
+            if src >= procs.len() || dst >= procs.len() {
+                return Err(CheckpointError::Format(format!(
+                    "in-flight message {token} references a rank outside the {}-rank replay",
+                    procs.len()
+                )));
+            }
+        }
+        Ok(ReplaySession {
+            world: ReplayWorld {
+                net: restored.network,
+                procs,
+                protocol: serde::field(fields, "protocol", "ReplaySession")?,
+                token_info,
+                next_token: serde::field(fields, "next_token", "ReplaySession")?,
+                messages_sent: serde::field(fields, "messages_sent", "ReplaySession")?,
+            },
+            sched: restored.scheduler,
+        })
+    }
+
+    /// Write the session to a checkpoint file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(&self.checkpoint())
+            .map_err(|e| CheckpointError::Format(e.to_string()))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Resume a session from a file written by [`ReplaySession::save`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let s = std::fs::read_to_string(path)?;
+        let v: Value =
+            serde_json::from_str(&s).map_err(|e| CheckpointError::Format(e.to_string()))?;
+        Self::restore(&v)
+    }
+}
+
 /// Replay `scripts` on `platform`, mapping rank `i` to `rank_hosts[i]`.
 ///
 /// Panics if the number of scripts and host mappings differ, or if a script's
@@ -371,73 +700,9 @@ pub fn replay(
     scripts: &[ProcessScript],
     cfg: &ReplayConfig,
 ) -> ReplayResult {
-    assert_eq!(
-        rank_hosts.len(),
-        scripts.len(),
-        "need exactly one host per process script"
-    );
-    for (i, s) in scripts.iter().enumerate() {
-        assert_eq!(s.rank, i, "script {i} declares rank {}", s.rank);
-    }
-    let procs: Vec<Proc> = scripts
-        .iter()
-        .zip(rank_hosts)
-        .map(|(s, &h)| Proc {
-            host: h,
-            ops: expand_ops(&s.ops),
-            pc: 0,
-            state: ProcState::Ready,
-            mailbox: HashMap::new(),
-            finish: None,
-            compute_total: SimDuration::ZERO,
-            wait_total: SimDuration::ZERO,
-            wait_since: SimTime::ZERO,
-        })
-        .collect();
-    let mut net = Network::with_engine(platform, cfg.sharing, cfg.engine);
-    if let Some(threads) = cfg.shard_threads {
-        net.set_shard_threads(threads);
-    }
-    if let Some(min_flows) = cfg.parallel_threshold {
-        net.set_parallel_threshold(min_flows);
-    }
-    let mut world = ReplayWorld {
-        net,
-        procs,
-        protocol: cfg.protocol,
-        token_info: HashMap::new(),
-        next_token: 0,
-        messages_sent: 0,
-    };
-    let mut sched: Scheduler<Ev> = Scheduler::new();
-    // Kick every rank off at t = 0.
-    for rank in 0..world.procs.len() {
-        sched.schedule_at(SimTime::ZERO, Ev::Resume { rank });
-    }
-    run_world(&mut world, &mut sched, None);
-    for (i, p) in world.procs.iter().enumerate() {
-        assert!(
-            p.finish.is_some(),
-            "rank {i} never finished (blocked at pc {} of {}): unmatched receive?",
-            p.pc,
-            p.ops.len()
-        );
-    }
-    let finish_times: Vec<SimTime> = world.procs.iter().map(|p| p.finish.unwrap()).collect();
-    let makespan = finish_times
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        .duration_since(SimTime::ZERO);
-    ReplayResult {
-        makespan,
-        finish_times,
-        compute_time: world.procs.iter().map(|p| p.compute_total).collect(),
-        wait_time: world.procs.iter().map(|p| p.wait_total).collect(),
-        messages_sent: world.messages_sent,
-        net_stats: world.net.stats().clone(),
-    }
+    let mut session = ReplaySession::new(platform, rank_hosts, scripts, cfg);
+    session.run_until(None);
+    session.result()
 }
 
 #[cfg(test)]
@@ -692,6 +957,96 @@ mod tests {
         assert_eq!(res.messages_sent, (n - 1) as u64);
         // The token must travel through all ranks: makespan well above a single hop.
         assert!(res.makespan > SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn session_checkpoint_mid_replay_restores_bit_identically() {
+        // A congested max–min run with protocol costs, paused part-way.
+        let n = 8;
+        let (p, hosts) = star_platform(n);
+        let mut scripts = Vec::new();
+        for r in 0..n {
+            let mut ops = vec![compute(1 + r as u64)];
+            for _ in 0..3 {
+                ops.push(ReplayOp::Send {
+                    to: (r + 1) % n,
+                    bytes: 400_000,
+                    tag: 5,
+                });
+                ops.push(ReplayOp::Recv {
+                    from: (r + n - 1) % n,
+                    tag: 5,
+                });
+            }
+            scripts.push(ProcessScript { rank: r, ops });
+        }
+        let cfg = ReplayConfig {
+            sharing: SharingMode::MaxMinFair,
+            protocol: ProtocolCosts {
+                header_bytes: 64,
+                send_cpu: SimDuration::from_micros(20),
+                recv_cpu: SimDuration::from_micros(20),
+            },
+            ..ReplayConfig::default()
+        };
+
+        let mut uninterrupted = ReplaySession::new(p.clone(), &hosts, &scripts, &cfg);
+        uninterrupted.run_until(None);
+        let want = uninterrupted.result();
+
+        let mut paused = ReplaySession::new(p, &hosts, &scripts, &cfg);
+        paused.run_until(Some(SimTime::from_millis(20)));
+        let snapshot = paused.checkpoint();
+        // Serialization is canonical: a second snapshot of the same state is
+        // byte-identical.
+        assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&paused.checkpoint()).unwrap()
+        );
+        let mut resumed = ReplaySession::restore(&snapshot).unwrap();
+        resumed.run_until(None);
+        let got = resumed.result();
+
+        assert_eq!(got.finish_times, want.finish_times);
+        assert_eq!(got.compute_time, want.compute_time);
+        assert_eq!(got.wait_time, want.wait_time);
+        assert_eq!(got.messages_sent, want.messages_sent);
+        assert_eq!(got.net_stats, want.net_stats);
+    }
+
+    #[test]
+    fn push_ops_streams_work_into_a_live_session() {
+        let (p, hosts) = star_platform(2);
+        let scripts = vec![
+            ProcessScript {
+                rank: 0,
+                ops: vec![compute(1)],
+            },
+            ProcessScript {
+                rank: 1,
+                ops: vec![],
+            },
+        ];
+        let mut s = ReplaySession::new(p, &hosts, &scripts, &ReplayConfig::default());
+        s.run_until(None);
+        assert!(s.finished());
+        let first = s.result().makespan;
+
+        // Revive both ranks with a streamed message exchange.
+        s.push_ops(
+            0,
+            &[ReplayOp::Send {
+                to: 1,
+                bytes: 12_500,
+                tag: 3,
+            }],
+        );
+        s.push_ops(1, &[ReplayOp::Recv { from: 0, tag: 3 }]);
+        s.run_until(None);
+        assert!(s.finished());
+        let second = s.result();
+        assert!(second.makespan > first);
+        assert_eq!(second.messages_sent, 1);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Restore-identity differential suite.
+//!
+//! The checkpoint contract (`docs/CHECKPOINT.md`) is that a simulation
+//! restored from a checkpoint taken at *any* event boundary produces the
+//! same deliveries at the same nanosecond timestamps as the uninterrupted
+//! run. This suite proves it the same way the engine-equivalence suite in
+//! `tests/props.rs` proves engine interchangeability: randomised workloads,
+//! an adversarially chosen cut point, and bit-exact comparison of everything
+//! observable afterwards.
+//!
+//! Each case runs the workload twice per engine: once uninterrupted, once
+//! popped to a random mid-run event index, serialized through the *full
+//! JSON text path* (`checkpoint::to_json` → `checkpoint::from_json`, so
+//! float formatting exactness is on trial too, not just the in-memory
+//! `Value` tree), and then drained. Token → completion-nanosecond maps must
+//! match exactly, as must the final network statistics.
+
+use netsim::checkpoint;
+use netsim::event::Scheduler;
+use netsim::network::{Network, RebalanceEngine, SharingMode};
+use netsim::platform::{HostSpec, LinkSpec, Platform, PlatformBuilder};
+use netsim::stream::StreamEvent;
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration, SimTime};
+use proptest::prelude::*;
+use serde::Value;
+
+const ENGINES: [RebalanceEngine; 5] = [
+    RebalanceEngine::ScanPerEvent,
+    RebalanceEngine::BucketedBatched,
+    RebalanceEngine::DirtyComponent,
+    RebalanceEngine::ParallelShard,
+    RebalanceEngine::WarmStart,
+];
+
+/// A star of `n` hosts around one switch (100 Mbps access links).
+fn star(n: usize) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let sw = b.add_router("sw");
+    let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+    for i in 0..n {
+        let h = b.add_host(
+            format!("h{i}"),
+            format!("10.0.{}.{}", i / 250, i % 250 + 1).parse().unwrap(),
+            HostSpec::default(),
+        );
+        b.add_host_link(format!("l{i}"), h, sw, spec);
+    }
+    b.build()
+}
+
+/// One randomised arrival: (arrival ms, src pick, dst offset, bytes).
+type Arrival = (u64, usize, usize, u64);
+
+/// Seed the scheduler with the workload's arrivals as events, so a cut can
+/// land before an arrival has even fired and the checkpoint must carry it.
+fn seed(sched: &mut Scheduler<StreamEvent>, workload: &[Arrival], hosts: usize) {
+    for (token, &(ms, s, d, bytes)) in workload.iter().enumerate() {
+        let src = s % hosts;
+        let dst = (src + 1 + d % (hosts - 1)) % hosts;
+        sched.schedule_at(
+            SimTime::from_millis(ms),
+            StreamEvent::Arrive {
+                src: HostId::new(src as u32),
+                dst: HostId::new(dst as u32),
+                size: DataSize::from_bytes(bytes),
+                token: token as u64,
+            },
+        );
+    }
+}
+
+/// Pop and handle up to `max_events` events; record deliveries as
+/// (token, completion nanos).
+fn run(
+    net: &mut Network,
+    sched: &mut Scheduler<StreamEvent>,
+    out: &mut Vec<(u64, u64)>,
+    max_events: Option<usize>,
+) {
+    let mut n = 0usize;
+    while let Some((_, ev)) = sched.pop() {
+        match ev {
+            StreamEvent::Net(ne) => {
+                for d in net.on_event(sched, ne) {
+                    out.push((d.token, sched.now().as_nanos()));
+                }
+            }
+            StreamEvent::Arrive {
+                src,
+                dst,
+                size,
+                token,
+            } => {
+                net.start_flow(sched, src, dst, size, token);
+            }
+        }
+        n += 1;
+        if Some(n) == max_events {
+            return;
+        }
+    }
+}
+
+proptest! {
+    /// Checkpoint at a random event index, restore through the JSON text
+    /// path, drain: deliveries and stats must be bit-identical to the
+    /// uninterrupted run, for every rebalance engine.
+    #[test]
+    fn checkpoint_at_any_event_boundary_restores_bit_identically(
+        workload in prop::collection::vec(
+            (0u64..60, 0usize..64, 0usize..64, 50_000u64..1_500_000), 3..16),
+        cut in 1usize..120,
+        n_hosts in 3usize..7,
+    ) {
+        for engine in ENGINES {
+            // Uninterrupted reference run.
+            let mut net = Network::with_engine(
+                star(n_hosts), SharingMode::MaxMinFair, engine);
+            let mut sched: Scheduler<StreamEvent> = Scheduler::new();
+            seed(&mut sched, &workload, n_hosts);
+            let mut want = Vec::new();
+            run(&mut net, &mut sched, &mut want, None);
+            let want_stats = net.stats().clone();
+
+            // Interrupted run: stop after `cut` events, checkpoint through
+            // the JSON text round-trip, resume in fresh objects.
+            let mut net_a = Network::with_engine(
+                star(n_hosts), SharingMode::MaxMinFair, engine);
+            let mut sched_a: Scheduler<StreamEvent> = Scheduler::new();
+            seed(&mut sched_a, &workload, n_hosts);
+            let mut got = Vec::new();
+            run(&mut net_a, &mut sched_a, &mut got, Some(cut));
+
+            let json = checkpoint::to_json(&net_a, &sched_a, Value::Null).unwrap();
+            let restored = checkpoint::from_json::<StreamEvent>(&json).unwrap();
+            let mut net_b = restored.network;
+            let mut sched_b = restored.scheduler;
+            prop_assert_eq!(sched_b.now(), sched_a.now());
+
+            run(&mut net_b, &mut sched_b, &mut got, None);
+            prop_assert_eq!(&got, &want, "{:?} diverged after restore at event {}",
+                engine, cut);
+            prop_assert_eq!(net_b.stats(), &want_stats,
+                "{:?} stats diverged after restore at event {}", engine, cut);
+        }
+    }
+
+    /// Checkpoint bytes are canonical: checkpointing, restoring, and
+    /// checkpointing again yields the identical JSON text.
+    #[test]
+    fn checkpoint_encoding_is_stable_across_a_round_trip(
+        workload in prop::collection::vec(
+            (0u64..40, 0usize..64, 0usize..64, 50_000u64..800_000), 2..10),
+        cut in 1usize..60,
+    ) {
+        let hosts = 5;
+        let mut net = Network::with_engine(
+            star(hosts), SharingMode::MaxMinFair, RebalanceEngine::WarmStart);
+        let mut sched: Scheduler<StreamEvent> = Scheduler::new();
+        seed(&mut sched, &workload, hosts);
+        let mut sink = Vec::new();
+        run(&mut net, &mut sched, &mut sink, Some(cut));
+
+        let first = checkpoint::to_json(&net, &sched, Value::Null).unwrap();
+        let restored = checkpoint::from_json::<StreamEvent>(&first).unwrap();
+        let second = checkpoint::to_json(
+            &restored.network, &restored.scheduler, Value::Null).unwrap();
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// The envelope is strict about identity: foreign formats and versions are
+/// refused before any state field is parsed.
+#[test]
+fn foreign_envelopes_are_rejected() {
+    let net = Network::new(star(3), SharingMode::MaxMinFair);
+    let sched: Scheduler<StreamEvent> = Scheduler::new();
+    let json = checkpoint::to_json(&net, &sched, Value::Null).unwrap();
+
+    let wrong_version = json.replace("\"version\":1", "\"version\":999");
+    let err = match checkpoint::from_json::<StreamEvent>(&wrong_version) {
+        Err(e) => e,
+        Ok(_) => panic!("foreign version must be rejected"),
+    };
+    assert!(err.to_string().contains("version"), "got: {err}");
+
+    let wrong_format = json.replace("netsim-checkpoint", "someone-elses-format");
+    let err = match checkpoint::from_json::<StreamEvent>(&wrong_format) {
+        Err(e) => e,
+        Ok(_) => panic!("foreign format must be rejected"),
+    };
+    assert!(err.to_string().contains("format"), "got: {err}");
+}

@@ -20,9 +20,10 @@
 use crate::overlay::Overlay;
 use netsim::Topology;
 use p2p_common::{DetRng, HostId, IpAddr, PeerId, PeerResources, SimDuration, SimTime, TrackerId};
+use serde::{Deserialize, Serialize};
 
 /// One churn event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ChurnEvent {
     /// A new peer joins (with the given IP).
     PeerJoin(IpAddr),
@@ -140,7 +141,7 @@ impl ChurnInjector {
 // ---------------------------------------------------------------------------
 
 /// One crash-stop fault.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultEvent {
     /// An individual peer crash-stops (goes silent without leaving).
     PeerCrash(PeerId),
@@ -157,7 +158,7 @@ pub enum FaultEvent {
 }
 
 /// A fault with its scheduled injection time.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimedFault {
     /// Simulated time at which the fault strikes.
     pub at: SimTime,
@@ -166,7 +167,7 @@ pub struct TimedFault {
 }
 
 /// What actually happened when a fault was applied.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultImpact {
     /// Peers that crash-stopped (one for `PeerCrash`, a whole component's
     /// worth for `MassFailure`, empty if the victims were already dead).
@@ -181,7 +182,7 @@ pub struct FaultImpact {
 /// The plan captures the platform's component→hosts mapping up front, so a
 /// [`FaultEvent::MassFailure`] resolves to a concrete host set without the
 /// overlay ever needing the topology.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     components: Vec<Vec<HostId>>,
     faults: Vec<TimedFault>,
@@ -245,6 +246,14 @@ impl FaultPlan {
     /// Total number of scheduled faults (delivered and pending).
     pub fn len(&self) -> usize {
         self.faults.len()
+    }
+
+    /// The full schedule, sorted by injection time. Harnesses that apply
+    /// faults to something other than an [`Overlay`] (e.g. killing raw
+    /// netsim flows in a checkpoint/restore scenario) walk this directly
+    /// and keep their own delivery cursor.
+    pub fn faults(&self) -> &[TimedFault] {
+        &self.faults
     }
 
     /// Whether the plan has no faults at all.

@@ -33,10 +33,51 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// The exact stream position of a [`ChaCha8Rng`], sufficient to reconstruct
+/// the generator bit-identically with [`ChaCha8Rng::from_state`]. The buffer
+/// contents are not stored: when `index < 16` the buffer is by construction
+/// the keystream block `counter - 1`, so the restore recomputes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaChaState {
+    /// The seed the generator was built from.
+    pub seed: [u8; 32],
+    /// The next block counter value (`refill` increments after each block).
+    pub counter: u64,
+    /// Next unread word of the current block; 16 means "refill needed".
+    pub index: usize,
+}
+
 impl ChaCha8Rng {
     /// The seed this generator was built from.
     pub fn get_seed(&self) -> [u8; 32] {
         self.seed
+    }
+
+    /// Capture the full stream position (seed + block counter + word index).
+    pub fn state(&self) -> ChaChaState {
+        ChaChaState {
+            seed: self.seed,
+            counter: self.counter,
+            index: self.index,
+        }
+    }
+
+    /// Reconstruct a generator at an exact stream position captured by
+    /// [`ChaCha8Rng::state`]: the restored generator produces the same word
+    /// stream as the original would have from that point on.
+    pub fn from_state(state: ChaChaState) -> Self {
+        let mut rng = Self::from_seed(state.seed);
+        if state.index < 16 {
+            // The saved buffer was the block at `counter - 1`; regenerate it
+            // (refill re-increments the counter back to the saved value).
+            rng.counter = state.counter.wrapping_sub(1);
+            rng.refill();
+            rng.index = state.index;
+            debug_assert_eq!(rng.counter, state.counter);
+        } else {
+            rng.counter = state.counter;
+        }
+        rng
     }
 
     fn refill(&mut self) {
@@ -126,6 +167,24 @@ mod tests {
         let mut y = again;
         for _ in 0..16 {
             assert_eq!(x.next_u32(), y.next_u32());
+        }
+    }
+
+    #[test]
+    fn state_round_trips_mid_block_and_at_block_boundaries() {
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 100] {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..consumed {
+                rng.next_u32();
+            }
+            let mut restored = ChaCha8Rng::from_state(rng.state());
+            for i in 0..64 {
+                assert_eq!(
+                    rng.next_u32(),
+                    restored.next_u32(),
+                    "diverged at word {i} after consuming {consumed}"
+                );
+            }
         }
     }
 
