@@ -186,7 +186,7 @@ fn run_parallel(platform: Platform, threads: usize, flows: &[(HostId, HostId, Da
         SharingMode::MaxMinFair,
         RebalanceEngine::ParallelShard,
     );
-    net.set_shard_threads(threads);
+    net.set_config(net.config().workers(threads));
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for (i, &(src, dst, size)) in flows.iter().enumerate() {
         net.start_flow(&mut sched, src, dst, size, i as u64);

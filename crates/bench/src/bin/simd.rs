@@ -10,7 +10,8 @@
 //!
 //! ```text
 //! usage: simd [--checkpoint FILE | --topology cluster|lan|daisy --hosts N]
-//!             [--sharing maxmin|bottleneck] [--engine NAME] [--seed N]
+//!             [--sharing maxmin|bottleneck] [--engine NAME] [--workers N]
+//!             [--parallel-threshold N] [--split-min N] [--seed N]
 //!
 //! stdin commands (one JSON object per line):
 //!   {"cmd":"arrive","src":0,"dst":5,"bytes":125000,"token":7[,"at_ns":N]}
@@ -32,7 +33,8 @@
 //! so the protocol round-trips timestamps exactly.
 
 use netsim::{
-    cluster_bordeplage, daisy_xdsl, lan, HostSpec, RebalanceEngine, SharingMode, StreamSession,
+    cluster_bordeplage, daisy_xdsl, lan, EngineConfig, HostSpec, RebalanceEngine, SharingMode,
+    StreamSession,
 };
 use p2p_common::{DataSize, HostId, SimTime};
 use serde::Value;
@@ -45,7 +47,7 @@ struct Options {
     topology: String,
     hosts: usize,
     sharing: SharingMode,
-    engine: RebalanceEngine,
+    config: EngineConfig,
     seed: u64,
 }
 
@@ -53,7 +55,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("simd: {msg}");
     eprintln!(
         "usage: simd [--checkpoint FILE | --topology cluster|lan|daisy --hosts N] \
-         [--sharing maxmin|bottleneck] [--engine NAME] [--seed N]"
+         [--sharing maxmin|bottleneck] [--engine NAME] [--workers N] \
+         [--parallel-threshold N] [--split-min N] [--seed N]"
     );
     ExitCode::from(2)
 }
@@ -64,7 +67,7 @@ fn parse_args() -> Result<Options, String> {
         topology: "cluster".to_owned(),
         hosts: 16,
         sharing: SharingMode::MaxMinFair,
-        engine: RebalanceEngine::default(),
+        config: EngineConfig::default(),
         seed: 42,
     };
     let mut args = std::env::args().skip(1);
@@ -91,14 +94,35 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--engine" => {
-                opts.engine = match value("--engine")?.as_str() {
+                opts.config = opts.config.engine(match value("--engine")?.as_str() {
                     "scan" => RebalanceEngine::ScanPerEvent,
                     "bucketed" => RebalanceEngine::BucketedBatched,
                     "dirty" => RebalanceEngine::DirtyComponent,
                     "parallel" => RebalanceEngine::ParallelShard,
                     "warm" => RebalanceEngine::WarmStart,
                     other => return Err(format!("unknown engine {other:?}")),
-                }
+                })
+            }
+            "--workers" => {
+                opts.config = opts.config.workers(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer (0 = auto)".to_owned())?,
+                )
+            }
+            "--parallel-threshold" => {
+                opts.config = opts.config.parallel_threshold(
+                    value("--parallel-threshold")?
+                        .parse()
+                        .map_err(|_| "--parallel-threshold needs an integer".to_owned())?,
+                )
+            }
+            "--split-min" => {
+                opts.config = opts.config.split_min_flows(
+                    value("--split-min")?
+                        .parse()
+                        .map_err(|_| "--split-min needs an integer (0 = auto)".to_owned())?,
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -117,10 +141,11 @@ fn build_session(opts: &Options) -> Result<StreamSession, String> {
         "daisy" => daisy_xdsl(opts.hosts, host, opts.seed),
         other => return Err(format!("unknown topology {other:?}")),
     };
-    Ok(StreamSession::with_engine(
+    opts.config.validate()?;
+    Ok(StreamSession::with_config(
         topo.platform,
         opts.sharing,
-        opts.engine,
+        opts.config,
     ))
 }
 

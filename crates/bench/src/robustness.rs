@@ -19,11 +19,11 @@
 //! The run is fully deterministic: identical [`RobustnessConfig`]s produce
 //! identical [`RobustnessReport`]s on every thread count (the flow engine's
 //! parallel shard invariant) — the CI matrix enforces this across
-//! `RAYON_NUM_THREADS` ∈ {1, 2, 8} and debug/release.
+//! `NETSIM_WORKERS` ∈ {1, 2, 8} and debug/release.
 
 use netsim::{
-    dslam_forest, run_world, HostSpec, NetEvent, NetStats, NetWorldEvent, Network, RebalanceEngine,
-    Scheduler, SharingMode, Topology, World,
+    dslam_forest, run_world, EngineConfig, HostSpec, NetEvent, NetStats, NetWorldEvent, Network,
+    RebalanceEngine, Scheduler, SharingMode, Topology, World,
 };
 use p2p_common::{
     DataSize, HostId, IpAddr, PeerId, PeerResources, SimDuration, SimTime, TrackerId,
@@ -61,12 +61,9 @@ pub struct RobustnessConfig {
     pub horizon: SimTime,
     /// Bandwidth-sharing model for the heartbeat flows.
     pub sharing: SharingMode,
-    /// Flow-engine generation.
-    pub engine: RebalanceEngine,
-    /// Worker-thread pin for parallel-shard flushes (`None` = rayon count).
-    pub shard_threads: Option<usize>,
-    /// Work threshold for parallel-shard flushes (`None` = engine default).
-    pub parallel_threshold: Option<usize>,
+    /// Flow-engine generation plus threading knobs (worker budget,
+    /// parallel threshold, split granularity).
+    pub config: EngineConfig,
 }
 
 impl Default for RobustnessConfig {
@@ -83,9 +80,7 @@ impl Default for RobustnessConfig {
             crash_start: SimTime::from_secs(60),
             horizon: SimTime::from_secs(180),
             sharing: SharingMode::MaxMinFair,
-            engine: RebalanceEngine::WarmStart,
-            shard_threads: None,
-            parallel_threshold: None,
+            config: EngineConfig::new(RebalanceEngine::WarmStart),
         }
     }
 }
@@ -349,13 +344,7 @@ pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessReport {
     // into the network.
     let mut plan = FaultPlan::for_topology(&topo);
 
-    let mut net = Network::with_engine(topo.platform, cfg.sharing, cfg.engine);
-    if let Some(threads) = cfg.shard_threads {
-        net.set_shard_threads(threads);
-    }
-    if let Some(min_flows) = cfg.parallel_threshold {
-        net.set_parallel_threshold(min_flows);
-    }
+    let mut net = Network::with_config(topo.platform, cfg.sharing, cfg.config);
 
     // One peer per host, carrying its platform binding.
     let mut component_of = BTreeMap::new();
@@ -540,11 +529,11 @@ mod tests {
         let a = run_robustness(&quick());
         let b = run_robustness(&quick());
         assert_eq!(a, b);
-        // Thread pinning never changes the simulated outcome.
+        // Worker-budget pinning never changes the simulated outcome.
+        let base = quick();
         let pinned = RobustnessConfig {
-            shard_threads: Some(7),
-            parallel_threshold: Some(0),
-            ..quick()
+            config: base.config.workers(7).parallel_threshold(0),
+            ..base
         };
         let c = run_robustness(&pinned);
         assert_eq!(a, c);

@@ -9,7 +9,7 @@
 //! ```json
 //! {
 //!   "format": "netsim-checkpoint",
-//!   "version": 1,
+//!   "version": 2,
 //!   "network": { ... },
 //!   "scheduler": { ... },
 //!   "world": ...
@@ -46,7 +46,13 @@ pub const FORMAT: &str = "netsim-checkpoint";
 /// The envelope layout version this build reads and writes. Bumped on any
 /// change to the encoded state layout; see `docs/CHECKPOINT.md` for the
 /// versioning and invalidation rules.
-pub const VERSION: u64 = 1;
+///
+/// History: v1 encoded the threading knobs as separate `engine` /
+/// `shard_threads` / `parallel_min_flows` network fields; v2 replaced them
+/// with the unified `engine_config` object ([`crate::EngineConfig`]) and
+/// added the pool counters to `flush_stats` (`park_wakeups` always encodes
+/// as 0 — it is an OS-scheduling artifact, not simulation state).
+pub const VERSION: u64 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]

@@ -225,6 +225,24 @@ impl FairShareQueue {
         }
     }
 
+    /// Heap bytes held by this queue's tables (for the pool-scratch
+    /// accounting in `Network::memory_footprint`).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.key.capacity() * size_of::<u64>()
+            + self.bucket_of.capacity() * size_of::<u32>()
+            + self.buckets.capacity() * size_of::<Bucket>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.sparse.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + self.occupied.capacity() * size_of::<u64>()
+            + self.summary.capacity() * size_of::<u64>()
+            + self.used.capacity() * size_of::<u32>()
+            + self.arena.nodes.capacity() * size_of::<HeapNode>()
+    }
+
     /// Grow the per-link tables to cover `n` links (no-op once sized).
     pub(crate) fn ensure_links(&mut self, n: usize) {
         if self.key.len() < n {

@@ -16,6 +16,10 @@
 //!   available: the classic *bottleneck* model (`T = Σ latency + size /
 //!   min-bandwidth`, SimGrid MSG's default analytic assumption) and a
 //!   *max–min fair* bandwidth-sharing model for congested scenarios.
+//! * [`pool`](mod@pool) — the persistent pinned worker pool behind the
+//!   parallel engines and [`EngineConfig`], the unified, serializable
+//!   threading configuration (engine choice, worker budget, parallel
+//!   threshold, split granularity).
 //! * [`topology`] — builders for the three platforms of the paper's
 //!   evaluation: the Grid'5000 Bordeplage cluster (Stage-1), the xDSL Daisy
 //!   topology of Fig. 8 (Stage-2A) and the campus LAN (Stage-2B).
@@ -101,6 +105,7 @@ pub mod event;
 pub(crate) mod fairshare;
 pub mod network;
 pub mod platform;
+pub mod pool;
 pub mod replay;
 pub mod stream;
 pub mod topology;
@@ -111,6 +116,7 @@ pub use network::{
     Network, RebalanceEngine, SharingMode,
 };
 pub use platform::{HostSpec, Link, LinkSpec, Node, NodeKind, Platform, PlatformBuilder, Route};
+pub use pool::EngineConfig;
 pub use replay::{
     replay, ProcessScript, ProtocolCosts, ReplayConfig, ReplayOp, ReplayResult, ReplaySession,
 };

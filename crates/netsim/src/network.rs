@@ -125,8 +125,10 @@ use crate::component::LinkComponents;
 use crate::event::Scheduler;
 use crate::fairshare::FairShareQueue;
 use crate::platform::{Platform, Route};
+use crate::pool::{EngineConfig, SplitScratch, WorkerPool};
 use p2p_common::{DataSize, FlowId, HostId, SimDuration, SimTime};
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How concurrent flows share link capacity.
@@ -239,7 +241,7 @@ pub enum RebalanceEngine {
     /// components share no links or flows, shard results are bit-identical
     /// to [`RebalanceEngine::DirtyComponent`] at **every** thread count —
     /// a property `tests/props.rs` enforces five ways. Flushes below the
-    /// work threshold ([`Network::set_parallel_threshold`]) or with a
+    /// work threshold ([`EngineConfig::parallel_threshold`]) or with a
     /// single dirty component fall back to the single-threaded flush
     /// verbatim. The PR 4 default, retained as the cold-fill differential
     /// baseline of the warm-start engine.
@@ -339,6 +341,24 @@ pub struct FlushStats {
     /// last fill) or because [`Network::invalidate_fill_records`] was
     /// called.
     pub warm_invalidations: u64,
+    /// Task sets handed to the persistent worker pool: shard/warm-task
+    /// fan-outs plus work-stolen split rounds. Deterministic for a given
+    /// [`EngineConfig`] — the dispatch decisions
+    /// depend on the logical worker budget, never on the machine.
+    pub flushes_dispatched: u64,
+    /// Work-stolen split rounds: saturation rounds of one oversized
+    /// component whose per-link fill was split across the pool's workers
+    /// (engaged when the bottleneck link carries at least
+    /// [`EngineConfig::split_min_flows`](crate::EngineConfig::split_min_flows)
+    /// unfixed flows). Deterministic, like `flushes_dispatched` — a split
+    /// round is counted even when the pool executes it serially for lack
+    /// of spare cores.
+    pub steals: u64,
+    /// Pool worker condvar wakeups served. **Scheduling-dependent**: varies
+    /// run to run and machine to machine, so it is excluded from
+    /// checkpoints (always restored as 0) and must never be compared across
+    /// runs. Purely an "is the pool actually parking/waking" diagnostic.
+    pub park_wakeups: u64,
 }
 
 /// Notification that a flow has been fully delivered to its destination host.
@@ -388,6 +408,12 @@ pub struct MemoryFootprint {
     /// fill records (rounds, frozen lists, residual-capacity histories) plus
     /// the arrival log. Zero under the other engines.
     pub warm_bytes: usize,
+    /// Worker-pool scratch bytes: the per-worker shard and warm-task fill
+    /// scratch (epoch-stamped capacity tables, fair-share queues, rate
+    /// buffers) plus the split-fill scratch — allocated once and reused
+    /// across flushes, so the million-flow RSS gate must see it. Zero
+    /// until a parallel engine's first sharded or split flush.
+    pub pool_bytes: usize,
     /// Live flows at measurement time (the divisor for bytes/flow).
     pub live_flows: usize,
 }
@@ -395,7 +421,11 @@ pub struct MemoryFootprint {
 impl MemoryFootprint {
     /// Total tracked bytes.
     pub fn total_bytes(&self) -> usize {
-        self.slab_bytes + self.incidence_bytes + self.component_bytes + self.warm_bytes
+        self.slab_bytes
+            + self.incidence_bytes
+            + self.component_bytes
+            + self.warm_bytes
+            + self.pool_bytes
     }
 
     /// Tracked bytes per live flow. `extra_bytes` folds in structures owned
@@ -420,12 +450,6 @@ const DRAIN_EPSILON: f64 = 1e-3;
 /// Rates below this (bytes/s) are float dust left by capacity cancellation,
 /// not real allocations; flows "allocated" less are treated as starved.
 const MIN_RATE: f64 = 1e-6;
-
-/// Default work threshold of [`RebalanceEngine::ParallelShard`]: flushes
-/// gathering fewer live flows than this run the single-threaded fill (the
-/// fork–join overhead would beat the fill itself). Override with
-/// [`Network::set_parallel_threshold`].
-const PARALLEL_MIN_FLOWS: usize = 192;
 
 #[derive(Debug, Clone)]
 struct FlowState {
@@ -498,6 +522,24 @@ struct ShardScratch {
     flow_rate: Vec<f64>,
 }
 
+impl ShardScratch {
+    /// Heap bytes held by this scratch, for
+    /// [`MemoryFootprint::pool_bytes`] — per-worker state that persists
+    /// across flushes and would otherwise escape the RSS gate.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.link_capacity.capacity() * size_of::<f64>()
+            + self.link_unfixed.capacity() * size_of::<u32>()
+            + self.link_epoch.capacity() * size_of::<u64>()
+            + self.touched_links.capacity() * size_of::<usize>()
+            + self.queue.heap_bytes()
+            + self.link_round.capacity() * size_of::<u64>()
+            + self.affected.capacity() * size_of::<usize>()
+            + self.flow_fixed.capacity() * size_of::<u64>()
+            + self.flow_rate.capacity() * size_of::<f64>()
+    }
+}
+
 /// One shard of a parallel flush: the slot indices of the flows of the
 /// components binned onto this worker, plus the worker's scratch.
 #[derive(Debug, Default)]
@@ -509,6 +551,12 @@ struct ShardTask {
 }
 
 impl ShardTask {
+    /// Heap bytes held by this shard's persistent scratch, for
+    /// [`MemoryFootprint::pool_bytes`].
+    fn heap_bytes(&self) -> usize {
+        self.flows.capacity() * std::mem::size_of::<u32>() + self.scratch.heap_bytes()
+    }
+
     /// Re-run progressive filling over this shard's flows, reading shared
     /// network state immutably and writing results only into the scratch.
     ///
@@ -735,6 +783,18 @@ struct WarmTask {
 }
 
 impl WarmTask {
+    /// Heap bytes held by this task's persistent scratch (the record is
+    /// accounted under `warm_bytes` — it lives in `warm_records` between
+    /// flushes), for [`MemoryFootprint::pool_bytes`].
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.flows.capacity() * size_of::<u32>()
+            + self.scratch.heap_bytes()
+            + self.part.capacity() * size_of::<u64>()
+            + self.slot_map.capacity() * size_of::<u32>()
+            + self.slot_epoch.capacity() * size_of::<u64>()
+    }
+
     /// Load the link→record-slot map from the record currently in the task
     /// (serial pre-pass; the resume-level computation and the replay both
     /// key on it).
@@ -767,7 +827,18 @@ impl WarmTask {
     /// seeding arithmetic, same dust rule, same link-index tie-breaking —
     /// plus the participation guard and the record bookkeeping. Any drift
     /// breaks the five-way bit-identity in `tests/props.rs`.
-    fn run(&mut self, slots: &[Slot], link_flows: &[Vec<u32>], links: &[crate::platform::Link]) {
+    ///
+    /// `split` carries the work-stealing machinery when this task runs
+    /// serially (see [`SplitCtx`]): rounds whose bottleneck incidence list
+    /// reaches the split threshold are fanned out across the pool's
+    /// workers, bit-identically to the serial loop.
+    fn run(
+        &mut self,
+        slots: &[Slot],
+        link_flows: &[Vec<u32>],
+        links: &[crate::platform::Link],
+        mut split: Option<&mut SplitCtx<'_>>,
+    ) {
         let mut rec = self.rec.take().expect("task holds its record");
         let k = self.k_star as usize;
         let cut = if k == 0 {
@@ -865,22 +936,87 @@ impl WarmTask {
             let round = s.fill_round;
             s.affected.clear();
             let mut fixed = 0usize;
-            for &slot_idx in &link_flows[bottleneck] {
-                let si = slot_idx as usize;
-                if part[si] != epoch || s.flow_fixed[si] == epoch {
-                    continue;
+            let stolen = split
+                .as_deref_mut()
+                .filter(|ctx| link_flows[bottleneck].len() >= ctx.split_min);
+            if let Some(ctx) = stolen {
+                // Work-stolen round. Phase A: workers claim chunks of the
+                // bottleneck's incidence list and record, privately, the
+                // eligible flows and per-link crossing counts.
+                let budget = ctx.pool.budget();
+                while ctx.workers.len() < budget {
+                    ctx.workers.push(SplitScratch::default());
                 }
-                s.flow_fixed[si] = epoch;
-                s.flow_rate[si] = if share < MIN_RATE { 0.0 } else { share };
-                fixed += 1;
-                let f = slots[si].state.as_ref().expect("participants are live");
-                rec.frozen.push(f.id);
-                for &l in &f.route.links {
-                    s.link_capacity[l] = (s.link_capacity[l] - share).max(0.0);
-                    s.link_unfixed[l] -= 1;
-                    if s.link_round[l] != round {
-                        s.link_round[l] = round;
-                        s.affected.push(l);
+                {
+                    let flow_fixed = &s.flow_fixed;
+                    let part_ro: &[u64] = part;
+                    split_scan(
+                        ctx.pool,
+                        &mut ctx.workers[..budget],
+                        &link_flows[bottleneck],
+                        split_chunk(link_flows[bottleneck].len(), budget),
+                        links.len(),
+                        slots,
+                        |si| part_ro[si] == epoch && flow_fixed[si] != epoch,
+                    );
+                }
+                split_collect_segs(ctx.workers, budget, ctx.segs);
+                // Phase B (serial merge). Stamping the fixed flows in the
+                // chunk-sorted segment order reproduces the exact incidence
+                // order of the serial loop, so `rec.frozen` and the rate
+                // stamps are byte-identical to it.
+                for &(_, w, a, b) in ctx.segs.iter() {
+                    for &slot_idx in &ctx.workers[w as usize].fixed[a as usize..b as usize] {
+                        let si = slot_idx as usize;
+                        s.flow_fixed[si] = epoch;
+                        s.flow_rate[si] = if share < MIN_RATE { 0.0 } else { share };
+                        fixed += 1;
+                        let f = slots[si].state.as_ref().expect("participants are live");
+                        rec.frozen.push(f.id);
+                    }
+                }
+                // Capacity releases commute across workers: per link, each
+                // release is `(x - share).max(0.0)`, so applying worker 0's
+                // k₀ subtractions then worker 1's k₁ runs the same float
+                // sequence as the serial loop's k₀+k₁. Never collapse the
+                // repeat into `capacity - k·share` — that changes rounding.
+                for ws in &ctx.workers[..budget] {
+                    for &l32 in &ws.touched {
+                        let l = l32 as usize;
+                        for _ in 0..ws.link_count[l] {
+                            s.link_capacity[l] = (s.link_capacity[l] - share).max(0.0);
+                        }
+                        s.link_unfixed[l] -= ws.link_count[l];
+                        if s.link_round[l] != round {
+                            s.link_round[l] = round;
+                            s.affected.push(l);
+                        }
+                    }
+                }
+                // `s.affected` now lists links in per-worker touch order
+                // rather than the serial first-touch order; everything it
+                // feeds (one hist append per link, commutative queue-key
+                // refreshes) is order-independent, so the fill stays
+                // bit-identical.
+                *ctx.steals += 1;
+            } else {
+                for &slot_idx in &link_flows[bottleneck] {
+                    let si = slot_idx as usize;
+                    if part[si] != epoch || s.flow_fixed[si] == epoch {
+                        continue;
+                    }
+                    s.flow_fixed[si] = epoch;
+                    s.flow_rate[si] = if share < MIN_RATE { 0.0 } else { share };
+                    fixed += 1;
+                    let f = slots[si].state.as_ref().expect("participants are live");
+                    rec.frozen.push(f.id);
+                    for &l in &f.route.links {
+                        s.link_capacity[l] = (s.link_capacity[l] - share).max(0.0);
+                        s.link_unfixed[l] -= 1;
+                        if s.link_round[l] != round {
+                            s.link_round[l] = round;
+                            s.affected.push(l);
+                        }
                     }
                 }
             }
@@ -923,6 +1059,103 @@ impl WarmTask {
         s.queue.clear();
         self.rec = Some(rec);
     }
+}
+
+/// Borrowed split-fill machinery handed to a *serially executing* fill:
+/// the worker pool, the per-worker scratch, the segment-merge scratch, the
+/// engagement threshold and the steal counter. Only serial fills receive
+/// one — a fill already running inside a pool dispatch passes `None`, since
+/// re-entering the pool from a worker would deadlock on the dispatch lock.
+struct SplitCtx<'a> {
+    pool: &'a mut WorkerPool,
+    workers: &'a mut Vec<SplitScratch>,
+    segs: &'a mut Vec<(u32, u32, u32, u32)>,
+    /// Minimum bottleneck incidence-list length for a round to be split.
+    split_min: usize,
+    steals: &'a mut u64,
+}
+
+/// Chunk size of a split round: a pure function of the incidence-list
+/// length and the *logical* worker budget, never of the physical thread
+/// count — so the chunk boundaries (and hence the merged order) are
+/// identical on every machine with the same [`EngineConfig`]. Four chunks
+/// per worker gives the claiming loop slack to balance uneven eligibility
+/// density; the floor keeps chunks worth their claim overhead.
+fn split_chunk(len: usize, budget: usize) -> usize {
+    len.div_ceil(budget * 4).max(16)
+}
+
+/// Phase A of one work-stolen split round: workers claim fixed-size chunks
+/// of the bottleneck's incidence list from a shared cursor and record — in
+/// private scratch only — which flows they would fix and how many of them
+/// cross each link. Shared state (`slots`, the eligibility tables behind
+/// `eligible`) is read immutably; nothing global is written, so the claim
+/// order is free to vary run to run without affecting the result.
+fn split_scan<E>(
+    pool: &mut WorkerPool,
+    workers: &mut [SplitScratch],
+    list: &[u32],
+    chunk: usize,
+    link_count: usize,
+    slots: &[Slot],
+    eligible: E,
+) where
+    E: Fn(usize) -> bool + Sync,
+{
+    for ws in workers.iter_mut() {
+        ws.ensure_links(link_count);
+        ws.begin_round();
+    }
+    let n_chunks = list.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    pool.for_each_mut(workers, |ws| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
+        }
+        let start = c * chunk;
+        let end = (start + chunk).min(list.len());
+        for &slot_idx in &list[start..end] {
+            let si = slot_idx as usize;
+            if !eligible(si) {
+                continue;
+            }
+            ws.fixed.push(slot_idx);
+            let f = slots[si].state.as_ref().expect("incident flows are live");
+            for &l in &f.route.links {
+                if ws.link_stamp[l] != ws.stamp {
+                    ws.link_stamp[l] = ws.stamp;
+                    ws.link_count[l] = 0;
+                    ws.touched.push(l as u32);
+                }
+                ws.link_count[l] += 1;
+            }
+        }
+        ws.chunk_ends.push((c as u32, ws.fixed.len() as u32));
+    });
+}
+
+/// Collect every worker's per-chunk segments of its `fixed` list as
+/// `(chunk, worker, start, end)` and sort them by chunk index. Walking the
+/// sorted segments reconstructs the *exact* incidence order of the round's
+/// fixed flows — chunks partition the list in order, and within a chunk one
+/// worker recorded the flows in list order — which is what lets phase B
+/// stamp rates and append `FillRecord::frozen` byte-identically to the
+/// serial loop.
+fn split_collect_segs(
+    workers: &[SplitScratch],
+    budget: usize,
+    segs: &mut Vec<(u32, u32, u32, u32)>,
+) {
+    segs.clear();
+    for (w, ws) in workers[..budget].iter().enumerate() {
+        let mut start = 0u32;
+        for &(c, end) in &ws.chunk_ends {
+            segs.push((c, w as u32, start, end));
+            start = end;
+        }
+    }
+    segs.sort_unstable_by_key(|&(c, _, _, _)| c);
 }
 
 /// The flow-level network simulator state.
@@ -976,13 +1209,21 @@ pub struct Network {
     /// Worker shards of [`RebalanceEngine::ParallelShard`] (reused across
     /// flushes; grown to the dispatch width on demand).
     shard_tasks: Vec<ShardTask>,
-    /// Worker threads a parallel flush may use (resolved from
-    /// `rayon::current_num_threads()` at construction, overridable via
-    /// [`Network::set_shard_threads`]).
-    shard_threads: usize,
-    /// Minimum gathered live flows before a flush shards
-    /// ([`Network::set_parallel_threshold`]).
-    parallel_min_flows: usize,
+    /// The unified engine configuration (engine choice, worker budget,
+    /// parallel threshold, split granularity) — see [`Network::config`].
+    config: EngineConfig,
+    /// The persistent worker pool. `Some` exactly while a parallel-capable
+    /// engine has an effective worker budget ≥ 2 and a flush has needed it
+    /// (created lazily on the first flush, rebuilt when
+    /// [`Network::set_config`] changes the budget, never serialized — a
+    /// restored network re-creates it on demand).
+    pool: Option<WorkerPool>,
+    /// Per-worker scratch of the split fill (work-stolen oversized
+    /// components); reused across flushes, grown to the budget on demand.
+    split_workers: Vec<SplitScratch>,
+    /// Scratch: `(chunk, worker, start, end)` segments of one split round's
+    /// merge, sorted by chunk to reconstruct exact incidence order.
+    split_segs: Vec<(u32, u32, u32, u32)>,
     /// Scratch: slot indices of the flows a dirty flush recomputes, ordered
     /// like `active` (so reschedules happen in the same order a full
     /// recompute would produce — equal-timestamp FIFO order is observable).
@@ -1005,7 +1246,6 @@ pub struct Network {
     warm_dirty: Vec<(u32, u32)>,
     /// Dirty-flush telemetry (see [`Network::flush_stats`]).
     flush_stats: FlushStats,
-    engine: RebalanceEngine,
     /// True while a [`NetEvent::Rebalance`] sentinel is pending at the
     /// current instant (reset when it fires; sentinels never cross
     /// timestamps, so no time needs to be stored).
@@ -1019,13 +1259,28 @@ impl Network {
     /// Wrap a platform in a network simulator with the default
     /// (bucket-queue, batching) rebalance engine.
     pub fn new(platform: Platform, mode: SharingMode) -> Self {
-        Self::with_engine(platform, mode, RebalanceEngine::default())
+        Self::with_config(platform, mode, EngineConfig::default())
     }
 
     /// Wrap a platform in a network simulator with an explicit rebalance
-    /// engine (the per-event scan engine exists for differential tests and
-    /// benchmarks).
+    /// engine and that engine's default threading knobs (the per-event scan
+    /// engine exists for differential tests and benchmarks). Shorthand for
+    /// [`Network::with_config`] with `EngineConfig::new(engine)`.
     pub fn with_engine(platform: Platform, mode: SharingMode, engine: RebalanceEngine) -> Self {
+        Self::with_config(platform, mode, EngineConfig::new(engine))
+    }
+
+    /// Wrap a platform in a network simulator with a full
+    /// [`EngineConfig`]: engine choice, worker budget, parallel threshold
+    /// and split granularity in one validated value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.validate()` rejects the configuration.
+    pub fn with_config(platform: Platform, mode: SharingMode, config: EngineConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid EngineConfig: {e}");
+        }
         let link_count = platform.links().len();
         Network {
             platform,
@@ -1056,8 +1311,10 @@ impl Network {
             root_ranges: Vec::new(),
             shard_order: Vec::new(),
             shard_tasks: Vec::new(),
-            shard_threads: rayon::current_num_threads(),
-            parallel_min_flows: PARALLEL_MIN_FLOWS,
+            config,
+            pool: None,
+            split_workers: Vec::new(),
+            split_segs: Vec::new(),
             comp_flows: Vec::new(),
             warm_records: {
                 let mut v = Vec::new();
@@ -1067,7 +1324,6 @@ impl Network {
             warm_arrivals: Vec::new(),
             warm_tasks: Vec::new(),
             warm_dirty: Vec::new(),
-            engine,
             rebalance_pending: false,
             compaction: CompactionPolicy::default(),
             compactions: 0,
@@ -1080,14 +1336,52 @@ impl Network {
 
     /// The rebalance engine in use.
     pub fn engine(&self) -> RebalanceEngine {
-        self.engine
+        self.config.engine
+    }
+
+    /// The engine configuration in force.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replace the engine configuration's threading knobs. The **engine is
+    /// fixed at construction** — each engine maintains different persistent
+    /// state (component index, fill records), so swapping engines mid-run
+    /// is not meaningful; build a new [`Network`] (or restore a checkpoint)
+    /// to change it. Worker budget, parallel threshold and split
+    /// granularity take effect at the next flush; a budget change retires
+    /// the current worker pool (folding its statistics into
+    /// [`FlushStats`]) and lazily builds a new one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.engine` differs from the constructed engine or
+    /// `config.validate()` rejects the configuration.
+    pub fn set_config(&mut self, config: EngineConfig) {
+        assert_eq!(
+            config.engine, self.config.engine,
+            "the rebalance engine is fixed at construction; build a new Network to change it"
+        );
+        if let Err(e) = config.validate() {
+            panic!("invalid EngineConfig: {e}");
+        }
+        self.config = config;
+        // Retire a pool whose budget no longer matches; the next flush that
+        // wants one rebuilds it at the new budget.
+        if self
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.budget() != self.config.resolved_workers())
+        {
+            self.retire_pool();
+        }
     }
 
     /// Whether the engine maintains the link-component index (the dirty and
     /// parallel-shard engines; their flush bookkeeping is shared).
     fn tracks_components(&self) -> bool {
         matches!(
-            self.engine,
+            self.config.engine,
             RebalanceEngine::DirtyComponent
                 | RebalanceEngine::ParallelShard
                 | RebalanceEngine::WarmStart
@@ -1095,27 +1389,62 @@ impl Network {
     }
 
     /// Worker threads a [`RebalanceEngine::ParallelShard`] flush may use.
+    #[deprecated(since = "0.1.0", note = "use `Network::config().resolved_workers()`")]
     pub fn shard_threads(&self) -> usize {
-        self.shard_threads
+        self.config.resolved_workers()
     }
 
-    /// Override the worker-thread budget of parallel flushes (default: the
-    /// rayon worker count, which honours `RAYON_NUM_THREADS`). Values above
-    /// the machine's core count are legal — shard results are bit-identical
-    /// at every thread count, so determinism tests sweep this freely; `0`
-    /// and `1` both mean "never shard".
+    /// Override the worker budget of parallel flushes (forwards to
+    /// [`Network::set_config`] with
+    /// [`EngineConfig::workers`](EngineConfig::workers); `0` is clamped to
+    /// 1 — "never shard" — preserving this setter's historical contract,
+    /// *not* the config's 0-means-auto rule).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Network::set_config` with `EngineConfig::workers`"
+    )]
     pub fn set_shard_threads(&mut self, threads: usize) {
-        self.shard_threads = threads.max(1);
+        let config = self.config.workers(threads.max(1));
+        self.set_config(config);
     }
 
-    /// Override the parallel work threshold: a flush only shards when it
-    /// gathers at least this many live flows across at least two dirty
-    /// components (default 192 — below that the fork–join overhead beats
-    /// the fill). Set to 0 to shard every multi-component flush, which the
-    /// differential tests do to exercise the parallel path on small
-    /// workloads.
+    /// Override the parallel work threshold (forwards to
+    /// [`Network::set_config`] with
+    /// [`EngineConfig::parallel_threshold`](EngineConfig::parallel_threshold);
+    /// 0 means "shard every multi-component flush").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Network::set_config` with `EngineConfig::parallel_threshold`"
+    )]
     pub fn set_parallel_threshold(&mut self, min_flows: usize) {
-        self.parallel_min_flows = min_flows;
+        let config = self.config.parallel_threshold(min_flows);
+        self.set_config(config);
+    }
+
+    /// Fold a retiring pool's counters into the stored [`FlushStats`] so
+    /// [`Network::flush_stats`] stays cumulative across pool rebuilds.
+    fn retire_pool(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            self.flush_stats.flushes_dispatched += pool.dispatches();
+            self.flush_stats.park_wakeups += pool.wakeups();
+        }
+    }
+
+    /// Make sure the pool matches the configuration: parallel-capable
+    /// engines with an effective budget ≥ 2 get one (created on first
+    /// need), everything else runs poolless. Called at flush entry — cheap
+    /// when nothing changed.
+    fn ensure_pool(&mut self) {
+        let want = self.config.parallel_capable() && self.config.resolved_workers() >= 2;
+        match (&self.pool, want) {
+            (Some(pool), true) if pool.budget() == self.config.resolved_workers() => {}
+            (None, false) => {}
+            (_, true) => {
+                self.retire_pool();
+                self.pool = Some(WorkerPool::new(self.config.resolved_workers()));
+            }
+            (_, false) => self.retire_pool(),
+        }
     }
 
     /// The event-heap compaction policy in force.
@@ -1134,9 +1463,16 @@ impl Network {
     }
 
     /// Telemetry of the dirty-component engine's flushes (all zero under
-    /// the other engines).
+    /// the other engines). Pool counters (`flushes_dispatched`,
+    /// `park_wakeups`) fold in the live worker pool's totals; of these,
+    /// `park_wakeups` is scheduling-dependent — see its field docs.
     pub fn flush_stats(&self) -> FlushStats {
-        self.flush_stats
+        let mut stats = self.flush_stats;
+        if let Some(pool) = &self.pool {
+            stats.flushes_dispatched += pool.dispatches();
+            stats.park_wakeups += pool.wakeups();
+        }
+        stats
     }
 
     /// Drop every component's persisted fill record, forcing the warm-start
@@ -1350,7 +1686,7 @@ impl Network {
     /// React to a change of the active flow set: rebalance now (scan engine)
     /// or coalesce into one batched pass at the current instant.
     fn request_rebalance<E: NetWorldEvent>(&mut self, sched: &mut Scheduler<E>) {
-        match self.engine {
+        match self.config.engine {
             RebalanceEngine::ScanPerEvent => {
                 self.rebalance(sched);
                 self.maybe_compact(sched);
@@ -1431,7 +1767,7 @@ impl Network {
             self.comp.attach(&route.links, flow);
             self.attached_flows += 1;
             self.mark_dirty(&route.links);
-            if self.engine == RebalanceEngine::WarmStart {
+            if self.config.engine == RebalanceEngine::WarmStart {
                 self.warm_arrivals.push(flow);
             }
         }
@@ -1671,7 +2007,7 @@ impl Network {
                 self.link_unfixed[l] += 1;
             }
         }
-        match self.engine {
+        match self.config.engine {
             RebalanceEngine::ScanPerEvent => self.fill_by_scan(epoch, unfixed_flows),
             // The component-tracking engines never take this path (their
             // flushes go through `recompute_rates_dirty`), but the bucket
@@ -1701,6 +2037,10 @@ impl Network {
         if self.dirty_links.is_empty() {
             return false;
         }
+        // Match the worker pool to the configuration before any dispatch
+        // decision reads it (no-op unless the config changed or this is a
+        // parallel engine's first flush).
+        self.ensure_pool();
         self.epoch += 1;
         let epoch = self.epoch;
         // Phase 1: resolve the distinct dirty component roots and count the
@@ -1735,7 +2075,7 @@ impl Network {
         // record per component); it branches off here with the dirty roots
         // resolved and handles its own dense fallback, sharding and dirty-set
         // consumption.
-        if self.engine == RebalanceEngine::WarmStart {
+        if self.config.engine == RebalanceEngine::WarmStart {
             self.flush_warm(epoch, covered, stale_covered);
             self.dirty_links.clear();
             self.dirty_gen += 1;
@@ -1749,10 +2089,10 @@ impl Network {
         // those big flushes, and gathering is what produces the shardable
         // partition. (Rates are identical either way; only which path
         // computes them changes.)
-        let parallel_wanted = self.engine == RebalanceEngine::ParallelShard
-            && self.shard_threads >= 2
+        let parallel_wanted = self.config.engine == RebalanceEngine::ParallelShard
+            && self.pool.is_some()
             && self.dirty_roots.len() >= 2
-            && covered >= self.parallel_min_flows.max(1);
+            && covered >= self.config.parallel_threshold.max(1);
         let gathered =
             parallel_wanted || covered * 4 < self.attached_flows * 3 || stale_covered * 2 > covered;
         self.flush_stats.flushes += 1;
@@ -1941,9 +2281,9 @@ impl Network {
         // record to warm-start from next time, and burning the record on
         // the very workload the engine exists for (all churn in one
         // component) would pin it cold forever.
-        let parallel_wanted = self.shard_threads >= 2
+        let parallel_wanted = self.pool.is_some()
             && self.dirty_roots.len() >= 2
-            && covered >= self.parallel_min_flows.max(1);
+            && covered >= self.config.parallel_threshold.max(1);
         let dense = self.dirty_roots.len() >= 2
             && !parallel_wanted
             && covered * 4 >= self.attached_flows * 3
@@ -2168,29 +2508,52 @@ impl Network {
                 total += 1;
             }
         }
-        // Fork–join over the tasks when the flush is big enough — same
-        // appetite as the parallel engine, no size binning needed: each
-        // task already is one component, and bit-identity holds at every
-        // thread count because each fill is a pure function of its
-        // component's flow set and record.
+        // Dispatch the tasks on the persistent pool when the flush is big
+        // enough — same appetite as the parallel engine, no size binning
+        // needed: each task already is one component, and bit-identity
+        // holds at every worker budget because each fill is a pure function
+        // of its component's flow set and record. Serially-run tasks (a
+        // single component, or a below-threshold flush) instead get the
+        // split-fill context: an oversized component's saturation rounds
+        // are then work-stolen across the pool's workers — the
+        // single-huge-component worst case finally shards. (The two are
+        // mutually exclusive per flush: a task running *on* a pool worker
+        // must not dispatch to the pool it is running on.)
         let parallel =
-            self.shard_threads >= 2 && n_tasks >= 2 && total >= self.parallel_min_flows.max(1);
+            self.pool.is_some() && n_tasks >= 2 && total >= self.config.parallel_threshold.max(1);
         let mut tasks = std::mem::take(&mut self.warm_tasks);
+        let mut pool = self.pool.take();
+        let mut split_workers = std::mem::take(&mut self.split_workers);
+        let mut split_segs = std::mem::take(&mut self.split_segs);
+        let mut steals = 0u64;
         {
             let slots = &self.slots;
             let link_flows = &self.link_flows;
             let links = self.platform.links();
             if parallel {
-                rayon::scope_for_each_mut(&mut tasks[..n_tasks], self.shard_threads, |task| {
-                    task.run(slots, link_flows, links)
+                let pool = pool.as_mut().expect("parallel warm flushes have a pool");
+                pool.for_each_mut(&mut tasks[..n_tasks], |task| {
+                    task.run(slots, link_flows, links, None)
                 });
             } else {
+                let split_min = self.config.resolved_split_min();
+                let mut split = pool.as_mut().map(|pool| SplitCtx {
+                    pool,
+                    workers: &mut split_workers,
+                    segs: &mut split_segs,
+                    split_min,
+                    steals: &mut steals,
+                });
                 for task in &mut tasks[..n_tasks] {
-                    task.run(slots, link_flows, links);
+                    task.run(slots, link_flows, links, split.as_mut());
                 }
             }
         }
         self.warm_tasks = tasks;
+        self.pool = pool;
+        self.split_workers = split_workers;
+        self.split_segs = split_segs;
+        self.flush_stats.steals += steals;
         if parallel {
             self.flush_stats.parallel_flushes += 1;
             self.flush_stats.shards_dispatched += n_tasks as u64;
@@ -2254,7 +2617,7 @@ impl Network {
     /// active order, so results are bit-identical to the single-threaded
     /// flush at every thread count.
     fn fill_parallel(&mut self, epoch: u64) -> bool {
-        if self.comp_flows.len() < self.parallel_min_flows.max(1) {
+        if self.comp_flows.len() < self.config.parallel_threshold.max(1) {
             return false;
         }
         self.shard_order.clear();
@@ -2273,7 +2636,12 @@ impl Network {
             let (a, b) = ranges[i as usize];
             (std::cmp::Reverse(b - a), i)
         });
-        let bins = self.shard_threads.min(self.shard_order.len());
+        let bins = self
+            .pool
+            .as_ref()
+            .expect("a parallel fill is only wanted with a pool")
+            .budget()
+            .min(self.shard_order.len());
         while self.shard_tasks.len() < bins {
             self.shard_tasks.push(ShardTask::default());
         }
@@ -2295,17 +2663,20 @@ impl Network {
                 task.flows.push(self.comp_raw[k as usize].slot());
             }
         }
-        // Fork–join: every worker reads the flow table, incidence lists and
-        // platform immutably and writes only its own scratch.
+        // Dispatch on the persistent pool: every worker reads the flow
+        // table, incidence lists and platform immutably and writes only its
+        // own scratch.
         let mut tasks = std::mem::take(&mut self.shard_tasks);
+        let mut pool = self.pool.take().expect("a parallel fill has a pool");
         {
             let slots = &self.slots;
             let link_flows = &self.link_flows;
             let links = self.platform.links();
-            rayon::scope_for_each_mut(&mut tasks[..bins], bins, |task| {
+            pool.for_each_mut(&mut tasks[..bins], |task| {
                 task.run(slots, link_flows, links)
             });
         }
+        self.pool = Some(pool);
         // Merge: apply every shard's delta buffer to the flow table and
         // collect the seeded links (stamping the shared `link_epoch`, which
         // phase 4's region rebuild keys on). Each slot and each link lives
@@ -2370,6 +2741,14 @@ impl Network {
         self.queue
             .seed(&self.touched_links, &self.link_capacity, &self.link_unfixed);
         let mut affected = std::mem::take(&mut self.affected_links);
+        // Split machinery: rounds whose bottleneck incidence list reaches
+        // the split threshold are fanned out across the pool (when one is
+        // active — the parallel-capable engines only), bit-identically to
+        // `fix_bottleneck_flows`.
+        let mut pool = self.pool.take();
+        let mut split_workers = std::mem::take(&mut self.split_workers);
+        let mut split_segs = std::mem::take(&mut self.split_segs);
+        let split_min = self.config.resolved_split_min();
         while unfixed_flows > 0 {
             let Some((bottleneck, share)) = self.queue.pop_min() else {
                 break;
@@ -2377,8 +2756,18 @@ impl Network {
             // Collect the links crossed by this round's fixed flows, once
             // each (round-stamped), then refresh their queue keys.
             affected.clear();
-            unfixed_flows -=
-                self.fix_bottleneck_flows(epoch, bottleneck, share, Some(&mut affected));
+            unfixed_flows -= match pool.as_mut() {
+                Some(pool) if self.link_flows[bottleneck].len() >= split_min => self.fix_split(
+                    pool,
+                    &mut split_workers,
+                    &mut split_segs,
+                    epoch,
+                    bottleneck,
+                    share,
+                    &mut affected,
+                ),
+                _ => self.fix_bottleneck_flows(epoch, bottleneck, share, Some(&mut affected)),
+            };
             for &l in &affected {
                 if l == bottleneck {
                     continue; // popped above; its unfixed count drops to 0
@@ -2393,6 +2782,9 @@ impl Network {
         }
         self.queue.clear();
         self.affected_links = affected;
+        self.pool = pool;
+        self.split_workers = split_workers;
+        self.split_segs = split_segs;
     }
 
     /// Fix every unfixed flow crossing `bottleneck` at `share`, releasing
@@ -2446,6 +2838,83 @@ impl Network {
                 }
             }
         }
+        fixed
+    }
+
+    /// Work-stolen variant of [`Network::fix_bottleneck_flows`]: phase A
+    /// fans the bottleneck's incidence scan out across the pool's workers
+    /// (chunk claiming from a shared cursor, results in private
+    /// [`SplitScratch`]), phase B merges serially in exact incidence order.
+    /// Bit-identical to the serial fix at every worker budget — see
+    /// [`split_scan`] / [`split_collect_segs`] for the order argument and
+    /// the capacity-release commutativity note in [`WarmTask::run`].
+    ///
+    /// KEEP IN SYNC with `fix_bottleneck_flows`: same dust rule, same
+    /// subtraction form, same affected-link collection.
+    #[allow(clippy::too_many_arguments)]
+    fn fix_split(
+        &mut self,
+        pool: &mut WorkerPool,
+        workers: &mut Vec<SplitScratch>,
+        segs: &mut Vec<(u32, u32, u32, u32)>,
+        epoch: u64,
+        bottleneck: usize,
+        share: f64,
+        affected: &mut Vec<usize>,
+    ) -> usize {
+        let budget = pool.budget();
+        while workers.len() < budget {
+            workers.push(SplitScratch::default());
+        }
+        {
+            let list = &self.link_flows[bottleneck];
+            let slots = &self.slots;
+            split_scan(
+                pool,
+                &mut workers[..budget],
+                list,
+                split_chunk(list.len(), budget),
+                self.link_flows.len(),
+                slots,
+                |si| {
+                    slots[si]
+                        .state
+                        .as_ref()
+                        .expect("incident flows are live")
+                        .fixed_epoch
+                        != epoch
+                },
+            );
+        }
+        split_collect_segs(workers, budget, segs);
+        self.fill_round += 1;
+        let round = self.fill_round;
+        let mut fixed = 0usize;
+        for &(_, w, a, b) in segs.iter() {
+            for &slot_idx in &workers[w as usize].fixed[a as usize..b as usize] {
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_mut()
+                    .expect("incident flows are live");
+                f.fixed_epoch = epoch;
+                f.new_rate = if share < MIN_RATE { 0.0 } else { share };
+                fixed += 1;
+            }
+        }
+        for ws in &workers[..budget] {
+            for &l32 in &ws.touched {
+                let l = l32 as usize;
+                for _ in 0..ws.link_count[l] {
+                    self.link_capacity[l] = (self.link_capacity[l] - share).max(0.0);
+                }
+                self.link_unfixed[l] -= ws.link_count[l];
+                if self.link_round[l] != round {
+                    self.link_round[l] = round;
+                    affected.push(l);
+                }
+            }
+        }
+        self.flush_stats.steals += 1;
         fixed
     }
 
@@ -2538,11 +3007,32 @@ impl Network {
                 .map(|r| r.heap_bytes())
                 .sum::<usize>()
             + self.warm_arrivals.capacity() * size_of::<FlowId>();
+        let pool_bytes = self.shard_order.capacity() * size_of::<u32>()
+            + self.shard_tasks.capacity() * size_of::<ShardTask>()
+            + self
+                .shard_tasks
+                .iter()
+                .map(ShardTask::heap_bytes)
+                .sum::<usize>()
+            + self.warm_tasks.capacity() * size_of::<WarmTask>()
+            + self
+                .warm_tasks
+                .iter()
+                .map(WarmTask::heap_bytes)
+                .sum::<usize>()
+            + self.split_workers.capacity() * size_of::<SplitScratch>()
+            + self
+                .split_workers
+                .iter()
+                .map(SplitScratch::heap_bytes)
+                .sum::<usize>()
+            + self.split_segs.capacity() * size_of::<(u32, u32, u32, u32)>();
         MemoryFootprint {
             slab_bytes,
             incidence_bytes,
             component_bytes,
             warm_bytes,
+            pool_bytes,
             live_flows: self.live_flows,
         }
     }
@@ -2680,7 +3170,7 @@ impl Serialize for Network {
         Value::Object(vec![
             ("platform".to_owned(), self.platform.to_value()),
             ("mode".to_owned(), self.mode.to_value()),
-            ("engine".to_owned(), self.engine.to_value()),
+            ("engine_config".to_owned(), self.config.to_value()),
             ("slots".to_owned(), Value::Array(slots)),
             ("free_slots".to_owned(), self.free_slots.to_value()),
             ("active".to_owned(), self.active.to_value()),
@@ -2697,17 +3187,19 @@ impl Serialize for Network {
             ),
             ("warm_records".to_owned(), self.warm_records.to_value()),
             ("warm_arrivals".to_owned(), self.warm_arrivals.to_value()),
-            ("flush_stats".to_owned(), self.flush_stats.to_value()),
+            (
+                "flush_stats".to_owned(),
+                // Fold the live pool's deterministic dispatch count in, but
+                // force `park_wakeups` — an OS-scheduling artifact — to 0 so
+                // checkpoint bytes stay a pure function of simulation state.
+                {
+                    let mut fs = self.flush_stats();
+                    fs.park_wakeups = 0;
+                    fs.to_value()
+                },
+            ),
             ("compaction".to_owned(), self.compaction.to_value()),
             ("compactions".to_owned(), self.compactions.to_value()),
-            (
-                "shard_threads".to_owned(),
-                (self.shard_threads as u64).to_value(),
-            ),
-            (
-                "parallel_min_flows".to_owned(),
-                (self.parallel_min_flows as u64).to_value(),
-            ),
             ("stats".to_owned(), self.stats.to_value()),
         ])
     }
@@ -2720,8 +3212,11 @@ impl Deserialize for Network {
             .ok_or_else(|| DeError::expected("object", "Network", v))?;
         let platform: Platform = serde::field(fields, "platform", "Network")?;
         let mode: SharingMode = serde::field(fields, "mode", "Network")?;
-        let engine: RebalanceEngine = serde::field(fields, "engine", "Network")?;
-        let mut net = Network::with_engine(platform, mode, engine);
+        let config: EngineConfig = serde::field(fields, "engine_config", "Network")?;
+        if let Err(e) = config.validate() {
+            return Err(DeError::msg(format!("Network: invalid engine_config: {e}")));
+        }
+        let mut net = Network::with_config(platform, mode, config);
         let link_count = net.platform.links().len();
 
         let slots_v = fields
@@ -2800,9 +3295,6 @@ impl Deserialize for Network {
         net.flush_stats = serde::field(fields, "flush_stats", "Network")?;
         net.compaction = serde::field(fields, "compaction", "Network")?;
         net.compactions = serde::field(fields, "compactions", "Network")?;
-        net.shard_threads = serde::field::<u64>(fields, "shard_threads", "Network")? as usize;
-        net.parallel_min_flows =
-            serde::field::<u64>(fields, "parallel_min_flows", "Network")? as usize;
         let stats: NetStats = serde::field(fields, "stats", "Network")?;
         if stats.link_bytes.len() != link_count {
             return Err(DeError::msg(format!(

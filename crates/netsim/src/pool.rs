@@ -1,0 +1,443 @@
+//! The persistent worker pool and its unified configuration.
+//!
+//! Until PR 10, the threading knobs of the parallel engines were scattered:
+//! `Network::set_shard_threads`, `Network::set_parallel_threshold`,
+//! `ReplayConfig::{engine, shard_threads, parallel_threshold}`, the
+//! `RAYON_NUM_THREADS` environment variable and the `simd` service flags all
+//! steered overlapping state, and every parallel flush paid a
+//! thread-spawn + scratch-allocation floor through the rayon shim's scoped
+//! fork–join. This module replaces both halves:
+//!
+//! * [`EngineConfig`] is the single validated description of how a
+//!   [`Network`](crate::Network) rebalances: which
+//!   [`RebalanceEngine`] runs, how many pool workers
+//!   it may use, above how many covered flows a flush shards, and above how
+//!   many flows on the bottleneck link a single component's fill is split
+//!   across workers. It travels through `ReplayConfig`, `StreamSession`,
+//!   the checkpoint envelope (format version 2) and the `simd` service.
+//! * `WorkerPool` (crate-internal) owns the persistent workers — OS
+//!   threads parked on a condvar and woken per flush — plus the dispatch
+//!   statistics surfaced via [`FlushStats`](crate::FlushStats). Worker
+//!   scratch (epoch-stamped
+//!   capacity tables, fair-share queues, rate buffers) lives in the network
+//!   beside it and is reused across flushes.
+//!
+//! Determinism note: the pool changes **where** fill work runs, never what
+//! it computes. Simulated results are bit-identical at every worker budget
+//! (see `tests/parallel.rs` and the five-way differential in
+//! `tests/props.rs`); of the pool statistics only `park_wakeups` is
+//! scheduling-dependent.
+
+use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+use crate::network::RebalanceEngine;
+
+/// Default for [`EngineConfig::parallel_threshold`]: sharding a flush has a
+/// fixed dispatch cost, so flushes covering fewer flows than this run
+/// serially even under a parallel engine.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 192;
+
+/// Default resolution of [`EngineConfig::split_min_flows`]` == 0`: a
+/// component's progressive fill is split across workers only while its
+/// bottleneck link carries at least this many unfixed flows.
+pub const DEFAULT_SPLIT_MIN_FLOWS: usize = 2048;
+
+/// Hard cap on [`EngineConfig::workers`] accepted by
+/// [`EngineConfig::validate`] — far above any sane budget, it exists to
+/// reject garbage (e.g. a corrupted checkpoint) before it sizes allocations.
+pub const MAX_WORKERS: usize = 1024;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse::<usize>().ok()
+}
+
+/// `NETSIM_WORKERS` if set to a positive integer, else the process-wide
+/// rayon worker count. Resolved once and cached, like a real global pool.
+fn auto_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| match env_usize("NETSIM_WORKERS") {
+        Some(n) if n > 0 => n,
+        _ => rayon::current_num_threads(),
+    })
+}
+
+/// `NETSIM_SPLIT_MIN` if set to a positive integer, else
+/// [`DEFAULT_SPLIT_MIN_FLOWS`]. Resolved once and cached.
+fn auto_split_min() -> usize {
+    static SPLIT_MIN: OnceLock<usize> = OnceLock::new();
+    *SPLIT_MIN.get_or_init(|| match env_usize("NETSIM_SPLIT_MIN") {
+        Some(n) if n > 0 => n,
+        _ => DEFAULT_SPLIT_MIN_FLOWS,
+    })
+}
+
+/// The unified engine configuration: engine choice plus every threading
+/// knob, in one serializable value.
+///
+/// Construct with [`EngineConfig::new`] (or `default()` for the
+/// [`WarmStart`](crate::RebalanceEngine::WarmStart) production engine) and
+/// refine with the by-value builder methods:
+///
+/// ```
+/// use netsim::{EngineConfig, RebalanceEngine};
+///
+/// let config = EngineConfig::new(RebalanceEngine::ParallelShard)
+///     .workers(8)
+///     .parallel_threshold(64)
+///     .split_min_flows(512);
+/// assert_eq!(config.resolved_workers(), 8);
+/// assert!(config.parallel_capable());
+/// config.validate().expect("a sane configuration");
+/// ```
+///
+/// Zero means *auto* for [`workers`](Self::workers) (the `NETSIM_WORKERS`
+/// environment variable, else the detected core count) and for
+/// [`split_min_flows`](Self::split_min_flows) (`NETSIM_SPLIT_MIN`, else
+/// [`DEFAULT_SPLIT_MIN_FLOWS`]). Zero is **meaningful** for
+/// [`parallel_threshold`](Self::parallel_threshold): it makes every
+/// multi-component flush shard, which the determinism tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The rebalance engine the network runs.
+    pub engine: RebalanceEngine,
+    /// Worker budget for the parallel engines: the maximum number of
+    /// concurrent claimers (calling thread included) a flush may use, and
+    /// the bin count of the LPT shard partition. `0` = auto (see above).
+    /// The budget is a *logical* width — partitioning and statistics depend
+    /// only on it, not on the machine — while the pool spawns at most
+    /// `min(budget, cores) - 1` OS threads, so a budget of 8 on a 1-core
+    /// box computes exactly what it computes on an 8-core box, serially.
+    pub workers: usize,
+    /// Minimum number of flows a flush must cover before it is sharded
+    /// across components. `0` = always shard multi-component flushes.
+    pub parallel_threshold: usize,
+    /// Minimum number of unfixed flows on the bottleneck link before one
+    /// component's fill round is split across workers (the work-stealing
+    /// path for oversized components). `0` = auto (see above).
+    pub split_min_flows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(RebalanceEngine::default())
+    }
+}
+
+impl EngineConfig {
+    /// A configuration for `engine` with automatic worker budget, the
+    /// default parallel threshold and automatic split granularity.
+    pub fn new(engine: RebalanceEngine) -> Self {
+        EngineConfig {
+            engine,
+            workers: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            split_min_flows: 0,
+        }
+    }
+
+    /// Set the engine (builder style).
+    pub fn engine(mut self, engine: RebalanceEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the worker budget (builder style). `0` = auto.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the parallel threshold (builder style). `0` = always shard.
+    pub fn parallel_threshold(mut self, flows: usize) -> Self {
+        self.parallel_threshold = flows;
+        self
+    }
+
+    /// Set the split granularity (builder style). `0` = auto.
+    pub fn split_min_flows(mut self, flows: usize) -> Self {
+        self.split_min_flows = flows;
+        self
+    }
+
+    /// Whether the configured engine ever dispatches to the worker pool.
+    pub fn parallel_capable(&self) -> bool {
+        matches!(
+            self.engine,
+            RebalanceEngine::ParallelShard | RebalanceEngine::WarmStart
+        )
+    }
+
+    /// The effective worker budget: [`workers`](Self::workers), or the
+    /// auto-resolved process default when it is `0`. Always at least 1.
+    pub fn resolved_workers(&self) -> usize {
+        let budget = if self.workers == 0 {
+            auto_workers()
+        } else {
+            self.workers
+        };
+        budget.max(1)
+    }
+
+    /// The effective split granularity: [`split_min_flows`](Self::split_min_flows),
+    /// or the auto-resolved default when it is `0`. Always at least 2 —
+    /// splitting a single-flow round can never help.
+    pub fn resolved_split_min(&self) -> usize {
+        let min = if self.split_min_flows == 0 {
+            auto_split_min()
+        } else {
+            self.split_min_flows
+        };
+        min.max(2)
+    }
+
+    /// Check the configuration for nonsense values. `Ok` configurations are
+    /// accepted by [`Network::with_config`](crate::Network::with_config);
+    /// the only rejection today is a worker budget above [`MAX_WORKERS`]
+    /// (a corrupted or adversarial checkpoint, not a real machine).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers > MAX_WORKERS {
+            return Err(format!(
+                "EngineConfig::workers = {} exceeds the supported maximum {MAX_WORKERS}",
+                self.workers
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A persistent worker pool bound to one [`Network`](crate::Network).
+///
+/// Wraps the rayon shim's [`ThreadPool`](rayon::ThreadPool) (condvar-parked
+/// workers, woken per dispatch) and pins the *logical* budget separately
+/// from the *physical* thread count: the budget steers deterministic
+/// decisions (shard bin counts, split engagement, statistics), while the
+/// pool spawns `min(budget, cores) - 1` OS threads — the calling thread is
+/// always the extra claimer. On a single-core machine that is zero spawned
+/// threads: every dispatch degenerates to a serial loop with no
+/// synchronisation, so the pool engines cost (almost) nothing over the
+/// serial ones while still exercising the identical code paths.
+pub(crate) struct WorkerPool {
+    pool: rayon::ThreadPool,
+    budget: usize,
+    dispatches: u64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("budget", &self.budget)
+            .field("threads", &self.threads())
+            .field("dispatches", &self.dispatches)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Build a pool for a logical worker budget (clamped to at least 1).
+    pub(crate) fn new(budget: usize) -> Self {
+        let budget = budget.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool {
+            pool: rayon::ThreadPool::new(budget.min(cores).saturating_sub(1)),
+            budget,
+            dispatches: 0,
+        }
+    }
+
+    /// The logical worker budget this pool was built for.
+    pub(crate) fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of OS threads actually spawned (informational).
+    pub(crate) fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Total dispatches through this pool. Deterministic: a dispatch is
+    /// counted whenever the engines hand the pool a task set, even when the
+    /// pool executes it serially for lack of spawned threads.
+    pub(crate) fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Total worker wakeups served. **Scheduling-dependent** — never
+    /// compare across runs.
+    pub(crate) fn wakeups(&self) -> u64 {
+        self.pool.wakeups()
+    }
+
+    /// Run `f` once on every item, with at most `budget` concurrent
+    /// claimers. Blocks until all items are processed.
+    pub(crate) fn for_each_mut<T, F>(&mut self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        self.dispatches += 1;
+        self.pool.for_each_mut(items, self.budget, f);
+    }
+}
+
+/// Per-worker scratch for the split fill of one oversized component
+/// (allocated once per worker, reused across flushes; see
+/// `Network::fill_link_split`). During the parallel phase each worker
+/// records, privately, which flow slots it fixed (in claimed-chunk order)
+/// and how many fixed flows crossed each link; the serial merge phase then
+/// replays those counts in worker order, reconstructing the exact serial
+/// outcome.
+#[derive(Debug, Default)]
+pub(crate) struct SplitScratch {
+    /// Stamp distinguishing the current split round's link entries.
+    pub(crate) stamp: u64,
+    /// Per-link count of flows this worker fixed that cross the link
+    /// (valid where `link_stamp` matches `stamp`).
+    pub(crate) link_count: Vec<u32>,
+    /// Per-link stamp guarding `link_count`.
+    pub(crate) link_stamp: Vec<u64>,
+    /// Links this worker touched this round, in first-touch order.
+    pub(crate) touched: Vec<u32>,
+    /// Flow slots this worker fixed this round, in claimed-chunk order.
+    pub(crate) fixed: Vec<u32>,
+    /// `(chunk_index, fixed.len() after the chunk)` pairs, ascending in
+    /// `chunk_index` — enough to re-interleave all workers' `fixed` lists
+    /// into the exact global (incidence) order during the merge.
+    pub(crate) chunk_ends: Vec<(u32, u32)>,
+}
+
+impl SplitScratch {
+    /// Make the per-link tables at least `links` long.
+    pub(crate) fn ensure_links(&mut self, links: usize) {
+        if self.link_count.len() < links {
+            self.link_count.resize(links, 0);
+            self.link_stamp.resize(links, 0);
+        }
+    }
+
+    /// Reset the per-round lists and advance the stamp for a new round.
+    pub(crate) fn begin_round(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        self.touched.clear();
+        self.fixed.clear();
+        self.chunk_ends.clear();
+    }
+
+    /// Heap bytes held by this scratch (for `MemoryFootprint::pool_bytes`).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.link_count.capacity() * std::mem::size_of::<u32>()
+            + self.link_stamp.capacity() * std::mem::size_of::<u64>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+            + self.fixed.capacity() * std::mem::size_of::<u32>()
+            + self.chunk_ends.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip_and_defaults() {
+        let c = EngineConfig::default();
+        assert_eq!(c.engine, RebalanceEngine::WarmStart);
+        assert_eq!(c.workers, 0, "auto by default");
+        assert_eq!(c.parallel_threshold, DEFAULT_PARALLEL_THRESHOLD);
+        assert_eq!(c.split_min_flows, 0, "auto by default");
+
+        let c = EngineConfig::new(RebalanceEngine::DirtyComponent)
+            .engine(RebalanceEngine::ParallelShard)
+            .workers(5)
+            .parallel_threshold(0)
+            .split_min_flows(100);
+        assert_eq!(c.engine, RebalanceEngine::ParallelShard);
+        assert_eq!(c.resolved_workers(), 5);
+        assert_eq!(c.parallel_threshold, 0);
+        assert_eq!(c.resolved_split_min(), 100);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_at_least_one() {
+        assert!(EngineConfig::default().resolved_workers() >= 1);
+    }
+
+    #[test]
+    fn split_min_never_below_two() {
+        assert_eq!(
+            EngineConfig::default()
+                .split_min_flows(1)
+                .resolved_split_min(),
+            2
+        );
+    }
+
+    #[test]
+    fn parallel_capability_by_engine() {
+        for (engine, capable) in [
+            (RebalanceEngine::ScanPerEvent, false),
+            (RebalanceEngine::BucketedBatched, false),
+            (RebalanceEngine::DirtyComponent, false),
+            (RebalanceEngine::ParallelShard, true),
+            (RebalanceEngine::WarmStart, true),
+        ] {
+            assert_eq!(EngineConfig::new(engine).parallel_capable(), capable);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_absurd_worker_budget() {
+        assert!(EngineConfig::default()
+            .workers(MAX_WORKERS)
+            .validate()
+            .is_ok());
+        assert!(EngineConfig::default()
+            .workers(MAX_WORKERS + 1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = EngineConfig::new(RebalanceEngine::ParallelShard)
+            .workers(3)
+            .parallel_threshold(7)
+            .split_min_flows(11);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn worker_pool_budget_is_logical_thread_count_is_physical() {
+        let mut pool = WorkerPool::new(64);
+        assert_eq!(pool.budget(), 64);
+        let cores = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        assert!(pool.threads() <= cores.saturating_sub(1).min(63));
+        let mut items: Vec<u64> = (0..100).collect();
+        pool.for_each_mut(&mut items, |x| *x += 1);
+        assert_eq!(items, (1..101).collect::<Vec<_>>());
+        assert_eq!(pool.dispatches(), 1);
+    }
+
+    #[test]
+    fn split_scratch_round_lifecycle() {
+        let mut s = SplitScratch::default();
+        s.ensure_links(4);
+        s.begin_round();
+        let stamp = s.stamp;
+        s.link_count[2] = 5;
+        s.link_stamp[2] = stamp;
+        s.touched.push(2);
+        s.fixed.extend([7, 9]);
+        s.chunk_ends.push((0, 2));
+        assert!(s.heap_bytes() > 0);
+        s.begin_round();
+        assert_ne!(s.stamp, stamp);
+        assert!(s.touched.is_empty() && s.fixed.is_empty() && s.chunk_ends.is_empty());
+    }
+}

@@ -25,10 +25,9 @@
 
 use crate::checkpoint::{self, CheckpointError};
 use crate::event::{run_world, Scheduler, World};
-use crate::network::{
-    FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, RebalanceEngine, SharingMode,
-};
+use crate::network::{FlowDelivery, NetEvent, NetStats, NetWorldEvent, Network, SharingMode};
 use crate::platform::Platform;
+use crate::pool::EngineConfig;
 use p2p_common::{DataSize, HostId, SimDuration, SimTime};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{HashMap, VecDeque};
@@ -116,22 +115,13 @@ pub struct ReplayConfig {
     pub sharing: SharingMode,
     /// Per-message protocol costs.
     pub protocol: ProtocolCosts,
-    /// Rebalance engine for `SharingMode::MaxMinFair` (ignored under
-    /// `Bottleneck`). Every engine produces identical simulated results;
+    /// Rebalance engine and threading configuration for
+    /// `SharingMode::MaxMinFair` (ignored under `Bottleneck`). Every
+    /// engine produces identical simulated results at every worker budget;
     /// non-default choices exist for differential tests and benchmarks.
-    /// The default, [`RebalanceEngine::WarmStart`], resumes each
-    /// component's fill from its persisted bottleneck record.
-    pub engine: RebalanceEngine,
-    /// Worker-thread budget for [`RebalanceEngine::ParallelShard`] and
-    /// [`RebalanceEngine::WarmStart`] flushes (`None` = the rayon worker
-    /// count, which honours `RAYON_NUM_THREADS`). Thread count never
-    /// changes simulated results — this exists so differential tests and
-    /// benchmarks can pin it.
-    pub shard_threads: Option<usize>,
-    /// Work threshold for [`RebalanceEngine::ParallelShard`] and
-    /// [`RebalanceEngine::WarmStart`] flushes (`None` = the engine
-    /// default; see [`Network::set_parallel_threshold`]).
-    pub parallel_threshold: Option<usize>,
+    /// The default engine, [`crate::RebalanceEngine::WarmStart`], resumes
+    /// each component's fill from its persisted bottleneck record.
+    pub config: EngineConfig,
 }
 
 impl Default for ReplayConfig {
@@ -139,9 +129,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             sharing: SharingMode::Bottleneck,
             protocol: ProtocolCosts::none(),
-            engine: RebalanceEngine::default(),
-            shard_threads: None,
-            parallel_threshold: None,
+            config: EngineConfig::default(),
         }
     }
 }
@@ -243,7 +231,7 @@ impl Deserialize for Proc {
         for (from, tag, count) in triples {
             mailbox.insert(
                 (from, tag),
-                std::iter::repeat(()).take(count as usize).collect(),
+                std::iter::repeat_n((), count as usize).collect(),
             );
         }
         Ok(Proc {
@@ -516,13 +504,7 @@ impl ReplaySession {
                 wait_since: SimTime::ZERO,
             })
             .collect();
-        let mut net = Network::with_engine(platform, cfg.sharing, cfg.engine);
-        if let Some(threads) = cfg.shard_threads {
-            net.set_shard_threads(threads);
-        }
-        if let Some(min_flows) = cfg.parallel_threshold {
-            net.set_parallel_threshold(min_flows);
-        }
+        let net = Network::with_config(platform, cfg.sharing, cfg.config);
         let world = ReplayWorld {
             net,
             procs,

@@ -43,6 +43,7 @@ use crate::network::{
     FlowDelivery, NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode,
 };
 use crate::platform::Platform;
+use crate::pool::EngineConfig;
 use p2p_common::{DataSize, HostId, SimTime};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
@@ -100,15 +101,22 @@ pub struct StreamSession {
 
 impl StreamSession {
     /// Create a session over `platform` with the default (warm-start)
-    /// rebalance engine.
+    /// rebalance engine and default [`EngineConfig`].
     pub fn new(platform: Platform, mode: SharingMode) -> Self {
-        Self::with_engine(platform, mode, RebalanceEngine::default())
+        Self::with_config(platform, mode, EngineConfig::default())
     }
 
-    /// Create a session with an explicit rebalance engine.
+    /// Create a session with an explicit rebalance engine (and that
+    /// engine's default threading configuration).
     pub fn with_engine(platform: Platform, mode: SharingMode, engine: RebalanceEngine) -> Self {
+        Self::with_config(platform, mode, EngineConfig::new(engine))
+    }
+
+    /// Create a session with a full [`EngineConfig`] — engine, worker
+    /// budget, parallel threshold and split granularity.
+    pub fn with_config(platform: Platform, mode: SharingMode, config: EngineConfig) -> Self {
         StreamSession {
-            net: Network::with_engine(platform, mode, engine),
+            net: Network::with_config(platform, mode, config),
             sched: Scheduler::new(),
             deliveries: Vec::new(),
         }

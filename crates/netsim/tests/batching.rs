@@ -152,8 +152,9 @@ fn parallel_shard_engine_matches_dirty_on_star_churn() {
         ),
         deliveries: vec![],
     };
-    world.net.set_shard_threads(8);
-    world.net.set_parallel_threshold(0);
+    world
+        .net
+        .set_config(world.net.config().workers(8).parallel_threshold(0));
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for &(src, dst, size, token) in &churn_workload(hosts, 400) {
         world.net.start_flow(&mut sched, src, dst, size, token);

@@ -177,7 +177,9 @@ fn foreign_envelopes_are_rejected() {
     let sched: Scheduler<StreamEvent> = Scheduler::new();
     let json = checkpoint::to_json(&net, &sched, Value::Null).unwrap();
 
-    let wrong_version = json.replace("\"version\":1", "\"version\":999");
+    let current = format!("\"version\":{}", checkpoint::VERSION);
+    assert!(json.contains(&current), "envelope must carry the version");
+    let wrong_version = json.replace(&current, "\"version\":999");
     let err = match checkpoint::from_json::<StreamEvent>(&wrong_version) {
         Err(e) => e,
         Ok(_) => panic!("foreign version must be rejected"),
@@ -190,4 +192,28 @@ fn foreign_envelopes_are_rejected() {
         Ok(_) => panic!("foreign format must be rejected"),
     };
     assert!(err.to_string().contains("format"), "got: {err}");
+}
+
+/// The v1 layout (separate `engine` / `shard_threads` / `parallel_min_flows`
+/// network fields, no `engine_config`) is strictly rejected by its version
+/// stamp alone — decode never guesses at field migrations.
+#[test]
+fn v1_envelopes_are_rejected_not_migrated() {
+    let net = Network::new(star(3), SharingMode::MaxMinFair);
+    let sched: Scheduler<StreamEvent> = Scheduler::new();
+    let json = checkpoint::to_json(&net, &sched, Value::Null).unwrap();
+    assert_eq!(checkpoint::VERSION, 2, "update this test on a version bump");
+    let downgraded = json.replace(
+        &format!("\"version\":{}", checkpoint::VERSION),
+        "\"version\":1",
+    );
+    let err = match checkpoint::from_json::<StreamEvent>(&downgraded) {
+        Err(e) => e,
+        Ok(_) => panic!("v1 envelope must be rejected"),
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version 1") && msg.contains("expected 2"),
+        "rejection must name both versions: {msg}"
+    );
 }

@@ -194,8 +194,7 @@ fn parallel_counters_tick_only_when_shards_dispatch() {
         RebalanceEngine::ParallelShard,
         &flows,
         |net| {
-            net.set_shard_threads(4);
-            net.set_parallel_threshold(0);
+            net.set_config(net.config().workers(4).parallel_threshold(0));
         },
     );
     let s = sharded.net.flush_stats();
@@ -206,8 +205,7 @@ fn parallel_counters_tick_only_when_shards_dispatch() {
     // Same workload, same engine, but a one-thread budget: no shard ever
     // dispatches, and the remaining telemetry still works.
     let serial = run(platform, RebalanceEngine::ParallelShard, &flows, |net| {
-        net.set_shard_threads(1);
-        net.set_parallel_threshold(0);
+        net.set_config(net.config().workers(1).parallel_threshold(0));
     });
     let s1 = serial.net.flush_stats();
     assert_eq!(s1.parallel_flushes, 0);
@@ -265,8 +263,7 @@ fn warm_flushes_shard_and_cold_engines_never_warm_start() {
         RebalanceEngine::WarmStart,
         &flows,
         |net| {
-            net.set_shard_threads(4);
-            net.set_parallel_threshold(0);
+            net.set_config(net.config().workers(4).parallel_threshold(0));
         },
     );
     let s = warm.net.flush_stats();

@@ -1,7 +1,7 @@
 //! Determinism-under-threads pins for [`RebalanceEngine::ParallelShard`].
 //!
 //! The property suite (`props.rs`) proves five-way engine equivalence at
-//! whatever worker count `RAYON_NUM_THREADS` dictates — the CI matrix sweeps
+//! whatever worker count `NETSIM_WORKERS` dictates — the CI matrix sweeps
 //! that across processes. This file pins the orthogonal guarantee *within*
 //! one process: on a deterministic multi-component workload whose flushes
 //! really shard, the parallel engine's deliveries and statistics are
@@ -120,8 +120,13 @@ fn run(engine: RebalanceEngine, threads: usize, threshold: usize) -> NetWorld {
         ),
         deliveries: vec![],
     };
-    world.net.set_shard_threads(threads);
-    world.net.set_parallel_threshold(threshold);
+    world.net.set_config(
+        world
+            .net
+            .config()
+            .workers(threads)
+            .parallel_threshold(threshold),
+    );
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for &(src, dst, size, token) in &mirrored_workload(GROUPS, HOSTS_PER, PER_GROUP) {
         world.net.start_flow(&mut sched, src, dst, size, token);
@@ -216,8 +221,9 @@ fn parallel_shard_falls_back_on_a_single_component() {
             net: Network::with_engine(b.build(), SharingMode::MaxMinFair, engine),
             deliveries: vec![],
         };
-        world.net.set_shard_threads(8);
-        world.net.set_parallel_threshold(0);
+        world
+            .net
+            .set_config(world.net.config().workers(8).parallel_threshold(0));
         let mut sched: Scheduler<Ev> = Scheduler::new();
         // Every flow funnels into h0, so h0's ingress link couples all of
         // them into one component (a spread-out star pattern would decompose

@@ -1,0 +1,139 @@
+//! Thread-lifecycle pin for the persistent worker pool: creating a pooled
+//! network spawns its workers once, reconfiguring the budget retires them,
+//! and dropping the network joins every thread — no leaks, ever.
+//!
+//! This is deliberately the **only** test in this binary: it asserts on the
+//! process thread count (`/proc/self/status`), which would race against
+//! sibling tests spawning their own pools on other harness threads.
+
+use netsim::event::{run_world, Scheduler, World};
+use netsim::network::{NetEvent, NetWorldEvent, Network, RebalanceEngine, SharingMode};
+use netsim::platform::{HostSpec, LinkSpec, PlatformBuilder};
+use netsim::EngineConfig;
+use p2p_common::{Bandwidth, DataSize, HostId, SimDuration};
+
+#[derive(Debug, Clone, Copy)]
+struct Ev(NetEvent);
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Self {
+        Ev(e)
+    }
+}
+impl NetWorldEvent for Ev {
+    fn as_net_event(&self) -> Option<NetEvent> {
+        Some(self.0)
+    }
+}
+
+struct Sim {
+    net: Network,
+}
+impl World for Sim {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        self.net.on_event(sched, ev.0);
+    }
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Drive one funnel workload to completion so the lazy pool is created and
+/// actually dispatches.
+fn flush_once(net: &mut Network) {
+    let mut sim = Sim {
+        net: std::mem::replace(
+            net,
+            Network::new(PlatformBuilder::new().build(), SharingMode::MaxMinFair),
+        ),
+    };
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for i in 0..64u64 {
+        sim.net.start_flow(
+            &mut sched,
+            HostId::new((i % 7 + 1) as u32),
+            HostId::new(0),
+            DataSize::from_bytes(50_000 + i * 9_973),
+            i,
+        );
+    }
+    run_world(&mut sim, &mut sched, None);
+    *net = sim.net;
+}
+
+#[test]
+fn pool_reconfigure_and_drop_leak_no_threads() {
+    let Some(baseline) = thread_count() else {
+        eprintln!("skip: /proc/self/status not readable on this platform");
+        return;
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut b = PlatformBuilder::new();
+    let sw = b.add_router("sw");
+    let spec = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_micros(100));
+    for i in 0..8 {
+        let h = b.add_host(
+            format!("h{i}"),
+            format!("10.0.0.{}", i + 1).parse().unwrap(),
+            HostSpec::default(),
+        );
+        b.add_host_link(format!("l{i}"), h, sw, spec);
+    }
+    let config = EngineConfig::new(RebalanceEngine::WarmStart)
+        .workers(4)
+        .parallel_threshold(0)
+        .split_min_flows(2);
+    let mut net = Network::with_config(b.build(), SharingMode::MaxMinFair, config);
+
+    flush_once(&mut net);
+    let pooled = thread_count().unwrap();
+    // The pool spawns budget-capped-by-cores minus the participating
+    // caller; on a single-core box that is zero threads, and everything
+    // below degenerates to equalities against the baseline.
+    let expected_workers = 4usize.min(cores).saturating_sub(1);
+    assert_eq!(
+        pooled,
+        baseline + expected_workers,
+        "a pooled flush must spawn exactly the capped worker count once"
+    );
+
+    // Re-flushing must reuse the parked workers, not spawn fresh ones.
+    flush_once(&mut net);
+    assert_eq!(
+        thread_count().unwrap(),
+        pooled,
+        "repeat flushes must reuse the persistent workers"
+    );
+
+    // Shrinking the budget to one retires the pool immediately.
+    net.set_config(net.config().workers(1));
+    assert_eq!(
+        thread_count().unwrap(),
+        baseline,
+        "a one-worker budget must retire (join) the pool's threads"
+    );
+
+    // Growing it again re-creates the pool lazily at the next flush...
+    net.set_config(net.config().workers(2));
+    flush_once(&mut net);
+    let regrown = thread_count().unwrap();
+    assert_eq!(regrown, baseline + 2usize.min(cores).saturating_sub(1));
+
+    // ...and dropping the network joins everything.
+    drop(net);
+    assert_eq!(
+        thread_count().unwrap(),
+        baseline,
+        "dropping the network must join every pool thread"
+    );
+}

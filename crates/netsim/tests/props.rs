@@ -34,10 +34,10 @@
 //!   holds the warm-specific generators).
 //!
 //! The parallel engine runs here with its work threshold at zero, so every
-//! multi-component flush actually shards; its worker count is the rayon
-//! default, which honours `RAYON_NUM_THREADS` — the CI matrix sweeps that
-//! over 1, 2 and 8, turning this whole suite into the determinism-under-
-//! threads proof.
+//! multi-component flush actually shards; its worker budget stays at auto,
+//! which honours `NETSIM_WORKERS` — the CI matrix sweeps that over 1, 2
+//! and 8, turning this whole suite into the determinism-under-threads
+//! proof (and the steal-stress lane adds `NETSIM_SPLIT_MIN=2` on top).
 //!
 //! The multi-component properties run on a *forest of stars* — disjoint
 //! star platforms in one [`Platform`] — because that is where the
@@ -182,11 +182,11 @@ fn forest_workload(
 
 /// Construct a network with `engine`, configured so the parallel-shard
 /// engine actually shards on these small workloads (work threshold zero;
-/// the worker count stays at the rayon default so `RAYON_NUM_THREADS`
-/// drives it — a no-op knob for every other engine).
+/// the worker budget stays at auto so `NETSIM_WORKERS` drives it — a
+/// no-op knob for every other engine).
 fn network_for(platform: Platform, engine: RebalanceEngine) -> Network {
     let mut net = Network::with_engine(platform, SharingMode::MaxMinFair, engine);
-    net.set_parallel_threshold(0);
+    net.set_config(net.config().parallel_threshold(0));
     net
 }
 
@@ -364,7 +364,7 @@ proptest! {
     /// multi-component topologies (a forest of disjoint stars, per-group
     /// latencies staggering the churn) with random intra-group flows. The
     /// parallel-shard engine (threshold zero — every multi-component flush
-    /// really shards; worker count from `RAYON_NUM_THREADS` via the CI
+    /// really shards; worker budget from `NETSIM_WORKERS` via the CI
     /// matrix) and the dirty-component engine must agree **bit for bit**
     /// with the full batched recompute, and all must match the retained
     /// seed engine within the two-tick slack documented in the module

@@ -15,7 +15,7 @@
 //!   ones).
 //! * **Determinism smoke** — a scaled-down hierarchy workload is bit-
 //!   identical across engines and re-builds. The parallel engine resolves
-//!   its worker budget from `RAYON_NUM_THREADS` and the build seed comes
+//!   its worker budget from `NETSIM_WORKERS` and the build seed comes
 //!   from `ROBUSTNESS_SEED`, so the CI seed × thread × profile matrices
 //!   sweep this whole file into a determinism proof for the scale layer.
 
@@ -178,7 +178,7 @@ fn run_hierarchy_workload(
 /// The scaled-down determinism smoke for the CI seed × thread matrices: the
 /// same hierarchy workload is bit-identical across re-builds from one seed
 /// and across the engine set (the parallel engine honours
-/// `RAYON_NUM_THREADS`, so the matrix sweep proves thread-independence).
+/// `NETSIM_WORKERS`, so the matrix sweep proves thread-independence).
 #[test]
 fn hierarchy_workload_is_deterministic_across_engines_and_rebuilds() {
     let params = IspHierarchyParams {

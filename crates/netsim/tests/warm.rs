@@ -143,7 +143,7 @@ impl World for NewWorld {
 
 fn network_for(platform: Platform, engine: RebalanceEngine) -> Network {
     let mut net = Network::with_engine(platform, SharingMode::MaxMinFair, engine);
-    net.set_parallel_threshold(0);
+    net.set_config(net.config().parallel_threshold(0));
     net
 }
 

@@ -1,7 +1,7 @@
 //! Determinism and distribution guarantees of the fault model.
 //!
 //! The CI `robustness` matrix runs this binary in debug and release and under
-//! `RAYON_NUM_THREADS` ∈ {1, 2, 8}: a churn sequence is part of a scenario's
+//! `NETSIM_WORKERS` ∈ {1, 2, 8}: a churn sequence is part of a scenario's
 //! identity, so the same seed must yield the *identical* event sequence
 //! everywhere — build profile, thread count and allocation pattern must all
 //! be invisible to the RNG stream.

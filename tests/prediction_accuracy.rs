@@ -190,7 +190,8 @@ fn prediction_tracks_the_reference_on_churn_survivors() {
 #[test]
 fn replay_result_is_identical_across_rebalance_engines() {
     use netsim::{
-        daisy_xdsl, replay, HostSpec, ProcessScript, RebalanceEngine, ReplayConfig, ReplayOp,
+        daisy_xdsl, replay, EngineConfig, HostSpec, ProcessScript, RebalanceEngine, ReplayConfig,
+        ReplayOp,
     };
     use p2p_common::SimDuration;
 
@@ -230,12 +231,10 @@ fn replay_result_is_identical_across_rebalance_engines() {
         ] {
             let cfg = ReplayConfig {
                 sharing,
-                engine,
                 // Pin the shard knobs so the parallel engine shards whenever
                 // this small workload's flushes span several components —
-                // thread count never changes simulated results.
-                shard_threads: Some(4),
-                parallel_threshold: Some(0),
+                // worker budget never changes simulated results.
+                config: EngineConfig::new(engine).workers(4).parallel_threshold(0),
                 ..ReplayConfig::default()
             };
             results.push(replay(topo.platform.clone(), &hosts, &scripts, &cfg));

@@ -11,7 +11,7 @@
 //! * the overlay re-converges: line consistent, no orphaned peers;
 //! * the outcome is identical across seeds' repeated runs and across
 //!   engine thread pinnings (the CI matrix additionally varies
-//!   `RAYON_NUM_THREADS` and debug/release around this binary).
+//!   `NETSIM_WORKERS` and debug/release around this binary).
 //!
 //! The seed can be pinned from the environment (`ROBUSTNESS_SEED`) so the CI
 //! job runs the same binary over several seeds without recompiling.
@@ -117,11 +117,10 @@ fn outcome_is_deterministic_for_a_seed_and_thread_pinning() {
     let b = run_robustness(&cfg);
     assert_eq!(a, b, "same config must reproduce the same report");
     // Forcing the parallel-shard engine wide open must not change simulated
-    // outcomes (this binary also runs under RAYON_NUM_THREADS ∈ {1,2,8} in
+    // outcomes (this binary also runs under NETSIM_WORKERS ∈ {1,2,8} in
     // CI).
     let pinned = RobustnessConfig {
-        shard_threads: Some(8),
-        parallel_threshold: Some(0),
+        config: cfg.config.workers(8).parallel_threshold(0),
         ..cfg
     };
     assert_eq!(a, run_robustness(&pinned));

@@ -35,7 +35,7 @@ fn mass_failure_churn_is_identical_across_warm_and_cold_engines() {
     for seed in seeds {
         let cfg = |engine| RobustnessConfig {
             seed,
-            engine,
+            config: netsim::EngineConfig::new(engine),
             ..RobustnessConfig::default()
         };
         let warm = run_robustness(&cfg(RebalanceEngine::WarmStart));

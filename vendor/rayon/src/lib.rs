@@ -3,12 +3,18 @@
 //! Implements the slice/`Vec` parallel-iterator subset this workspace uses:
 //! `par_iter()` / `into_par_iter()`, chained `map`s, and `collect()` into a
 //! `Vec` with **deterministic, order-preserving output** — plus
-//! [`scope_for_each_mut`], a scoped fork–join over a mutable slice for
-//! callers that manage their own work partitioning (the netsim shard
-//! executor). Work is split into one contiguous chunk per worker and
-//! executed on `std::thread::scope` threads — no work stealing, which is
-//! adequate for the coarse-grained simulation sweeps this workspace
-//! parallelises.
+//! [`scope_for_each_mut`], a fork–join over a mutable slice for callers
+//! that manage their own work partitioning (the netsim shard executor).
+//!
+//! Since PR 10 the shim is **pool-backed**, like the real rayon: a
+//! [`ThreadPool`] keeps its workers parked on a condvar between dispatches
+//! instead of spawning scoped threads per call, so the per-call cost is a
+//! wake + join of already-running threads rather than thread creation.
+//! `par_iter`/`collect` and [`scope_for_each_mut`] run on a lazily created
+//! process-global pool; embedders that want their own worker budget (the
+//! netsim flush engine) create private [`ThreadPool`] instances. Items are
+//! claimed from a shared atomic cursor — task-level stealing — so an
+//! uneven partition no longer pins the slow tail on one worker.
 //!
 //! Like the real rayon, the default worker count honours the
 //! `RAYON_NUM_THREADS` environment variable (a positive integer overrides
@@ -16,7 +22,9 @@
 //! cached, exactly as a real global thread pool would pin it at creation.
 
 use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     //! The traits a caller needs in scope.
@@ -51,6 +59,258 @@ fn thread_count(n: usize) -> usize {
     current_num_threads().min(n).max(1)
 }
 
+/// A dispatched unit of work: a monomorphized trampoline plus a pointer to
+/// the dispatcher's stack-held context. The dispatch barrier in
+/// [`ThreadPool::for_each_mut`] guarantees the context outlives every
+/// worker's use of it, and the `T: Send` / `F: Sync` bounds on the only
+/// call site make the cross-thread handoff sound.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// Safety: see `Job` — the pointer targets live only as long as the
+// dispatching call, which blocks until every worker is done with them.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Stamp incremented per dispatch so a worker never re-runs a job it
+    /// already executed (it parks again until the stamp moves).
+    seq: u64,
+    /// Workers that have not yet finished the current job.
+    running: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between dispatches.
+    work_ready: Condvar,
+    /// The dispatcher blocks here until `running` drains to zero.
+    work_done: Condvar,
+    wakeups: AtomicU64,
+    panicked: AtomicBool,
+}
+
+/// Claim context for one `for_each_mut` dispatch. Items are taken from a
+/// shared cursor one index at a time, so a worker that finishes early keeps
+/// pulling work that a static partition would have left on a slow peer —
+/// task-level stealing without per-item channels.
+struct ForEachCtx<'a, T, F> {
+    base: *mut T,
+    len: usize,
+    cursor: &'a AtomicUsize,
+    /// Concurrency cap: workers take one ticket each before claiming any
+    /// items; with no ticket they contribute nothing. The caller holds an
+    /// implicit ticket, so `limit` counts it.
+    tickets: &'a AtomicIsize,
+    f: &'a F,
+}
+
+fn claim_loop<T, F: Fn(&mut T)>(ctx: &ForEachCtx<'_, T, F>) {
+    loop {
+        let i = ctx.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.len {
+            break;
+        }
+        // Safety: `fetch_add` hands out each index exactly once, so this
+        // `&mut` is disjoint from every other claimer's.
+        unsafe { (ctx.f)(&mut *ctx.base.add(i)) };
+    }
+}
+
+unsafe fn run_for_each<T, F: Fn(&mut T) + Sync>(ctx: *const ()) {
+    let ctx = unsafe { &*(ctx as *const ForEachCtx<'_, T, F>) };
+    if ctx.tickets.fetch_sub(1, Ordering::Relaxed) <= 0 {
+        return;
+    }
+    claim_loop(ctx);
+}
+
+/// A persistent pool of parked worker threads.
+///
+/// Workers are spawned once at construction and then sleep on a condvar;
+/// each [`for_each_mut`](Self::for_each_mut) call wakes them, lets them
+/// claim items from a shared cursor alongside the calling thread, and
+/// blocks until all of them have finished (so borrowed state in the closure
+/// needs no `'static` bound). Dropping the pool parks no orphans: workers
+/// are signalled to shut down and joined.
+///
+/// `ThreadPool::new(0)` is valid and spawns nothing — every dispatch then
+/// degenerates to a serial loop on the caller, which is the intended mode
+/// on single-core machines.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Serialises concurrent dispatches from different threads (the global
+    /// pool is shared process-wide); one job is in flight at a time.
+    dispatch_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` parked workers.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                seq: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            wakeups: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn rayon shim worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            dispatch_lock: Mutex::new(()),
+        }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut last_seq = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    match st.job {
+                        Some(job) if st.seq != last_seq => {
+                            last_seq = st.seq;
+                            break job;
+                        }
+                        _ => st = shared.work_ready.wait(st).unwrap(),
+                    }
+                }
+            };
+            shared.wakeups.fetch_add(1, Ordering::Relaxed);
+            // Safety: the dispatcher keeps `job.ctx` alive until `running`
+            // drains to zero, which includes this execution.
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) }));
+            if outcome.is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut st = shared.state.lock().unwrap();
+            st.running -= 1;
+            if st.running == 0 {
+                st.job = None;
+                shared.work_done.notify_all();
+            }
+        }
+    }
+
+    /// Number of worker threads this pool spawned (the calling thread is
+    /// always an additional claimer on top of these).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total worker wakeups served since construction. Scheduling-dependent
+    /// and therefore **not** deterministic across runs; callers exporting
+    /// it must treat it as advisory.
+    pub fn wakeups(&self) -> u64 {
+        self.shared.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` once on every element of `items`, claiming elements from a
+    /// shared cursor across at most `limit` concurrent claimers (calling
+    /// thread included). Blocks until all elements are processed. With no
+    /// workers, `limit <= 1`, or fewer than two items, runs serially on the
+    /// calling thread with no synchronisation at all.
+    ///
+    /// Panics in `f` are re-raised on the calling thread after all workers
+    /// have quiesced.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], limit: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let n = items.len();
+        let limit = limit.min(n).max(1);
+        if self.workers.is_empty() || limit <= 1 || n <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        // The caller claims without a ticket, so workers share `limit - 1`.
+        let tickets = AtomicIsize::new(limit as isize - 1);
+        let ctx = ForEachCtx {
+            base: items.as_mut_ptr(),
+            len: n,
+            cursor: &cursor,
+            tickets: &tickets,
+            f: &f,
+        };
+        let guard = self.dispatch_lock.lock().unwrap();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.seq += 1;
+            st.job = Some(Job {
+                run: run_for_each::<T, F>,
+                ctx: (&ctx as *const ForEachCtx<'_, T, F>).cast(),
+            });
+            st.running = self.workers.len();
+            self.shared.work_ready.notify_all();
+        }
+        // The calling thread works through the same cursor while the
+        // workers run. A panic here must still wait out the workers (they
+        // hold pointers into this stack frame) before unwinding.
+        let caller_outcome = std::panic::catch_unwind(AssertUnwindSafe(|| claim_loop(&ctx)));
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.shared.work_done.wait(st).unwrap();
+        }
+        drop(st);
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::SeqCst);
+        drop(guard);
+        if let Err(payload) = caller_outcome {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("rayon shim pool worker panicked");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The process-global pool backing `par_iter`/`collect` and
+/// [`scope_for_each_mut`]: [`current_num_threads`]` - 1` workers (the
+/// calling thread is the extra claimer), created on first parallel call.
+fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(current_num_threads().saturating_sub(1)))
+}
+
 /// Order-preserving parallel map of `items` through `f`.
 fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
@@ -63,35 +323,18 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Slot buffer the worker threads fill in place, one disjoint chunk each.
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let chunk = n.div_ceil(threads);
-    // Hand each worker an owned chunk of inputs and the matching slot chunk.
-    let mut work: Vec<(Vec<T>, &mut [Option<U>])> = Vec::with_capacity(threads);
-    {
-        let mut items = items;
-        let mut rest: &mut [Option<U>] = &mut slots;
-        while !items.is_empty() {
-            let take = chunk.min(items.len());
-            let tail = items.split_off(take);
-            let (head, next) = rest.split_at_mut(take);
-            work.push((std::mem::replace(&mut items, tail), head));
-            rest = next;
-        }
-    }
-    std::thread::scope(|s| {
-        for (inputs, outputs) in work {
-            s.spawn(move || {
-                for (slot, item) in outputs.iter_mut().zip(inputs) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    // In-place slot buffer: each element is taken and replaced by its image
+    // under `f`, so output order matches input order regardless of which
+    // claimer processed which index.
+    let mut slots: Vec<(Option<T>, Option<U>)> =
+        items.into_iter().map(|item| (Some(item), None)).collect();
+    global_pool().for_each_mut(&mut slots, threads, |slot| {
+        let item = slot.0.take().expect("each slot is claimed exactly once");
+        slot.1 = Some(f(item));
     });
     slots
         .into_iter()
-        .map(|s| s.expect("parallel worker filled every slot"))
+        .map(|(_, out)| out.expect("parallel worker filled every slot"))
         .collect()
 }
 
@@ -221,21 +464,21 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
-/// Scoped fork–join over a mutable slice: split `items` into at most
-/// `max_threads` contiguous chunks and run `f` on every element, each chunk
-/// on its own scoped worker thread (the first chunk runs on the calling
-/// thread, so a two-way split spawns a single worker).
+/// Fork–join over a mutable slice: run `f` on every element with at most
+/// `max_threads` concurrent claimers (the calling thread is one of them),
+/// dispatched on the process-global [`ThreadPool`].
 ///
 /// This is the entry point for callers that partition work themselves into
 /// per-task buffers borrowed from surrounding state — e.g. netsim's shard
 /// executor, which hands each worker a `&mut` shard task whose closure also
-/// reads shared `&` network state. `std::thread::scope` makes those borrows
+/// reads shared `&` network state. The dispatch barrier makes those borrows
 /// legal without `'static` bounds or `Arc`.
 ///
 /// `max_threads` is taken at face value (clamped to the item count, minimum
 /// 1), **not** capped at [`current_num_threads`]: determinism tests
-/// deliberately run the same partition at 1, 2 and 8 workers on any
-/// machine. `max_threads <= 1` degenerates to a plain sequential loop with
+/// deliberately run the same partition at 1, 2 and 8 workers on any machine
+/// (actual concurrency is additionally bounded by the pool's spawned
+/// workers). `max_threads <= 1` degenerates to a plain sequential loop with
 /// no thread machinery at all.
 pub fn scope_for_each_mut<T, F>(items: &mut [T], max_threads: usize, f: F)
 where
@@ -250,30 +493,7 @@ where
         }
         return;
     }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        let mut rest = items;
-        let mut first: Option<&mut [T]> = None;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            if first.is_none() {
-                first = Some(head);
-            } else {
-                let f = &f;
-                s.spawn(move || {
-                    for item in head {
-                        f(item);
-                    }
-                });
-            }
-        }
-        // The first chunk runs on the calling thread while the workers go.
-        for item in first.expect("non-empty slice has a first chunk") {
-            f(item);
-        }
-    });
+    global_pool().for_each_mut(items, threads, f);
 }
 
 /// Run two closures, potentially in parallel, returning both results.
@@ -360,5 +580,75 @@ mod tests {
         let mut one = vec![7u32];
         super::scope_for_each_mut(&mut one, 0, |x| *x += 1);
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn thread_pool_is_reusable_across_dispatches() {
+        let pool = super::ThreadPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        for round in 0..50u64 {
+            let mut items: Vec<u64> = (0..97).collect();
+            pool.for_each_mut(&mut items, 8, |x| *x += round);
+            assert_eq!(items, (0..97).map(|x| x + round).collect::<Vec<_>>());
+        }
+        assert!(
+            pool.wakeups() > 0,
+            "workers were woken at least once across 50 dispatches"
+        );
+    }
+
+    #[test]
+    fn thread_pool_with_zero_workers_runs_serially() {
+        let pool = super::ThreadPool::new(0);
+        assert_eq!(pool.threads(), 0);
+        let mut items: Vec<u32> = (0..10).collect();
+        pool.for_each_mut(&mut items, 8, |x| *x *= 3);
+        assert_eq!(items, (0..10).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(pool.wakeups(), 0, "no workers, no wakeups");
+    }
+
+    #[test]
+    fn thread_pool_ticket_limit_caps_claimers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = super::ThreadPool::new(4);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let mut items = vec![(); 64];
+        pool.for_each_mut(&mut items, 2, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "at most `limit` claimers run concurrently"
+        );
+    }
+
+    #[test]
+    fn thread_pool_propagates_worker_panics_and_survives() {
+        let pool = super::ThreadPool::new(2);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut items: Vec<u32> = (0..32).collect();
+            pool.for_each_mut(&mut items, 4, |x| {
+                if *x == 17 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(outcome.is_err(), "the panic reaches the dispatcher");
+        // The pool stays usable after a propagated panic.
+        let mut items: Vec<u32> = (0..8).collect();
+        pool.for_each_mut(&mut items, 4, |x| *x += 1);
+        assert_eq!(items, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_pool_drop_joins_workers() {
+        let pool = super::ThreadPool::new(3);
+        let mut items: Vec<u32> = (0..16).collect();
+        pool.for_each_mut(&mut items, 3, |x| *x += 1);
+        drop(pool); // must not hang or leave detached workers running
     }
 }
